@@ -1,0 +1,57 @@
+"""Ablation: explicit Steiner multicast (MBBE-S) vs MBBE's shared prefixes.
+
+Eq. 9 prices a layer's inter-layer link *union* once, so the cheapest
+instantiation is a Steiner tree. MBBE approximates it with independent
+min-cost paths (which share prefixes for free); MBBE-S builds the tree
+explicitly. The gain should be ≈ 0 at dense deployment (allocations cluster
+next to the start node) and grow as deployments get sparse and branches
+long — this bench measures both regimes.
+"""
+
+import pytest
+
+from repro.config import FlowConfig, table2_defaults
+from repro.network.generator import generate_network
+from repro.sfc.generator import generate_dag_sfc
+from repro.solvers import MbbeEmbedder, MbbeSteinerEmbedder
+
+NET_SIZE = 150
+
+
+@pytest.mark.parametrize("deploy_ratio", [0.5, 0.1])
+@pytest.mark.parametrize("algorithm", ["MBBE", "MBBE-S"])
+def test_steiner_multicast_ablation(benchmark, deploy_ratio, algorithm):
+    sc = table2_defaults().with_network(size=NET_SIZE, deploy_ratio=deploy_ratio)
+    net = generate_network(sc.network, rng=91)
+    dag = generate_dag_sfc(sc.sfc, sc.network.n_vnf_types, rng=92)
+    solver = MbbeEmbedder() if algorithm == "MBBE" else MbbeSteinerEmbedder()
+    result = benchmark(
+        lambda: solver.embed(net, dag, 0, NET_SIZE - 1, FlowConfig(), rng=1)
+    )
+    assert result.success
+    benchmark.extra_info["deploy_ratio"] = deploy_ratio
+    benchmark.extra_info["cost"] = round(result.total_cost, 2)
+
+
+def test_steiner_never_worse(benchmark):
+    """MBBE-S keeps each allocation's cheaper instantiation, so on a fixed
+    instance it can only match or beat MBBE."""
+    sc = table2_defaults().with_network(size=NET_SIZE, deploy_ratio=0.1)
+    net = generate_network(sc.network, rng=93)
+
+    def compare():
+        out = []
+        for seed in range(5):
+            dag = generate_dag_sfc(sc.sfc, sc.network.n_vnf_types, rng=seed)
+            m = MbbeEmbedder().embed(net, dag, 0, NET_SIZE - 1, FlowConfig())
+            s = MbbeSteinerEmbedder().embed(net, dag, 0, NET_SIZE - 1, FlowConfig())
+            out.append((m, s))
+        return out
+
+    pairs = benchmark.pedantic(compare, rounds=1, iterations=1)
+    gains = []
+    for m, s in pairs:
+        assert m.success and s.success
+        assert s.total_cost <= m.total_cost + 1e-6
+        gains.append(m.total_cost - s.total_cost)
+    benchmark.extra_info["mean_gain"] = round(sum(gains) / len(gains), 3)

@@ -1,0 +1,56 @@
+"""Ablation: MBBE's sub-solution quota ``X_d`` (strategy 3 of §4.5).
+
+``X_d`` is the branching factor of the sub-solution tree: 1 degenerates to
+a pure greedy chain (cheapest sub-solution per layer, no backtracking
+diversity), larger values buy solution quality with the ``k`` tree-size
+factor. The bench quantifies the quality/effort curve.
+"""
+
+import pytest
+
+from repro.analysis.complexity import search_effort
+from repro.config import FlowConfig, table2_defaults
+from repro.network.generator import generate_network
+from repro.sfc.generator import generate_dag_sfc
+from repro.solvers import MbbeEmbedder
+
+NET_SIZE = 150
+
+
+@pytest.fixture(scope="module")
+def ablation_instance():
+    sc = table2_defaults().with_network(size=NET_SIZE)
+    net = generate_network(sc.network, rng=65)
+    dag = generate_dag_sfc(sc.sfc, sc.network.n_vnf_types, rng=66)
+    return net, dag
+
+
+@pytest.mark.parametrize("x_d", [1, 2, 4, 8])
+def test_mbbe_cost_vs_xd(benchmark, ablation_instance, x_d):
+    net, dag = ablation_instance
+    solver = MbbeEmbedder(x_d=x_d)
+    result = benchmark(
+        lambda: solver.embed(net, dag, 0, NET_SIZE - 1, FlowConfig(), rng=1)
+    )
+    assert result.success
+    effort = search_effort(result)
+    benchmark.extra_info["x_d"] = x_d
+    benchmark.extra_info["cost"] = round(result.total_cost, 2)
+    benchmark.extra_info["tree_size"] = effort.tree_size
+
+
+def test_quality_monotone_in_xd(benchmark, ablation_instance):
+    """More backtracking diversity never hurts (on a fixed instance)."""
+    net, dag = ablation_instance
+
+    def run_all():
+        return {
+            x_d: MbbeEmbedder(x_d=x_d).embed(net, dag, 0, NET_SIZE - 1, FlowConfig())
+            for x_d in (1, 4, 8)
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    costs = {x_d: r.total_cost for x_d, r in results.items()}
+    benchmark.extra_info["costs"] = {k: round(v, 2) for k, v in costs.items()}
+    assert costs[8] <= costs[4] + 1e-6
+    assert costs[4] <= costs[1] + 1e-6

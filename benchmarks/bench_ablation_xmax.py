@@ -1,0 +1,37 @@
+"""Ablation: MBBE's forward-search cap ``X_max`` (strategy 1 of §4.5).
+
+``X_max`` bounds how far a layer's forward search may expand. Small caps
+cut per-layer work (the ``X_max^phi`` factor) but can force cap expansions;
+large caps approach uncapped BBE-style coverage. This bench sweeps the knob
+to expose the cost/latency trade-off the paper tunes implicitly.
+"""
+
+import pytest
+
+from repro.config import FlowConfig, table2_defaults
+from repro.network.generator import generate_network
+from repro.sfc.generator import generate_dag_sfc
+from repro.solvers import MbbeEmbedder
+
+NET_SIZE = 150
+
+
+@pytest.fixture(scope="module")
+def ablation_instance():
+    sc = table2_defaults().with_network(size=NET_SIZE)
+    net = generate_network(sc.network, rng=55)
+    dag = generate_dag_sfc(sc.sfc, sc.network.n_vnf_types, rng=56)
+    return net, dag
+
+
+@pytest.mark.parametrize("x_max", [8, 16, 32, 64, 128])
+def test_mbbe_cost_vs_xmax(benchmark, ablation_instance, x_max):
+    net, dag = ablation_instance
+    solver = MbbeEmbedder(x_max=x_max)
+    result = benchmark(
+        lambda: solver.embed(net, dag, 0, NET_SIZE - 1, FlowConfig(), rng=1)
+    )
+    assert result.success
+    benchmark.extra_info["x_max"] = x_max
+    benchmark.extra_info["cost"] = round(result.total_cost, 2)
+    benchmark.extra_info["forward_expansions"] = result.stats["forward_expansions"]

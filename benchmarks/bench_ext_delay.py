@@ -1,0 +1,71 @@
+"""Extension: the latency pay-off of hybrid SFCs, per SFC size.
+
+The paper's Fig. 1 motivation turned into a measured series: embed the same
+service as a hybrid DAG (MBBE) and as a traditional serial chain
+(CHAIN-DP), compare end-to-end delay under a processing-dominated model.
+The speed-up should grow with the SFC size (wider parallel sets overlap
+more processing).
+"""
+
+import pytest
+
+from repro.analysis.delay import DelayModel, dag_delay
+from repro.config import FlowConfig, table2_defaults
+from repro.network.generator import generate_network
+from repro.sfc.generator import generate_dag_sfc
+from repro.solvers import ChainDpEmbedder, MbbeEmbedder
+
+NET_SIZE = 120
+MODEL = DelayModel(per_hop_delay=0.05, default_processing_delay=1.0, merger_delay=0.05)
+
+
+@pytest.fixture(scope="module")
+def delay_net():
+    sc = table2_defaults().with_network(size=NET_SIZE)
+    return generate_network(sc.network, rng=101)
+
+
+@pytest.mark.parametrize("sfc_size", [3, 6, 9])
+def test_delay_speedup_vs_sfc_size(benchmark, delay_net, sfc_size):
+    sc = table2_defaults()
+
+    def run():
+        speedups = []
+        for seed in range(4):
+            dag = generate_dag_sfc(
+                sc.sfc.with_(size=sfc_size), n_vnf_types=12, rng=seed
+            )
+            hybrid = MbbeEmbedder().embed(delay_net, dag, 0, NET_SIZE - 1, FlowConfig())
+            serial = ChainDpEmbedder().embed(delay_net, dag, 0, NET_SIZE - 1, FlowConfig())
+            assert hybrid.success and serial.success
+            speedups.append(
+                dag_delay(serial.embedding, MODEL) / dag_delay(hybrid.embedding, MODEL)
+            )
+        return sum(speedups) / len(speedups)
+
+    mean_speedup = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["sfc_size"] = sfc_size
+    benchmark.extra_info["mean_delay_speedup"] = round(mean_speedup, 3)
+    assert mean_speedup > 1.0
+
+
+def test_speedup_grows_with_parallel_width(benchmark, delay_net):
+    sc = table2_defaults()
+
+    def run():
+        out = {}
+        for size in (3, 9):
+            vals = []
+            for seed in range(4):
+                dag = generate_dag_sfc(sc.sfc.with_(size=size), n_vnf_types=12, rng=seed)
+                hybrid = MbbeEmbedder().embed(delay_net, dag, 0, NET_SIZE - 1, FlowConfig())
+                serial = ChainDpEmbedder().embed(delay_net, dag, 0, NET_SIZE - 1, FlowConfig())
+                vals.append(
+                    dag_delay(serial.embedding, MODEL) / dag_delay(hybrid.embedding, MODEL)
+                )
+            out[size] = sum(vals) / len(vals)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["speedups"] = {k: round(v, 3) for k, v in out.items()}
+    assert out[9] >= out[3]  # more VNFs -> more overlap to harvest

@@ -1,0 +1,36 @@
+"""Extension: success-rate sweep under tight VNF capacity.
+
+The paper's closing observation quantified: at shrinking per-instance
+capacity with scarce deployments, who still finds a feasible embedding?
+"""
+
+import pytest
+
+from repro.sim.metrics import aggregate
+from repro.sim.figures import extension_robustness
+from repro.sim.runner import run_experiment
+
+
+def test_ext_robustness_sweep(sweep):
+    sweep("ext-robustness")
+
+
+def test_mbbe_dominates_success_rate(benchmark):
+    """At the tightest point, MBBE's success rate matches or beats both
+    benchmarks (asserted on aggregated trials)."""
+    spec = extension_robustness(trials=6)
+
+    def run():
+        return aggregate(run_experiment(spec))
+
+    summaries = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_cell = {(s.x, s.algorithm): s for s in summaries}
+    tightest = min(s.x for s in summaries)
+    mbbe = by_cell[(tightest, "MBBE")]
+    benchmark.extra_info["success"] = {
+        algo: by_cell[(tightest, algo)].success_rate
+        for algo in ("RANV", "MINV", "BBE", "MBBE")
+        if (tightest, algo) in by_cell
+    }
+    for algo in ("RANV", "MINV"):
+        assert mbbe.success_rate >= by_cell[(tightest, algo)].success_rate - 1e-9

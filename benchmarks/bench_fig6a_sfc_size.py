@@ -1,0 +1,26 @@
+"""Fig. 6(a): impact of the SFC size on the total embedding cost.
+
+Regenerates the paper's sweep (SFC size 1–9, RANV/MINV/BBE/MBBE; BBE stops
+at size 5 as in the paper) and micro-benchmarks each algorithm's embedding
+latency at the Table-2 point (SFC size 5).
+"""
+
+import pytest
+
+from repro.config import FlowConfig
+from repro.solvers.registry import make_solver
+
+
+def test_fig6a_sweep_table(sweep):
+    sweep("6a")
+
+
+@pytest.mark.parametrize("algorithm", ["RANV", "MINV", "BBE", "MBBE"])
+def test_embed_latency_sfc5(benchmark, table2_instance, algorithm):
+    sc, net, dag, src, dst = table2_instance
+    solver = make_solver(algorithm)
+    result = benchmark(
+        lambda: solver.embed(net, dag, src, dst, FlowConfig(), rng=1)
+    )
+    assert result.success, result.reason
+    benchmark.extra_info["mean_cost"] = round(result.total_cost, 2)

@@ -1,0 +1,32 @@
+"""Fig. 6(b): impact of the network size (10–1000 nodes).
+
+The paper's finding: heuristic costs stay flat while benchmark costs rise
+with network size (paths lengthen); the sweep table exposes exactly that
+series. The micro-benchmark measures MBBE's embedding latency growth with
+network size (its n² complexity term).
+"""
+
+import pytest
+
+from repro.config import FlowConfig, table2_defaults
+from repro.network.generator import generate_network
+from repro.sfc.generator import generate_dag_sfc
+from repro.solvers.registry import make_solver
+
+
+def test_fig6b_sweep_table(sweep):
+    sweep("6b")
+
+
+@pytest.mark.parametrize("size", [50, 100, 200, 400])
+def test_mbbe_latency_vs_network_size(benchmark, size):
+    sc = table2_defaults().with_network(size=size)
+    net = generate_network(sc.network, rng=5)
+    dag = generate_dag_sfc(sc.sfc, sc.network.n_vnf_types, rng=6)
+    solver = make_solver("MBBE")
+    result = benchmark(
+        lambda: solver.embed(net, dag, 0, size - 1, FlowConfig(), rng=1)
+    )
+    assert result.success
+    benchmark.extra_info["network_size"] = size
+    benchmark.extra_info["mean_cost"] = round(result.total_cost, 2)

@@ -1,0 +1,30 @@
+"""Fig. 6(c): impact of the network connectivity (average degree 2–14).
+
+The paper's finding: costs fall as connectivity rises (shorter real-paths),
+with the heuristics ~30 % below the benchmarks throughout.
+"""
+
+import pytest
+
+from repro.config import FlowConfig, table2_defaults
+from repro.network.generator import generate_network
+from repro.sfc.generator import generate_dag_sfc
+from repro.solvers.registry import make_solver
+
+
+def test_fig6c_sweep_table(sweep):
+    sweep("6c")
+
+
+@pytest.mark.parametrize("connectivity", [2.0, 6.0, 12.0])
+def test_mbbe_latency_vs_connectivity(benchmark, connectivity):
+    sc = table2_defaults().with_network(size=150, connectivity=connectivity)
+    net = generate_network(sc.network, rng=7)
+    dag = generate_dag_sfc(sc.sfc, sc.network.n_vnf_types, rng=8)
+    solver = make_solver("MBBE")
+    result = benchmark(
+        lambda: solver.embed(net, dag, 0, 149, FlowConfig(), rng=1)
+    )
+    assert result.success
+    benchmark.extra_info["connectivity"] = connectivity
+    benchmark.extra_info["mean_cost"] = round(result.total_cost, 2)

@@ -1,0 +1,30 @@
+"""Fig. 6(d): impact of the VNF deploying ratio (10–70 %).
+
+The paper's finding: heuristic costs fall as deployment densifies (closer
+instances shorten real-paths) while the benchmarks barely benefit.
+"""
+
+import pytest
+
+from repro.config import FlowConfig, table2_defaults
+from repro.network.generator import generate_network
+from repro.sfc.generator import generate_dag_sfc
+from repro.solvers.registry import make_solver
+
+
+def test_fig6d_sweep_table(sweep):
+    sweep("6d")
+
+
+@pytest.mark.parametrize("ratio", [0.1, 0.3, 0.7])
+def test_mbbe_latency_vs_deploy_ratio(benchmark, ratio):
+    sc = table2_defaults().with_network(size=150, deploy_ratio=ratio)
+    net = generate_network(sc.network, rng=9)
+    dag = generate_dag_sfc(sc.sfc, sc.network.n_vnf_types, rng=10)
+    solver = make_solver("MBBE")
+    result = benchmark(
+        lambda: solver.embed(net, dag, 0, 149, FlowConfig(), rng=1)
+    )
+    assert result.success
+    benchmark.extra_info["deploy_ratio"] = ratio
+    benchmark.extra_info["mean_cost"] = round(result.total_cost, 2)

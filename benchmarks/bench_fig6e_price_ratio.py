@@ -1,0 +1,32 @@
+"""Fig. 6(e): impact of the average price ratio (links vs VNFs, 1–50 %).
+
+The paper's finding: all costs grow with the link price, benchmarks
+fastest — the cost gap to BBE/MBBE widens because they trade VNF rental
+against link cost while the benchmarks cannot.
+"""
+
+import pytest
+
+from repro.config import FlowConfig, table2_defaults
+from repro.network.generator import generate_network
+from repro.sfc.generator import generate_dag_sfc
+from repro.solvers.registry import make_solver
+
+
+def test_fig6e_sweep_table(sweep):
+    sweep("6e")
+
+
+@pytest.mark.parametrize("price_ratio", [0.01, 0.2, 0.5])
+def test_mbbe_cost_structure_vs_price_ratio(benchmark, price_ratio):
+    sc = table2_defaults().with_network(size=150, price_ratio=price_ratio)
+    net = generate_network(sc.network, rng=11)
+    dag = generate_dag_sfc(sc.sfc, sc.network.n_vnf_types, rng=12)
+    solver = make_solver("MBBE")
+    result = benchmark(
+        lambda: solver.embed(net, dag, 0, 149, FlowConfig(), rng=1)
+    )
+    assert result.success
+    benchmark.extra_info["price_ratio"] = price_ratio
+    benchmark.extra_info["vnf_cost"] = round(result.cost.vnf_cost, 2)
+    benchmark.extra_info["link_cost"] = round(result.cost.link_cost, 2)

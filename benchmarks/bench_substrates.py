@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the substrate primitives the solvers lean on.
+
+Not a paper artifact — these locate the hot spots (guide: "no optimization
+without measuring"): Dijkstra and the random network generator dominate a
+trial; Yen and Dreyfus–Wagner only run inside the oracles.
+"""
+
+import pytest
+
+from repro.config import NetworkConfig
+from repro.network.generator import generate_network
+from repro.network.ksp import k_shortest_paths
+from repro.network.shortest import bfs_rings, dijkstra
+from repro.network.steiner import exact_steiner_tree, mst_steiner_tree
+
+
+@pytest.fixture(scope="module")
+def big_net():
+    return generate_network(NetworkConfig(size=500, connectivity=6.0, n_vnf_types=12), rng=1)
+
+
+@pytest.fixture(scope="module")
+def small_net():
+    return generate_network(NetworkConfig(size=30, connectivity=4.0, n_vnf_types=6), rng=2)
+
+
+def test_generate_network_500(benchmark):
+    cfg = NetworkConfig(size=500, connectivity=6.0, n_vnf_types=12)
+    net = benchmark(lambda: generate_network(cfg, rng=3))
+    assert net.graph.is_connected()
+
+
+def test_dijkstra_500(benchmark, big_net):
+    res = benchmark(lambda: dijkstra(big_net.graph, 0))
+    assert len(res.dist) == 500
+
+
+def test_bfs_rings_coverage(benchmark, big_net):
+    res = benchmark(
+        lambda: bfs_rings(big_net.graph, 0, stop=lambda seen: len(seen) >= 64)
+    )
+    assert len(res.node_set) >= 64
+
+
+def test_yen_k8(benchmark, big_net):
+    paths = benchmark(lambda: k_shortest_paths(big_net.graph, 0, 250, 8))
+    assert len(paths) >= 1
+
+
+def test_exact_steiner_4_terminals(benchmark, small_net):
+    tree = benchmark(lambda: exact_steiner_tree(small_net.graph, 0, [5, 10, 15]))
+    assert tree.cost > 0
+
+
+def test_mst_steiner_4_terminals(benchmark, big_net):
+    tree = benchmark(lambda: mst_steiner_tree(big_net.graph, 0, [100, 200, 300]))
+    assert tree.cost > 0

@@ -1,0 +1,88 @@
+"""Shared benchmark fixtures and scaling knobs.
+
+Benchmarks regenerate the paper's evaluation artifacts. To keep the default
+``pytest benchmarks/ --benchmark-only`` run at minutes-scale, the suite
+shrinks the experiments unless told otherwise:
+
+* ``REPRO_TRIALS``      — trials per sweep point (default here: 3; paper: 100);
+* ``REPRO_NET_SCALE``   — network-size multiplier (default here: 0.3, i.e.
+  the Table-2 network becomes 150 nodes; paper scale: 1.0).
+
+A paper-fidelity run is::
+
+    REPRO_TRIALS=100 REPRO_NET_SCALE=1.0 REPRO_PARALLEL=8 \
+        pytest benchmarks/ --benchmark-only
+
+Every sweep prints the same rows the paper plots (mean total cost per
+algorithm per x-point); the numbers also land in the pytest-benchmark
+``extra_info`` so they live in the JSON export.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+# Apply bench-suite defaults before repro.sim.figures reads them.
+os.environ.setdefault("REPRO_TRIALS", "3")
+os.environ.setdefault("REPRO_NET_SCALE", "0.3")
+
+from repro.config import table2_defaults  # noqa: E402
+from repro.network.generator import generate_network  # noqa: E402
+from repro.sfc.generator import generate_dag_sfc  # noqa: E402
+from repro.sim.figures import figure_by_id  # noqa: E402
+from repro.sim.metrics import aggregate  # noqa: E402
+from repro.sim.report import summary_table  # noqa: E402
+from repro.sim.runner import run_experiment  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def table2_instance():
+    """One Table-2-style instance (scaled), shared by micro-benchmarks."""
+    sc = table2_defaults()
+    scale = float(os.environ.get("REPRO_NET_SCALE", "1.0"))
+    size = max(10, round(sc.network.size * scale))
+    sc = sc.with_network(size=size)
+    net = generate_network(sc.network, rng=20180813)
+    dag = generate_dag_sfc(sc.sfc, sc.network.n_vnf_types, rng=20180814)
+    return sc, net, dag, 0, size - 1
+
+
+def run_figure_sweep(fig_id: str) -> tuple[str, dict]:
+    """Run one full sweep; return (printable table, stats for extra_info)."""
+    spec = figure_by_id(fig_id)
+    records = run_experiment(spec)
+    summaries = aggregate(records)
+    table = summary_table(summaries, x_label=spec.x_label)
+    info = {
+        "figure": fig_id,
+        "title": spec.title,
+        "trials_per_point": spec.trials,
+        "series": {
+            f"{s.algorithm}@{s.x:g}": round(s.mean_cost, 2)
+            for s in summaries
+            if s.n_success > 0
+        },
+    }
+    return table, info
+
+
+@pytest.fixture
+def sweep(benchmark):
+    """Benchmark one full sweep (single round) and print the paper table."""
+
+    def _publish(fig_id: str) -> None:
+        result = {}
+
+        def run():
+            table, info = run_figure_sweep(fig_id)
+            result["table"] = table
+            result["info"] = info
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        benchmark.extra_info.update(result["info"])
+        print(f"\n=== Figure {fig_id}: {result['info']['title']} ===")
+        print(result["table"])
+
+    return _publish

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Robustness under tight capacities: who still finds a solution?
+
+The paper notes that "in all the above simulations, MBBE always results in
+a solution while the benchmark algorithms do not". This example provokes
+that regime: VNF instances and links get just enough capacity that careless
+placement (RANV/MINV piling positions onto the cheapest or a random
+instance, or long paths saturating links) starts failing, while MBBE's
+capacity-aware search routes around the bottlenecks.
+
+Run:  python examples/capacity_stress.py
+"""
+
+import numpy as np
+
+from repro import FlowConfig, NetworkConfig, SfcConfig, generate_dag_sfc, generate_network, make_solver
+from repro.utils.rng import trial_seed
+
+TRIALS = 40
+SEED = 31
+
+
+def main() -> None:
+    cfg = NetworkConfig(
+        size=60,
+        connectivity=4.0,
+        n_vnf_types=8,
+        deploy_ratio=0.2,  # scarce instances
+        vnf_capacity=1.0,  # one flow per instance
+        link_capacity=2.0,  # two charged uses per link
+    )
+    flow = FlowConfig(size=1.0, rate=1.0)
+    algorithms = ("RANV", "MINV", "MBBE")
+    wins: dict[str, int] = {a: 0 for a in algorithms}
+    costs: dict[str, list[float]] = {a: [] for a in algorithms}
+
+    for t in range(TRIALS):
+        seed = trial_seed(SEED, t)
+        rng = np.random.default_rng(seed)
+        net = generate_network(cfg, rng)
+        dag = generate_dag_sfc(SfcConfig(size=6), n_vnf_types=8, rng=rng)
+        src, dst = (int(v) for v in rng.choice(cfg.size, size=2, replace=False))
+        for name in algorithms:
+            r = make_solver(name).embed(net, dag, src, dst, flow, rng=seed)
+            if r.success:
+                wins[name] += 1
+                costs[name].append(r.total_cost)
+
+    print(f"tight-capacity stress: {TRIALS} trials, 60 nodes, deploy 20 %, cap 1 flow")
+    print(f"  {'algorithm':10s} {'success':>8s} {'mean cost (successes)':>24s}")
+    for name in algorithms:
+        rate = wins[name] / TRIALS
+        mean = sum(costs[name]) / len(costs[name]) if costs[name] else float("nan")
+        print(f"  {name:10s} {rate:8.0%} {mean:24.1f}")
+    assert wins["MBBE"] >= max(wins["RANV"], wins["MINV"]), (
+        "MBBE should be at least as robust as the baselines"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Enterprise security chain: from sequential SFC to embedded hybrid SFC.
+
+The end-to-end story of the paper's Figs. 1–2 on a realistic middlebox
+chain:
+
+1. an enterprise orders the sequential chain
+   firewall → DPI → IDS → monitor → NAT → shaper;
+2. the NFP-style parallelism analysis finds which adjacent functions are
+   order-independent and standardizes the chain into a layered DAG-SFC;
+3. the DAG-SFC is embedded into a cloud network with MBBE;
+4. the latency extension quantifies the parallelism pay-off against the
+   sequential counterfactual on the *same* placements.
+
+Run:  python examples/enterprise_chain.py
+"""
+
+from repro import (
+    FlowConfig,
+    NetworkConfig,
+    SequentialSfc,
+    generate_network,
+    make_solver,
+    standard_catalog,
+    to_dag_sfc,
+)
+from repro.analysis.delay import DelayModel, dag_delay, sequentialized_delay
+from repro.nfv.parallelism import ParallelismAnalyzer
+
+SEED = 11
+
+
+def main() -> None:
+    catalog = standard_catalog()
+    by_name = {catalog.name(i): i for i in catalog}
+    chain = SequentialSfc(
+        [
+            by_name["firewall"],
+            by_name["dpi"],
+            by_name["ids"],
+            by_name["monitor"],
+            by_name["nat"],
+            by_name["shaper"],
+        ]
+    )
+    print("ordered chain :", " -> ".join(catalog.name(v) for v in chain))
+
+    analyzer = ParallelismAnalyzer(catalog, allow_merge_logic=True)
+    print(f"catalog parallelizable pair fraction: {analyzer.parallel_fraction():.1%}")
+
+    dag = to_dag_sfc(chain, analyzer, max_parallel=3)
+    print("standardized DAG-SFC:")
+    for l, layer in enumerate(dag.layers, start=1):
+        names = ", ".join(catalog.name(v) for v in layer.parallel)
+        merger = " + merger" if layer.has_merger else ""
+        print(f"  L{l}: {{{names}}}{merger}")
+
+    net_cfg = NetworkConfig(size=120, connectivity=5.0, n_vnf_types=len(catalog))
+    network = generate_network(net_cfg, rng=SEED)
+    result = make_solver("MBBE").embed(network, dag, 3, 117, FlowConfig())
+    if not result.success:
+        print("embedding failed:", result.reason)
+        return
+    print(
+        f"\nMBBE embedding cost: {result.total_cost:.2f} "
+        f"(vnf {result.cost.vnf_cost:.2f} + link {result.cost.link_cost:.2f})"
+    )
+
+    model = DelayModel(catalog=catalog, per_hop_delay=1.0)
+    hybrid = dag_delay(result.embedding, model)
+    serial = sequentialized_delay(result.embedding, model)
+    print(f"end-to-end delay hybrid: {hybrid:.2f} ms")
+    print(f"end-to-end delay if sequential: {serial:.2f} ms")
+    print(f"parallelism speed-up: {serial / hybrid:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

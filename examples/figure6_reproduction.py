@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Reproduce every Fig. 6 sweep and print the tables + ASCII charts.
+
+By default this runs a scaled-down version (5 trials/point, network sizes
+multiplied by REPRO_NET_SCALE if set) so it finishes in a few minutes; for
+the paper-fidelity run use::
+
+    REPRO_TRIALS=100 REPRO_PARALLEL=8 python examples/figure6_reproduction.py
+
+CSV files with the full statistics are written next to this script.
+"""
+
+import os
+import pathlib
+
+from repro.sim.ascii_chart import line_chart
+from repro.sim.figures import FIGURES, figure_by_id
+from repro.sim.metrics import aggregate
+from repro.sim.report import series_from_summaries, summaries_to_csv, summary_table
+from repro.sim.runner import run_experiment
+
+OUT_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def main() -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    fig_ids = [fid for fid in ("6a", "6b", "6c", "6d", "6e", "6f")]
+    for fid in fig_ids:
+        spec = figure_by_id(fid)
+        print("=" * 72)
+        print(f"Figure {fid}: {spec.title} ({spec.trials} trials/point)")
+        records = run_experiment(spec, progress=True)
+        summaries = aggregate(records)
+        print(summary_table(summaries, x_label=spec.x_label))
+        print()
+        print(line_chart(series_from_summaries(summaries), x_label=spec.x_label))
+        csv_path = OUT_DIR / f"fig{fid}.csv"
+        csv_path.write_text(summaries_to_csv(summaries))
+        print(f"[csv] {csv_path}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Hybrid (DAG) vs traditional sequential embedding: the Fig. 1 trade-off.
+
+The paper's pitch: hybrid SFCs buy *latency* through VNF parallelism. The
+flip side it doesn't dwell on: the standardized DAG form rents extra
+mergers and duplicates inner-layer traffic. This example puts numbers on
+both sides by embedding the same service twice —
+
+* as a serial chain with the exact layered-graph DP (`CHAIN-DP`, the
+  traditional sequential-SFC method), and
+* as a DAG-SFC with MBBE,
+
+then comparing rental cost, link cost and end-to-end delay.
+
+Run:  python examples/hybrid_vs_sequential.py
+"""
+
+import numpy as np
+
+from repro import FlowConfig, NetworkConfig, SfcConfig, generate_dag_sfc, generate_network, make_solver
+from repro.analysis.delay import DelayModel, dag_delay
+
+SEED = 47
+TRIALS = 20
+
+
+def main() -> None:
+    cfg = NetworkConfig(size=120, connectivity=5.0, n_vnf_types=10)
+    # NF processing dominates intra-datacenter hops (NFP's premise): a DPI
+    # pass costs ~1 ms, a hop ~0.05 ms. With hop-dominated delays the
+    # parallelism gain would drown in the merger detours.
+    model = DelayModel(per_hop_delay=0.05, default_processing_delay=1.0, merger_delay=0.05)
+    rows = []
+    rng = np.random.default_rng(SEED)
+    for t in range(TRIALS):
+        net = generate_network(cfg, rng=rng)
+        dag = generate_dag_sfc(SfcConfig(size=6), n_vnf_types=10, rng=rng)
+        src, dst = (int(v) for v in rng.choice(cfg.size, size=2, replace=False))
+        serial = make_solver("CHAIN-DP").embed(net, dag, src, dst, FlowConfig())
+        hybrid = make_solver("MBBE").embed(net, dag, src, dst, FlowConfig())
+        if not (serial.success and hybrid.success):
+            continue
+        rows.append(
+            (
+                serial.total_cost,
+                hybrid.total_cost,
+                dag_delay(serial.embedding, model),  # serial DAG: no overlap
+                dag_delay(hybrid.embedding, model),
+            )
+        )
+
+    n = len(rows)
+    s_cost = sum(r[0] for r in rows) / n
+    h_cost = sum(r[1] for r in rows) / n
+    s_delay = sum(r[2] for r in rows) / n
+    h_delay = sum(r[3] for r in rows) / n
+
+    print(f"6-VNF service, {n} instances, 120-node cloud (means):")
+    print(f"  {'':12s} {'cost':>10s} {'delay (ms)':>11s}")
+    print(f"  {'sequential':12s} {s_cost:10.1f} {s_delay:11.2f}")
+    print(f"  {'hybrid DAG':12s} {h_cost:10.1f} {h_delay:11.2f}")
+    print(
+        f"\nthe hybrid embedding pays {h_cost / s_cost - 1:+.0%} cost "
+        f"(mergers + inner-layer traffic) to cut delay by {1 - h_delay / s_delay:.0%} —"
+        "\nexactly the trade the paper's Fig. 1 motivates."
+    )
+    assert h_delay < s_delay, "parallel branches must overlap"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Online request arrivals: acceptance ratio under load, per algorithm.
+
+A provider-side view the paper's single-flow model feeds into: SFC
+requests arrive over time (geometric inter-arrivals), hold their resources
+for a random number of steps, then depart. Each algorithm runs the same
+arrival trace against its own copy of the network. Cost-aware embedding
+(MBBE) keeps real-paths short, so under load it not only bills less per
+request — it also leaves more bandwidth for future arrivals and accepts
+more of them.
+
+Run:  python examples/online_arrivals.py
+"""
+
+import numpy as np
+
+from repro import FlowConfig, NetworkConfig, SfcConfig, generate_dag_sfc, generate_network, make_solver
+from repro.sim.online import OnlineSimulator, SfcRequest
+
+SEED = 41
+STEPS = 300
+ARRIVAL_P = 0.5  # arrival probability per step
+MEAN_HOLD = 60  # steps a request stays embedded
+
+
+def run_trace(solver_name: str) -> tuple[float, float]:
+    rng = np.random.default_rng(SEED)  # same trace for every algorithm
+    cfg = NetworkConfig(
+        size=80, connectivity=5.0, n_vnf_types=8, deploy_ratio=0.4,
+        vnf_capacity=4.0, link_capacity=4.0,
+    )
+    network = generate_network(cfg, rng=7)
+    sim = OnlineSimulator(network, make_solver(solver_name))
+
+    departures: dict[int, list[int]] = {}
+    next_id = 0
+    for step in range(STEPS):
+        for rid in departures.pop(step, []):
+            sim.release(rid)
+        if rng.random() < ARRIVAL_P:
+            dag = generate_dag_sfc(SfcConfig(size=4), n_vnf_types=8, rng=rng)
+            src, dst = (int(v) for v in rng.choice(cfg.size, size=2, replace=False))
+            req = SfcRequest(next_id, dag, src, dst, FlowConfig(rate=1.0))
+            result = sim.submit(req, rng=int(rng.integers(2**31)))
+            if result.success:
+                hold = 1 + int(rng.geometric(1.0 / MEAN_HOLD))
+                departures.setdefault(step + hold, []).append(next_id)
+            next_id += 1
+    stats = sim.stats()
+    mean_cost = stats.total_cost_accepted / stats.accepted if stats.accepted else 0.0
+    return stats.acceptance_ratio, mean_cost
+
+
+def main() -> None:
+    print(f"online arrivals: {STEPS} steps, p(arrival)={ARRIVAL_P}, mean hold {MEAN_HOLD}")
+    print(f"  {'algorithm':10s} {'acceptance':>10s} {'mean cost':>10s}")
+    ratios = {}
+    for name in ("RANV", "MINV", "MBBE"):
+        ratio, cost = run_trace(name)
+        ratios[name] = ratio
+        print(f"  {name:10s} {ratio:10.1%} {cost:10.1f}")
+    assert ratios["MBBE"] >= ratios["MINV"] - 0.02, "MBBE should pack at least as well"
+
+
+if __name__ == "__main__":
+    main()

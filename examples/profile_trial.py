@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Profile one full simulation trial (guide workflow: measure first).
+
+Runs a Table-2-scale trial (network generation + four solvers) under
+cProfile and prints the top hot spots by cumulative time. Useful before
+touching any "optimization": historically the profile is dominated by
+network generation and Dijkstra — not by the search logic.
+
+Run:  python examples/profile_trial.py
+"""
+
+import cProfile
+import pstats
+
+from repro.config import table2_defaults
+from repro.sim.figures import default_solvers
+from repro.sim.runner import run_trial
+
+
+def trial() -> None:
+    run_trial(table2_defaults(), default_solvers(), seed=42, x=0, trial=0)
+
+
+def main() -> None:
+    profiler = cProfile.Profile()
+    profiler.enable()
+    trial()
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(pstats.SortKey.CUMULATIVE)
+    print("top 15 by cumulative time:")
+    stats.print_stats(15)
+
+
+if __name__ == "__main__":
+    main()

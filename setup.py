@@ -1,0 +1,10 @@
+"""Legacy setup shim so `pip install -e .` works offline.
+
+The canonical metadata lives in pyproject.toml; this file only enables
+legacy (non-PEP-660) editable installs on environments without the `wheel`
+package, e.g. `pip install -e . --no-build-isolation --no-use-pep517`.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,106 @@
+"""DAG-SFC: Minimize the Embedding Cost of SFC with Parallel VNFs.
+
+A from-scratch Python reproduction of Lin et al., ICPP 2018: the hybrid-SFC
+→ DAG abstraction, the optimal DAG-SFC embedding formulation, the BBE and
+MBBE heuristics, the RANV/MINV baselines, exact oracles, and the full
+simulation harness regenerating every evaluation figure.
+
+Quickstart
+----------
+
+>>> from repro import (
+...     NetworkConfig, SfcConfig, generate_network, generate_dag_sfc,
+...     MbbeEmbedder,
+... )
+>>> net = generate_network(NetworkConfig(size=50, connectivity=5.0), rng=1)
+>>> dag = generate_dag_sfc(SfcConfig(size=5), n_vnf_types=12, rng=2)
+>>> result = MbbeEmbedder().embed(net, dag, source=0, dest=49)
+>>> result.success
+True
+"""
+
+from ._version import __version__
+from .config import (
+    FlowConfig,
+    NetworkConfig,
+    ScenarioConfig,
+    SfcConfig,
+    table2_defaults,
+)
+from .embedding import (
+    CostBreakdown,
+    Embedder,
+    Embedding,
+    EmbeddingResult,
+    compute_cost,
+    verify_embedding,
+)
+from .network import CloudNetwork, Graph, Path, generate_network
+from .nfv import ParallelismAnalyzer, VnfCatalog, standard_catalog
+from .sfc import (
+    DagSfc,
+    DagSfcBuilder,
+    Layer,
+    SequentialSfc,
+    StretchedSfc,
+    generate_dag_sfc,
+    to_dag_sfc,
+)
+from .solvers import (
+    BbeEmbedder,
+    ExactEmbedder,
+    IlpEmbedder,
+    MbbeEmbedder,
+    MinvEmbedder,
+    RanvEmbedder,
+    available_solvers,
+    make_solver,
+)
+from .types import DUMMY_VNF, MERGER_VNF, Position
+
+__all__ = [
+    "__version__",
+    # configuration
+    "NetworkConfig",
+    "SfcConfig",
+    "FlowConfig",
+    "ScenarioConfig",
+    "table2_defaults",
+    # network substrate
+    "Graph",
+    "Path",
+    "CloudNetwork",
+    "generate_network",
+    # NFV substrate
+    "VnfCatalog",
+    "standard_catalog",
+    "ParallelismAnalyzer",
+    # SFC substrate
+    "SequentialSfc",
+    "DagSfc",
+    "Layer",
+    "DagSfcBuilder",
+    "StretchedSfc",
+    "to_dag_sfc",
+    "generate_dag_sfc",
+    # embedding core
+    "Embedding",
+    "Embedder",
+    "EmbeddingResult",
+    "CostBreakdown",
+    "compute_cost",
+    "verify_embedding",
+    # solvers
+    "BbeEmbedder",
+    "MbbeEmbedder",
+    "RanvEmbedder",
+    "MinvEmbedder",
+    "ExactEmbedder",
+    "IlpEmbedder",
+    "make_solver",
+    "available_solvers",
+    # sentinels
+    "DUMMY_VNF",
+    "MERGER_VNF",
+    "Position",
+]

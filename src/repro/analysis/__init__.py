@@ -1,0 +1,18 @@
+"""Analysis extensions beyond the paper's cost metric.
+
+* :mod:`repro.analysis.delay` — end-to-end latency of an embedding, the
+  motivating metric behind VNF parallelism (Fig. 1);
+* :mod:`repro.analysis.complexity` — search-effort counters for the §4.5
+  complexity comparison.
+"""
+
+from .delay import DelayModel, dag_delay, sequentialized_delay, parallelism_speedup
+from .complexity import search_effort
+
+__all__ = [
+    "DelayModel",
+    "dag_delay",
+    "sequentialized_delay",
+    "parallelism_speedup",
+    "search_effort",
+]

@@ -1,0 +1,48 @@
+"""Search-effort accounting for the §4.5 complexity comparison.
+
+BBE's worst-case complexity is ``O(n^{omega*phi} h^{2*omega*phi})``; MBBE
+bounds it at ``O(k * phi * n^2 * X_max^phi)``. Rather than trusting the
+formulas, :func:`search_effort` extracts the effort counters both solvers
+record (sub-solution tree size, per-layer frontier widths, forward-search
+expansions) from an :class:`~repro.embedding.base.EmbeddingResult`, giving
+the runtime benches an algorithm-level metric alongside wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..embedding.base import EmbeddingResult
+
+__all__ = ["SearchEffort", "search_effort", "mbbe_k_factor"]
+
+
+@dataclass(frozen=True, slots=True)
+class SearchEffort:
+    """Algorithm-level effort of one embedding run."""
+
+    solver: str
+    tree_size: int
+    max_frontier: int
+    total_subsolutions: int
+    runtime: float
+
+
+def search_effort(result: EmbeddingResult) -> SearchEffort:
+    """Extract effort counters from a BBE/MBBE result."""
+    layers = result.stats.get("layers", [])
+    widths = [entry.get("subsolutions", 0) for entry in layers]
+    return SearchEffort(
+        solver=result.solver,
+        tree_size=int(result.stats.get("tree_size", 0)),
+        max_frontier=max(widths, default=0),
+        total_subsolutions=sum(widths),
+        runtime=result.runtime,
+    )
+
+
+def mbbe_k_factor(x_d: int, omega: int) -> float:
+    """The paper's ``k = (1 - X_d^{omega+1}) / (1 - X_d)`` tree-size bound."""
+    if x_d == 1:
+        return float(omega + 1)
+    return (1 - x_d ** (omega + 1)) / (1 - x_d)

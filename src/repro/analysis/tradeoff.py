@@ -1,0 +1,111 @@
+"""Cost/latency trade-off frontiers (bicriteria extension).
+
+The paper minimizes money; its motivation is latency. The two pull apart:
+cheap instances may sit far away (more hops → more delay), and short
+embeddings may rent pricey instances. This module sweeps a scalarization
+parameter λ ∈ [0, 1]: each λ re-prices every link as
+
+``price' = (1 − λ) · price + λ · delay_weight``
+
+(the VNF rentals keep their prices — rentals cost money, not time), runs
+any solver on the re-priced network, evaluates the *true* cost and delay of
+each solution on the original network, and returns the non-dominated
+(cost, delay) points. λ = 0 is the paper's problem; λ → 1 approaches
+minimum-hop routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..config import FlowConfig
+from ..embedding.base import Embedder
+from ..embedding.costing import compute_cost
+from ..embedding.mapping import Embedding
+from ..exceptions import ConfigurationError
+from ..network.cloud import CloudNetwork
+from ..network.heterogeneous import transform_network
+from ..sfc.dag import DagSfc
+from ..types import NodeId
+from .delay import DelayModel, dag_delay
+
+__all__ = ["TradeoffPoint", "cost_delay_frontier"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One scalarization's outcome, evaluated on the original network."""
+
+    lam: float
+    cost: float
+    delay: float
+    embedding: Embedding
+
+
+def cost_delay_frontier(
+    network: CloudNetwork,
+    dag: DagSfc,
+    source: NodeId,
+    dest: NodeId,
+    solver: Embedder,
+    *,
+    flow: FlowConfig | None = None,
+    delay_model: DelayModel | None = None,
+    lambdas: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    delay_weight: float | None = None,
+) -> list[TradeoffPoint]:
+    """Sweep λ and return the non-dominated (cost, delay) solutions.
+
+    ``delay_weight`` converts "one hop" into price units for the
+    scalarized links; by default it is the network's mean link price, which
+    balances the two objectives at λ = 0.5.
+    """
+    flow = flow if flow is not None else FlowConfig()
+    model = delay_model if delay_model is not None else DelayModel()
+    for lam in lambdas:
+        if not (0.0 <= lam <= 1.0):
+            raise ConfigurationError(f"lambda must be in [0, 1], got {lam}")
+    if delay_weight is None:
+        links = list(network.graph.links())
+        delay_weight = (
+            sum(l.price for l in links) / len(links) if links else 1.0
+        )
+    if delay_weight <= 0:
+        raise ConfigurationError("delay_weight must be > 0")
+
+    points: list[TradeoffPoint] = []
+    for lam in sorted(set(lambdas)):
+        if lam == 0.0:
+            view = network
+        else:
+            view = transform_network(
+                network,
+                link=lambda l, lam=lam: (
+                    (1.0 - lam) * l.price + lam * delay_weight,
+                    l.capacity,
+                ),
+            )
+        result = solver.embed(view, dag, source, dest, flow)
+        if not result.success:
+            continue
+        emb = result.embedding
+        # True objectives, both on the ORIGINAL network.
+        true_cost = compute_cost(network, emb, flow).total
+        true_delay = dag_delay(emb, model)
+        points.append(TradeoffPoint(lam=lam, cost=true_cost, delay=true_delay, embedding=emb))
+
+    # Keep the non-dominated set, cheapest-first.
+    front: list[TradeoffPoint] = []
+    for p in points:
+        dominated = any(
+            (q.cost <= p.cost and q.delay <= p.delay)
+            and (q.cost < p.cost or q.delay < p.delay)
+            for q in points
+        )
+        if not dominated and not any(
+            abs(q.cost - p.cost) < 1e-9 and abs(q.delay - p.delay) < 1e-9 for q in front
+        ):
+            front.append(p)
+    front.sort(key=lambda p: (p.cost, p.delay))
+    return front

@@ -1,0 +1,272 @@
+"""Command-line interface: ``python -m repro`` / ``dag-sfc``.
+
+Sub-commands
+------------
+
+* ``figure {6a,6b,6c,6d,6e,6f,table2}`` — run a Fig. 6 sweep and print the
+  mean-cost table (optionally an ASCII chart and a CSV file);
+* ``solve`` — embed one random instance with chosen solvers (quick demo);
+* ``list-solvers`` — registered algorithms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .config import FlowConfig, NetworkConfig, ScenarioConfig, SfcConfig
+from .network.generator import generate_network
+from .sim.ascii_chart import line_chart
+from .sim.figures import FIGURES, figure_by_id
+from .sim.metrics import aggregate
+from .sim.report import series_from_summaries, summaries_to_csv, summary_table
+from .sim.runner import run_experiment, run_trial
+from .sim.experiment import SolverSpec
+from .solvers.registry import available_solvers
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="dag-sfc",
+        description="DAG-SFC embedding (ICPP 2018) — reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="run one evaluation sweep (Fig. 6 / Table 2)")
+    fig.add_argument("id", choices=sorted(FIGURES), help="figure id")
+    fig.add_argument("--trials", type=int, default=None, help="trials per point")
+    fig.add_argument("--seed", type=int, default=20180813, help="master seed")
+    fig.add_argument("--parallel", type=int, default=None, help="worker processes")
+    fig.add_argument("--csv", type=str, default=None, help="write full stats CSV here")
+    fig.add_argument("--chart", action="store_true", help="also print an ASCII chart")
+
+    solve = sub.add_parser("solve", help="embed one random instance")
+    solve.add_argument("--network-size", type=int, default=100)
+    solve.add_argument("--connectivity", type=float, default=6.0)
+    solve.add_argument("--sfc-size", type=int, default=5)
+    solve.add_argument("--seed", type=int, default=1)
+    solve.add_argument(
+        "--solvers",
+        type=str,
+        default="RANV,MINV,MBBE",
+        help="comma-separated solver names",
+    )
+
+    sub.add_parser("list-solvers", help="print registered solver names")
+
+    online = sub.add_parser(
+        "online", help="replay an arrival trace: acceptance ratio per algorithm"
+    )
+    online.add_argument("--steps", type=int, default=200)
+    online.add_argument("--network-size", type=int, default=80)
+    online.add_argument("--arrival-prob", type=float, default=0.5)
+    online.add_argument("--mean-hold", type=float, default=40.0)
+    online.add_argument("--sfc-size", type=int, default=4)
+    online.add_argument("--seed", type=int, default=1)
+    online.add_argument("--solvers", type=str, default="RANV,MINV,MBBE")
+
+    compare = sub.add_parser(
+        "compare", help="statistical comparison of two algorithms"
+    )
+    compare.add_argument("a", type=str, help="first algorithm")
+    compare.add_argument("b", type=str, help="second algorithm")
+    compare.add_argument("--trials", type=int, default=20)
+    compare.add_argument("--network-size", type=int, default=100)
+    compare.add_argument("--sfc-size", type=int, default=5)
+    compare.add_argument("--seed", type=int, default=1)
+
+    inspect = sub.add_parser(
+        "inspect", help="solve one instance and print the cost attribution"
+    )
+    inspect.add_argument("--network-size", type=int, default=100)
+    inspect.add_argument("--sfc-size", type=int, default=5)
+    inspect.add_argument("--seed", type=int, default=1)
+    inspect.add_argument("--solver", type=str, default="MBBE")
+    inspect.add_argument("--save", type=str, default=None, help="dump instance+solution JSON here")
+    return parser
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    kw = {"master_seed": args.seed}
+    if args.trials is not None:
+        kw["trials"] = args.trials
+    spec = figure_by_id(args.id, **kw)
+    print(f"{spec.title} — {spec.trials} trials/point, seed {spec.master_seed}")
+    print(f"({spec.total_embeddings()} embeddings)")
+    records = run_experiment(spec, parallel=args.parallel, progress=True)
+    summaries = aggregate(records)
+    print()
+    print(summary_table(summaries, x_label=spec.x_label))
+    if args.chart:
+        print()
+        print(
+            line_chart(
+                series_from_summaries(summaries),
+                title=spec.title,
+                x_label=spec.x_label,
+            )
+        )
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(summaries_to_csv(summaries))
+        print(f"\nCSV written to {args.csv}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    names = [n.strip() for n in args.solvers.split(",") if n.strip()]
+    scenario = ScenarioConfig(
+        network=NetworkConfig(size=args.network_size, connectivity=args.connectivity),
+        sfc=SfcConfig(size=args.sfc_size),
+    )
+    records = run_trial(
+        scenario,
+        [SolverSpec(name=n) for n in names],
+        seed=args.seed,
+    )
+    print(f"instance: {args.network_size} nodes, SFC size {args.sfc_size}, seed {args.seed}")
+    for r in records:
+        if r.success:
+            print(
+                f"  {r.algorithm:6s} cost={r.total_cost:10.2f} "
+                f"(vnf={r.vnf_cost:.2f}, link={r.link_cost:.2f}) "
+                f"runtime={r.runtime * 1e3:.1f} ms"
+            )
+        else:
+            print(f"  {r.algorithm:6s} FAILED: {r.reason}")
+    return 0
+
+
+def _cmd_online(args: argparse.Namespace) -> int:
+    from .sim.online import OnlineSimulator
+    from .sim.trace import generate_trace, replay
+    from .solvers.registry import make_solver
+
+    cfg = NetworkConfig(
+        size=args.network_size,
+        connectivity=5.0,
+        n_vnf_types=8,
+        deploy_ratio=0.4,
+        vnf_capacity=4.0,
+        link_capacity=4.0,
+    )
+    network = generate_network(cfg, rng=args.seed)
+    trace = generate_trace(
+        steps=args.steps,
+        n_nodes=args.network_size,
+        n_vnf_types=8,
+        sfc=SfcConfig(size=args.sfc_size),
+        arrival_probability=args.arrival_prob,
+        mean_hold=args.mean_hold,
+        rng=args.seed + 1,
+    )
+    print(
+        f"trace: {len(trace)} arrivals over {args.steps} steps, "
+        f"offered load ≈ {trace.offered_load:.1f} concurrent requests"
+    )
+    print(f"  {'algorithm':10s} {'accepted':>9s} {'ratio':>7s} {'mean cost':>10s}")
+    for name in (n.strip() for n in args.solvers.split(",") if n.strip()):
+        sim = OnlineSimulator(network, make_solver(name))
+        replay(trace, sim, rng=args.seed + 2)
+        st = sim.stats()
+        mean_cost = st.total_cost_accepted / st.accepted if st.accepted else float("nan")
+        print(
+            f"  {name:10s} {st.accepted:>9d} {st.acceptance_ratio:>7.1%} {mean_cost:>10.1f}"
+        )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .sim.stats import bootstrap_mean_ci, paired_comparison, welch_t_test
+    from .utils.rng import trial_seed
+
+    scenario = ScenarioConfig(
+        network=NetworkConfig(size=args.network_size, connectivity=6.0),
+        sfc=SfcConfig(size=args.sfc_size),
+    )
+    specs = [SolverSpec(name=args.a), SolverSpec(name=args.b)]
+    records = []
+    for t in range(args.trials):
+        records.extend(
+            run_trial(scenario, specs, seed=trial_seed(args.seed, t), trial=t)
+        )
+    a_costs = [r.total_cost for r in records if r.algorithm == specs[0].series and r.success]
+    b_costs = [r.total_cost for r in records if r.algorithm == specs[1].series and r.success]
+    if len(a_costs) < 2 or len(b_costs) < 2:
+        print("not enough successful trials to compare")
+        return 1
+    welch = welch_t_test(a_costs, b_costs)
+    ci_a = bootstrap_mean_ci(a_costs, rng=args.seed)
+    ci_b = bootstrap_mean_ci(b_costs, rng=args.seed)
+    pairs = paired_comparison(records, specs[0].series, specs[1].series)
+    print(f"{args.trials} paired trials, {args.network_size} nodes, SFC size {args.sfc_size}:")
+    print(f"  {specs[0].series:8s} mean {welch.mean_a:9.1f}  95% CI [{ci_a[0]:.1f}, {ci_a[1]:.1f}]")
+    print(f"  {specs[1].series:8s} mean {welch.mean_b:9.1f}  95% CI [{ci_b[0]:.1f}, {ci_b[1]:.1f}]")
+    print(
+        f"  Welch t = {welch.t:.2f} (df {welch.df:.1f}), p = {welch.p_value:.2e}"
+        f" -> {'significant' if welch.significant else 'not significant'} at 5%"
+    )
+    print(
+        f"  paired: {specs[0].series} wins {pairs.wins_a}, ties {pairs.ties}, "
+        f"{specs[1].series} wins {pairs.wins_b}; mean saving {pairs.mean_saving:.1%}"
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from .embedding.inspect import attribute_cost
+    from .sfc.generator import generate_dag_sfc as _gen_dag
+    from .solvers.registry import make_solver
+
+    cfg = NetworkConfig(size=args.network_size, connectivity=6.0)
+    rng = np.random.default_rng(args.seed)
+    network = generate_network(cfg, rng)
+    dag = _gen_dag(SfcConfig(size=args.sfc_size), cfg.n_vnf_types, rng)
+    src, dst = (int(v) for v in rng.choice(cfg.size, size=2, replace=False))
+    result = make_solver(args.solver).embed(network, dag, src, dst, rng=args.seed)
+    if not result.success:
+        print(f"{args.solver} failed: {result.reason}")
+        return 1
+    print(result.embedding.describe())
+    print()
+    print(attribute_cost(network, result.embedding, FlowConfig()).format_table())
+    if args.save:
+        from .serialize import dump_instance
+
+        dump_instance(
+            args.save, network, dag, source=src, dest=dst,
+            embedding=result.embedding,
+            metadata={"solver": args.solver, "seed": args.seed},
+        )
+        print(f"\ninstance written to {args.save}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "online":
+        return _cmd_online(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "inspect":
+        return _cmd_inspect(args)
+    if args.command == "list-solvers":
+        for name in available_solvers():
+            print(name)
+        return 0
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,211 @@
+"""Configuration dataclasses mirroring the paper's simulation setup.
+
+:class:`NetworkConfig` captures every knob of the random network generator of
+§5.1 plus the price/capacity semantics it leaves implicit (documented in
+DESIGN.md §3). :class:`SfcConfig` captures the random SFC generator rule
+("every three VNFs can be assigned in the same layer"). :class:`FlowConfig`
+is the traffic-flow model of §3.2. :func:`table2_defaults` returns the basic
+configuration of **Table 2**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from .exceptions import ConfigurationError
+
+__all__ = [
+    "NetworkConfig",
+    "SfcConfig",
+    "FlowConfig",
+    "ScenarioConfig",
+    "table2_defaults",
+    "DEFAULT_MEAN_VNF_PRICE",
+]
+
+#: Mean VNF rental price in cost-units per unit traffic rate. The paper only
+#: fixes price *ratios*; the absolute scale is arbitrary and cancels in every
+#: relative comparison.
+DEFAULT_MEAN_VNF_PRICE: float = 100.0
+
+
+def _check_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+
+
+def _check_fraction(name: str, value: float, *, lo: float = 0.0, hi: float = 1.0) -> None:
+    if not (lo <= value <= hi):
+        raise ConfigurationError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkConfig:
+    """Parameters of the random cloud-network generator (§5.1).
+
+    Attributes
+    ----------
+    size:
+        Number of network nodes ("network size").
+    connectivity:
+        Target average node degree ("network connectivity"). Must satisfy
+        ``connectivity >= 2 * (size - 1) / size`` (a connected graph needs at
+        least a spanning tree).
+    n_vnf_types:
+        Number of regular VNF categories ``n`` offered in the catalog.
+    deploy_ratio:
+        "VNF deploying ratio" — the probability that a given VNF category is
+        deployed on a given node.
+    merger_deploy_ratio:
+        Deployment ratio for the merger ``f(n+1)``; defaults to
+        ``deploy_ratio`` when negative.
+    mean_vnf_price:
+        Mean VNF rental price per unit rate.
+    price_ratio:
+        "Average price ratio" — mean link price / mean VNF price.
+    vnf_price_fluctuation:
+        "VNF price fluctuation ratio" — ``(max - min) / 2`` divided by the
+        mean; prices drawn uniformly from
+        ``mean * [1 - fluctuation, 1 + fluctuation]``.
+    link_price_fluctuation:
+        Same semantics for link prices (paper does not vary it; default 5 %).
+    merger_price_scale:
+        Multiplier applied to the mean price when drawing merger rentals
+        (mergers are lightweight functions; 1.0 keeps them paper-uniform).
+    vnf_capacity:
+        Traffic-processing capability of every VNF instance (units of rate).
+    link_capacity:
+        Bandwidth capacity of every link (units of rate).
+    """
+
+    size: int = 500
+    connectivity: float = 6.0
+    n_vnf_types: int = 12
+    deploy_ratio: float = 0.5
+    merger_deploy_ratio: float = -1.0
+    mean_vnf_price: float = DEFAULT_MEAN_VNF_PRICE
+    price_ratio: float = 0.20
+    vnf_price_fluctuation: float = 0.05
+    link_price_fluctuation: float = 0.05
+    merger_price_scale: float = 1.0
+    vnf_capacity: float = 8.0
+    link_capacity: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.size < 2:
+            raise ConfigurationError(f"network size must be >= 2, got {self.size}")
+        _check_positive("connectivity", self.connectivity)
+        min_degree = 2.0 * (self.size - 1) / self.size
+        if self.connectivity < min_degree - 1e-9:
+            raise ConfigurationError(
+                f"connectivity {self.connectivity} cannot keep a {self.size}-node "
+                f"graph connected (needs >= {min_degree:.3f})"
+            )
+        max_degree = float(self.size - 1)
+        if self.connectivity > max_degree:
+            raise ConfigurationError(
+                f"connectivity {self.connectivity} exceeds the complete-graph "
+                f"degree {max_degree} for {self.size} nodes"
+            )
+        if self.n_vnf_types < 1:
+            raise ConfigurationError("n_vnf_types must be >= 1")
+        _check_fraction("deploy_ratio", self.deploy_ratio)
+        if self.merger_deploy_ratio >= 0:
+            _check_fraction("merger_deploy_ratio", self.merger_deploy_ratio)
+        _check_positive("mean_vnf_price", self.mean_vnf_price)
+        _check_fraction("price_ratio", self.price_ratio, lo=0.0, hi=10.0)
+        _check_fraction("vnf_price_fluctuation", self.vnf_price_fluctuation)
+        _check_fraction("link_price_fluctuation", self.link_price_fluctuation)
+        _check_positive("merger_price_scale", self.merger_price_scale)
+        _check_positive("vnf_capacity", self.vnf_capacity)
+        _check_positive("link_capacity", self.link_capacity)
+
+    @property
+    def effective_merger_deploy_ratio(self) -> float:
+        """Merger deployment ratio, defaulting to :attr:`deploy_ratio`."""
+        if self.merger_deploy_ratio >= 0:
+            return self.merger_deploy_ratio
+        return self.deploy_ratio
+
+    @property
+    def mean_link_price(self) -> float:
+        """Mean link price implied by the average price ratio."""
+        return self.price_ratio * self.mean_vnf_price
+
+    def with_(self, **kwargs: Any) -> "NetworkConfig":
+        """Return a copy with the given fields replaced (validated again)."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True, slots=True)
+class SfcConfig:
+    """Parameters of the random DAG-SFC generator (§5.1).
+
+    The paper generates SFCs "by a specific rule in which every three VNFs
+    can be assigned in the same layer": VNFs are grouped left-to-right into
+    layers of at most ``max_parallel`` (= 3) VNFs, every multi-VNF layer being
+    followed by a merger.
+    """
+
+    size: int = 5
+    max_parallel: int = 3
+    distinct_vnfs: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ConfigurationError(f"SFC size must be >= 1, got {self.size}")
+        if self.max_parallel < 1:
+            raise ConfigurationError("max_parallel must be >= 1")
+
+    def with_(self, **kwargs: Any) -> "SfcConfig":
+        """Return a copy with the given fields replaced (validated again)."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True, slots=True)
+class FlowConfig:
+    """The traffic-flow model of §3.2: size ``z`` and delivery rate ``R``."""
+
+    size: float = 1.0
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_positive("flow size z", self.size)
+        _check_positive("flow rate R", self.rate)
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioConfig:
+    """A complete simulation scenario: network + SFC + flow configuration."""
+
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    sfc: SfcConfig = field(default_factory=SfcConfig)
+    flow: FlowConfig = field(default_factory=FlowConfig)
+
+    def with_network(self, **kwargs: Any) -> "ScenarioConfig":
+        """Copy of the scenario with network fields replaced."""
+        return replace(self, network=self.network.with_(**kwargs))
+
+    def with_sfc(self, **kwargs: Any) -> "ScenarioConfig":
+        """Copy of the scenario with SFC fields replaced."""
+        return replace(self, sfc=self.sfc.with_(**kwargs))
+
+
+def table2_defaults() -> ScenarioConfig:
+    """The basic configuration of the paper's **Table 2**.
+
+    Network size 500, connectivity 6, VNF deploying ratio 50 %, average price
+    ratio 20 %, VNF price fluctuation ratio 5 %, SFC size 5.
+    """
+    return ScenarioConfig(
+        network=NetworkConfig(
+            size=500,
+            connectivity=6.0,
+            deploy_ratio=0.5,
+            price_ratio=0.20,
+            vnf_price_fluctuation=0.05,
+        ),
+        sfc=SfcConfig(size=5, max_parallel=3),
+        flow=FlowConfig(size=1.0, rate=1.0),
+    )

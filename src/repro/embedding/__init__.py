@@ -1,0 +1,27 @@
+"""Embedding core: the executable form of the §3.3 formulation.
+
+* :mod:`repro.embedding.mapping` — the :class:`Embedding` value type:
+  VNF placements plus meta-path → real-path instantiation;
+* :mod:`repro.embedding.costing` — the objective (eq. 1) with the reuse
+  accounting of eq. 7–10, including the per-layer multicast link sharing;
+* :mod:`repro.embedding.feasibility` — completeness (eq. 4–6) and capacity
+  (eq. 2–3) verification;
+* :mod:`repro.embedding.base` — the :class:`Embedder` solver interface and
+  :class:`EmbeddingResult`.
+"""
+
+from .mapping import Embedding
+from .costing import CostBreakdown, compute_cost
+from .feasibility import check_capacity, check_completeness, verify_embedding
+from .base import Embedder, EmbeddingResult
+
+__all__ = [
+    "Embedding",
+    "CostBreakdown",
+    "compute_cost",
+    "check_capacity",
+    "check_completeness",
+    "verify_embedding",
+    "Embedder",
+    "EmbeddingResult",
+]

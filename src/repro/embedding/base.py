@@ -1,0 +1,110 @@
+"""The solver interface shared by BBE, MBBE, the baselines and the oracles."""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..config import FlowConfig
+from ..exceptions import NoSolutionError, SolverError
+from ..network.cloud import CloudNetwork
+from ..sfc.dag import DagSfc
+from ..types import NodeId
+from ..utils.rng import RngStream
+from .costing import CostBreakdown, compute_cost
+from .feasibility import verify_embedding
+from .mapping import Embedding
+
+__all__ = ["EmbeddingResult", "Embedder"]
+
+
+@dataclass(frozen=True)
+class EmbeddingResult:
+    """Outcome of one embedding attempt."""
+
+    solver: str
+    success: bool
+    embedding: Embedding | None
+    cost: CostBreakdown | None
+    runtime: float
+    #: solver-specific counters (sub-solutions explored, iterations, …).
+    stats: dict[str, Any] = field(default_factory=dict)
+    #: failure reason when success is False.
+    reason: str | None = None
+
+    @property
+    def total_cost(self) -> float:
+        """Objective value; ``inf`` for failed attempts."""
+        if self.cost is None:
+            return float("inf")
+        return self.cost.total
+
+
+class Embedder(abc.ABC):
+    """Abstract DAG-SFC embedder.
+
+    Concrete solvers implement :meth:`_solve` returning a raw
+    :class:`Embedding`; the public :meth:`embed` wraps it with timing,
+    verification against the shared referee, and cost evaluation, so all
+    algorithms are compared under identical accounting.
+    """
+
+    #: short identifier used in reports ("BBE", "MBBE", "RANV", …).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def _solve(
+        self,
+        network: CloudNetwork,
+        dag: DagSfc,
+        source: NodeId,
+        dest: NodeId,
+        flow: FlowConfig,
+        rng: RngStream,
+        stats: dict[str, Any],
+    ) -> Embedding:
+        """Produce a candidate embedding or raise :class:`NoSolutionError`."""
+
+    def embed(
+        self,
+        network: CloudNetwork,
+        dag: DagSfc,
+        source: NodeId,
+        dest: NodeId,
+        flow: FlowConfig | None = None,
+        rng: RngStream = None,
+    ) -> EmbeddingResult:
+        """Solve one instance and return a verified, costed result.
+
+        Never raises for "no solution found": that is reported through
+        ``success=False``. Genuine bugs (invalid embeddings) do raise.
+        """
+        flow = flow if flow is not None else FlowConfig()
+        stats: dict[str, Any] = {}
+        start = time.perf_counter()
+        try:
+            embedding = self._solve(network, dag, source, dest, flow, rng, stats)
+        except (NoSolutionError, SolverError) as exc:
+            return EmbeddingResult(
+                solver=self.name,
+                success=False,
+                embedding=None,
+                cost=None,
+                runtime=time.perf_counter() - start,
+                stats=stats,
+                reason=str(exc),
+            )
+        runtime = time.perf_counter() - start
+        # The referee raises on solver bugs; do not catch.
+        verify_embedding(network, embedding, flow)
+        cost = compute_cost(network, embedding, flow)
+        return EmbeddingResult(
+            solver=self.name,
+            success=True,
+            embedding=embedding,
+            cost=cost,
+            runtime=runtime,
+            stats=stats,
+        )

@@ -1,0 +1,115 @@
+"""The objective function (eq. 1) with the reuse accounting of eq. 7–10.
+
+Cost has two parts, both proportional to the flow size ``z``:
+
+* **VNF rental**: each placed position rents its instance once, so the reuse
+  count ``alpha_{v,i}`` (eq. 7) is the number of positions assigned to
+  ``f_v(i)``, mergers included, dummies excluded (``f(0)`` is free);
+* **link cost**: inner-layer real-paths pay per traversal (eq. 10), while
+  the inter-layer real-paths of one layer form a multicast — within a layer
+  a shared link is paid once (the ``min{.., 1}`` of eq. 9); different layers
+  pay separately (the outer sum over ``l``).
+
+The same accounting drives bandwidth consumption, so
+:func:`charged_link_uses` is shared with the capacity check and with the
+solvers' incremental bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..config import FlowConfig
+from ..network.cloud import CloudNetwork
+from ..types import DUMMY_VNF, EdgeKey, NodeId, VnfTypeId
+from .mapping import Embedding
+
+__all__ = ["CostBreakdown", "compute_cost", "charged_link_uses", "vnf_uses"]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Total embedding cost and its decomposition."""
+
+    vnf_cost: float
+    link_cost: float
+    #: eq. 7 — (node, category) -> number of positions renting the instance.
+    alpha_vnf: Mapping[tuple[NodeId, VnfTypeId], int]
+    #: eq. 8 — link -> charged uses (inter-layer multicast already collapsed).
+    alpha_link: Mapping[EdgeKey, int]
+
+    @property
+    def total(self) -> float:
+        """The objective value of eq. 1."""
+        return self.vnf_cost + self.link_cost
+
+    def __repr__(self) -> str:
+        return (
+            f"CostBreakdown(total={self.total:.3f}, vnf={self.vnf_cost:.3f}, "
+            f"link={self.link_cost:.3f})"
+        )
+
+
+def vnf_uses(embedding: Embedding) -> dict[tuple[NodeId, VnfTypeId], int]:
+    """eq. 7: reuse count of every rented instance (dummies excluded)."""
+    alpha: dict[tuple[NodeId, VnfTypeId], int] = {}
+    s = embedding.stretched()
+    for pos in embedding.placements:
+        vnf = s.vnf_at(pos)
+        if vnf == DUMMY_VNF:
+            continue
+        key = (embedding.placements[pos], vnf)
+        alpha[key] = alpha.get(key, 0) + 1
+    return alpha
+
+
+def charged_link_uses(embedding: Embedding) -> dict[EdgeKey, int]:
+    """eq. 8–10: charged uses of every link.
+
+    inner-layer paths contribute one use per traversal; the inter-layer
+    paths of one layer contribute at most one use per link (multicast).
+    """
+    alpha: dict[EdgeKey, int] = {}
+
+    # eq. 10 — inner-layer paths pay every traversal.
+    for path in embedding.inner_paths.values():
+        for e in path.edges():
+            alpha[e] = alpha.get(e, 0) + 1
+
+    # eq. 9 — per layer, the union of inter-layer links counts once each.
+    by_layer: dict[int, set[EdgeKey]] = {}
+    for pos, path in embedding.inter_paths.items():
+        by_layer.setdefault(pos.layer, set()).update(path.edge_set())
+    for edges in by_layer.values():
+        for e in edges:
+            alpha[e] = alpha.get(e, 0) + 1
+    return alpha
+
+
+def compute_cost(
+    network: CloudNetwork, embedding: Embedding, flow: FlowConfig
+) -> CostBreakdown:
+    """Evaluate eq. 1 for a candidate embedding.
+
+    This is the single cost oracle every solver and baseline shares, so
+    algorithm comparisons can never diverge on accounting.
+    """
+    alpha_vnf = vnf_uses(embedding)
+    alpha_link = charged_link_uses(embedding)
+
+    vnf_cost = sum(
+        count * network.rental_price(node, vnf) * flow.size
+        for (node, vnf), count in alpha_vnf.items()
+    )
+    graph = network.graph
+    link_cost = sum(
+        count * graph.link(u, v).price * flow.size
+        for (u, v), count in alpha_link.items()
+    )
+    return CostBreakdown(
+        vnf_cost=vnf_cost,
+        link_cost=link_cost,
+        alpha_vnf=alpha_vnf,
+        alpha_link=alpha_link,
+    )

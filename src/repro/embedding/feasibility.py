@@ -1,0 +1,145 @@
+"""Feasibility verification: completeness (eq. 4–6) and capacity (eq. 2–3).
+
+Solvers produce embeddings; this module is the referee. Every returned
+solution in the simulation harness passes through :func:`verify_embedding`,
+so a buggy heuristic can never silently report an invalid solution.
+"""
+
+from __future__ import annotations
+
+from ..config import FlowConfig
+from ..exceptions import (
+    IncompleteEmbeddingError,
+    InfeasibleEmbeddingError,
+)
+from ..network.cloud import CloudNetwork
+from ..types import DUMMY_VNF
+from .costing import charged_link_uses, vnf_uses
+from .mapping import Embedding
+
+__all__ = ["check_completeness", "check_capacity", "verify_embedding"]
+
+_EPS = 1e-9
+
+
+def check_completeness(network: CloudNetwork, embedding: Embedding) -> None:
+    """Raise :class:`IncompleteEmbeddingError` unless eq. 4–6 hold.
+
+    * eq. 4 — every position of the DAG-SFC is placed exactly once, on a
+      node hosting the required category;
+    * eq. 5 — every inter-layer meta-path has a real-path whose endpoints
+      match the placements of its two positions;
+    * eq. 6 — likewise for every inner-layer meta-path.
+
+    Real-paths must also be walks over existing links.
+    """
+    s = embedding.stretched()
+    dag = embedding.dag
+    graph = network.graph
+
+    if not graph.has_node(embedding.source):
+        raise IncompleteEmbeddingError(f"source node {embedding.source} not in network")
+    if not graph.has_node(embedding.dest):
+        raise IncompleteEmbeddingError(f"destination node {embedding.dest} not in network")
+
+    # eq. 4: placements.
+    expected = list(dag.positions())
+    for pos in expected:
+        if pos not in embedding.placements:
+            raise IncompleteEmbeddingError(f"position {tuple(pos)} is not placed")
+        node = embedding.placements[pos]
+        vnf = s.vnf_at(pos)
+        if vnf != DUMMY_VNF and not network.has_vnf(node, vnf):
+            raise IncompleteEmbeddingError(
+                f"node {node} does not host category {vnf} required at {tuple(pos)}"
+            )
+    extra = set(embedding.placements) - set(expected)
+    if extra:
+        raise IncompleteEmbeddingError(f"placements for unknown positions: {sorted(extra)}")
+
+    # eq. 5: inter-layer meta-paths (including the tail to the destination).
+    for l in range(1, dag.omega + 2):
+        for mp in s.inter_layer_metapaths(l):
+            path = embedding.inter_paths.get(mp.dst)
+            if path is None:
+                raise IncompleteEmbeddingError(
+                    f"inter-layer meta-path into {tuple(mp.dst)} is missing"
+                )
+            path.validate(graph)
+            if path.source != embedding.node_of(mp.src):
+                raise IncompleteEmbeddingError(
+                    f"inter-layer path into {tuple(mp.dst)} starts at {path.source}, "
+                    f"expected {embedding.node_of(mp.src)}"
+                )
+            if path.target != embedding.node_of(mp.dst):
+                raise IncompleteEmbeddingError(
+                    f"inter-layer path into {tuple(mp.dst)} ends at {path.target}, "
+                    f"expected {embedding.node_of(mp.dst)}"
+                )
+
+    # eq. 6: inner-layer meta-paths.
+    for l in range(1, dag.omega + 1):
+        for mp in s.inner_layer_metapaths(l):
+            path = embedding.inner_paths.get(mp.src)
+            if path is None:
+                raise IncompleteEmbeddingError(
+                    f"inner-layer meta-path out of {tuple(mp.src)} is missing"
+                )
+            path.validate(graph)
+            if path.source != embedding.node_of(mp.src):
+                raise IncompleteEmbeddingError(
+                    f"inner-layer path out of {tuple(mp.src)} starts at {path.source}, "
+                    f"expected {embedding.node_of(mp.src)}"
+                )
+            if path.target != embedding.node_of(mp.dst):
+                raise IncompleteEmbeddingError(
+                    f"inner-layer path out of {tuple(mp.src)} ends at {path.target}, "
+                    f"expected {embedding.node_of(mp.dst)}"
+                )
+
+    # No stray instantiated paths.
+    valid_inter = {
+        mp.dst for l in range(1, dag.omega + 2) for mp in s.inter_layer_metapaths(l)
+    }
+    stray_inter = set(embedding.inter_paths) - valid_inter
+    if stray_inter:
+        raise IncompleteEmbeddingError(f"stray inter-layer paths: {sorted(stray_inter)}")
+    valid_inner = {
+        mp.src for l in range(1, dag.omega + 1) for mp in s.inner_layer_metapaths(l)
+    }
+    stray_inner = set(embedding.inner_paths) - valid_inner
+    if stray_inner:
+        raise IncompleteEmbeddingError(f"stray inner-layer paths: {sorted(stray_inner)}")
+
+
+def check_capacity(
+    network: CloudNetwork, embedding: Embedding, flow: FlowConfig
+) -> None:
+    """Raise :class:`InfeasibleEmbeddingError` unless eq. 2–3 hold.
+
+    VNF instances process ``alpha_{v,i} * R`` traffic; links carry
+    ``alpha_e * R`` (multicast charged once per layer, matching the cost
+    model's bandwidth semantics).
+    """
+    rate = flow.rate
+    for (node, vnf), count in vnf_uses(embedding).items():
+        inst = network.instance(node, vnf)
+        if count * rate > inst.capacity + _EPS:
+            raise InfeasibleEmbeddingError(
+                f"VNF {vnf}@{node}: demand {count * rate} exceeds capacity {inst.capacity}"
+            )
+    graph = network.graph
+    for (u, v), count in charged_link_uses(embedding).items():
+        link = graph.link(u, v)
+        if count * rate > link.capacity + _EPS:
+            raise InfeasibleEmbeddingError(
+                f"link ({u}, {v}): demand {count * rate} exceeds capacity {link.capacity}"
+            )
+
+
+def verify_embedding(
+    network: CloudNetwork, embedding: Embedding, flow: FlowConfig
+) -> None:
+    """Full verification: completeness then capacity."""
+    check_completeness(network, embedding)
+    check_capacity(network, embedding, flow)

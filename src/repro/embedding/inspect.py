@@ -1,0 +1,113 @@
+"""Solution inspection: attribute an embedding's cost to its parts.
+
+``compute_cost`` returns the totals the objective needs; this module
+answers the operator questions — *which layer is expensive, and why?* —
+by splitting eq. 1 per layer and per meta-path group. The attribution is
+exact: per-layer figures sum back to the totals (asserted in tests), with
+the multicast subtlety handled by charging each layer its own inter-layer
+link union.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import FlowConfig
+from ..network.cloud import CloudNetwork
+from ..types import DUMMY_VNF, Position
+from .costing import compute_cost
+from .mapping import Embedding
+
+__all__ = ["LayerCost", "CostAttribution", "attribute_cost"]
+
+
+@dataclass(frozen=True, slots=True)
+class LayerCost:
+    """Cost contribution of one layer (the tail hop is layer omega+1)."""
+
+    layer: int
+    vnf_rental: float
+    merger_rental: float
+    inter_link_cost: float  # this layer's multicast union
+    inner_link_cost: float
+
+    @property
+    def total(self) -> float:
+        """Everything the layer adds to the objective."""
+        return (
+            self.vnf_rental
+            + self.merger_rental
+            + self.inter_link_cost
+            + self.inner_link_cost
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CostAttribution:
+    """Exact per-layer decomposition of an embedding's cost."""
+
+    layers: tuple[LayerCost, ...]
+    total: float
+
+    def dominant_layer(self) -> LayerCost:
+        """The most expensive layer."""
+        return max(self.layers, key=lambda lc: lc.total)
+
+    def format_table(self) -> str:
+        """Fixed-width rendering for terminals."""
+        header = f"{'layer':>5s} {'vnf':>9s} {'merger':>9s} {'inter':>9s} {'inner':>9s} {'total':>10s}"
+        lines = [header, "-" * len(header)]
+        for lc in self.layers:
+            lines.append(
+                f"{lc.layer:>5d} {lc.vnf_rental:>9.2f} {lc.merger_rental:>9.2f} "
+                f"{lc.inter_link_cost:>9.2f} {lc.inner_link_cost:>9.2f} {lc.total:>10.2f}"
+            )
+        lines.append("-" * len(header))
+        lines.append(f"{'sum':>5s} {'':>9s} {'':>9s} {'':>9s} {'':>9s} {self.total:>10.2f}")
+        return "\n".join(lines)
+
+
+def attribute_cost(
+    network: CloudNetwork, embedding: Embedding, flow: FlowConfig
+) -> CostAttribution:
+    """Split eq. 1 per layer; sums match :func:`compute_cost` exactly."""
+    s = embedding.stretched()
+    dag = embedding.dag
+    graph = network.graph
+    z = flow.size
+
+    layers: list[LayerCost] = []
+    for l in range(1, dag.omega + 2):
+        vnf_rental = 0.0
+        merger_rental = 0.0
+        inner_link = 0.0
+        if l <= dag.omega:
+            layer = dag.layer(l)
+            for gamma in range(1, layer.width + 1):
+                pos = Position(l, gamma)
+                vnf = s.vnf_at(pos)
+                if vnf == DUMMY_VNF:
+                    continue
+                price = network.rental_price(embedding.placements[pos], vnf) * z
+                if layer.has_merger and gamma == layer.phi + 1:
+                    merger_rental += price
+                else:
+                    vnf_rental += price
+            for mp in s.inner_layer_metapaths(l):
+                inner_link += embedding.inner_path_from(mp.src).cost(graph) * z
+        inter_union = set()
+        for mp in s.inter_layer_metapaths(l):
+            inter_union.update(embedding.inter_path_to(mp.dst).edge_set())
+        inter_link = sum(graph.link(u, v).price for u, v in inter_union) * z
+        layers.append(
+            LayerCost(
+                layer=l,
+                vnf_rental=vnf_rental,
+                merger_rental=merger_rental,
+                inter_link_cost=inter_link,
+                inner_link_cost=inner_link,
+            )
+        )
+
+    total = compute_cost(network, embedding, flow).total
+    return CostAttribution(layers=tuple(layers), total=total)

@@ -1,0 +1,123 @@
+"""The :class:`Embedding` value type: a fully instantiated DAG-SFC.
+
+An embedding binds
+
+* every position of the stretched SFC (VNFs, mergers, the two dummies) to a
+  network node — the paper's ``x_{v,l,gamma}`` variables, and
+* every meta-path to a real-path — the ``x^a_{b,rho,l,eps}`` /
+  ``y^{a,l,gamma}_{b,rho}`` variables.
+
+Inter-layer real-paths are keyed by their *destination* position (the
+upstream endpoint is always the previous layer's end position); inner-layer
+real-paths by their *source* position (the downstream endpoint is always the
+layer's merger).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..exceptions import IncompleteEmbeddingError
+from ..network.paths import Path
+from ..sfc.dag import DagSfc
+from ..sfc.stretch import StretchedSfc
+from ..types import NodeId, Position, VnfTypeId
+
+__all__ = ["Embedding"]
+
+
+@dataclass(frozen=True)
+class Embedding:
+    """A complete candidate solution of the DAG-SFC embedding problem."""
+
+    dag: DagSfc
+    source: NodeId
+    dest: NodeId
+    #: position -> hosting node, for every *real* position (dummies implied).
+    placements: Mapping[Position, NodeId]
+    #: inter-layer meta-path (keyed by downstream position) -> real-path.
+    inter_paths: Mapping[Position, Path]
+    #: inner-layer meta-path (keyed by parallel-VNF position) -> real-path.
+    inner_paths: Mapping[Position, Path]
+
+    def stretched(self) -> StretchedSfc:
+        """The stretched view this embedding instantiates."""
+        return StretchedSfc(self.dag)
+
+    # -- placement accessors ------------------------------------------------------
+
+    def node_of(self, pos: Position) -> NodeId:
+        """Hosting node of any stretched position (dummies pinned to s/t)."""
+        s = self.stretched()
+        if pos == s.source_position:
+            return self.source
+        if pos == s.dest_position:
+            return self.dest
+        try:
+            return self.placements[pos]
+        except KeyError:
+            raise IncompleteEmbeddingError(f"position {pos} is not placed") from None
+
+    def vnf_of(self, pos: Position) -> VnfTypeId:
+        """Category at a stretched position."""
+        return self.stretched().vnf_at(pos)
+
+    def placed_positions(self) -> list[Position]:
+        """Real positions with a placement, in layer order."""
+        return sorted(self.placements)
+
+    def end_node(self, l: int) -> NodeId:
+        """Node hosting the end position of layer ``l``."""
+        return self.node_of(self.stretched().end_position(l))
+
+    # -- path accessors -------------------------------------------------------------
+
+    def inter_path_to(self, pos: Position) -> Path:
+        """Real-path implementing the inter-layer meta-path into ``pos``."""
+        try:
+            return self.inter_paths[pos]
+        except KeyError:
+            raise IncompleteEmbeddingError(
+                f"inter-layer meta-path into {pos} is not instantiated"
+            ) from None
+
+    def inner_path_from(self, pos: Position) -> Path:
+        """Real-path implementing the inner-layer meta-path out of ``pos``."""
+        try:
+            return self.inner_paths[pos]
+        except KeyError:
+            raise IncompleteEmbeddingError(
+                f"inner-layer meta-path out of {pos} is not instantiated"
+            ) from None
+
+    # -- derived metrics ---------------------------------------------------------------
+
+    def total_hops(self) -> int:
+        """Total link traversals over all real-paths (diagnostics)."""
+        return sum(p.length for p in self.inter_paths.values()) + sum(
+            p.length for p in self.inner_paths.values()
+        )
+
+    def nodes_used(self) -> frozenset[NodeId]:
+        """Every node hosting some position (dummies included)."""
+        used = {self.source, self.dest}
+        used.update(self.placements.values())
+        return frozenset(used)
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering (examples / debugging)."""
+        s = self.stretched()
+        lines = [f"Embedding of {self.dag!r}", f"  source={self.source} dest={self.dest}"]
+        for l in range(1, self.dag.omega + 1):
+            layer = self.dag.layer(l)
+            parts = []
+            for gamma in range(1, layer.width + 1):
+                pos = Position(l, gamma)
+                parts.append(f"{s.vnf_at(pos)}@{self.node_of(pos)}")
+            lines.append(f"  L{l}: " + ", ".join(parts))
+        for pos, path in sorted(self.inter_paths.items()):
+            lines.append(f"  inter->{tuple(pos)}: {path!r}")
+        for pos, path in sorted(self.inner_paths.items()):
+            lines.append(f"  inner<-{tuple(pos)}: {path!r}")
+        return "\n".join(lines)

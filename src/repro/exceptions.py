@@ -1,0 +1,136 @@
+"""Exception hierarchy for the DAG-SFC reproduction library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Sub-hierarchies mirror the package layout: network errors,
+SFC/model errors, embedding errors and solver errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "NetworkError",
+    "NodeNotFoundError",
+    "LinkNotFoundError",
+    "DisconnectedNetworkError",
+    "CapacityError",
+    "SfcError",
+    "InvalidChainError",
+    "InvalidDagError",
+    "TransformError",
+    "EmbeddingError",
+    "InfeasibleEmbeddingError",
+    "IncompleteEmbeddingError",
+    "SolverError",
+    "NoSolutionError",
+    "SearchExhaustedError",
+    "IlpUnavailableError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration value is out of its documented domain."""
+
+
+# --------------------------------------------------------------------------
+# Network substrate
+# --------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for network-model errors."""
+
+
+class NodeNotFoundError(NetworkError, KeyError):
+    """A node id does not exist in the network."""
+
+    def __init__(self, node: int) -> None:
+        super().__init__(node)
+        self.node = node
+
+    def __str__(self) -> str:  # KeyError quotes its repr otherwise
+        return f"node {self.node} does not exist in the network"
+
+
+class LinkNotFoundError(NetworkError, KeyError):
+    """A link (u, v) does not exist in the network."""
+
+    def __init__(self, u: int, v: int) -> None:
+        super().__init__((u, v))
+        self.u = u
+        self.v = v
+
+    def __str__(self) -> str:
+        return f"link ({self.u}, {self.v}) does not exist in the network"
+
+
+class DisconnectedNetworkError(NetworkError):
+    """An operation required a connected network but the graph is not."""
+
+
+class CapacityError(NetworkError):
+    """A reservation exceeded a link or VNF-instance capacity."""
+
+
+# --------------------------------------------------------------------------
+# SFC / DAG model
+# --------------------------------------------------------------------------
+
+
+class SfcError(ReproError):
+    """Base class for service-function-chain model errors."""
+
+
+class InvalidChainError(SfcError, ValueError):
+    """A sequential SFC definition is malformed."""
+
+
+class InvalidDagError(SfcError, ValueError):
+    """A DAG-SFC definition violates the standardized layered form."""
+
+
+class TransformError(SfcError):
+    """The sequential chain → DAG-SFC transformation failed."""
+
+
+# --------------------------------------------------------------------------
+# Embedding
+# --------------------------------------------------------------------------
+
+
+class EmbeddingError(ReproError):
+    """Base class for embedding-representation errors."""
+
+
+class InfeasibleEmbeddingError(EmbeddingError):
+    """An embedding violates a capacity constraint (paper eq. 2–3)."""
+
+
+class IncompleteEmbeddingError(EmbeddingError):
+    """An embedding misses a placement or a meta-path (paper eq. 4–6)."""
+
+
+# --------------------------------------------------------------------------
+# Solvers
+# --------------------------------------------------------------------------
+
+
+class SolverError(ReproError):
+    """Base class for solver failures."""
+
+
+class NoSolutionError(SolverError):
+    """The solver proved (or decided) that no feasible embedding exists."""
+
+
+class SearchExhaustedError(SolverError):
+    """A bounded search ran out of budget before finding any solution."""
+
+
+class IlpUnavailableError(SolverError):
+    """scipy.optimize.milp is unavailable in this environment."""

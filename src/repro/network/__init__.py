@@ -1,0 +1,48 @@
+"""Network substrate: graphs, shortest paths, generators and residual state.
+
+The paper's target network is an overlay cloud network ``G = (V, E)`` with
+bi-directional priced, capacitated links and per-node VNF deployments. This
+subpackage implements the whole substrate from scratch:
+
+* :mod:`repro.network.graph` — adjacency-map undirected graph;
+* :mod:`repro.network.paths` — the real-path value type;
+* :mod:`repro.network.shortest` — Dijkstra / BFS-ring searches;
+* :mod:`repro.network.ksp` — Yen's k-shortest loopless paths;
+* :mod:`repro.network.steiner` — exact (Dreyfus–Wagner) and 2-approx Steiner
+  trees for inter-layer multicast lower bounds;
+* :mod:`repro.network.spanning` — random spanning trees and connectivity;
+* :mod:`repro.network.generator` — the paper's random network generator;
+* :mod:`repro.network.topologies` — extra topology families;
+* :mod:`repro.network.cloud` — graph + VNF deployment facade;
+* :mod:`repro.network.state` — residual capacities with reserve/rollback.
+"""
+
+from .graph import Graph, Link
+from .paths import Path
+from .shortest import DijkstraResult, bfs_rings, dijkstra, min_cost_path, hop_distances
+from .ksp import k_shortest_paths
+from .steiner import SteinerTree, exact_steiner_tree, mst_steiner_tree
+from .spanning import random_spanning_tree_edges, is_connected_edges
+from .generator import generate_network
+from .cloud import CloudNetwork
+from .state import ResidualState
+
+__all__ = [
+    "Graph",
+    "Link",
+    "Path",
+    "DijkstraResult",
+    "dijkstra",
+    "min_cost_path",
+    "bfs_rings",
+    "hop_distances",
+    "k_shortest_paths",
+    "SteinerTree",
+    "exact_steiner_tree",
+    "mst_steiner_tree",
+    "random_spanning_tree_edges",
+    "is_connected_edges",
+    "generate_network",
+    "CloudNetwork",
+    "ResidualState",
+]

@@ -1,0 +1,156 @@
+"""The paper's random network generator (§5.1).
+
+Four phases, verbatim from the paper:
+
+1. create ``size`` nodes;
+2. connect them with a random spanning tree (guarantees connectivity), then
+   add random extra links until the average degree reaches the configured
+   *network connectivity*;
+3. deploy each VNF category on each node independently with probability
+   *VNF deploying ratio*, drawing rental prices with the *VNF price
+   fluctuation ratio* semantics;
+4. price every link according to the *average price ratio* (mean link price
+   = ratio x mean VNF price).
+
+Every random decision flows through a single :class:`numpy.random.Generator`
+so a seed fully determines the network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import NetworkConfig
+from ..exceptions import ConfigurationError
+from ..nfv.pricing import price_bounds
+from ..types import MERGER_VNF, NodeId, VnfTypeId, edge_key
+from ..utils.rng import RngStream, as_generator
+from .cloud import CloudNetwork
+from .graph import Graph
+from .spanning import random_spanning_tree_edges
+
+__all__ = ["generate_network", "target_link_count"]
+
+
+def target_link_count(size: int, connectivity: float) -> int:
+    """Number of undirected links giving the requested average degree."""
+    links = round(connectivity * size / 2.0)
+    min_links = size - 1  # spanning tree
+    max_links = size * (size - 1) // 2
+    return max(min_links, min(links, max_links))
+
+
+def generate_network(config: NetworkConfig, rng: RngStream = None) -> CloudNetwork:
+    """Generate one random cloud network per the paper's procedure."""
+    gen = as_generator(rng)
+    n = config.size
+
+    # Phase 1+2a: nodes + random spanning tree.
+    edges = set(random_spanning_tree_edges(n, gen))
+
+    # Phase 2b: extra random links until the connectivity target.
+    target = target_link_count(n, config.connectivity)
+    max_links = n * (n - 1) // 2
+    if target > max_links:
+        raise ConfigurationError(
+            f"connectivity {config.connectivity} needs {target} links, "
+            f"complete graph has only {max_links}"
+        )
+    # Rejection sampling is fast while the graph is sparse (the paper's
+    # regime); fall back to explicit enumeration when nearly complete.
+    attempts = 0
+    dense = target > 0.4 * max_links
+    if dense:
+        all_pairs = [
+            (u, v) for u in range(n) for v in range(u + 1, n) if (u, v) not in edges
+        ]
+        gen.shuffle(all_pairs)  # type: ignore[arg-type]
+        for pair in all_pairs[: target - len(edges)]:
+            edges.add(pair)
+    else:
+        while len(edges) < target:
+            u = int(gen.integers(0, n))
+            v = int(gen.integers(0, n))
+            if u == v:
+                continue
+            key = edge_key(u, v)
+            if key in edges:
+                attempts += 1
+                if attempts > 50 * target + 1000:
+                    raise ConfigurationError(
+                        "link sampling did not converge; connectivity too close "
+                        "to the complete graph"
+                    )
+                continue
+            edges.add(key)
+
+    # Phase 4 (prices drawn now so vectorized draws stay in one RNG order).
+    link_lo, link_hi = price_bounds(config.mean_link_price, config.link_price_fluctuation) \
+        if config.mean_link_price > 0 else (0.0, 0.0)
+    sorted_edges = sorted(edges)
+    if config.mean_link_price > 0:
+        link_prices = gen.uniform(link_lo, link_hi, size=len(sorted_edges))
+    else:
+        link_prices = np.zeros(len(sorted_edges))
+
+    graph = Graph()
+    graph.add_nodes(range(n))
+    for (u, v), price in zip(sorted_edges, link_prices):
+        graph.add_link(u, v, price=float(price), capacity=config.link_capacity)
+
+    network = CloudNetwork(graph)
+
+    # Phase 3: VNF deployment, one vectorized Bernoulli draw per category.
+    vnf_lo, vnf_hi = price_bounds(config.mean_vnf_price, config.vnf_price_fluctuation)
+    for vnf_type in range(1, config.n_vnf_types + 1):
+        _deploy_category(
+            network,
+            gen,
+            vnf_type=vnf_type,
+            n=n,
+            ratio=config.deploy_ratio,
+            lo=vnf_lo,
+            hi=vnf_hi,
+            capacity=config.vnf_capacity,
+        )
+
+    # The merger f(n+1) is deployed like a regular category.
+    merger_mean = config.mean_vnf_price * config.merger_price_scale
+    m_lo, m_hi = price_bounds(merger_mean, config.vnf_price_fluctuation)
+    _deploy_category(
+        network,
+        gen,
+        vnf_type=MERGER_VNF,
+        n=n,
+        ratio=config.effective_merger_deploy_ratio,
+        lo=m_lo,
+        hi=m_hi,
+        capacity=config.vnf_capacity,
+    )
+    return network
+
+
+def _deploy_category(
+    network: CloudNetwork,
+    gen: np.random.Generator,
+    *,
+    vnf_type: VnfTypeId,
+    n: int,
+    ratio: float,
+    lo: float,
+    hi: float,
+    capacity: float,
+) -> None:
+    """Deploy one category on each node independently with prob ``ratio``.
+
+    Guarantees at least one instance network-wide (a category nobody deploys
+    would make every SFC using it trivially unembeddable; the paper's 10 %
+    sweep point implicitly assumes availability).
+    """
+    mask = gen.random(n) < ratio
+    if not mask.any():
+        mask[int(gen.integers(0, n))] = True
+    chosen: list[NodeId] = np.flatnonzero(mask).tolist()
+    prices = gen.uniform(lo, hi, size=len(chosen))
+    for node, price in zip(chosen, prices):
+        network.deploy(int(node), vnf_type, price=float(price), capacity=capacity)

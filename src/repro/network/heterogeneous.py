@@ -1,0 +1,99 @@
+"""Heterogeneous capacity/price transforms (generator extension).
+
+The paper's generator gives every link and instance the same capacity.
+Real substrates are lumpy: core links are fat, edge links thin, instance
+sizes vary by flavor. These transforms rewrite an existing
+:class:`~repro.network.cloud.CloudNetwork` (links/instances are immutable,
+so a new network is built) with arbitrary capacity/price functions plus the
+two presets used in the robustness studies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..nfv.instances import VnfInstance
+from ..utils.rng import RngStream, as_generator
+from .cloud import CloudNetwork
+from .graph import Graph, Link
+
+__all__ = [
+    "transform_network",
+    "degree_proportional_link_capacity",
+    "lognormal_instance_capacity",
+]
+
+#: Maps an existing link (plus the graph) to its new (price, capacity).
+LinkTransform = Callable[[Link], tuple[float, float]]
+#: Maps an existing instance to its new (price, capacity).
+InstanceTransform = Callable[[VnfInstance], tuple[float, float]]
+
+
+def transform_network(
+    network: CloudNetwork,
+    *,
+    link: LinkTransform | None = None,
+    instance: InstanceTransform | None = None,
+) -> CloudNetwork:
+    """Rebuild a network with transformed link/instance attributes.
+
+    ``None`` keeps the respective attribute unchanged. Topology and
+    deployment locations are preserved exactly.
+    """
+    graph = Graph()
+    graph.add_nodes(network.graph.nodes())
+    for old in network.graph.links():
+        if link is None:
+            price, capacity = old.price, old.capacity
+        else:
+            price, capacity = link(old)
+        graph.add_link(old.u, old.v, price=price, capacity=capacity)
+    out = CloudNetwork(graph)
+    for inst in network.deployments.all_instances():
+        if instance is None:
+            price, capacity = inst.price, inst.capacity
+        else:
+            price, capacity = instance(inst)
+        out.deploy(inst.node, inst.vnf_type, price=price, capacity=capacity)
+    return out
+
+
+def degree_proportional_link_capacity(
+    network: CloudNetwork, *, base: float = 2.0, per_degree: float = 1.0
+) -> CloudNetwork:
+    """Fatten links between high-degree nodes (a core/edge hierarchy).
+
+    New capacity = ``base + per_degree * min(deg(u), deg(v))`` — links into
+    leaves stay thin, backbone links scale with how central they are.
+    """
+    if base <= 0 or per_degree < 0:
+        raise ConfigurationError("base must be > 0 and per_degree >= 0")
+    graph = network.graph
+
+    def tf(link: Link) -> tuple[float, float]:
+        d = min(graph.degree(link.u), graph.degree(link.v))
+        return link.price, base + per_degree * d
+
+    return transform_network(network, link=tf)
+
+
+def lognormal_instance_capacity(
+    network: CloudNetwork,
+    *,
+    median: float = 4.0,
+    sigma: float = 0.5,
+    rng: RngStream = None,
+) -> CloudNetwork:
+    """Draw instance capacities from a log-normal (VM flavor diversity)."""
+    if median <= 0 or sigma < 0:
+        raise ConfigurationError("median must be > 0 and sigma >= 0")
+    gen = as_generator(rng)
+
+    def tf(inst: VnfInstance) -> tuple[float, float]:
+        capacity = float(np.exp(np.log(median) + sigma * gen.standard_normal()))
+        return inst.price, max(capacity, 1e-6)
+
+    return transform_network(network, instance=tf)

@@ -1,0 +1,116 @@
+"""Yen's algorithm: k cheapest loopless paths between two nodes.
+
+The paper's formulation ranges over the real-path set ``P^a_b`` — *all*
+candidate real-paths between two nodes. Enumerating that set is only needed
+by the exact solvers; BBE/MBBE use their own search trees. Yen's algorithm
+provides the cheapest ``k`` members of ``P^a_b`` and is also what the ILP's
+path-restricted variant uses for candidate generation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from ..exceptions import ConfigurationError, NodeNotFoundError
+from ..types import EdgeKey, NodeId, edge_key
+from .graph import Graph, Link
+from .paths import Path
+from .shortest import LinkFilter, dijkstra
+
+__all__ = ["k_shortest_paths", "iter_shortest_paths"]
+
+
+def _dijkstra_with_removals(
+    graph: Graph,
+    source: NodeId,
+    target: NodeId,
+    removed_edges: set[EdgeKey],
+    removed_nodes: set[NodeId],
+    link_filter: LinkFilter | None,
+) -> Path | None:
+    def lf(link: Link) -> bool:
+        if link.key in removed_edges:
+            return False
+        return link_filter is None or link_filter(link)
+
+    def nf(node: NodeId) -> bool:
+        return node not in removed_nodes
+
+    result = dijkstra(graph, source, targets=(target,), link_filter=lf, node_filter=nf)
+    return result.path_to(target)
+
+
+def k_shortest_paths(
+    graph: Graph,
+    source: NodeId,
+    target: NodeId,
+    k: int,
+    *,
+    link_filter: LinkFilter | None = None,
+) -> list[Path]:
+    """The up-to-``k`` cheapest simple paths from ``source`` to ``target``.
+
+    Classic Yen: the i-th path is found by branching ("spurring") off every
+    prefix of the (i-1)-th path with that prefix's continuation edges removed.
+    Returns fewer than ``k`` paths when the graph does not contain them.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    if not graph.has_node(target):
+        raise NodeNotFoundError(target)
+    if source == target:
+        return [Path.trivial(source)]
+
+    first = _dijkstra_with_removals(graph, source, target, set(), set(), link_filter)
+    if first is None:
+        return []
+    accepted: list[Path] = [first]
+    # Candidate heap keyed by (cost, nodes) for deterministic tie-breaks.
+    candidates: list[tuple[float, tuple[NodeId, ...]]] = []
+    seen_candidates: set[tuple[NodeId, ...]] = {first.nodes}
+
+    while len(accepted) < k:
+        prev = accepted[-1]
+        prev_nodes = prev.nodes
+        for i in range(len(prev_nodes) - 1):
+            spur_node = prev_nodes[i]
+            root_nodes = prev_nodes[: i + 1]
+            removed_edges: set[EdgeKey] = set()
+            for p in accepted:
+                if p.nodes[: i + 1] == root_nodes and len(p.nodes) > i + 1:
+                    removed_edges.add(edge_key(p.nodes[i], p.nodes[i + 1]))
+            removed_nodes = set(root_nodes[:-1])
+            spur = _dijkstra_with_removals(
+                graph, spur_node, target, removed_edges, removed_nodes, link_filter
+            )
+            if spur is None:
+                continue
+            total_nodes = root_nodes[:-1] + spur.nodes
+            if len(set(total_nodes)) != len(total_nodes):
+                continue  # loop introduced by the join
+            if total_nodes in seen_candidates:
+                continue
+            seen_candidates.add(total_nodes)
+            total = Path(total_nodes)
+            heapq.heappush(candidates, (total.cost(graph), total_nodes))
+        if not candidates:
+            break
+        _, nodes = heapq.heappop(candidates)
+        accepted.append(Path(nodes))
+    return accepted
+
+
+def iter_shortest_paths(
+    graph: Graph,
+    source: NodeId,
+    target: NodeId,
+    *,
+    link_filter: LinkFilter | None = None,
+    max_paths: int = 64,
+) -> Iterator[Path]:
+    """Generator flavour of :func:`k_shortest_paths` (bounded by ``max_paths``)."""
+    for path in k_shortest_paths(graph, source, target, max_paths, link_filter=link_filter):
+        yield path

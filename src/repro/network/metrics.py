@@ -1,0 +1,113 @@
+"""Topology metrics: characterize generated networks.
+
+The evaluation's trends hinge on structural properties the paper never
+prints (e.g. Fig. 6(b)'s "benchmark cost rises with network size" is really
+"average shortest-path length grows ~ log n"). These metrics make that
+mechanism measurable; EXPERIMENTS.md quotes them and the generator tests
+pin them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DisconnectedNetworkError
+from ..types import NodeId
+from ..utils.rng import RngStream, as_generator
+from .graph import Graph
+from .shortest import hop_distances
+
+__all__ = ["TopologyStats", "topology_stats", "degree_histogram", "clustering_coefficient"]
+
+
+@dataclass(frozen=True, slots=True)
+class TopologyStats:
+    """Summary statistics of one network topology."""
+
+    num_nodes: int
+    num_links: int
+    average_degree: float
+    min_degree: int
+    max_degree: int
+    diameter: int
+    average_hop_distance: float
+    clustering: float
+
+
+def degree_histogram(graph: Graph) -> dict[int, int]:
+    """degree -> number of nodes with that degree."""
+    hist: dict[int, int] = {}
+    for node in graph.nodes():
+        d = graph.degree(node)
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def clustering_coefficient(graph: Graph, node: NodeId) -> float:
+    """Local clustering: closed neighbour pairs / possible pairs."""
+    nbrs = list(graph.neighbors(node))
+    k = len(nbrs)
+    if k < 2:
+        return 0.0
+    closed = 0
+    for i, a in enumerate(nbrs):
+        for b in nbrs[i + 1 :]:
+            if graph.has_link(a, b):
+                closed += 1
+    return 2.0 * closed / (k * (k - 1))
+
+
+def topology_stats(
+    graph: Graph,
+    *,
+    distance_samples: int | None = 64,
+    rng: RngStream = None,
+) -> TopologyStats:
+    """Compute :class:`TopologyStats`.
+
+    Hop distances are exact when ``distance_samples`` is None (BFS from
+    every node, O(n·m)); otherwise BFS runs from a random node sample —
+    accurate enough for the 500–1000-node networks of Fig. 6(b) at a
+    fraction of the cost (measure, then optimize: full APSP there is the
+    single slowest step of network characterization).
+    """
+    nodes = sorted(graph.nodes())
+    if not nodes:
+        raise DisconnectedNetworkError("empty graph has no topology stats")
+    degrees = [graph.degree(n) for n in nodes]
+
+    if distance_samples is None or distance_samples >= len(nodes):
+        sources = nodes
+    else:
+        gen = as_generator(rng)
+        idx = gen.choice(len(nodes), size=distance_samples, replace=False)
+        sources = [nodes[int(i)] for i in idx]
+
+    diameter = 0
+    total = 0.0
+    count = 0
+    for src in sources:
+        dist = hop_distances(graph, src)
+        if len(dist) != len(nodes):
+            raise DisconnectedNetworkError("graph is not connected")
+        local_max = max(dist.values())
+        diameter = max(diameter, local_max)
+        total += sum(dist.values())
+        count += len(dist) - 1  # exclude the zero self-distance
+
+    # Clustering on the same node sample (cheap; exact for small graphs).
+    clustering = float(
+        np.mean([clustering_coefficient(graph, n) for n in sources])
+    )
+    return TopologyStats(
+        num_nodes=len(nodes),
+        num_links=graph.num_links,
+        average_degree=float(np.mean(degrees)),
+        min_degree=int(min(degrees)),
+        max_degree=int(max(degrees)),
+        diameter=diameter,
+        average_hop_distance=total / count if count else 0.0,
+        clustering=clustering,
+    )

@@ -1,0 +1,124 @@
+"""The real-path value type.
+
+A *real-path* ``p^{x_0}_{x_beta}`` (§3.2) is the concrete node sequence that
+implements a logical meta-path of the DAG-SFC. Paths are immutable; the empty
+path (a single node, zero links) is legal and arises whenever consecutive
+VNFs are placed on the same node.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from ..exceptions import ConfigurationError
+from ..types import EdgeKey, NodeId, edge_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .graph import Graph
+
+__all__ = ["Path"]
+
+
+class Path:
+    """An immutable walk through the network, identified by its node list."""
+
+    __slots__ = ("_nodes",)
+
+    def __init__(self, nodes: Sequence[NodeId]) -> None:
+        if len(nodes) == 0:
+            raise ConfigurationError("a path needs at least one node")
+        for a, b in zip(nodes, nodes[1:]):
+            if a == b:
+                raise ConfigurationError(f"path repeats node {a} consecutively")
+        self._nodes: tuple[NodeId, ...] = tuple(nodes)
+
+    # -- basic accessors ---------------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple[NodeId, ...]:
+        """The node sequence."""
+        return self._nodes
+
+    @property
+    def source(self) -> NodeId:
+        """First node."""
+        return self._nodes[0]
+
+    @property
+    def target(self) -> NodeId:
+        """Last node."""
+        return self._nodes[-1]
+
+    @property
+    def length(self) -> int:
+        """Number of links (the paper's path length beta)."""
+        return len(self._nodes) - 1
+
+    @property
+    def is_trivial(self) -> bool:
+        """True for the zero-link path (source placed with target)."""
+        return len(self._nodes) == 1
+
+    def edges(self) -> Iterator[EdgeKey]:
+        """Canonical undirected keys of the traversed links, in order."""
+        for a, b in zip(self._nodes, self._nodes[1:]):
+            yield edge_key(a, b)
+
+    def edge_set(self) -> frozenset[EdgeKey]:
+        """Set of distinct links used (multicast accounting uses this)."""
+        return frozenset(self.edges())
+
+    def is_simple(self) -> bool:
+        """True when no node repeats."""
+        return len(set(self._nodes)) == len(self._nodes)
+
+    # -- graph-aware operations -----------------------------------------------------
+
+    def validate(self, graph: "Graph") -> None:
+        """Raise unless every hop is an existing link of ``graph``."""
+        for a, b in zip(self._nodes, self._nodes[1:]):
+            if not graph.has_link(a, b):
+                raise ConfigurationError(f"path hop ({a}, {b}) is not a network link")
+        for node in self._nodes:
+            if not graph.has_node(node):
+                raise ConfigurationError(f"path node {node} is not in the network")
+
+    def cost(self, graph: "Graph") -> float:
+        """Sum of link prices along the path (one traversal each)."""
+        return sum(graph.link(a, b).price for a, b in zip(self._nodes, self._nodes[1:]))
+
+    def concat(self, other: "Path") -> "Path":
+        """Join two paths sharing an endpoint (``self.target == other.source``)."""
+        if self.target != other.source:
+            raise ConfigurationError(
+                f"cannot concat: {self.target} != {other.source}"
+            )
+        return Path(self._nodes + other._nodes[1:])
+
+    def reversed(self) -> "Path":
+        """The same walk in the opposite direction."""
+        return Path(tuple(reversed(self._nodes)))
+
+    # -- dunder -----------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._nodes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Path):
+            return NotImplemented
+        return self._nodes == other._nodes
+
+    def __hash__(self) -> int:
+        return hash(self._nodes)
+
+    def __repr__(self) -> str:
+        return "Path(" + "->".join(str(n) for n in self._nodes) + ")"
+
+    @staticmethod
+    def trivial(node: NodeId) -> "Path":
+        """The zero-link path sitting on ``node``."""
+        return Path((node,))

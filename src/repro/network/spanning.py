@@ -1,0 +1,92 @@
+"""Random spanning trees and connectivity helpers for the network generator.
+
+The paper's generator "connects all the nodes by a random tree to guarantee
+the network is a connected graph and then loops to implement new random
+edges until conforming the given network connectivity" (§5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..types import EdgeKey, NodeId, edge_key
+from ..utils.rng import RngStream, as_generator
+
+__all__ = ["random_spanning_tree_edges", "is_connected_edges", "random_attachment_tree"]
+
+
+def random_spanning_tree_edges(n: int, rng: RngStream = None) -> list[EdgeKey]:
+    """A uniformly-ish random spanning tree over nodes ``0..n-1``.
+
+    Uses the random-permutation attachment construction: shuffle the nodes,
+    then attach each node to a uniformly random predecessor in the shuffled
+    order. Every labelled tree is reachable and the degree distribution is
+    suitably random for the generator's purpose (the paper does not specify
+    a tree distribution).
+    """
+    if n < 1:
+        raise ConfigurationError(f"need n >= 1 nodes, got {n}")
+    gen = as_generator(rng)
+    order = np.arange(n)
+    gen.shuffle(order)
+    edges: list[EdgeKey] = []
+    for i in range(1, n):
+        j = int(gen.integers(0, i))
+        edges.append(edge_key(int(order[i]), int(order[j])))
+    return edges
+
+
+def random_attachment_tree(n: int, rng: RngStream = None, *, m: int = 1) -> list[EdgeKey]:
+    """Preferential-attachment flavoured tree/graph used by the BA topology."""
+    if n < 2:
+        raise ConfigurationError(f"need n >= 2, got {n}")
+    if m < 1:
+        raise ConfigurationError(f"m must be >= 1, got {m}")
+    gen = as_generator(rng)
+    edges: set[EdgeKey] = set()
+    targets: list[NodeId] = [0]
+    for node in range(1, n):
+        k = min(m, len(set(targets)))
+        chosen: set[NodeId] = set()
+        while len(chosen) < k:
+            chosen.add(int(targets[int(gen.integers(0, len(targets)))]))
+        for t in chosen:
+            edges.add(edge_key(node, t))
+            targets.append(t)
+        targets.extend([node] * k)
+    return sorted(edges)
+
+
+def is_connected_edges(n: int, edges: Iterable[EdgeKey]) -> bool:
+    """Connectivity of the graph (0..n-1, edges) via union-find."""
+    if n <= 0:
+        raise ConfigurationError(f"need n >= 1 nodes, got {n}")
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    components = n
+    for u, v in edges:
+        if not (0 <= u < n and 0 <= v < n):
+            raise ConfigurationError(f"edge ({u}, {v}) outside node range 0..{n - 1}")
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            components -= 1
+    return components == 1
+
+
+def degree_sequence(n: int, edges: Sequence[EdgeKey]) -> np.ndarray:
+    """Degree of each node of the graph (0..n-1, edges)."""
+    deg = np.zeros(n, dtype=np.int64)
+    for u, v in edges:
+        deg[u] += 1
+        deg[v] += 1
+    return deg

@@ -1,0 +1,282 @@
+"""Minimum-cost Steiner trees for inter-layer multicast.
+
+The inter-layer meta-paths of one layer form a *multicast* (eq. 9): links
+shared between the paths from the layer's start node to its parallel VNFs are
+paid once. The cheapest possible instantiation of such a multicast is a
+minimum Steiner tree connecting the start node and the chosen VNF nodes.
+
+Two implementations:
+
+* :func:`exact_steiner_tree` — the Dreyfus–Wagner dynamic program, exponential
+  in the number of terminals (fine: a layer has at most ``phi + 1 <= 4–5``
+  terminals) but needing all-pairs distances, so it is reserved for the small
+  instances used by the exact oracle;
+* :func:`mst_steiner_tree` — the classic metric-closure MST 2-approximation,
+  cheap enough for large networks; used by the optional MBBE-S variant.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+from ..exceptions import ConfigurationError, DisconnectedNetworkError, NodeNotFoundError
+from ..types import EdgeKey, NodeId, edge_key
+from .graph import Graph
+from .paths import Path
+from .shortest import LinkFilter, dijkstra, min_cost_path
+
+__all__ = ["SteinerTree", "exact_steiner_tree", "mst_steiner_tree"]
+
+
+@dataclass(frozen=True, slots=True)
+class SteinerTree:
+    """A tree (edge set) connecting a root to a set of terminals."""
+
+    root: NodeId
+    terminals: frozenset[NodeId]
+    edges: frozenset[EdgeKey]
+    cost: float
+
+    def path_to(self, graph: Graph, terminal: NodeId) -> Path:
+        """The unique tree path from the root to ``terminal``."""
+        if terminal == self.root:
+            return Path.trivial(self.root)
+        adj: dict[NodeId, list[NodeId]] = {}
+        for u, v in self.edges:
+            adj.setdefault(u, []).append(v)
+            adj.setdefault(v, []).append(u)
+        # BFS in the tree (unique simple path).
+        pred: dict[NodeId, NodeId] = {}
+        frontier = [self.root]
+        seen = {self.root}
+        while frontier:
+            nxt: list[NodeId] = []
+            for node in frontier:
+                for nb in adj.get(node, ()):
+                    if nb not in seen:
+                        seen.add(nb)
+                        pred[nb] = node
+                        nxt.append(nb)
+            frontier = nxt
+        if terminal not in pred and terminal != self.root:
+            raise NodeNotFoundError(terminal)
+        nodes = [terminal]
+        while nodes[-1] != self.root:
+            nodes.append(pred[nodes[-1]])
+        nodes.reverse()
+        return Path(nodes)
+
+
+def _all_terminal_paths(
+    graph: Graph, nodes: Sequence[NodeId], link_filter: LinkFilter | None
+) -> dict[NodeId, "dict[NodeId, float]"]:
+    dists: dict[NodeId, dict[NodeId, float]] = {}
+    for node in nodes:
+        res = dijkstra(graph, node, link_filter=link_filter)
+        dists[node] = dict(res.dist)
+    return dists
+
+
+def exact_steiner_tree(
+    graph: Graph,
+    root: NodeId,
+    terminals: Sequence[NodeId],
+    *,
+    link_filter: LinkFilter | None = None,
+    max_terminals: int = 8,
+) -> SteinerTree:
+    """Exact minimum Steiner tree via Dreyfus–Wagner.
+
+    ``root`` is included as a terminal. Complexity is
+    ``O(3^t * n + 2^t * n^2)`` — intended for oracle use on small instances;
+    ``max_terminals`` guards against accidental blow-ups.
+    """
+    term_set = sorted(set(terminals) | {root})
+    for t in term_set:
+        if not graph.has_node(t):
+            raise NodeNotFoundError(t)
+    if len(term_set) > max_terminals:
+        raise ConfigurationError(
+            f"exact Steiner limited to {max_terminals} terminals, got {len(term_set)}"
+        )
+    if len(term_set) == 1:
+        return SteinerTree(root=root, terminals=frozenset(term_set), edges=frozenset(), cost=0.0)
+
+    nodes = sorted(graph.nodes())
+    t_index = {t: i for i, t in enumerate(term_set)}
+    full_mask = (1 << len(term_set)) - 1
+    INF = float("inf")
+
+    # dp[mask][v] = min cost of a tree spanning terminal-set(mask) U {v}.
+    dp: list[dict[NodeId, float]] = [dict() for _ in range(full_mask + 1)]
+    # back[mask][v] = ("edge", u) for a relaxation step, or ("split", m1) for a merge.
+    back: list[dict[NodeId, tuple[str, object]]] = [dict() for _ in range(full_mask + 1)]
+
+    for t, i in t_index.items():
+        dp[1 << i][t] = 0.0
+
+    def relax(mask: int) -> None:
+        """Dijkstra-style closure of dp[mask] over graph edges."""
+        heap = [(c, v) for v, c in dp[mask].items()]
+        heapq.heapify(heap)
+        settled: set[NodeId] = set()
+        while heap:
+            c, v = heapq.heappop(heap)
+            if v in settled or c > dp[mask].get(v, INF):
+                continue
+            settled.add(v)
+            for link in graph.incident(v):
+                if link_filter is not None and not link_filter(link):
+                    continue
+                nb = link.other(v)
+                nc = c + link.price
+                if nc < dp[mask].get(nb, INF):
+                    dp[mask][nb] = nc
+                    back[mask][nb] = ("edge", v)
+                    heapq.heappush(heap, (nc, nb))
+
+    for mask in range(1, full_mask + 1):
+        # Merge step: combine proper sub-masks at every vertex.
+        sub = (mask - 1) & mask
+        while sub:
+            other = mask ^ sub
+            if sub < other:  # each unordered split once
+                for v, c1 in dp[sub].items():
+                    c2 = dp[other].get(v)
+                    if c2 is None:
+                        continue
+                    total = c1 + c2
+                    if total < dp[mask].get(v, INF):
+                        dp[mask][v] = total
+                        back[mask][v] = ("split", sub)
+            sub = (sub - 1) & mask
+        relax(mask)
+
+    root_cost = dp[full_mask].get(root)
+    if root_cost is None:
+        raise DisconnectedNetworkError(
+            f"terminals {term_set} are not all reachable from {root}"
+        )
+
+    # Reconstruct the edge set.
+    edges: set[EdgeKey] = set()
+    stack: list[tuple[int, NodeId]] = [(full_mask, root)]
+    while stack:
+        mask, v = stack.pop()
+        choice = back[mask].get(v)
+        if choice is None:
+            continue  # base case: single terminal at v
+        kind, data = choice
+        if kind == "edge":
+            u = data  # type: ignore[assignment]
+            edges.add(edge_key(u, v))  # type: ignore[arg-type]
+            stack.append((mask, u))  # type: ignore[arg-type]
+        else:
+            sub = data  # type: ignore[assignment]
+            stack.append((sub, v))  # type: ignore[arg-type]
+            stack.append((mask ^ sub, v))  # type: ignore[operator]
+
+    cost = sum(graph.link(u, v).price for u, v in edges)
+    return SteinerTree(
+        root=root, terminals=frozenset(term_set), edges=frozenset(edges), cost=cost
+    )
+
+
+def mst_steiner_tree(
+    graph: Graph,
+    root: NodeId,
+    terminals: Sequence[NodeId],
+    *,
+    link_filter: LinkFilter | None = None,
+) -> SteinerTree:
+    """Metric-closure MST 2-approximation of the minimum Steiner tree.
+
+    Builds the complete graph over terminals weighted by shortest-path
+    distances, takes its MST (Prim), expands every MST edge into an actual
+    shortest path and returns the union (duplicated links counted once).
+    """
+    term_set = sorted(set(terminals) | {root})
+    for t in term_set:
+        if not graph.has_node(t):
+            raise NodeNotFoundError(t)
+    if len(term_set) == 1:
+        return SteinerTree(root=root, terminals=frozenset(term_set), edges=frozenset(), cost=0.0)
+
+    dists = _all_terminal_paths(graph, term_set, link_filter)
+    for a, b in combinations(term_set, 2):
+        if b not in dists[a]:
+            raise DisconnectedNetworkError(f"terminals {a} and {b} are disconnected")
+
+    # Prim over the metric closure, rooted at `root`.
+    in_tree = {root}
+    mst_edges: list[tuple[NodeId, NodeId]] = []
+    while len(in_tree) < len(term_set):
+        best: tuple[float, NodeId, NodeId] | None = None
+        for a in in_tree:
+            for b in term_set:
+                if b in in_tree:
+                    continue
+                cand = (dists[a][b], a, b)
+                if best is None or cand < best:
+                    best = cand
+        assert best is not None
+        _, a, b = best
+        mst_edges.append((a, b))
+        in_tree.add(b)
+
+    union: set[EdgeKey] = set()
+    for a, b in mst_edges:
+        p = min_cost_path(graph, a, b, link_filter=link_filter)
+        assert p is not None  # connectivity checked above
+        union.update(p.edges())
+
+    edges = _prune_to_tree(graph, union, set(term_set))
+    cost = sum(graph.link(u, v).price for u, v in edges)
+    return SteinerTree(
+        root=root, terminals=frozenset(term_set), edges=frozenset(edges), cost=cost
+    )
+
+
+def _prune_to_tree(graph: Graph, union: set[EdgeKey], terminals: set[NodeId]) -> set[EdgeKey]:
+    """MST of the path-union subgraph, with non-terminal leaves pruned.
+
+    The union of shortest paths may contain cycles; a spanning tree of it is
+    never more expensive, and dangling Steiner points add pure cost.
+    """
+    if not union:
+        return set()
+    # Kruskal over the union edges.
+    parent: dict[NodeId, NodeId] = {}
+
+    def find(x: NodeId) -> NodeId:
+        while parent.setdefault(x, x) != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    tree: set[EdgeKey] = set()
+    for u, v in sorted(union, key=lambda e: (graph.link(*e).price, e)):
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            tree.add(edge_key(u, v))
+    # Iteratively prune non-terminal leaves.
+    degree: dict[NodeId, int] = {}
+    for u, v in tree:
+        degree[u] = degree.get(u, 0) + 1
+        degree[v] = degree.get(v, 0) + 1
+    changed = True
+    while changed:
+        changed = False
+        for u, v in list(tree):
+            for leaf, other in ((u, v), (v, u)):
+                if degree.get(leaf, 0) == 1 and leaf not in terminals:
+                    tree.discard(edge_key(u, v))
+                    degree[leaf] -= 1
+                    degree[other] -= 1
+                    changed = True
+                    break
+    return tree

@@ -1,0 +1,189 @@
+"""Extra topology families beyond the paper's random generator.
+
+The paper evaluates on its own random-tree-plus-edges topology only; these
+families let downstream users stress the embedding algorithms on structured
+networks (data-center fat-trees, geographic Waxman graphs, …). Each builder
+returns a bare :class:`~repro.network.graph.Graph`;
+:func:`deploy_uniform` decorates any topology with VNF instances using the
+same pricing semantics as the paper generator.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..config import NetworkConfig
+from ..exceptions import ConfigurationError
+from ..nfv.pricing import price_bounds
+from ..types import MERGER_VNF, edge_key
+from ..utils.rng import RngStream, as_generator
+from .cloud import CloudNetwork
+from .graph import Graph
+from .spanning import random_attachment_tree, random_spanning_tree_edges
+
+__all__ = [
+    "erdos_renyi",
+    "barabasi_albert",
+    "waxman",
+    "ring",
+    "grid",
+    "fat_tree",
+    "deploy_uniform",
+]
+
+
+def _build(n: int, edges: set[tuple[int, int]], *, price: float, capacity: float) -> Graph:
+    g = Graph()
+    g.add_nodes(range(n))
+    for u, v in sorted(edges):
+        g.add_link(u, v, price=price, capacity=capacity)
+    return g
+
+
+def erdos_renyi(
+    n: int, p: float, rng: RngStream = None, *, price: float = 20.0, capacity: float = 8.0,
+    ensure_connected: bool = True,
+) -> Graph:
+    """G(n, p) random graph; optionally patched connected with a random tree."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if not (0.0 <= p <= 1.0):
+        raise ConfigurationError(f"p must be in [0, 1], got {p}")
+    gen = as_generator(rng)
+    edges: set[tuple[int, int]] = set()
+    # Vectorized upper-triangle Bernoulli draw.
+    if n > 1:
+        iu, ju = np.triu_indices(n, k=1)
+        mask = gen.random(len(iu)) < p
+        edges = {(int(a), int(b)) for a, b in zip(iu[mask], ju[mask])}
+    if ensure_connected:
+        edges.update(random_spanning_tree_edges(n, gen))
+    return _build(n, edges, price=price, capacity=capacity)
+
+
+def barabasi_albert(
+    n: int, m: int, rng: RngStream = None, *, price: float = 20.0, capacity: float = 8.0
+) -> Graph:
+    """Preferential-attachment scale-free graph (each new node gets m links)."""
+    edges = set(random_attachment_tree(n, rng, m=m))
+    return _build(n, edges, price=price, capacity=capacity)
+
+
+def waxman(
+    n: int,
+    rng: RngStream = None,
+    *,
+    alpha: float = 0.6,
+    beta: float = 0.3,
+    price_per_distance: float = 40.0,
+    capacity: float = 8.0,
+    ensure_connected: bool = True,
+) -> Graph:
+    """Waxman geographic random graph on the unit square.
+
+    Link probability ``alpha * exp(-d / (beta * L))``; link price scales with
+    Euclidean distance, modelling geo-dispersed cloud nodes.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    gen = as_generator(rng)
+    xy = gen.random((n, 2))
+    L = math.sqrt(2.0)
+    g = Graph()
+    g.add_nodes(range(n))
+    added: set[tuple[int, int]] = set()
+    for u in range(n):
+        for v in range(u + 1, n):
+            d = float(np.linalg.norm(xy[u] - xy[v]))
+            if gen.random() < alpha * math.exp(-d / (beta * L)):
+                g.add_link(u, v, price=price_per_distance * d, capacity=capacity)
+                added.add((u, v))
+    if ensure_connected:
+        for u, v in random_spanning_tree_edges(n, gen):
+            if not g.has_link(u, v):
+                d = float(np.linalg.norm(xy[u] - xy[v]))
+                g.add_link(u, v, price=price_per_distance * d, capacity=capacity)
+    return g
+
+
+def ring(n: int, *, price: float = 20.0, capacity: float = 8.0) -> Graph:
+    """A simple n-cycle."""
+    if n < 3:
+        raise ConfigurationError(f"a ring needs n >= 3, got {n}")
+    edges = {edge_key(i, (i + 1) % n) for i in range(n)}
+    return _build(n, edges, price=price, capacity=capacity)
+
+
+def grid(rows: int, cols: int, *, price: float = 20.0, capacity: float = 8.0) -> Graph:
+    """rows x cols 4-neighbour mesh; node id = r * cols + c."""
+    if rows < 1 or cols < 1:
+        raise ConfigurationError("grid needs rows, cols >= 1")
+    edges: set[tuple[int, int]] = set()
+    for r in range(rows):
+        for c in range(cols):
+            nid = r * cols + c
+            if c + 1 < cols:
+                edges.add(edge_key(nid, nid + 1))
+            if r + 1 < rows:
+                edges.add(edge_key(nid, nid + cols))
+    return _build(rows * cols, edges, price=price, capacity=capacity)
+
+
+def fat_tree(k: int, *, price: float = 20.0, capacity: float = 8.0) -> Graph:
+    """A k-ary fat-tree (k even): core, aggregation, edge switch layers.
+
+    Node numbering: cores first (k^2/4), then per-pod aggregation (k/2) and
+    edge (k/2) switches. Hosts are not modelled — the paper deploys VNFs on
+    network nodes directly.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ConfigurationError(f"fat-tree k must be even and >= 2, got {k}")
+    half = k // 2
+    n_core = half * half
+    edges: set[tuple[int, int]] = set()
+    next_id = n_core
+    for pod in range(k):
+        agg = list(range(next_id, next_id + half))
+        next_id += half
+        edg = list(range(next_id, next_id + half))
+        next_id += half
+        for a_idx, a in enumerate(agg):
+            for e in edg:
+                edges.add(edge_key(a, e))
+            for j in range(half):
+                core = a_idx * half + j
+                edges.add(edge_key(core, a))
+    return _build(next_id, edges, price=price, capacity=capacity)
+
+
+def deploy_uniform(
+    graph: Graph, config: NetworkConfig, rng: RngStream = None
+) -> CloudNetwork:
+    """Deploy VNFs on an arbitrary topology with the paper's pricing rules."""
+    gen = as_generator(rng)
+    network = CloudNetwork(graph)
+    nodes = sorted(graph.nodes())
+    vnf_lo, vnf_hi = price_bounds(config.mean_vnf_price, config.vnf_price_fluctuation)
+    categories = list(range(1, config.n_vnf_types + 1)) + [MERGER_VNF]
+    for vnf_type in categories:
+        if vnf_type == MERGER_VNF:
+            ratio = config.effective_merger_deploy_ratio
+            lo, hi = price_bounds(
+                config.mean_vnf_price * config.merger_price_scale,
+                config.vnf_price_fluctuation,
+            )
+        else:
+            ratio, lo, hi = config.deploy_ratio, vnf_lo, vnf_hi
+        mask = gen.random(len(nodes)) < ratio
+        if not mask.any():
+            mask[int(gen.integers(0, len(nodes)))] = True
+        for idx in np.flatnonzero(mask):
+            network.deploy(
+                nodes[int(idx)],
+                vnf_type,
+                price=float(gen.uniform(lo, hi)),
+                capacity=config.vnf_capacity,
+            )
+    return network

@@ -1,0 +1,38 @@
+"""NFV substrate: VNF catalog, packet-action profiles, parallelism analysis,
+instances and pricing.
+
+The paper builds on the observation (NFP, SIGCOMM'17) that many network
+function pairs can run in parallel. This subpackage provides the VNF model:
+
+* :mod:`repro.nfv.vnf` — VNF categories ``f(1)…f(n)`` plus the dummy ``f(0)``
+  and the merger ``f(n+1)``;
+* :mod:`repro.nfv.actions` — per-NF packet action profiles (read/write on
+  header fields, payload, drop, …);
+* :mod:`repro.nfv.parallelism` — the pairwise order-dependency analysis that
+  decides which adjacent NFs of a sequential chain may be parallelized;
+* :mod:`repro.nfv.instances` — priced, capacitated VNF instances deployed on
+  network nodes;
+* :mod:`repro.nfv.pricing` — price-drawing models implementing the paper's
+  fluctuation-ratio semantics.
+"""
+
+from .vnf import VnfCatalog, VnfDescriptor, standard_catalog
+from .actions import ActionProfile, PacketField, Action
+from .parallelism import ParallelismAnalyzer, can_parallelize
+from .instances import VnfInstance, DeploymentMap
+from .pricing import UniformFluctuationPricer, price_bounds
+
+__all__ = [
+    "VnfCatalog",
+    "VnfDescriptor",
+    "standard_catalog",
+    "ActionProfile",
+    "PacketField",
+    "Action",
+    "ParallelismAnalyzer",
+    "can_parallelize",
+    "VnfInstance",
+    "DeploymentMap",
+    "UniformFluctuationPricer",
+    "price_bounds",
+]

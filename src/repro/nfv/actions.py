@@ -1,0 +1,99 @@
+"""Packet-action profiles of network functions.
+
+The NFP paper (Sun et al., SIGCOMM'17) — the basis of the hybrid-SFC model —
+decides whether two network functions can run in parallel by analyzing the
+*actions* each NF applies to a packet: which header fields it reads or
+writes, whether it touches the payload, and whether it may drop the packet or
+terminate the connection. Two NFs conflict (must stay sequential) when one
+writes state the other reads or writes.
+
+This module provides that action vocabulary; :mod:`repro.nfv.parallelism`
+implements the pairwise dependency rules on top of it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["PacketField", "Action", "ActionProfile"]
+
+
+class PacketField(enum.Enum):
+    """Packet regions an NF may read or modify."""
+
+    SRC_IP = "src_ip"
+    DST_IP = "dst_ip"
+    SRC_PORT = "src_port"
+    DST_PORT = "dst_port"
+    PROTOCOL = "protocol"
+    TTL = "ttl"
+    TOS = "tos"
+    PAYLOAD = "payload"
+
+
+class Action(enum.Enum):
+    """Non-field actions an NF may take on a flow."""
+
+    DROP = "drop"  # may discard packets (e.g. firewall, IDS in IPS mode)
+    TERMINATE = "terminate"  # may reset/park the connection (e.g. proxy)
+    MIRROR = "mirror"  # copies traffic out-of-band (e.g. monitor)
+
+
+@dataclass(frozen=True, slots=True)
+class ActionProfile:
+    """Read/write footprint of one network function.
+
+    Attributes
+    ----------
+    reads:
+        Header/payload regions the NF inspects.
+    writes:
+        Regions the NF rewrites (a write implies a read of the same field
+        does NOT need to be listed separately).
+    actions:
+        Flow-level actions (drop / terminate / mirror).
+    """
+
+    reads: frozenset[PacketField] = field(default_factory=frozenset)
+    writes: frozenset[PacketField] = field(default_factory=frozenset)
+    actions: frozenset[Action] = field(default_factory=frozenset)
+
+    @staticmethod
+    def of(
+        reads: tuple[PacketField, ...] = (),
+        writes: tuple[PacketField, ...] = (),
+        actions: tuple[Action, ...] = (),
+    ) -> "ActionProfile":
+        """Convenience constructor from tuples."""
+        return ActionProfile(frozenset(reads), frozenset(writes), frozenset(actions))
+
+    @property
+    def touched(self) -> frozenset[PacketField]:
+        """All fields the NF reads or writes."""
+        return self.reads | self.writes
+
+    def conflicts_with(self, other: "ActionProfile") -> bool:
+        """True when the two NFs have a read/write or write/write conflict.
+
+        The NFP dependency rule: NF order matters iff one NF *writes* a field
+        the other *reads or writes*, or the first may drop/terminate the flow
+        (a dropped packet must not be seen downstream — dropping NFs can
+        still be parallelized by a merger that honours the drop verdict, so
+        drop conflicts are reported separately via :attr:`may_drop`).
+        """
+        if self.writes & other.touched:
+            return True
+        if other.writes & self.touched:
+            return True
+        return False
+
+    @property
+    def may_drop(self) -> bool:
+        """True when the NF can remove packets from the flow."""
+        return Action.DROP in self.actions or Action.TERMINATE in self.actions
+
+    @property
+    def is_read_only(self) -> bool:
+        """True when the NF neither writes fields nor drops packets."""
+        return not self.writes and not self.may_drop

@@ -1,0 +1,86 @@
+"""Canonical enterprise service chains over the standard catalog.
+
+Ready-made :class:`~repro.sfc.chain.SequentialSfc` factories for the
+middlebox sequences the SFC literature keeps citing (and the paper's
+intro motivates): web security, branch-office access, CDN edge, lawful
+intercept. Each returns (chain, catalog) so the NFP analysis can
+standardize it into a DAG-SFC immediately:
+
+>>> chain, catalog = web_security_chain()
+>>> from repro.nfv.parallelism import ParallelismAnalyzer
+>>> from repro.sfc.transform import to_dag_sfc
+>>> dag = to_dag_sfc(chain, ParallelismAnalyzer(catalog))
+"""
+
+from __future__ import annotations
+
+from ..sfc.chain import SequentialSfc
+from .vnf import VnfCatalog, standard_catalog
+
+__all__ = [
+    "web_security_chain",
+    "branch_access_chain",
+    "cdn_edge_chain",
+    "intercept_chain",
+    "CANONICAL_CHAINS",
+]
+
+
+def _ids(catalog: VnfCatalog, *names: str) -> list[int]:
+    by_name = {catalog.name(i): i for i in catalog}
+    return [by_name[n] for n in names]
+
+
+def web_security_chain() -> tuple[SequentialSfc, VnfCatalog]:
+    """North-south web traffic: firewall → DPI → IDS → LB.
+
+    The inspection trio is order-independent (read-only / drop-only), the
+    load balancer must come last (it rewrites the destination) — the
+    textbook case where one merger buys a 3-wide parallel layer.
+    """
+    catalog = standard_catalog()
+    return (
+        SequentialSfc(_ids(catalog, "firewall", "dpi", "ids", "load_balancer")),
+        catalog,
+    )
+
+
+def branch_access_chain() -> tuple[SequentialSfc, VnfCatalog]:
+    """Branch office to HQ: firewall → NAT → WAN optimizer → VPN.
+
+    Mostly write-heavy functions with real ordering constraints; expect
+    little parallelism — the counterpoint to :func:`web_security_chain`.
+    """
+    catalog = standard_catalog()
+    return (
+        SequentialSfc(_ids(catalog, "firewall", "nat", "wan_optimizer", "vpn")),
+        catalog,
+    )
+
+
+def cdn_edge_chain() -> tuple[SequentialSfc, VnfCatalog]:
+    """CDN edge POP: firewall → cache → shaper → monitor."""
+    catalog = standard_catalog()
+    return (
+        SequentialSfc(_ids(catalog, "firewall", "cache", "shaper", "monitor")),
+        catalog,
+    )
+
+
+def intercept_chain() -> tuple[SequentialSfc, VnfCatalog]:
+    """Compliance tap: monitor → logger → ids → dpi — all read-only or
+    mirror-only, hence maximally parallelizable."""
+    catalog = standard_catalog()
+    return (
+        SequentialSfc(_ids(catalog, "monitor", "logger", "ids", "dpi")),
+        catalog,
+    )
+
+
+#: name → factory, for CLIs and parameterized tests.
+CANONICAL_CHAINS = {
+    "web-security": web_security_chain,
+    "branch-access": branch_access_chain,
+    "cdn-edge": cdn_edge_chain,
+    "intercept": intercept_chain,
+}

@@ -1,0 +1,75 @@
+"""Price-drawing models implementing the paper's fluctuation-ratio semantics.
+
+The paper defines the *VNF price fluctuation ratio* as "the ratio of the half
+of the gap between max-price and min-price over the average price". For a
+uniform draw on ``[lo, hi]`` this is ``(hi - lo) / 2 / mean``, i.e. prices are
+drawn from ``mean * [1 - ratio, 1 + ratio]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..utils.rng import RngStream, as_generator
+
+__all__ = ["price_bounds", "UniformFluctuationPricer"]
+
+
+def price_bounds(mean: float, fluctuation_ratio: float) -> tuple[float, float]:
+    """The ``[lo, hi]`` uniform support with the given mean and fluctuation.
+
+    >>> price_bounds(100.0, 0.05)
+    (95.0, 105.0)
+    """
+    if mean <= 0:
+        raise ConfigurationError(f"mean price must be > 0, got {mean}")
+    if not (0.0 <= fluctuation_ratio <= 1.0):
+        raise ConfigurationError(
+            f"fluctuation ratio must be in [0, 1], got {fluctuation_ratio}"
+        )
+    return (mean * (1.0 - fluctuation_ratio), mean * (1.0 + fluctuation_ratio))
+
+
+@dataclass
+class UniformFluctuationPricer:
+    """Draws prices uniformly around a mean with a fluctuation ratio.
+
+    Instances are reusable across many draws and share the supplied RNG
+    stream, so the generator controls determinism.
+    """
+
+    mean: float
+    fluctuation_ratio: float
+    rng: RngStream = None
+
+    def __post_init__(self) -> None:
+        self._lo, self._hi = price_bounds(self.mean, self.fluctuation_ratio)
+        self._rng: np.random.Generator = as_generator(self.rng)
+
+    def draw(self) -> float:
+        """One price sample."""
+        return float(self._rng.uniform(self._lo, self._hi))
+
+    def draw_many(self, n: int) -> np.ndarray:
+        """``n`` price samples as a vector (vectorized for big networks)."""
+        if n < 0:
+            raise ConfigurationError(f"cannot draw {n} prices")
+        return self._rng.uniform(self._lo, self._hi, size=n)
+
+    @property
+    def support(self) -> tuple[float, float]:
+        """The uniform support ``(lo, hi)``."""
+        return (self._lo, self._hi)
+
+    def observed_fluctuation(self, prices: np.ndarray) -> float:
+        """Empirical fluctuation ratio of a sample (diagnostics/tests)."""
+        prices = np.asarray(prices, dtype=float)
+        if prices.size == 0:
+            raise ConfigurationError("cannot compute fluctuation of an empty sample")
+        mean = float(prices.mean())
+        if mean == 0:
+            return 0.0
+        return float((prices.max() - prices.min()) / 2.0 / mean)

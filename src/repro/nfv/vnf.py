@@ -1,0 +1,196 @@
+"""VNF catalog: the ``n`` regular categories plus dummy and merger.
+
+The paper models the third-party VNF offer as a set
+``F = {f(1), …, f(n)}`` plus two special functions: the dummy ``f(0)``
+(assigned to the stretched source/destination layers) and the merger
+``f(n+1)``. :class:`VnfCatalog` owns the id space and, optionally, an
+:class:`~repro.nfv.actions.ActionProfile` per category so chains over this
+catalog can be parallelism-analyzed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from ..exceptions import ConfigurationError
+from ..types import DUMMY_VNF, MERGER_VNF, VnfTypeId, vnf_name
+from .actions import Action, ActionProfile, PacketField
+
+__all__ = ["VnfDescriptor", "VnfCatalog", "standard_catalog", "STANDARD_PROFILES"]
+
+
+@dataclass(frozen=True, slots=True)
+class VnfDescriptor:
+    """Static description of a VNF category."""
+
+    type_id: VnfTypeId
+    name: str
+    profile: ActionProfile | None = None
+    #: Nominal per-packet processing delay (ms) — used only by the optional
+    #: latency analysis extension, never by the cost model.
+    processing_delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.processing_delay < 0:
+            raise ConfigurationError("processing_delay must be >= 0")
+
+
+class VnfCatalog:
+    """The VNF categories available from the provider.
+
+    Regular ids are ``1 … n``; the dummy and merger sentinels are always
+    members. Iteration yields regular ids only.
+    """
+
+    def __init__(self, descriptors: Mapping[VnfTypeId, VnfDescriptor] | None = None, *, n: int | None = None) -> None:
+        if descriptors is None and n is None:
+            raise ConfigurationError("VnfCatalog needs descriptors or a size n")
+        if descriptors is None:
+            assert n is not None
+            if n < 1:
+                raise ConfigurationError(f"catalog size must be >= 1, got {n}")
+            descriptors = {
+                i: VnfDescriptor(type_id=i, name=vnf_name(i)) for i in range(1, n + 1)
+            }
+        self._descriptors: dict[VnfTypeId, VnfDescriptor] = {}
+        for tid, desc in sorted(descriptors.items()):
+            if tid < 1:
+                raise ConfigurationError(
+                    f"regular VNF ids must be >= 1, got {tid} (0 and -1 are reserved)"
+                )
+            if desc.type_id != tid:
+                raise ConfigurationError(
+                    f"descriptor id {desc.type_id} does not match key {tid}"
+                )
+            self._descriptors[tid] = desc
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._descriptors)
+
+    def __iter__(self) -> Iterator[VnfTypeId]:
+        return iter(self._descriptors)
+
+    def __contains__(self, type_id: VnfTypeId) -> bool:
+        return type_id in self._descriptors or type_id in (DUMMY_VNF, MERGER_VNF)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def regular_ids(self) -> tuple[VnfTypeId, ...]:
+        """The regular category ids ``(1, …, n)``."""
+        return tuple(self._descriptors)
+
+    def descriptor(self, type_id: VnfTypeId) -> VnfDescriptor:
+        """Descriptor of a regular category (KeyError for sentinels)."""
+        return self._descriptors[type_id]
+
+    def profile(self, type_id: VnfTypeId) -> ActionProfile | None:
+        """Action profile of a category, or None if not modelled."""
+        desc = self._descriptors.get(type_id)
+        return desc.profile if desc is not None else None
+
+    def name(self, type_id: VnfTypeId) -> str:
+        """Display name (works for sentinels too)."""
+        desc = self._descriptors.get(type_id)
+        return desc.name if desc is not None else vnf_name(type_id)
+
+
+#: Action profiles of common middlebox functions, distilled from the NFP /
+#: ParaBox dependency tables. Keys are canonical middlebox names.
+STANDARD_PROFILES: dict[str, ActionProfile] = {
+    # Stateless packet filter: reads the 5-tuple, may drop.
+    "firewall": ActionProfile.of(
+        reads=(
+            PacketField.SRC_IP,
+            PacketField.DST_IP,
+            PacketField.SRC_PORT,
+            PacketField.DST_PORT,
+            PacketField.PROTOCOL,
+        ),
+        actions=(Action.DROP,),
+    ),
+    # Deep packet inspection: reads payload, may drop (IPS mode).
+    "dpi": ActionProfile.of(
+        reads=(PacketField.PAYLOAD,),
+        actions=(Action.DROP,),
+    ),
+    # Intrusion detection (passive): read-only, mirrors alerts.
+    "ids": ActionProfile.of(
+        reads=(PacketField.PAYLOAD, PacketField.SRC_IP, PacketField.DST_IP),
+        actions=(Action.MIRROR,),
+    ),
+    # NAT rewrites addresses/ports.
+    "nat": ActionProfile.of(
+        reads=(PacketField.PROTOCOL,),
+        writes=(PacketField.SRC_IP, PacketField.SRC_PORT),
+    ),
+    # L4 load balancer rewrites the destination.
+    "load_balancer": ActionProfile.of(
+        reads=(PacketField.SRC_IP, PacketField.SRC_PORT),
+        writes=(PacketField.DST_IP, PacketField.DST_PORT),
+    ),
+    # Traffic shaper: reads headers, annotates TOS.
+    "shaper": ActionProfile.of(
+        reads=(PacketField.SRC_IP, PacketField.DST_IP),
+        writes=(PacketField.TOS,),
+    ),
+    # Monitor / flow counter: purely read-only.
+    "monitor": ActionProfile.of(
+        reads=(PacketField.SRC_IP, PacketField.DST_IP, PacketField.PROTOCOL),
+    ),
+    # WAN optimizer compresses payload.
+    "wan_optimizer": ActionProfile.of(
+        reads=(PacketField.PAYLOAD,),
+        writes=(PacketField.PAYLOAD,),
+    ),
+    # Web proxy terminates connections and rewrites both ends.
+    "proxy": ActionProfile.of(
+        reads=(PacketField.PAYLOAD,),
+        writes=(PacketField.SRC_IP, PacketField.SRC_PORT, PacketField.PAYLOAD),
+        actions=(Action.TERMINATE,),
+    ),
+    # Caching appliance: reads payload, may answer (terminate).
+    "cache": ActionProfile.of(
+        reads=(PacketField.PAYLOAD, PacketField.DST_IP),
+        actions=(Action.TERMINATE,),
+    ),
+    # VPN gateway encrypts payload.
+    "vpn": ActionProfile.of(
+        reads=(PacketField.PAYLOAD,),
+        writes=(PacketField.PAYLOAD, PacketField.TTL),
+    ),
+    # Logger / lawful intercept: read-only mirror.
+    "logger": ActionProfile.of(
+        reads=(PacketField.PAYLOAD,),
+        actions=(Action.MIRROR,),
+    ),
+}
+
+
+def standard_catalog(n: int | None = None) -> VnfCatalog:
+    """Catalog of the :data:`STANDARD_PROFILES` middleboxes.
+
+    ``n`` (default: all 12) selects the first ``n`` functions in the
+    deterministic order of the table; processing delays are staggered so the
+    latency extension has heterogeneous inputs.
+    """
+    names = list(STANDARD_PROFILES)
+    if n is None:
+        n = len(names)
+    if not (1 <= n <= len(names)):
+        raise ConfigurationError(
+            f"standard catalog supports 1..{len(names)} functions, got {n}"
+        )
+    descriptors = {
+        i: VnfDescriptor(
+            type_id=i,
+            name=names[i - 1],
+            profile=STANDARD_PROFILES[names[i - 1]],
+            processing_delay=0.02 + 0.01 * i,
+        )
+        for i in range(1, n + 1)
+    }
+    return VnfCatalog(descriptors)

@@ -1,0 +1,217 @@
+"""JSON (de)serialization of networks, DAG-SFCs and embeddings.
+
+Reproducibility plumbing: a generated instance (network + request) or a
+solved embedding can be written to a self-describing JSON document and
+reloaded bit-exactly, so experiment artifacts can be archived, shared and
+re-verified without re-running the generators.
+
+The format is versioned (``"format"`` / ``"version"`` headers); loaders
+reject unknown versions rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .embedding.mapping import Embedding
+from .exceptions import ConfigurationError
+from .network.cloud import CloudNetwork
+from .network.graph import Graph
+from .network.paths import Path
+from .sfc.dag import DagSfc, Layer
+from .types import Position
+
+__all__ = [
+    "network_to_dict",
+    "network_from_dict",
+    "dag_to_dict",
+    "dag_from_dict",
+    "embedding_to_dict",
+    "embedding_from_dict",
+    "dump_instance",
+    "load_instance",
+]
+
+_FORMAT = "repro.dag-sfc"
+_VERSION = 1
+
+
+def _header(kind: str) -> dict[str, Any]:
+    return {"format": _FORMAT, "version": _VERSION, "kind": kind}
+
+
+def _check_header(data: dict[str, Any], kind: str) -> None:
+    if data.get("format") != _FORMAT:
+        raise ConfigurationError(f"not a {_FORMAT} document")
+    if data.get("version") != _VERSION:
+        raise ConfigurationError(
+            f"unsupported document version {data.get('version')!r} (expected {_VERSION})"
+        )
+    if data.get("kind") != kind:
+        raise ConfigurationError(
+            f"expected kind {kind!r}, got {data.get('kind')!r}"
+        )
+
+
+# -- networks ---------------------------------------------------------------------
+
+
+def network_to_dict(network: CloudNetwork) -> dict[str, Any]:
+    """Serialize a cloud network (topology, prices, capacities, instances)."""
+    doc = _header("network")
+    doc["nodes"] = sorted(network.graph.nodes())
+    doc["links"] = [
+        {"u": l.u, "v": l.v, "price": l.price, "capacity": l.capacity}
+        for l in sorted(network.graph.links(), key=lambda l: l.key)
+    ]
+    doc["instances"] = [
+        {
+            "node": inst.node,
+            "vnf_type": inst.vnf_type,
+            "price": inst.price,
+            "capacity": inst.capacity,
+        }
+        for inst in sorted(
+            network.deployments.all_instances(), key=lambda i: (i.node, i.vnf_type)
+        )
+    ]
+    return doc
+
+
+def network_from_dict(data: dict[str, Any]) -> CloudNetwork:
+    """Reconstruct a cloud network from :func:`network_to_dict` output."""
+    _check_header(data, "network")
+    graph = Graph()
+    graph.add_nodes(int(n) for n in data["nodes"])
+    for link in data["links"]:
+        graph.add_link(
+            int(link["u"]),
+            int(link["v"]),
+            price=float(link["price"]),
+            capacity=float(link["capacity"]),
+        )
+    network = CloudNetwork(graph)
+    for inst in data["instances"]:
+        network.deploy(
+            int(inst["node"]),
+            int(inst["vnf_type"]),
+            price=float(inst["price"]),
+            capacity=float(inst["capacity"]),
+        )
+    return network
+
+
+# -- DAG-SFCs -----------------------------------------------------------------------
+
+
+def dag_to_dict(dag: DagSfc) -> dict[str, Any]:
+    """Serialize a DAG-SFC (layer structure only; mergers are implicit)."""
+    doc = _header("dag-sfc")
+    doc["layers"] = [list(layer.parallel) for layer in dag.layers]
+    return doc
+
+
+def dag_from_dict(data: dict[str, Any]) -> DagSfc:
+    """Reconstruct a DAG-SFC from :func:`dag_to_dict` output."""
+    _check_header(data, "dag-sfc")
+    return DagSfc([Layer(tuple(int(v) for v in layer)) for layer in data["layers"]])
+
+
+# -- embeddings ------------------------------------------------------------------------
+
+
+def embedding_to_dict(embedding: Embedding) -> dict[str, Any]:
+    """Serialize an embedding (placements + every real-path)."""
+    doc = _header("embedding")
+    doc["dag"] = dag_to_dict(embedding.dag)
+    doc["source"] = embedding.source
+    doc["dest"] = embedding.dest
+    doc["placements"] = [
+        {"layer": pos.layer, "gamma": pos.gamma, "node": node}
+        for pos, node in sorted(embedding.placements.items())
+    ]
+    doc["inter_paths"] = [
+        {"layer": pos.layer, "gamma": pos.gamma, "nodes": list(path.nodes)}
+        for pos, path in sorted(embedding.inter_paths.items())
+    ]
+    doc["inner_paths"] = [
+        {"layer": pos.layer, "gamma": pos.gamma, "nodes": list(path.nodes)}
+        for pos, path in sorted(embedding.inner_paths.items())
+    ]
+    return doc
+
+
+def embedding_from_dict(data: dict[str, Any]) -> Embedding:
+    """Reconstruct an embedding from :func:`embedding_to_dict` output."""
+    _check_header(data, "embedding")
+    dag = dag_from_dict(data["dag"])
+    placements = {
+        Position(int(p["layer"]), int(p["gamma"])): int(p["node"])
+        for p in data["placements"]
+    }
+    inter = {
+        Position(int(p["layer"]), int(p["gamma"])): Path(tuple(int(n) for n in p["nodes"]))
+        for p in data["inter_paths"]
+    }
+    inner = {
+        Position(int(p["layer"]), int(p["gamma"])): Path(tuple(int(n) for n in p["nodes"]))
+        for p in data["inner_paths"]
+    }
+    return Embedding(
+        dag=dag,
+        source=int(data["source"]),
+        dest=int(data["dest"]),
+        placements=placements,
+        inter_paths=inter,
+        inner_paths=inner,
+    )
+
+
+# -- whole instances ----------------------------------------------------------------------
+
+
+def dump_instance(
+    path: str,
+    network: CloudNetwork,
+    dag: DagSfc,
+    *,
+    source: int,
+    dest: int,
+    embedding: Embedding | None = None,
+    metadata: dict[str, Any] | None = None,
+) -> None:
+    """Write a full problem instance (and optionally its solution) to JSON."""
+    doc = _header("instance")
+    doc["network"] = network_to_dict(network)
+    doc["dag"] = dag_to_dict(dag)
+    doc["source"] = source
+    doc["dest"] = dest
+    if embedding is not None:
+        doc["embedding"] = embedding_to_dict(embedding)
+    if metadata:
+        doc["metadata"] = metadata
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+
+
+def load_instance(
+    path: str,
+) -> tuple[CloudNetwork, DagSfc, int, int, Embedding | None, dict[str, Any]]:
+    """Load an instance written by :func:`dump_instance`."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    _check_header(doc, "instance")
+    network = network_from_dict(doc["network"])
+    dag = dag_from_dict(doc["dag"])
+    embedding = (
+        embedding_from_dict(doc["embedding"]) if "embedding" in doc else None
+    )
+    return (
+        network,
+        dag,
+        int(doc["source"]),
+        int(doc["dest"]),
+        embedding,
+        doc.get("metadata", {}),
+    )

@@ -1,0 +1,28 @@
+"""SFC substrate: sequential chains, the DAG-SFC abstraction, transformation.
+
+* :mod:`repro.sfc.chain` — the traditional sequential SFC;
+* :mod:`repro.sfc.dag` — the standardized layered DAG-SFC of §3.1;
+* :mod:`repro.sfc.builder` — fluent construction of DAG-SFCs;
+* :mod:`repro.sfc.transform` — sequential → DAG-SFC via parallelism analysis
+  (the Fig. 2 transformation);
+* :mod:`repro.sfc.stretch` — the stretched SFC ``S+`` with dummy layers;
+* :mod:`repro.sfc.generator` — the paper's random SFC generator.
+"""
+
+from .chain import SequentialSfc
+from .dag import DagSfc, Layer
+from .builder import DagSfcBuilder
+from .transform import to_dag_sfc
+from .stretch import StretchedSfc
+from .generator import generate_dag_sfc, layer_sizes_for
+
+__all__ = [
+    "SequentialSfc",
+    "DagSfc",
+    "Layer",
+    "DagSfcBuilder",
+    "to_dag_sfc",
+    "StretchedSfc",
+    "generate_dag_sfc",
+    "layer_sizes_for",
+]

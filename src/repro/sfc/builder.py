@@ -1,0 +1,56 @@
+"""Fluent builder for DAG-SFCs.
+
+>>> dag = (DagSfcBuilder()
+...        .single(1)
+...        .parallel(2, 3, 4, 5)
+...        .parallel(6, 7)
+...        .build())
+>>> dag.omega
+3
+
+builds exactly the Fig. 2 DAG-SFC (layer 2 = {2,3,4,5} + merger, layer 3 =
+{6,7} + merger).
+"""
+
+from __future__ import annotations
+
+from ..exceptions import InvalidDagError
+from ..types import VnfTypeId
+from .dag import DagSfc, Layer
+
+__all__ = ["DagSfcBuilder"]
+
+
+class DagSfcBuilder:
+    """Accumulates layers, validates on :meth:`build`."""
+
+    def __init__(self) -> None:
+        self._layers: list[Layer] = []
+
+    def single(self, vnf: VnfTypeId) -> "DagSfcBuilder":
+        """Append a single-VNF layer."""
+        self._layers.append(Layer((vnf,)))
+        return self
+
+    def parallel(self, *vnfs: VnfTypeId) -> "DagSfcBuilder":
+        """Append a parallel layer (>= 2 VNFs; a merger is implied)."""
+        if len(vnfs) < 2:
+            raise InvalidDagError(
+                "parallel() needs >= 2 VNFs; use single() for one"
+            )
+        self._layers.append(Layer(tuple(vnfs)))
+        return self
+
+    def layer(self, vnfs: tuple[VnfTypeId, ...]) -> "DagSfcBuilder":
+        """Append a layer of any width."""
+        self._layers.append(Layer(tuple(vnfs)))
+        return self
+
+    @property
+    def num_layers(self) -> int:
+        """Layers accumulated so far."""
+        return len(self._layers)
+
+    def build(self) -> DagSfc:
+        """Materialize the DAG-SFC."""
+        return DagSfc(self._layers)

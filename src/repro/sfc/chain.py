@@ -1,0 +1,56 @@
+"""The traditional sequential service function chain (Fig. 1a)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..exceptions import InvalidChainError
+from ..types import VnfTypeId, is_special_vnf, vnf_name
+
+__all__ = ["SequentialSfc"]
+
+
+class SequentialSfc:
+    """An ordered list of VNF categories the flow must traverse."""
+
+    __slots__ = ("_vnfs",)
+
+    def __init__(self, vnfs: Sequence[VnfTypeId]) -> None:
+        if len(vnfs) == 0:
+            raise InvalidChainError("an SFC needs at least one VNF")
+        for v in vnfs:
+            if is_special_vnf(v):
+                raise InvalidChainError(
+                    f"{vnf_name(v)} is reserved and cannot appear in a chain"
+                )
+            if v < 1:
+                raise InvalidChainError(f"invalid VNF category id {v}")
+        self._vnfs: tuple[VnfTypeId, ...] = tuple(vnfs)
+
+    @property
+    def vnfs(self) -> tuple[VnfTypeId, ...]:
+        """The VNF categories, in traversal order."""
+        return self._vnfs
+
+    @property
+    def size(self) -> int:
+        """Number of VNFs (the paper's "SFC size")."""
+        return len(self._vnfs)
+
+    def __len__(self) -> int:
+        return len(self._vnfs)
+
+    def __iter__(self) -> Iterator[VnfTypeId]:
+        return iter(self._vnfs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SequentialSfc):
+            return NotImplemented
+        return self._vnfs == other._vnfs
+
+    def __hash__(self) -> int:
+        return hash(self._vnfs)
+
+    def __repr__(self) -> str:
+        inner = " -> ".join(vnf_name(v) for v in self._vnfs)
+        return f"SequentialSfc({inner})"

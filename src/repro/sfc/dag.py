@@ -1,0 +1,160 @@
+"""The standardized DAG-SFC (§3.1, Fig. 2).
+
+A DAG-SFC is an ordered sequence of ``omega`` serial *layers*. Each layer is
+either a single VNF or a *parallel VNF set* followed by a merger; the merger
+occupies position ``gamma = phi + 1`` of its layer (``f_l^{phi_l + 1}``).
+The relation *between* layers is strictly sequential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..exceptions import InvalidDagError
+from ..types import MERGER_VNF, Position, VnfTypeId, is_special_vnf, vnf_name
+
+__all__ = ["Layer", "DagSfc"]
+
+
+@dataclass(frozen=True, slots=True)
+class Layer:
+    """One serial layer: its parallel VNF set (a single VNF when |set| = 1)."""
+
+    parallel: tuple[VnfTypeId, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parallel) == 0:
+            raise InvalidDagError("a layer needs at least one VNF")
+        for v in self.parallel:
+            if is_special_vnf(v):
+                raise InvalidDagError(
+                    f"{vnf_name(v)} cannot be a member of a parallel VNF set"
+                )
+        if len(set(self.parallel)) != len(self.parallel):
+            raise InvalidDagError(
+                f"duplicate VNF within one parallel set: {self.parallel}"
+            )
+
+    @property
+    def phi(self) -> int:
+        """Number of parallel VNFs (the paper's ``phi_l``)."""
+        return len(self.parallel)
+
+    @property
+    def has_merger(self) -> bool:
+        """True for parallel layers (phi > 1), which end in a merger."""
+        return len(self.parallel) > 1
+
+    @property
+    def required_types(self) -> tuple[VnfTypeId, ...]:
+        """All categories the layer needs hosted: parallel VNFs (+ merger)."""
+        if self.has_merger:
+            return self.parallel + (MERGER_VNF,)
+        return self.parallel
+
+    @property
+    def width(self) -> int:
+        """Number of positions in the layer (phi, +1 for the merger)."""
+        return self.phi + (1 if self.has_merger else 0)
+
+    def vnf_at(self, gamma: int) -> VnfTypeId:
+        """Category at position ``gamma`` (1-based; merger at phi+1)."""
+        if 1 <= gamma <= self.phi:
+            return self.parallel[gamma - 1]
+        if self.has_merger and gamma == self.phi + 1:
+            return MERGER_VNF
+        raise InvalidDagError(f"layer has no position gamma={gamma}")
+
+    def __repr__(self) -> str:
+        inner = ",".join(vnf_name(v) for v in self.parallel)
+        suffix = "+merger" if self.has_merger else ""
+        return f"Layer({inner}{suffix})"
+
+
+class DagSfc:
+    """An ``omega``-layer DAG-SFC ``S = {L_1, …, L_omega}``."""
+
+    __slots__ = ("_layers",)
+
+    def __init__(self, layers: Sequence[Layer | Sequence[VnfTypeId]]) -> None:
+        if len(layers) == 0:
+            raise InvalidDagError("a DAG-SFC needs at least one layer")
+        normalized: list[Layer] = []
+        for layer in layers:
+            if isinstance(layer, Layer):
+                normalized.append(layer)
+            else:
+                normalized.append(Layer(tuple(layer)))
+        self._layers: tuple[Layer, ...] = tuple(normalized)
+
+    # -- structure ----------------------------------------------------------------
+
+    @property
+    def layers(self) -> tuple[Layer, ...]:
+        """The serial layers ``L_1 … L_omega``."""
+        return self._layers
+
+    @property
+    def omega(self) -> int:
+        """Number of layers."""
+        return len(self._layers)
+
+    @property
+    def size(self) -> int:
+        """Total VNFs excluding mergers (the paper's "SFC size")."""
+        return sum(layer.phi for layer in self._layers)
+
+    @property
+    def num_mergers(self) -> int:
+        """Number of merger positions."""
+        return sum(1 for layer in self._layers if layer.has_merger)
+
+    @property
+    def num_positions(self) -> int:
+        """Total positions to place: VNFs + mergers."""
+        return sum(layer.width for layer in self._layers)
+
+    def layer(self, l: int) -> Layer:
+        """Layer ``L_l`` (1-based, matching the paper)."""
+        if not (1 <= l <= self.omega):
+            raise InvalidDagError(f"no layer {l} in a {self.omega}-layer DAG-SFC")
+        return self._layers[l - 1]
+
+    def positions(self) -> Iterator[Position]:
+        """All positions ``(l, gamma)`` in embedding order (1-based layers)."""
+        for l, layer in enumerate(self._layers, start=1):
+            for gamma in range(1, layer.width + 1):
+                yield Position(l, gamma)
+
+    def vnf_at(self, pos: Position) -> VnfTypeId:
+        """Category at a position."""
+        return self.layer(pos.layer).vnf_at(pos.gamma)
+
+    def required_types(self) -> frozenset[VnfTypeId]:
+        """Every category some layer needs (mergers included)."""
+        out: set[VnfTypeId] = set()
+        for layer in self._layers:
+            out.update(layer.required_types)
+        return frozenset(out)
+
+    def vnf_multiset(self) -> dict[VnfTypeId, int]:
+        """Category -> number of positions using it (for eq. 7 accounting)."""
+        counts: dict[VnfTypeId, int] = {}
+        for layer in self._layers:
+            for t in layer.required_types:
+                counts[t] = counts.get(t, 0) + 1
+        return counts
+
+    # -- dunder ----------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DagSfc):
+            return NotImplemented
+        return self._layers == other._layers
+
+    def __hash__(self) -> int:
+        return hash(self._layers)
+
+    def __repr__(self) -> str:
+        return "DagSfc(" + " | ".join(repr(layer) for layer in self._layers) + ")"

@@ -1,0 +1,204 @@
+"""The paper's random SFC generator (§5.1).
+
+"It generates SFC by a specific rule in which every three VNFs can be
+assigned in the same layer, in order to avoid generating serial SFCs with
+little values for this simulation. However, each SFC is generated using
+different VNF sets."
+
+I.e. all SFCs of a given size share the same layer *structure* (VNFs grouped
+left-to-right into parallel sets of at most three), while the categories at
+each position are drawn randomly.
+"""
+
+from __future__ import annotations
+
+from ..config import SfcConfig
+from ..exceptions import ConfigurationError
+from ..utils.rng import RngStream, as_generator
+from .chain import SequentialSfc
+from .dag import DagSfc, Layer
+
+__all__ = [
+    "layer_sizes_for",
+    "generate_dag_sfc",
+    "generate_random_structure_dag",
+    "generate_chain",
+    "generate_analyzed_dag",
+]
+
+
+def layer_sizes_for(size: int, max_parallel: int = 3) -> tuple[int, ...]:
+    """Layer widths for an SFC of ``size`` VNFs, filled left to right.
+
+    >>> layer_sizes_for(5)
+    (3, 2)
+    >>> layer_sizes_for(9)
+    (3, 3, 3)
+    >>> layer_sizes_for(1)
+    (1,)
+    """
+    if size < 1:
+        raise ConfigurationError(f"SFC size must be >= 1, got {size}")
+    if max_parallel < 1:
+        raise ConfigurationError(f"max_parallel must be >= 1, got {max_parallel}")
+    full, rem = divmod(size, max_parallel)
+    sizes = (max_parallel,) * full + ((rem,) if rem else ())
+    return sizes
+
+
+def generate_dag_sfc(
+    config: SfcConfig,
+    n_vnf_types: int,
+    rng: RngStream = None,
+) -> DagSfc:
+    """Draw one random DAG-SFC with the paper's structure rule.
+
+    Parameters
+    ----------
+    config:
+        SFC size / max-parallel / distinctness settings.
+    n_vnf_types:
+        Catalog size ``n``; categories are drawn from ``1..n``.
+    rng:
+        Seed or generator.
+
+    With ``config.distinct_vnfs`` (the default, matching "different VNF
+    sets") the whole SFC uses distinct categories, which requires
+    ``n_vnf_types >= config.size``. Without it, categories may repeat across
+    layers but never within one parallel set (the standardized form forbids
+    duplicate members of a set).
+    """
+    gen = as_generator(rng)
+    sizes = layer_sizes_for(config.size, config.max_parallel)
+
+    if config.distinct_vnfs:
+        if n_vnf_types < config.size:
+            raise ConfigurationError(
+                f"need >= {config.size} VNF categories for a distinct-VNF SFC, "
+                f"catalog has {n_vnf_types}"
+            )
+        drawn = gen.choice(n_vnf_types, size=config.size, replace=False) + 1
+        flat = [int(v) for v in drawn]
+    else:
+        if n_vnf_types < max(sizes):
+            raise ConfigurationError(
+                f"need >= {max(sizes)} categories to fill a width-{max(sizes)} "
+                f"layer without duplicates, catalog has {n_vnf_types}"
+            )
+        flat = []
+        for width in sizes:
+            drawn = gen.choice(n_vnf_types, size=width, replace=False) + 1
+            flat.extend(int(v) for v in drawn)
+
+    layers: list[Layer] = []
+    idx = 0
+    for width in sizes:
+        layers.append(Layer(tuple(flat[idx : idx + width])))
+        idx += width
+    return DagSfc(layers)
+
+
+def generate_random_structure_dag(
+    size: int,
+    n_vnf_types: int,
+    rng: RngStream = None,
+    *,
+    max_parallel: int = 3,
+    width_weights: tuple[float, ...] | None = None,
+) -> DagSfc:
+    """Draw a DAG-SFC with *random* layer widths (generator extension).
+
+    The paper's generator fixes the structure (greedy layers of three);
+    this variant draws each layer's width from ``1..max_parallel`` with
+    the given weights (uniform by default), producing the structural
+    diversity needed for robustness studies. Categories stay distinct
+    across the whole SFC, as in the paper.
+    """
+    if size < 1:
+        raise ConfigurationError(f"SFC size must be >= 1, got {size}")
+    if max_parallel < 1:
+        raise ConfigurationError(f"max_parallel must be >= 1, got {max_parallel}")
+    if n_vnf_types < size:
+        raise ConfigurationError(
+            f"need >= {size} VNF categories for a distinct-VNF SFC, "
+            f"catalog has {n_vnf_types}"
+        )
+    if width_weights is None:
+        width_weights = (1.0,) * max_parallel
+    if len(width_weights) != max_parallel or any(w < 0 for w in width_weights):
+        raise ConfigurationError(
+            f"width_weights needs {max_parallel} non-negative entries"
+        )
+    total_w = sum(width_weights)
+    if total_w <= 0:
+        raise ConfigurationError("width_weights must not all be zero")
+    probs = [w / total_w for w in width_weights]
+
+    gen = as_generator(rng)
+    widths: list[int] = []
+    remaining = size
+    while remaining > 0:
+        w = int(gen.choice(max_parallel, p=probs)) + 1
+        w = min(w, remaining)
+        widths.append(w)
+        remaining -= w
+
+    drawn = gen.choice(n_vnf_types, size=size, replace=False) + 1
+    flat = [int(v) for v in drawn]
+    layers: list[Layer] = []
+    idx = 0
+    for w in widths:
+        layers.append(Layer(tuple(flat[idx : idx + w])))
+        idx += w
+    return DagSfc(layers)
+
+
+def generate_chain(
+    size: int,
+    n_vnf_types: int,
+    rng: RngStream = None,
+    *,
+    distinct: bool = True,
+) -> SequentialSfc:
+    """Draw a random *sequential* SFC (the Fig. 1(a) request form)."""
+    if size < 1:
+        raise ConfigurationError(f"SFC size must be >= 1, got {size}")
+    gen = as_generator(rng)
+    if distinct:
+        if n_vnf_types < size:
+            raise ConfigurationError(
+                f"need >= {size} categories for a distinct chain, have {n_vnf_types}"
+            )
+        drawn = gen.choice(n_vnf_types, size=size, replace=False) + 1
+    else:
+        drawn = gen.integers(1, n_vnf_types + 1, size=size)
+    return SequentialSfc([int(v) for v in drawn])
+
+
+def generate_analyzed_dag(
+    size: int,
+    analyzer,
+    rng: RngStream = None,
+    *,
+    max_parallel: int = 3,
+) -> DagSfc:
+    """Draw a chain over the analyzer's catalog and standardize it (Fig. 2).
+
+    This is the end-to-end request model: tenants order sequential chains;
+    the parallelism analysis decides the hybrid structure. ``analyzer`` is
+    a :class:`~repro.nfv.parallelism.ParallelismAnalyzer`; the chain is
+    drawn from its catalog's ids without replacement.
+    """
+    from .transform import to_dag_sfc  # local import: avoid cycle
+
+    ids = analyzer.catalog.regular_ids
+    if size < 1:
+        raise ConfigurationError(f"SFC size must be >= 1, got {size}")
+    if len(ids) < size:
+        raise ConfigurationError(
+            f"catalog has {len(ids)} categories, need >= {size}"
+        )
+    gen = as_generator(rng)
+    picked = gen.choice(len(ids), size=size, replace=False)
+    chain = SequentialSfc([ids[int(i)] for i in picked])
+    return to_dag_sfc(chain, analyzer, max_parallel=max_parallel)

@@ -1,0 +1,145 @@
+"""The stretched SFC ``S+`` (§3.3.2).
+
+To uniform the model the paper adds a dummy layer ``L_0 = {f_0^1}`` for the
+source node and ``L_{omega+1}`` for the destination, both assigned the dummy
+VNF ``f(0)``. :class:`StretchedSfc` provides that view plus the meta-path
+enumeration both the formulation and the solvers share:
+
+* **inter-layer** meta-paths ``P_1``: previous layer's end position (merger
+  or single VNF; the dummy for ``l = 1``) → each parallel VNF of layer ``l``,
+  for ``l = 1 … omega``, plus the final hop end-of-``L_omega`` → destination
+  dummy;
+* **inner-layer** meta-paths ``P_2``: each parallel VNF of a multi-VNF layer
+  → that layer's merger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..types import DUMMY_VNF, Position, VnfTypeId
+from .dag import DagSfc
+
+__all__ = ["MetaPathKind", "MetaPath", "StretchedSfc"]
+
+
+from enum import Enum
+
+
+class MetaPathKind(Enum):
+    """Which group of the paper's classification a meta-path belongs to."""
+
+    INTER_LAYER = "inter"  # member of P_1 (multicast within its layer)
+    INNER_LAYER = "inner"  # member of P_2 (unicast, distinct versions)
+
+
+@dataclass(frozen=True, slots=True)
+class MetaPath:
+    """A logical DAG edge between two SFC positions.
+
+    ``layer`` is the layer whose embedding instantiates this meta-path: for
+    inter-layer paths the *downstream* layer (1 … omega+1), for inner-layer
+    paths the layer containing both endpoints.
+    """
+
+    kind: MetaPathKind
+    src: Position
+    dst: Position
+    layer: int
+
+
+class StretchedSfc:
+    """``S+ = {L_0, L_1, …, L_omega, L_omega+1}`` over a :class:`DagSfc`."""
+
+    __slots__ = ("dag",)
+
+    def __init__(self, dag: DagSfc) -> None:
+        self.dag = dag
+
+    # -- layer view -----------------------------------------------------------------
+
+    @property
+    def omega(self) -> int:
+        """Number of real layers."""
+        return self.dag.omega
+
+    @property
+    def source_position(self) -> Position:
+        """``f_0^1`` — the dummy VNF pinned to the source node."""
+        return Position(0, 1)
+
+    @property
+    def dest_position(self) -> Position:
+        """``f_{omega+1}^1`` — the dummy VNF pinned to the destination node."""
+        return Position(self.omega + 1, 1)
+
+    def vnf_at(self, pos: Position) -> VnfTypeId:
+        """Category at any stretched position (dummy at layers 0, omega+1)."""
+        if pos.layer == 0 or pos.layer == self.omega + 1:
+            return DUMMY_VNF
+        return self.dag.vnf_at(pos)
+
+    def end_position(self, l: int) -> Position:
+        """The *end* position of layer ``l``: merger, single VNF, or dummy.
+
+        Layer 0's end is the source dummy. For a parallel layer the end is
+        the merger (``gamma = phi + 1``); for a single-VNF layer, the VNF.
+        """
+        if l == 0:
+            return self.source_position
+        if l == self.omega + 1:
+            return self.dest_position
+        layer = self.dag.layer(l)
+        return Position(l, layer.width)
+
+    def positions(self) -> Iterator[Position]:
+        """All placeable positions, dummies included, in layer order."""
+        yield self.source_position
+        yield from self.dag.positions()
+        yield self.dest_position
+
+    # -- meta-path enumeration -----------------------------------------------------------
+
+    def inter_layer_metapaths(self, l: int) -> list[MetaPath]:
+        """The inter-layer meta-paths instantiated when embedding layer ``l``.
+
+        For ``l in 1..omega``: previous end → each parallel VNF of ``L_l``.
+        For ``l = omega + 1``: previous end → the destination dummy.
+        """
+        src = self.end_position(l - 1)
+        if l == self.omega + 1:
+            return [MetaPath(MetaPathKind.INTER_LAYER, src, self.dest_position, l)]
+        layer = self.dag.layer(l)
+        return [
+            MetaPath(MetaPathKind.INTER_LAYER, src, Position(l, gamma), l)
+            for gamma in range(1, layer.phi + 1)
+        ]
+
+    def inner_layer_metapaths(self, l: int) -> list[MetaPath]:
+        """The inner-layer meta-paths of layer ``l`` (empty unless parallel)."""
+        layer = self.dag.layer(l)
+        if not layer.has_merger:
+            return []
+        merger = Position(l, layer.phi + 1)
+        return [
+            MetaPath(MetaPathKind.INNER_LAYER, Position(l, gamma), merger, l)
+            for gamma in range(1, layer.phi + 1)
+        ]
+
+    def all_metapaths(self) -> list[MetaPath]:
+        """Every meta-path of the stretched DAG, in embedding order."""
+        out: list[MetaPath] = []
+        for l in range(1, self.omega + 2):
+            out.extend(self.inter_layer_metapaths(l))
+            if l <= self.omega:
+                out.extend(self.inner_layer_metapaths(l))
+        return out
+
+    def p1(self) -> list[MetaPath]:
+        """The inter-layer meta-path set ``P_1``."""
+        return [m for m in self.all_metapaths() if m.kind is MetaPathKind.INTER_LAYER]
+
+    def p2(self) -> list[MetaPath]:
+        """The inner-layer meta-path set ``P_2``."""
+        return [m for m in self.all_metapaths() if m.kind is MetaPathKind.INNER_LAYER]

@@ -1,0 +1,85 @@
+"""Sequential chain → DAG-SFC transformation (the Fig. 2 procedure).
+
+"a sequential service chain could be transformed to a hybrid form by
+analyzing the parallelism in the chain" — the chain is scanned left to
+right; consecutive VNFs join the current parallel set while they are
+pairwise-parallelizable with every member (per the
+:class:`~repro.nfv.parallelism.ParallelismAnalyzer` policy) and the set is
+below the ``max_parallel`` width; otherwise a new layer starts. Multi-VNF
+layers get an implicit merger, as the standardized form requires.
+
+This greedy left-to-right grouping preserves the chain's semantics: any two
+VNFs placed in different layers retain their original relative order, and
+VNFs sharing a layer were proven order-independent.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import TransformError
+from ..nfv.parallelism import ParallelismAnalyzer
+from ..types import VnfTypeId
+from .chain import SequentialSfc
+from .dag import DagSfc, Layer
+
+__all__ = ["to_dag_sfc"]
+
+
+def to_dag_sfc(
+    chain: SequentialSfc,
+    analyzer: ParallelismAnalyzer,
+    *,
+    max_parallel: int | None = None,
+) -> DagSfc:
+    """Standardize a sequential SFC into its DAG-SFC form.
+
+    Parameters
+    ----------
+    chain:
+        The sequential SFC to transform.
+    analyzer:
+        Pairwise parallelizability oracle.
+    max_parallel:
+        Optional cap on parallel-set width (the paper's generator uses 3);
+        ``None`` means unbounded.
+
+    Raises
+    ------
+    TransformError
+        When a VNF appears twice inside what would become one parallel set
+        (the standardized form forbids duplicate members; the duplicate is
+        order-dependent with itself by definition, so this indicates an
+        inconsistent analyzer).
+    """
+    if max_parallel is not None and max_parallel < 1:
+        raise TransformError(f"max_parallel must be >= 1, got {max_parallel}")
+
+    layers: list[Layer] = []
+    current: list[VnfTypeId] = []
+
+    def flush() -> None:
+        if current:
+            layers.append(Layer(tuple(current)))
+            current.clear()
+
+    for vnf in chain:
+        if not current:
+            current.append(vnf)
+            continue
+        width_ok = max_parallel is None or len(current) < max_parallel
+        if vnf in current:
+            # Same category twice cannot share a layer (duplicate member).
+            flush()
+            current.append(vnf)
+        elif width_ok and analyzer.all_parallelizable(tuple(current), vnf):
+            current.append(vnf)
+        else:
+            flush()
+            current.append(vnf)
+    flush()
+
+    dag = DagSfc(layers)
+    if dag.size != chain.size:
+        raise TransformError(
+            f"transformation lost VNFs: chain size {chain.size}, DAG size {dag.size}"
+        )
+    return dag

@@ -1,0 +1,47 @@
+"""Simulation harness reproducing the paper's evaluation (§5).
+
+* :mod:`repro.sim.metrics` — trial records and aggregation;
+* :mod:`repro.sim.experiment` — sweep specifications;
+* :mod:`repro.sim.runner` — seeded (optionally parallel) trial execution;
+* :mod:`repro.sim.figures` — the Fig. 6(a)–(f) sweeps and Table 2 defaults;
+* :mod:`repro.sim.report` — tables, CSV and markdown rendering;
+* :mod:`repro.sim.ascii_chart` — terminal line charts.
+"""
+
+from .metrics import TrialRecord, PointSummary, aggregate
+from .experiment import ExperimentSpec, SolverSpec
+from .runner import run_experiment, run_trial
+from .figures import (
+    FIGURES,
+    figure_6a,
+    figure_6b,
+    figure_6c,
+    figure_6d,
+    figure_6e,
+    figure_6f,
+    figure_by_id,
+    table2_experiment,
+)
+from .report import summaries_to_csv, summary_table, series_from_summaries
+
+__all__ = [
+    "TrialRecord",
+    "PointSummary",
+    "aggregate",
+    "ExperimentSpec",
+    "SolverSpec",
+    "run_experiment",
+    "run_trial",
+    "FIGURES",
+    "figure_6a",
+    "figure_6b",
+    "figure_6c",
+    "figure_6d",
+    "figure_6e",
+    "figure_6f",
+    "figure_by_id",
+    "table2_experiment",
+    "summaries_to_csv",
+    "summary_table",
+    "series_from_summaries",
+]

@@ -1,0 +1,89 @@
+"""Terminal line charts — no plotting dependency needed offline.
+
+Renders multiple (x, y) series on a character grid with distinct markers,
+a y-axis scale and a legend. Used by the CLI and the figure-reproduction
+example so the Fig. 6 *shapes* are visible directly in the terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["line_chart"]
+
+_MARKERS = "o*x+#@%&"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "cost",
+) -> str:
+    """Render series as an ASCII chart.
+
+    Each series gets a marker from ``o * x + …``; points are plotted on a
+    ``width x height`` grid spanning the data's bounding box.
+    """
+    pts = [(x, y) for s in series.values() for (x, y) in s if not math.isnan(y)]
+    if not pts:
+        return "(no data)"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    # A little vertical headroom so extremes aren't on the border.
+    pad = 0.05 * (y_max - y_min)
+    y_min -= pad
+    y_max += pad
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_cell(x: float, y: float) -> tuple[int, int]:
+        col = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((y - y_min) / (y_max - y_min) * (height - 1))
+        return height - 1 - row, col
+
+    for (label, data), marker in zip(sorted(series.items()), _MARKERS):
+        for x, y in data:
+            if math.isnan(y):
+                continue
+            r, c = to_cell(x, y)
+            # Later series overwrite; collisions show the last marker.
+            grid[r][c] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.0f}"
+    bottom_label = f"{y_min:.0f}"
+    label_w = max(len(top_label), len(bottom_label), len(y_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(label_w)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(label_w)
+        elif i == height // 2:
+            prefix = y_label.rjust(label_w)[:label_w]
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |" + "".join(row))
+    axis = " " * label_w + " +" + "-" * width
+    lines.append(axis)
+    x_axis = f"{x_min:g}".ljust(width // 2) + f"{x_max:g}".rjust(width - width // 2)
+    lines.append(" " * (label_w + 2) + x_axis)
+    if x_label:
+        lines.append(" " * (label_w + 2) + x_label.center(width))
+    legend = "   ".join(
+        f"{marker}={label}" for (label, _), marker in zip(sorted(series.items()), _MARKERS)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

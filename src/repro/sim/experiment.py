@@ -1,0 +1,78 @@
+"""Sweep specifications: what to vary, which solvers, how many trials.
+
+An :class:`ExperimentSpec` is fully declarative (plain dataclasses and
+dicts) so it pickles cleanly into worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..config import ScenarioConfig
+from ..exceptions import ConfigurationError
+
+__all__ = ["SolverSpec", "ExperimentSpec"]
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """A solver participating in an experiment.
+
+    ``label`` is the series name in charts/tables (defaults to ``name``);
+    ``kwargs`` are passed to :func:`repro.solvers.make_solver`;
+    ``max_x`` optionally drops the solver beyond an x-value — the paper
+    stops BBE at SFC size 5 "because of the time complexity of BBE is
+    growing exponentially with the size of SFC".
+    """
+
+    name: str
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    label: str | None = None
+    max_x: float | None = None
+
+    @property
+    def series(self) -> str:
+        """Display label."""
+        return self.label if self.label is not None else self.name
+
+    def active_at(self, x: float) -> bool:
+        """Whether the solver runs at the given sweep point."""
+        return self.max_x is None or x <= self.max_x
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One sweep: x-points with their scenarios, solvers, trial budget."""
+
+    name: str
+    title: str
+    x_label: str
+    #: x value -> fully resolved scenario at that point.
+    scenarios: Mapping[float, ScenarioConfig]
+    solvers: tuple[SolverSpec, ...]
+    trials: int = 5
+    master_seed: int = 20180813  # ICPP 2018 opening day
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ConfigurationError("an experiment needs at least one x-point")
+        if not self.solvers:
+            raise ConfigurationError("an experiment needs at least one solver")
+        if self.trials < 1:
+            raise ConfigurationError("trials must be >= 1")
+        labels = [s.series for s in self.solvers]
+        if len(set(labels)) != len(labels):
+            raise ConfigurationError(f"duplicate solver labels: {labels}")
+
+    @property
+    def x_values(self) -> tuple[float, ...]:
+        """Sweep points in ascending order."""
+        return tuple(sorted(self.scenarios))
+
+    def total_embeddings(self) -> int:
+        """Number of solver invocations the experiment will make."""
+        return sum(
+            self.trials * sum(1 for s in self.solvers if s.active_at(x))
+            for x in self.x_values
+        )

@@ -1,0 +1,151 @@
+"""Online SFC-request arrivals over shared residual capacity (extension).
+
+The paper embeds one flow into a fresh network; a provider actually faces a
+*stream* of requests competing for the same instances and links. This
+module generalizes the single-shot model without touching any solver:
+
+* the network's remaining capacity lives in a
+  :class:`~repro.network.state.ResidualState`;
+* each arriving request is solved against the **residual network view**
+  (``ResidualState.to_network()`` — capacities are what's left, saturated
+  links/instances vanish), so every solver runs unmodified;
+* an accepted embedding's resource usage (eq. 7/8 counts × rate) is
+  reserved; a departing request releases exactly what it reserved.
+
+This is the substrate for acceptance-ratio experiments
+(`examples/online_arrivals.py`): under load, cost-aware embedding (MBBE)
+also packs the network better than MINV/RANV, accepting more requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..config import FlowConfig
+from ..embedding.base import Embedder, EmbeddingResult
+from ..exceptions import ConfigurationError
+from ..network.cloud import CloudNetwork
+from ..network.state import ResidualState
+from ..sfc.dag import DagSfc
+from ..types import EdgeKey, NodeId, VnfTypeId
+from ..utils.rng import RngStream
+
+__all__ = ["SfcRequest", "OnlineStats", "OnlineSimulator"]
+
+
+@dataclass(frozen=True)
+class SfcRequest:
+    """One tenant request: a DAG-SFC between two endpoints at a given rate."""
+
+    request_id: int
+    dag: DagSfc
+    source: NodeId
+    dest: NodeId
+    flow: FlowConfig = field(default_factory=FlowConfig)
+
+
+@dataclass
+class _Reservation:
+    vnf: dict[tuple[NodeId, VnfTypeId], float]
+    links: dict[EdgeKey, float]
+    cost: float
+
+
+@dataclass(frozen=True)
+class OnlineStats:
+    """Aggregate acceptance statistics."""
+
+    arrivals: int
+    accepted: int
+    departed: int
+    total_cost_accepted: float
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Fraction of arrivals that were embedded."""
+        return self.accepted / self.arrivals if self.arrivals else 1.0
+
+    @property
+    def active(self) -> int:
+        """Requests currently holding resources."""
+        return self.accepted - self.departed
+
+
+class OnlineSimulator:
+    """Admits/releases SFC requests against one shared cloud network."""
+
+    def __init__(self, network: CloudNetwork, solver: Embedder) -> None:
+        self.network = network
+        self.solver = solver
+        self.state = ResidualState(network)
+        self._reservations: dict[int, _Reservation] = {}
+        self._arrivals = 0
+        self._accepted = 0
+        self._departed = 0
+        self._total_cost = 0.0
+
+    # -- arrivals -----------------------------------------------------------------
+
+    def submit(self, request: SfcRequest, rng: RngStream = None) -> EmbeddingResult:
+        """Try to embed one request on the residual network.
+
+        On success the embedding's resources are reserved until
+        :meth:`release` is called with the same request id.
+        """
+        if request.request_id in self._reservations:
+            raise ConfigurationError(
+                f"request id {request.request_id} is already active"
+            )
+        self._arrivals += 1
+        view = self.state.to_network()
+        result = self.solver.embed(
+            view, request.dag, request.source, request.dest, request.flow, rng=rng
+        )
+        if not result.success:
+            return result
+
+        assert result.cost is not None
+        rate = request.flow.rate
+        reservation = _Reservation(
+            vnf={key: count * rate for key, count in result.cost.alpha_vnf.items()},
+            links={key: count * rate for key, count in result.cost.alpha_link.items()},
+            cost=result.total_cost,
+        )
+        for (node, vnf_type), amount in reservation.vnf.items():
+            self.state.reserve_vnf(node, vnf_type, amount)
+        for (u, v), amount in reservation.links.items():
+            self.state.reserve_link(u, v, amount)
+        self._reservations[request.request_id] = reservation
+        self._accepted += 1
+        self._total_cost += result.total_cost
+        return result
+
+    # -- departures -----------------------------------------------------------------
+
+    def release(self, request_id: int) -> None:
+        """Return all resources held by an accepted request."""
+        try:
+            reservation = self._reservations.pop(request_id)
+        except KeyError:
+            raise ConfigurationError(f"request id {request_id} is not active") from None
+        for (node, vnf_type), amount in reservation.vnf.items():
+            self.state.release_vnf(node, vnf_type, amount)
+        for (u, v), amount in reservation.links.items():
+            self.state.release_link(u, v, amount)
+        self._departed += 1
+
+    # -- introspection ------------------------------------------------------------------
+
+    def active_requests(self) -> Iterator[int]:
+        """Ids of requests currently holding resources."""
+        return iter(sorted(self._reservations))
+
+    def stats(self) -> OnlineStats:
+        """Acceptance statistics so far."""
+        return OnlineStats(
+            arrivals=self._arrivals,
+            accepted=self._accepted,
+            departed=self._departed,
+            total_cost_accepted=self._total_cost,
+        )

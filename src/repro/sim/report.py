@@ -1,0 +1,129 @@
+"""Rendering experiment results: fixed-width tables, markdown, CSV."""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from typing import Iterable, Sequence
+
+from .metrics import PointSummary
+
+__all__ = [
+    "series_from_summaries",
+    "summary_table",
+    "summaries_to_csv",
+    "markdown_table",
+]
+
+
+def series_from_summaries(
+    summaries: Sequence[PointSummary],
+) -> dict[str, list[tuple[float, float]]]:
+    """Per-algorithm (x, mean cost) series, NaN-free, sorted by x."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for s in sorted(summaries, key=lambda s: (s.algorithm, s.x)):
+        if math.isnan(s.mean_cost):
+            continue
+        series.setdefault(s.algorithm, []).append((s.x, s.mean_cost))
+    return series
+
+
+def _algorithms(summaries: Sequence[PointSummary]) -> list[str]:
+    order = {"RANV": 0, "MINV": 1, "BBE": 2, "MBBE": 3}
+    algos = sorted({s.algorithm for s in summaries}, key=lambda a: (order.get(a, 99), a))
+    return algos
+
+
+def summary_table(
+    summaries: Sequence[PointSummary],
+    *,
+    x_label: str = "x",
+    show_success: bool = True,
+) -> str:
+    """Fixed-width table: one row per x, one column per algorithm.
+
+    Cells show the mean total cost; when ``show_success`` and some trials
+    failed, the success count is appended (e.g. ``1234.5 (4/5)``).
+    """
+    algos = _algorithms(summaries)
+    by_cell = {(s.x, s.algorithm): s for s in summaries}
+    xs = sorted({s.x for s in summaries})
+
+    header = [x_label] + algos
+    rows: list[list[str]] = []
+    for x in xs:
+        row = [f"{x:g}"]
+        for algo in algos:
+            s = by_cell.get((x, algo))
+            if s is None or s.n_success == 0:
+                row.append("—")
+                continue
+            cell = f"{s.mean_cost:.1f}"
+            if show_success and s.n_success < s.n_trials:
+                cell += f" ({s.n_success}/{s.n_trials})"
+            row.append(cell)
+        rows.append(row)
+
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(len(header))]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def markdown_table(summaries: Sequence[PointSummary], *, x_label: str = "x") -> str:
+    """GitHub-flavoured markdown table of mean costs."""
+    algos = _algorithms(summaries)
+    by_cell = {(s.x, s.algorithm): s for s in summaries}
+    xs = sorted({s.x for s in summaries})
+    lines = [
+        "| " + " | ".join([x_label] + algos) + " |",
+        "|" + "---|" * (len(algos) + 1),
+    ]
+    for x in xs:
+        cells = [f"{x:g}"]
+        for algo in algos:
+            s = by_cell.get((x, algo))
+            cells.append("—" if s is None or s.n_success == 0 else f"{s.mean_cost:.1f}")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def summaries_to_csv(summaries: Iterable[PointSummary]) -> str:
+    """Full CSV export (all statistics, one row per cell)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        [
+            "x",
+            "algorithm",
+            "n_trials",
+            "n_success",
+            "mean_cost",
+            "std_cost",
+            "ci95_cost",
+            "mean_vnf_cost",
+            "mean_link_cost",
+            "mean_runtime",
+        ]
+    )
+    for s in sorted(summaries, key=lambda s: (s.x, s.algorithm)):
+        writer.writerow(
+            [
+                s.x,
+                s.algorithm,
+                s.n_trials,
+                s.n_success,
+                f"{s.mean_cost:.6f}",
+                f"{s.std_cost:.6f}",
+                f"{s.ci95_cost:.6f}",
+                f"{s.mean_vnf_cost:.6f}",
+                f"{s.mean_link_cost:.6f}",
+                f"{s.mean_runtime:.6f}",
+            ]
+        )
+    return buf.getvalue()

@@ -1,0 +1,134 @@
+"""Trial execution: seeded instance generation, solver runs, aggregation.
+
+One *trial* = one random network + one random DAG-SFC + one random
+source/destination pair, embedded by every active solver (paired
+comparison, as in the paper: "for each simulation instance, we run 100
+times with different SFCs"). Per-trial seeds derive deterministically from
+the experiment's master seed, so any single trial can be replayed in
+isolation, and trials can fan out over a process pool without seed overlap
+(guide: prefer SeedSequence-derived independent streams).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+import numpy as np
+
+from ..config import ScenarioConfig
+from ..network.generator import generate_network
+from ..sfc.generator import generate_dag_sfc
+from ..solvers.registry import make_solver
+from ..utils.rng import trial_seed
+from .experiment import ExperimentSpec, SolverSpec
+from .metrics import TrialRecord
+
+__all__ = ["run_trial", "run_experiment", "default_parallelism"]
+
+
+def run_trial(
+    scenario: ScenarioConfig,
+    solvers: Sequence[SolverSpec],
+    seed: int,
+    *,
+    x: float = 0.0,
+    trial: int = 0,
+) -> list[TrialRecord]:
+    """Run every solver on one freshly generated instance.
+
+    The instance (network, SFC, endpoints) is a pure function of ``seed``;
+    solver-internal randomness (RANV's picks) gets an independent derived
+    stream per solver so adding a solver never perturbs the others.
+    """
+    rng = np.random.default_rng(seed)
+    network = generate_network(scenario.network, rng)
+    dag = generate_dag_sfc(scenario.sfc, scenario.network.n_vnf_types, rng)
+    n = scenario.network.size
+    src, dst = (int(v) for v in rng.choice(n, size=2, replace=False))
+
+    records: list[TrialRecord] = []
+    for i, spec in enumerate(solvers):
+        solver = make_solver(spec.name, **dict(spec.kwargs))
+        solver_rng = np.random.default_rng(trial_seed(seed, i, salt=0xA160))
+        result = solver.embed(network, dag, src, dst, scenario.flow, rng=solver_rng)
+        records.append(
+            TrialRecord(
+                x=x,
+                algorithm=spec.series,
+                trial=trial,
+                seed=seed,
+                success=result.success,
+                total_cost=result.total_cost if result.success else float("nan"),
+                vnf_cost=result.cost.vnf_cost if result.success else float("nan"),
+                link_cost=result.cost.link_cost if result.success else float("nan"),
+                runtime=result.runtime,
+                reason=result.reason,
+            )
+        )
+    return records
+
+
+def _point_task(
+    args: tuple[ScenarioConfig, tuple[SolverSpec, ...], int, float, int]
+) -> list[TrialRecord]:
+    scenario, solvers, seed, x, trial = args
+    return run_trial(scenario, solvers, seed, x=x, trial=trial)
+
+
+def default_parallelism() -> int:
+    """Worker count: ``REPRO_PARALLEL`` env var, else single-process.
+
+    Single-process is the default because individual embeddings are fast
+    and process startup dominates for small sweeps; large paper-fidelity
+    runs (``REPRO_TRIALS=100``) benefit from ``REPRO_PARALLEL=<cores>``.
+    """
+    val = os.environ.get("REPRO_PARALLEL", "")
+    try:
+        return max(1, int(val))
+    except ValueError:
+        return 1
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    parallel: int | None = None,
+    progress: bool = False,
+) -> list[TrialRecord]:
+    """Execute a full sweep and return every trial record.
+
+    ``parallel`` > 1 fans trials out over a process pool; the record stream
+    is identical (same derived seeds) regardless of worker count.
+    """
+    if parallel is None:
+        parallel = default_parallelism()
+
+    tasks: list[tuple[ScenarioConfig, tuple[SolverSpec, ...], int, float, int]] = []
+    for xi, x in enumerate(spec.x_values):
+        scenario = spec.scenarios[x]
+        active = tuple(s for s in spec.solvers if s.active_at(x))
+        if not active:
+            continue
+        for trial in range(spec.trials):
+            seed = trial_seed(spec.master_seed, trial, salt=xi)
+            tasks.append((scenario, active, seed, float(x), trial))
+
+    records: list[TrialRecord] = []
+    if parallel <= 1:
+        for i, task in enumerate(tasks):
+            records.extend(_point_task(task))
+            if progress:
+                print(f"\r  {spec.name}: {i + 1}/{len(tasks)} trials", end="", flush=True)
+    else:
+        with ProcessPoolExecutor(max_workers=parallel) as pool:
+            for i, recs in enumerate(pool.map(_point_task, tasks)):
+                records.extend(recs)
+                if progress:
+                    print(
+                        f"\r  {spec.name}: {i + 1}/{len(tasks)} trials", end="", flush=True
+                    )
+    if progress:
+        print()
+    return records

@@ -1,0 +1,134 @@
+"""Knob-sensitivity sweeps and Pareto analysis for solver tuning.
+
+MBBE exposes four budgets (``x_max``, ``x_d``, ``candidate_cap``,
+``merger_cap``); the paper gives no values. This tool runs a factorial
+sweep over a knob grid on paper-style instances, collects (mean cost, mean
+runtime, success rate) per configuration, extracts the cost/runtime Pareto
+front and recommends the cheapest configuration within a runtime budget —
+the workflow that produced this library's defaults.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..config import ScenarioConfig
+from ..exceptions import ConfigurationError
+from ..network.generator import generate_network
+from ..sfc.generator import generate_dag_sfc
+from ..solvers.registry import make_solver
+from ..utils.rng import trial_seed
+
+__all__ = ["KnobPoint", "sweep_knobs", "pareto_front", "recommend"]
+
+
+@dataclass(frozen=True)
+class KnobPoint:
+    """One solver configuration and its measured performance."""
+
+    kwargs: Mapping[str, Any]
+    mean_cost: float
+    mean_runtime: float
+    success_rate: float
+
+    def label(self) -> str:
+        """Compact rendering for tables."""
+        inner = ",".join(f"{k}={v}" for k, v in sorted(self.kwargs.items()))
+        return f"{{{inner}}}"
+
+
+def sweep_knobs(
+    scenario: ScenarioConfig,
+    grid: Mapping[str, Sequence[Any]],
+    *,
+    solver_name: str = "MBBE",
+    trials: int = 5,
+    master_seed: int = 7,
+) -> list[KnobPoint]:
+    """Factorial sweep: every grid combination × shared paired instances.
+
+    All configurations see the *same* instances (paired comparison), so
+    cost differences are attributable to the knobs alone.
+    """
+    if not grid:
+        raise ConfigurationError("knob grid must not be empty")
+    if trials < 1:
+        raise ConfigurationError("trials must be >= 1")
+
+    # Pre-generate the shared instances.
+    instances = []
+    for t in range(trials):
+        seed = trial_seed(master_seed, t)
+        rng = np.random.default_rng(seed)
+        net = generate_network(scenario.network, rng)
+        dag = generate_dag_sfc(scenario.sfc, scenario.network.n_vnf_types, rng)
+        src, dst = (int(v) for v in rng.choice(scenario.network.size, size=2, replace=False))
+        instances.append((net, dag, src, dst, seed))
+
+    keys = sorted(grid)
+    points: list[KnobPoint] = []
+    for values in itertools.product(*(grid[k] for k in keys)):
+        kwargs = dict(zip(keys, values))
+        solver = make_solver(solver_name, **kwargs)
+        costs: list[float] = []
+        runtimes: list[float] = []
+        successes = 0
+        for net, dag, src, dst, seed in instances:
+            r = solver.embed(net, dag, src, dst, scenario.flow, rng=seed)
+            runtimes.append(r.runtime)
+            if r.success:
+                successes += 1
+                costs.append(r.total_cost)
+        points.append(
+            KnobPoint(
+                kwargs=kwargs,
+                mean_cost=float(np.mean(costs)) if costs else float("nan"),
+                mean_runtime=float(np.mean(runtimes)),
+                success_rate=successes / trials,
+            )
+        )
+    return points
+
+
+def pareto_front(points: Sequence[KnobPoint]) -> list[KnobPoint]:
+    """Non-dominated configurations w.r.t. (mean_cost, mean_runtime).
+
+    Fully failing configurations (NaN cost) never enter the front.
+    """
+    candidates = [p for p in points if not np.isnan(p.mean_cost)]
+    front: list[KnobPoint] = []
+    for p in candidates:
+        dominated = any(
+            (q.mean_cost <= p.mean_cost and q.mean_runtime <= p.mean_runtime)
+            and (q.mean_cost < p.mean_cost or q.mean_runtime < p.mean_runtime)
+            for q in candidates
+        )
+        if not dominated:
+            front.append(p)
+    front.sort(key=lambda p: (p.mean_runtime, p.mean_cost))
+    return front
+
+
+def recommend(
+    points: Sequence[KnobPoint],
+    *,
+    runtime_budget: float | None = None,
+    min_success: float = 1.0,
+) -> KnobPoint:
+    """The cheapest configuration meeting the budget and success floor."""
+    eligible = [
+        p
+        for p in points
+        if not np.isnan(p.mean_cost)
+        and p.success_rate >= min_success - 1e-12
+        and (runtime_budget is None or p.mean_runtime <= runtime_budget)
+    ]
+    if not eligible:
+        raise ConfigurationError(
+            "no configuration meets the runtime budget / success floor"
+        )
+    return min(eligible, key=lambda p: (p.mean_cost, p.mean_runtime))

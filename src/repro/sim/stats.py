@@ -1,0 +1,215 @@
+"""Statistical comparison of embedding algorithms.
+
+The paper compares algorithms by eyeballing mean-cost curves; for a library
+users will build on, differences should come with uncertainty estimates.
+This module implements (from scratch, scipy only used in the test suite as
+a cross-check):
+
+* Welch's unequal-variance t-test for two independent cost samples;
+* percentile-bootstrap confidence intervals for a mean;
+* paired win/tie/loss rates — the right summary for the harness's paired
+  trials (every algorithm solves the same instance).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..utils.rng import RngStream, as_generator
+from .metrics import TrialRecord
+
+__all__ = [
+    "WelchResult",
+    "welch_t_test",
+    "bootstrap_mean_ci",
+    "PairedComparison",
+    "paired_comparison",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class WelchResult:
+    """Welch's t statistic, degrees of freedom and two-sided p-value."""
+
+    t: float
+    df: float
+    p_value: float
+    mean_a: float
+    mean_b: float
+
+    @property
+    def significant(self) -> bool:
+        """True at the conventional 5 % level."""
+        return self.p_value < 0.05
+
+
+def _student_t_sf(t: float, df: float) -> float:
+    """Survival function of Student's t via the incomplete-beta identity.
+
+    ``P(T > t) = I_{df/(df+t^2)}(df/2, 1/2) / 2`` for ``t >= 0``; the
+    regularized incomplete beta is evaluated with a Lentz continued
+    fraction — standard numerical-recipes machinery, no scipy needed.
+    """
+    if t < 0:
+        return 1.0 - _student_t_sf(-t, df)
+    x = df / (df + t * t)
+    return 0.5 * _reg_inc_beta(df / 2.0, 0.5, x)
+
+
+def _reg_inc_beta(a: float, b: float, x: float) -> float:
+    """Regularized incomplete beta I_x(a, b) (Lentz's continued fraction)."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_beta = math.lgamma(a) + math.lgamma(b) - math.lgamma(a + b)
+    front = math.exp(a * math.log(x) + b * math.log(1.0 - x) - ln_beta)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_cf(a, b, x) / a
+    return 1.0 - front * _beta_cf(b, a, 1.0 - x) / b
+
+
+def _beta_cf(a: float, b: float, x: float, *, max_iter: int = 200, eps: float = 1e-12) -> float:
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < 1e-300:
+        d = 1e-300
+    d = 1.0 / d
+    h = d
+    for m in range(1, max_iter + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < 1e-300:
+            d = 1e-300
+        c = 1.0 + aa / c
+        if abs(c) < 1e-300:
+            c = 1e-300
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < 1e-300:
+            d = 1e-300
+        c = 1.0 + aa / c
+        if abs(c) < 1e-300:
+            c = 1e-300
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < eps:
+            break
+    return h
+
+
+def welch_t_test(a: Sequence[float], b: Sequence[float]) -> WelchResult:
+    """Two-sided Welch t-test for two independent samples."""
+    if len(a) < 2 or len(b) < 2:
+        raise ConfigurationError("Welch's test needs >= 2 samples per group")
+    xa = np.asarray(a, dtype=float)
+    xb = np.asarray(b, dtype=float)
+    ma, mb = float(xa.mean()), float(xb.mean())
+    va, vb = float(xa.var(ddof=1)), float(xb.var(ddof=1))
+    na, nb = len(xa), len(xb)
+    se2 = va / na + vb / nb
+    if se2 == 0.0:
+        # Identical constants: no evidence of difference (or infinite t).
+        same = math.isclose(ma, mb)
+        return WelchResult(
+            t=0.0 if same else math.inf,
+            df=float(na + nb - 2),
+            p_value=1.0 if same else 0.0,
+            mean_a=ma,
+            mean_b=mb,
+        )
+    t = (ma - mb) / math.sqrt(se2)
+    df = se2**2 / (
+        (va / na) ** 2 / (na - 1) + (vb / nb) ** 2 / (nb - 1)
+    )
+    p = 2.0 * _student_t_sf(abs(t), df)
+    return WelchResult(t=t, df=df, p_value=min(1.0, p), mean_a=ma, mean_b=mb)
+
+
+def bootstrap_mean_ci(
+    samples: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: RngStream = None,
+) -> tuple[float, float]:
+    """Percentile-bootstrap CI for the mean of a sample."""
+    if len(samples) < 2:
+        raise ConfigurationError("bootstrap needs >= 2 samples")
+    if not (0.0 < confidence < 1.0):
+        raise ConfigurationError(f"confidence must be in (0, 1), got {confidence}")
+    gen = as_generator(rng)
+    xs = np.asarray(samples, dtype=float)
+    idx = gen.integers(0, len(xs), size=(n_resamples, len(xs)))
+    means = xs[idx].mean(axis=1)
+    lo = float(np.quantile(means, (1.0 - confidence) / 2.0))
+    hi = float(np.quantile(means, 1.0 - (1.0 - confidence) / 2.0))
+    return lo, hi
+
+
+@dataclass(frozen=True, slots=True)
+class PairedComparison:
+    """Win/tie/loss summary of algorithm A vs B over paired trials."""
+
+    algorithm_a: str
+    algorithm_b: str
+    n_pairs: int
+    wins_a: int
+    ties: int
+    wins_b: int
+    mean_saving: float  # mean of (cost_b - cost_a) / cost_b over pairs
+
+    @property
+    def win_rate_a(self) -> float:
+        """Fraction of paired instances where A is strictly cheaper."""
+        return self.wins_a / self.n_pairs if self.n_pairs else 0.0
+
+
+def paired_comparison(
+    records: Sequence[TrialRecord],
+    algorithm_a: str,
+    algorithm_b: str,
+    *,
+    tie_tol: float = 1e-9,
+) -> PairedComparison:
+    """Pair trials by (x, trial) and compare two algorithms' costs.
+
+    Only pairs where both algorithms succeeded are counted.
+    """
+    by_key: dict[tuple[float, int], dict[str, TrialRecord]] = {}
+    for rec in records:
+        by_key.setdefault((rec.x, rec.trial), {})[rec.algorithm] = rec
+    wins_a = ties = wins_b = 0
+    savings: list[float] = []
+    for cell in by_key.values():
+        ra, rb = cell.get(algorithm_a), cell.get(algorithm_b)
+        if ra is None or rb is None or not (ra.success and rb.success):
+            continue
+        if abs(ra.total_cost - rb.total_cost) <= tie_tol:
+            ties += 1
+        elif ra.total_cost < rb.total_cost:
+            wins_a += 1
+        else:
+            wins_b += 1
+        if rb.total_cost:
+            savings.append((rb.total_cost - ra.total_cost) / rb.total_cost)
+    n = wins_a + ties + wins_b
+    return PairedComparison(
+        algorithm_a=algorithm_a,
+        algorithm_b=algorithm_b,
+        n_pairs=n,
+        wins_a=wins_a,
+        ties=ties,
+        wins_b=wins_b,
+        mean_saving=float(np.mean(savings)) if savings else 0.0,
+    )

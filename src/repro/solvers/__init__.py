@@ -1,0 +1,49 @@
+"""Solvers for the optimal DAG-SFC embedding problem.
+
+* :mod:`repro.solvers.searchtree` — Forward/Backward Search Trees (§4.2–4.3);
+* :mod:`repro.solvers.subsolution` — sub-solutions and the sub-solution tree
+  (§4.4);
+* :mod:`repro.solvers.bbe` — Breadth-first Backtracking Embedding
+  (Algorithm 1);
+* :mod:`repro.solvers.mbbe` — Mini-path BBE (§4.5);
+* :mod:`repro.solvers.ranv` / :mod:`repro.solvers.minv` — the §5.1 benchmark
+  algorithms;
+* :mod:`repro.solvers.exact` — brute-force oracle (tiny instances);
+* :mod:`repro.solvers.ilp` — exact MILP via scipy/HiGHS;
+* :mod:`repro.solvers.registry` — name → solver factory.
+"""
+
+from .searchtree import SearchTree, BinaryTreeNode
+from .subsolution import SubSolution, SubSolutionTree
+from .bbe import BbeEmbedder
+from .chain_dp import ChainDpEmbedder, flatten_to_chain
+from .mbbe import MbbeEmbedder
+from .mbbe_s import MbbeSteinerEmbedder
+from .ranv import RanvEmbedder
+from .sa import SaEmbedder
+from .minv import MinvEmbedder
+from .exact import ExactEmbedder
+from .ilp import IlpEmbedder
+from .local_search import LocalSearchRefiner, RefinedEmbedder
+from .registry import make_solver, available_solvers
+
+__all__ = [
+    "SearchTree",
+    "BinaryTreeNode",
+    "SubSolution",
+    "SubSolutionTree",
+    "BbeEmbedder",
+    "ChainDpEmbedder",
+    "flatten_to_chain",
+    "MbbeEmbedder",
+    "MbbeSteinerEmbedder",
+    "RanvEmbedder",
+    "SaEmbedder",
+    "MinvEmbedder",
+    "ExactEmbedder",
+    "IlpEmbedder",
+    "LocalSearchRefiner",
+    "RefinedEmbedder",
+    "make_solver",
+    "available_solvers",
+]

@@ -1,0 +1,252 @@
+"""Shared solver machinery: layer-candidate evaluation and coverage tests.
+
+BBE and MBBE differ in *which* placements and real-paths they try, but a
+candidate layer embedding is accepted, costed and chained identically. That
+logic lives here so both algorithms (and the tests) agree byte-for-byte with
+the cost model in :mod:`repro.embedding.costing`:
+
+* VNF rentals: one use per position (eq. 7);
+* inner-layer paths: every link traversal charged (eq. 10);
+* inter-layer paths of one layer: the union of their links charged once
+  (eq. 9's multicast ``min{…,1}``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..config import FlowConfig
+from ..network.cloud import CloudNetwork
+from ..network.paths import Path
+from ..sfc.dag import Layer
+from ..types import EdgeKey, NodeId, Position, VnfTypeId
+from .subsolution import SubSolution
+
+__all__ = [
+    "vnf_admit",
+    "coverage_stop",
+    "evaluate_layer_candidate",
+    "evaluate_tail",
+]
+
+_EPS = 1e-9
+
+
+def vnf_admit(
+    network: CloudNetwork,
+    vnf_counts: Mapping[tuple[NodeId, VnfTypeId], int],
+    rate: float,
+) -> Callable[[NodeId, VnfTypeId], bool]:
+    """Predicate: can ``node`` absorb one more use of ``vnf_type``?
+
+    Accounts for uses already accumulated along the current sub-solution
+    chain (``vnf_counts``).
+    """
+
+    def admit(node: NodeId, vnf_type: VnfTypeId) -> bool:
+        inst = network.deployments.instance(node, vnf_type)
+        if inst is None:
+            return False
+        used = vnf_counts.get((node, vnf_type), 0)
+        return (used + 1) * rate <= inst.capacity + _EPS
+
+    return admit
+
+
+def coverage_stop(
+    network: CloudNetwork,
+    required: tuple[VnfTypeId, ...],
+    admit: Callable[[NodeId, VnfTypeId], bool],
+) -> Callable[[frozenset[NodeId]], bool]:
+    """Stop predicate for forward/backward searches: the searched node set
+    hosts every required category with capacity for one more use
+    (``L_l ⊆ F^{F,l}`` with the real-time capacities of Algorithm 1)."""
+
+    def stop(node_set: frozenset[NodeId]) -> bool:
+        for t in required:
+            if not any(admit(node, t) for node in node_set):
+                return False
+        return True
+
+    return stop
+
+
+def _check_and_merge_counts(
+    network: CloudNetwork,
+    flow: FlowConfig,
+    parent: SubSolution,
+    vnf_adds: dict[tuple[NodeId, VnfTypeId], int],
+    link_adds: dict[EdgeKey, int],
+) -> tuple[dict[tuple[NodeId, VnfTypeId], int], dict[EdgeKey, int]] | None:
+    """Merge per-layer additions into the chain's cumulative counts.
+
+    Returns the new cumulative dicts, or None when any VNF-instance or link
+    capacity would be exceeded (eq. 2–3 checked incrementally).
+    """
+    rate = flow.rate
+    new_vnf = dict(parent.vnf_counts)
+    for key, add in vnf_adds.items():
+        node, vnf_type = key
+        inst = network.deployments.instance(node, vnf_type)
+        if inst is None:
+            return None
+        total = new_vnf.get(key, 0) + add
+        if total * rate > inst.capacity + _EPS:
+            return None
+        new_vnf[key] = total
+    graph = network.graph
+    new_link = dict(parent.link_counts)
+    for key, add in link_adds.items():
+        link = graph.link(*key)
+        total = new_link.get(key, 0) + add
+        if total * rate > link.capacity + _EPS:
+            return None
+        new_link[key] = total
+    return new_vnf, new_link
+
+
+def evaluate_layer_candidate(
+    network: CloudNetwork,
+    flow: FlowConfig,
+    parent: SubSolution,
+    layer_index: int,
+    layer: Layer,
+    assignment: Mapping[int, NodeId],
+    inter_paths: Mapping[int, Path],
+    inner_paths: Mapping[int, Path],
+) -> SubSolution | None:
+    """Build (or reject) the sub-solution for one candidate layer embedding.
+
+    Parameters
+    ----------
+    assignment:
+        gamma → node for every position of the layer (merger at
+        ``gamma = phi + 1`` when the layer is parallel).
+    inter_paths:
+        gamma → real-path from the parent's end node to the gamma-th VNF,
+        for ``gamma = 1..phi``.
+    inner_paths:
+        gamma → real-path from the gamma-th VNF to the merger (parallel
+        layers only).
+
+    Returns ``None`` when a capacity constraint fails; otherwise the chained
+    :class:`SubSolution` with exact incremental cost.
+    """
+    phi = layer.phi
+    expected_width = layer.width
+    if len(assignment) != expected_width:
+        raise ValueError(
+            f"assignment covers {len(assignment)} positions, layer has {expected_width}"
+        )
+
+    # --- consistency of endpoints (cheap sanity; full referee runs later).
+    for gamma in range(1, phi + 1):
+        p = inter_paths[gamma]
+        if p.source != parent.end_node or p.target != assignment[gamma]:
+            raise ValueError(f"inter path for gamma={gamma} has wrong endpoints")
+    if layer.has_merger:
+        merger_node = assignment[phi + 1]
+        for gamma in range(1, phi + 1):
+            p = inner_paths[gamma]
+            if p.source != assignment[gamma] or p.target != merger_node:
+                raise ValueError(f"inner path for gamma={gamma} has wrong endpoints")
+        end_node = merger_node
+    else:
+        end_node = assignment[1]
+
+    # --- additions.
+    vnf_adds: dict[tuple[NodeId, VnfTypeId], int] = {}
+    for gamma, node in assignment.items():
+        key = (node, layer.vnf_at(gamma))
+        vnf_adds[key] = vnf_adds.get(key, 0) + 1
+
+    link_adds: dict[EdgeKey, int] = {}
+    inter_union: set[EdgeKey] = set()
+    for gamma in range(1, phi + 1):
+        inter_union.update(inter_paths[gamma].edge_set())
+    for e in inter_union:
+        link_adds[e] = link_adds.get(e, 0) + 1
+    if layer.has_merger:
+        for gamma in range(1, phi + 1):
+            for e in inner_paths[gamma].edges():
+                link_adds[e] = link_adds.get(e, 0) + 1
+
+    merged = _check_and_merge_counts(network, flow, parent, vnf_adds, link_adds)
+    if merged is None:
+        return None
+    new_vnf, new_link = merged
+
+    # --- exact incremental cost (shares eq. 1 semantics with compute_cost).
+    z = flow.size
+    vnf_cost = sum(
+        add * network.rental_price(node, t) * z
+        for (node, t), add in vnf_adds.items()
+    )
+    graph = network.graph
+    link_cost = sum(
+        add * graph.link(*key).price * z for key, add in link_adds.items()
+    )
+    layer_cost = vnf_cost + link_cost
+
+    placements = {
+        Position(layer_index, gamma): node for gamma, node in assignment.items()
+    }
+    inter = {
+        Position(layer_index, gamma): inter_paths[gamma] for gamma in range(1, phi + 1)
+    }
+    inner = (
+        {Position(layer_index, gamma): inner_paths[gamma] for gamma in range(1, phi + 1)}
+        if layer.has_merger
+        else {}
+    )
+    return SubSolution(
+        layer=layer_index,
+        parent=parent,
+        end_node=end_node,
+        placements=placements,
+        inter_paths=inter,
+        inner_paths=inner,
+        layer_cost=layer_cost,
+        cum_cost=parent.cum_cost + layer_cost,
+        vnf_counts=new_vnf,
+        link_counts=new_link,
+    )
+
+
+def evaluate_tail(
+    network: CloudNetwork,
+    flow: FlowConfig,
+    parent: SubSolution,
+    dest_layer_index: int,
+    tail_path: Path,
+) -> SubSolution | None:
+    """Chain the final hop (layer ``omega``'s end node → destination).
+
+    The tail is the last inter-layer meta-path (eq. 5 with ``l = omega+1``);
+    its links are charged once (a one-path multicast).
+    """
+    if tail_path.source != parent.end_node:
+        raise ValueError("tail path must start at the parent's end node")
+    link_adds: dict[EdgeKey, int] = {}
+    for e in tail_path.edge_set():
+        link_adds[e] = link_adds.get(e, 0) + 1
+    merged = _check_and_merge_counts(network, flow, parent, {}, link_adds)
+    if merged is None:
+        return None
+    new_vnf, new_link = merged
+    graph = network.graph
+    layer_cost = sum(
+        add * graph.link(*key).price * flow.size for key, add in link_adds.items()
+    )
+    return SubSolution(
+        layer=dest_layer_index,
+        parent=parent,
+        end_node=tail_path.target,
+        placements={},
+        inter_paths={Position(dest_layer_index, 1): tail_path},
+        inner_paths={},
+        layer_cost=layer_cost,
+        cum_cost=parent.cum_cost + layer_cost,
+        vnf_counts=new_vnf,
+        link_counts=new_link,
+    )

@@ -1,0 +1,223 @@
+"""Brute-force exact oracle for small instances.
+
+Because the objective decomposes per layer (eq. 9's multicast ``min`` is
+*per layer*, rentals are per position) and layers couple only through the
+layer end node, the slack-capacity optimum is computable by dynamic
+programming over end nodes:
+
+``dp[l][v]`` = cheapest embedding of layers ``1..l`` whose end node is ``v``.
+
+Each layer transition enumerates every allocation of the layer's parallel
+VNFs (and merger) over hosting nodes; the inter-layer multicast is priced
+with an **exact minimum Steiner tree** (Dreyfus–Wagner) from the start node
+to the allocated VNF nodes, inner-layer meta-paths with min-cost paths.
+
+The DP ignores capacity coupling, so it is exact only when capacities are
+slack (the regime of the paper's cost experiments). The final embedding is
+still run through the shared referee; an instance whose optimum violates a
+capacity makes :meth:`embed` raise — use the ILP for tightly capacitated
+instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any
+
+from ..config import FlowConfig
+from ..embedding.base import Embedder
+from ..embedding.mapping import Embedding
+from ..exceptions import NoSolutionError, SolverError
+from ..network.cloud import CloudNetwork
+from ..network.paths import Path
+from ..network.shortest import DijkstraResult, dijkstra
+from ..network.steiner import SteinerTree, exact_steiner_tree
+from ..sfc.dag import DagSfc
+from ..types import MERGER_VNF, NodeId, Position
+from ..utils.rng import RngStream
+
+__all__ = ["ExactEmbedder"]
+
+
+@dataclass
+class _Choice:
+    """Back-pointer of one DP transition."""
+
+    start: NodeId
+    assignment: dict[int, NodeId]
+    tree: SteinerTree | None  # None for trivial multicast (all on start)
+    inner_paths: dict[int, Path]
+    inter_paths: dict[int, Path]
+
+
+class ExactEmbedder(Embedder):
+    """Layer-DP + exact Steiner multicast optimum (slack capacities).
+
+    ``max_nodes`` guards against accidental use on large networks — the
+    transition enumerates ``O(n^phi)`` allocations per (layer, start node).
+    """
+
+    name = "EXACT"
+
+    def __init__(self, *, max_nodes: int = 40) -> None:
+        self.max_nodes = max_nodes
+
+    def _solve(
+        self,
+        network: CloudNetwork,
+        dag: DagSfc,
+        source: NodeId,
+        dest: NodeId,
+        flow: FlowConfig,
+        rng: RngStream,
+        stats: dict[str, Any],
+    ) -> Embedding:
+        graph = network.graph
+        n = graph.num_nodes
+        if n > self.max_nodes:
+            raise SolverError(
+                f"ExactEmbedder is limited to {self.max_nodes} nodes, network has {n}"
+            )
+        if not graph.has_node(source) or not graph.has_node(dest):
+            raise NoSolutionError("source or destination not in the network")
+
+        z = flow.size
+        dij_cache: dict[NodeId, DijkstraResult] = {}
+
+        def dij(node: NodeId) -> DijkstraResult:
+            if node not in dij_cache:
+                dij_cache[node] = dijkstra(graph, node)
+            return dij_cache[node]
+
+        steiner_cache: dict[tuple[NodeId, frozenset[NodeId]], SteinerTree] = {}
+
+        def steiner(root: NodeId, terminals: frozenset[NodeId]) -> SteinerTree:
+            key = (root, terminals)
+            if key not in steiner_cache:
+                steiner_cache[key] = exact_steiner_tree(graph, root, sorted(terminals))
+            return steiner_cache[key]
+
+        INF = float("inf")
+        dp: dict[NodeId, float] = {source: 0.0}
+        back: list[dict[NodeId, _Choice]] = []
+
+        for l in range(1, dag.omega + 1):
+            layer = dag.layer(l)
+            phi = layer.phi
+            host_lists = [sorted(network.nodes_with(layer.vnf_at(g))) for g in range(1, phi + 1)]
+            if any(not hosts for hosts in host_lists):
+                raise NoSolutionError(f"layer {l} has an undeployed category")
+            merger_hosts = sorted(network.nodes_with(MERGER_VNF)) if layer.has_merger else [None]
+            if layer.has_merger and not merger_hosts:
+                raise NoSolutionError("no merger instance deployed")
+
+            new_dp: dict[NodeId, float] = {}
+            new_back: dict[NodeId, _Choice] = {}
+            for start, base_cost in dp.items():
+                d_start = dij(start)
+                for combo in itertools.product(*host_lists):
+                    rentals = sum(
+                        network.rental_price(node, layer.vnf_at(g + 1)) * z
+                        for g, node in enumerate(combo)
+                    )
+                    terminals = frozenset(combo)
+                    if terminals == {start}:
+                        tree = None
+                        multicast_cost = 0.0
+                    else:
+                        try:
+                            tree = steiner(start, terminals)
+                        except Exception:
+                            continue  # unreachable terminals
+                        multicast_cost = tree.cost * z
+                    for m in merger_hosts:
+                        if layer.has_merger:
+                            assert m is not None
+                            d_m = dij(m)
+                            inner_cost = 0.0
+                            ok = True
+                            for node in combo:
+                                c = d_m.cost_to(node)
+                                if c == INF:
+                                    ok = False
+                                    break
+                                inner_cost += c * z
+                            if not ok:
+                                continue
+                            rent = rentals + network.rental_price(m, MERGER_VNF) * z
+                            end = m
+                        else:
+                            inner_cost = 0.0
+                            rent = rentals
+                            end = combo[0]
+                        total = base_cost + rent + multicast_cost + inner_cost
+                        if total < new_dp.get(end, INF) - 1e-12:
+                            assignment = {g + 1: node for g, node in enumerate(combo)}
+                            if layer.has_merger:
+                                assignment[phi + 1] = end
+                            inter_paths: dict[int, Path] = {}
+                            for g, node in enumerate(combo, start=1):
+                                if tree is None:
+                                    inter_paths[g] = Path.trivial(start)
+                                else:
+                                    inter_paths[g] = tree.path_to(graph, node)
+                            inner_paths: dict[int, Path] = {}
+                            if layer.has_merger:
+                                for g, node in enumerate(combo, start=1):
+                                    p = dij(end).path_to(node)
+                                    assert p is not None
+                                    inner_paths[g] = p.reversed()
+                            new_dp[end] = total
+                            new_back[end] = _Choice(
+                                start=start,
+                                assignment=assignment,
+                                tree=tree,
+                                inner_paths=inner_paths,
+                                inter_paths=inter_paths,
+                            )
+            if not new_dp:
+                raise NoSolutionError(f"no feasible allocation for layer {l}")
+            dp = new_dp
+            back.append(new_back)
+
+        # Tail: connect each end node to the destination.
+        best_end: NodeId | None = None
+        best_total = INF
+        for end, cost in dp.items():
+            tail_cost = dij(end).cost_to(dest)
+            if cost + tail_cost * z < best_total:
+                best_total = cost + tail_cost * z
+                best_end = end
+        if best_end is None or best_total == INF:
+            raise NoSolutionError("destination unreachable from every end node")
+
+        stats["optimal_cost"] = best_total
+        stats["steiner_trees"] = len(steiner_cache)
+
+        # Reconstruct the embedding by walking the back-pointers.
+        placements: dict[Position, NodeId] = {}
+        inter: dict[Position, Path] = {}
+        inner: dict[Position, Path] = {}
+        tail = dij(best_end).path_to(dest)
+        assert tail is not None
+        inter[Position(dag.omega + 1, 1)] = tail
+        end = best_end
+        for l in range(dag.omega, 0, -1):
+            choice = back[l - 1][end]
+            for g, node in choice.assignment.items():
+                placements[Position(l, g)] = node
+            for g, p in choice.inter_paths.items():
+                inter[Position(l, g)] = p
+            for g, p in choice.inner_paths.items():
+                inner[Position(l, g)] = p
+            end = choice.start
+
+        return Embedding(
+            dag=dag,
+            source=source,
+            dest=dest,
+            placements=placements,
+            inter_paths=inter,
+            inner_paths=inner,
+        )

@@ -1,0 +1,297 @@
+"""Exact MILP formulation of optimal DAG-SFC embedding (§3.3), via HiGHS.
+
+The paper's integer model contains products of binaries (``F(a,b,rho)`` in
+eq. 5–6); this module solves the standard edge-flow *linearization* of the
+same problem, exact including capacities:
+
+Variables (all binary):
+
+* ``x[p, v]`` — position ``p`` placed on node ``v`` (eq. 4's
+  ``x_{v,l,gamma}``);
+* ``f[m, (u,v)]`` — directed edge ``(u, v)`` carries inter-layer meta-path
+  ``m`` (the real-path variables ``x^a_{b,rho,l,eps}`` with the real-path
+  set implicit in flow conservation);
+* ``y[l, e]`` — undirected link ``e`` participates in layer ``l``'s
+  inter-layer multicast (the ``min{…, 1}`` of eq. 9);
+* ``g[m, (u,v)]`` — directed edge carries inner-layer meta-path ``m``
+  (eq. 10 charges every use).
+
+Constraints: unique placement (eq. 4); per-meta-path flow conservation with
+placement-dependent endpoints (eq. 5–6, linearized); ``y ≥ f`` per
+orientation; instance capacity ``Σ_p x·R ≤ r_{v,i}`` (eq. 2); link capacity
+``(Σ_l y + Σ_m g) · R ≤ r_e`` (eq. 3).
+
+Objective = eq. 1 with ``alpha`` expanded in the same variables.
+
+scipy's ``milp`` (HiGHS) proves optimality; intended for small instances
+(tests compare BBE/MBBE quality against it and against the DP oracle).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+from scipy import sparse
+
+from ..config import FlowConfig
+from ..embedding.base import Embedder
+from ..embedding.mapping import Embedding
+from ..exceptions import IlpUnavailableError, NoSolutionError, SolverError
+from ..network.cloud import CloudNetwork
+from ..network.paths import Path
+from ..sfc.dag import DagSfc
+from ..sfc.stretch import MetaPath, StretchedSfc
+from ..types import DUMMY_VNF, EdgeKey, NodeId, Position
+from ..utils.rng import RngStream
+
+try:  # scipy >= 1.9
+    from scipy.optimize import Bounds, LinearConstraint, milp
+except ImportError:  # pragma: no cover - environment guard
+    milp = None
+
+__all__ = ["IlpEmbedder"]
+
+
+class IlpEmbedder(Embedder):
+    """Exact capacitated optimum via the linearized flow MILP."""
+
+    name = "ILP"
+
+    def __init__(self, *, max_nodes: int = 60, time_limit: float | None = 60.0) -> None:
+        self.max_nodes = max_nodes
+        self.time_limit = time_limit
+
+    def _solve(
+        self,
+        network: CloudNetwork,
+        dag: DagSfc,
+        source: NodeId,
+        dest: NodeId,
+        flow: FlowConfig,
+        rng: RngStream,
+        stats: dict[str, Any],
+    ) -> Embedding:
+        if milp is None:  # pragma: no cover
+            raise IlpUnavailableError("scipy.optimize.milp is not available")
+        graph = network.graph
+        if graph.num_nodes > self.max_nodes:
+            raise SolverError(
+                f"IlpEmbedder is limited to {self.max_nodes} nodes, "
+                f"network has {graph.num_nodes}"
+            )
+        if not graph.has_node(source) or not graph.has_node(dest):
+            raise NoSolutionError("source or destination not in the network")
+
+        s = StretchedSfc(dag)
+        nodes = sorted(graph.nodes())
+        node_index = {v: i for i, v in enumerate(nodes)}
+        edges: list[EdgeKey] = sorted(l.key for l in graph.links())
+        arcs: list[tuple[NodeId, NodeId]] = []
+        for u, v in edges:
+            arcs.append((u, v))
+            arcs.append((v, u))
+        arc_index = {a: i for i, a in enumerate(arcs)}
+
+        # -- variable layout ---------------------------------------------------
+        # Placements (real positions only; dummies are pinned constants).
+        positions = list(dag.positions())
+        x_vars: dict[tuple[Position, NodeId], int] = {}
+        var_cost: list[float] = []
+        z = flow.size
+
+        def new_var(cost: float) -> int:
+            var_cost.append(cost)
+            return len(var_cost) - 1
+
+        hosts: dict[Position, list[NodeId]] = {}
+        for pos in positions:
+            t = s.vnf_at(pos)
+            cand = sorted(network.nodes_with(t))
+            if not cand:
+                raise NoSolutionError(f"category {t} is not deployed anywhere")
+            hosts[pos] = cand
+            for v in cand:
+                x_vars[(pos, v)] = new_var(network.rental_price(v, t) * z)
+
+        inter_mps: list[MetaPath] = s.p1()
+        inner_mps: list[MetaPath] = s.p2()
+
+        f_vars: dict[tuple[int, tuple[NodeId, NodeId]], int] = {}
+        for mi in range(len(inter_mps)):
+            for a in arcs:
+                f_vars[(mi, a)] = new_var(0.0)  # charged via y
+        y_vars: dict[tuple[int, EdgeKey], int] = {}
+        layers_with_inter = sorted({m.layer for m in inter_mps})
+        for l in layers_with_inter:
+            for e in edges:
+                y_vars[(l, e)] = new_var(graph.link(*e).price * z)
+        g_vars: dict[tuple[int, tuple[NodeId, NodeId]], int] = {}
+        for mi in range(len(inner_mps)):
+            for a in arcs:
+                g_vars[(mi, a)] = new_var(graph.link(a[0], a[1]).price * z)
+
+        n_vars = len(var_cost)
+
+        rows: list[dict[int, float]] = []
+        lbs: list[float] = []
+        ubs: list[float] = []
+
+        def add_row(coeffs: dict[int, float], lb: float, ub: float) -> None:
+            rows.append(coeffs)
+            lbs.append(lb)
+            ubs.append(ub)
+
+        # -- eq. 4: each position placed exactly once ----------------------------
+        for pos in positions:
+            add_row({x_vars[(pos, v)]: 1.0 for v in hosts[pos]}, 1.0, 1.0)
+
+        # -- placement coefficient of a stretched position on a node -------------
+        def x_coeff(pos: Position, v: NodeId) -> tuple[int, float] | float:
+            """Variable index (coef 1) or a constant for pinned dummies."""
+            if s.vnf_at(pos) == DUMMY_VNF:
+                if pos == s.source_position:
+                    return 1.0 if v == source else 0.0
+                return 1.0 if v == dest else 0.0
+            idx = x_vars.get((pos, v))
+            if idx is None:
+                return 0.0
+            return (idx, 1.0)
+
+        # -- eq. 5/6 linearized: flow conservation per meta-path ------------------
+        def add_flow_conservation(
+            mp: MetaPath, flow_vars: dict[tuple[int, tuple[NodeId, NodeId]], int], mi: int
+        ) -> None:
+            for w in nodes:
+                coeffs: dict[int, float] = {}
+                for nb in graph.neighbors(w):
+                    coeffs[flow_vars[(mi, (w, nb))]] = coeffs.get(flow_vars[(mi, (w, nb))], 0.0) + 1.0
+                    coeffs[flow_vars[(mi, (nb, w))]] = coeffs.get(flow_vars[(mi, (nb, w))], 0.0) - 1.0
+                rhs = 0.0
+                src_c = x_coeff(mp.src, w)
+                if isinstance(src_c, tuple):
+                    idx, _ = src_c
+                    coeffs[idx] = coeffs.get(idx, 0.0) - 1.0
+                else:
+                    rhs += src_c
+                dst_c = x_coeff(mp.dst, w)
+                if isinstance(dst_c, tuple):
+                    idx, _ = dst_c
+                    coeffs[idx] = coeffs.get(idx, 0.0) + 1.0
+                else:
+                    rhs -= dst_c
+                add_row(coeffs, rhs, rhs)
+
+        for mi, mp in enumerate(inter_mps):
+            add_flow_conservation(mp, f_vars, mi)
+        for mi, mp in enumerate(inner_mps):
+            add_flow_conservation(mp, g_vars, mi)
+
+        # -- multicast opening: y[l, e] >= f[m, arc] for both orientations -----------
+        for mi, mp in enumerate(inter_mps):
+            for u, v in edges:
+                y_idx = y_vars[(mp.layer, (u, v))]
+                for arc in ((u, v), (v, u)):
+                    add_row({y_idx: 1.0, f_vars[(mi, arc)]: -1.0}, 0.0, np.inf)
+
+        # -- eq. 2: VNF instance capacities ---------------------------------------
+        rate = flow.rate
+        by_instance: dict[tuple[NodeId, int], list[int]] = {}
+        for pos in positions:
+            t = s.vnf_at(pos)
+            for v in hosts[pos]:
+                by_instance.setdefault((v, t), []).append(x_vars[(pos, v)])
+        for (v, t), idxs in by_instance.items():
+            cap = network.instance(v, t).capacity
+            add_row({i: rate for i in idxs}, -np.inf, cap)
+
+        # -- eq. 3: link capacities --------------------------------------------------
+        for u, v in edges:
+            coeffs = {}
+            for l in layers_with_inter:
+                coeffs[y_vars[(l, (u, v))]] = rate
+            for mi in range(len(inner_mps)):
+                coeffs[g_vars[(mi, (u, v))]] = rate
+                coeffs[g_vars[(mi, (v, u))]] = rate
+            cap = graph.link(u, v).capacity
+            add_row(coeffs, -np.inf, cap)
+
+        # -- assemble & solve -----------------------------------------------------------
+        data, ri, ci = [], [], []
+        for r, coeffs in enumerate(rows):
+            for c, val in coeffs.items():
+                ri.append(r)
+                ci.append(c)
+                data.append(val)
+        A = sparse.csr_matrix((data, (ri, ci)), shape=(len(rows), n_vars))
+        constraints = LinearConstraint(A, np.array(lbs), np.array(ubs))
+        options: dict[str, Any] = {}
+        if self.time_limit is not None:
+            options["time_limit"] = self.time_limit
+        res = milp(
+            c=np.array(var_cost),
+            constraints=constraints,
+            integrality=np.ones(n_vars),
+            bounds=Bounds(0, 1),
+            options=options,
+        )
+        stats["milp_status"] = int(res.status)
+        stats["n_vars"] = n_vars
+        stats["n_rows"] = len(rows)
+        if res.status != 0 or res.x is None:
+            raise NoSolutionError(f"MILP infeasible or not solved (status {res.status})")
+        stats["milp_objective"] = float(res.fun)
+        sol = np.round(res.x).astype(int)
+
+        # -- extract the embedding ---------------------------------------------------------
+        placements: dict[Position, NodeId] = {}
+        for (pos, v), idx in x_vars.items():
+            if sol[idx] == 1:
+                placements[pos] = v
+
+        def node_of(pos: Position) -> NodeId:
+            if pos == s.source_position:
+                return source
+            if pos == s.dest_position:
+                return dest
+            return placements[pos]
+
+        def walk(
+            mi: int,
+            flow_vars: dict[tuple[int, tuple[NodeId, NodeId]], int],
+            a: NodeId,
+            b: NodeId,
+        ) -> Path:
+            if a == b:
+                return Path.trivial(a)
+            out: dict[NodeId, list[NodeId]] = {}
+            for (m, (u, v)), idx in flow_vars.items():
+                if m == mi and sol[idx] == 1:
+                    out.setdefault(u, []).append(v)
+            seq = [a]
+            seen = {a}
+            cur = a
+            while cur != b:
+                nxts = [w for w in out.get(cur, ()) if w not in seen]
+                if not nxts:
+                    raise SolverError(f"flow extraction stuck at node {cur}")
+                cur = nxts[0]
+                seq.append(cur)
+                seen.add(cur)
+            return Path(seq)
+
+        inter: dict[Position, Path] = {}
+        for mi, mp in enumerate(inter_mps):
+            inter[mp.dst] = walk(mi, f_vars, node_of(mp.src), node_of(mp.dst))
+        inner: dict[Position, Path] = {}
+        for mi, mp in enumerate(inner_mps):
+            inner[mp.src] = walk(mi, g_vars, node_of(mp.src), node_of(mp.dst))
+
+        return Embedding(
+            dag=dag,
+            source=source,
+            dest=dest,
+            placements=placements,
+            inter_paths=inter,
+            inner_paths=inner,
+        )

@@ -1,0 +1,134 @@
+"""Simulated-annealing embedder (extension baseline).
+
+A placement-space metaheuristic to sanity-check the structured searches:
+start from a feasible placement (any base solver), then repeatedly perturb
+one position to a random capacity-feasible host, re-route all meta-paths
+min-cost (:func:`~repro.solvers.routing.route_min_cost`) and accept by the
+Metropolis rule under a geometric cooling schedule.
+
+SA explores placements BBE/MBBE would never enumerate, so it provides an
+independent quality reference on mid-size instances (and a cautionary tale
+on wall-clock: hundreds of re-routes cost more than MBBE's whole search —
+quantified in ``benchmarks/bench_metaheuristics.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from ..config import FlowConfig
+from ..embedding.base import Embedder
+from ..embedding.costing import compute_cost
+from ..embedding.feasibility import verify_embedding
+from ..embedding.mapping import Embedding
+from ..exceptions import EmbeddingError, NoSolutionError
+from ..network.cloud import CloudNetwork
+from ..sfc.dag import DagSfc
+from ..sfc.stretch import StretchedSfc
+from ..types import NodeId, Position
+from ..utils.rng import RngStream, as_generator
+from .minv import MinvEmbedder
+from .routing import route_min_cost
+
+__all__ = ["SaEmbedder"]
+
+
+class SaEmbedder(Embedder):
+    """Metropolis search over placements with min-cost re-routing.
+
+    Parameters
+    ----------
+    base:
+        Solver providing the initial feasible placement (default MINV —
+        cheap and deterministic).
+    iterations:
+        Perturbation attempts.
+    t0:
+        Initial temperature as a *fraction of the initial cost* (relative
+        temperatures make the schedule scale-free).
+    cooling:
+        Geometric decay factor applied every iteration.
+    """
+
+    name = "SA"
+
+    def __init__(
+        self,
+        *,
+        base: Embedder | None = None,
+        iterations: int = 300,
+        t0: float = 0.05,
+        cooling: float = 0.99,
+    ) -> None:
+        if iterations < 0:
+            raise ValueError("iterations must be >= 0")
+        if not (0.0 < cooling <= 1.0):
+            raise ValueError("cooling must be in (0, 1]")
+        if t0 <= 0:
+            raise ValueError("t0 must be > 0")
+        self.base = base if base is not None else MinvEmbedder()
+        self.iterations = iterations
+        self.t0 = t0
+        self.cooling = cooling
+
+    def _solve(
+        self,
+        network: CloudNetwork,
+        dag: DagSfc,
+        source: NodeId,
+        dest: NodeId,
+        flow: FlowConfig,
+        rng: RngStream,
+        stats: dict[str, Any],
+    ) -> Embedding:
+        gen = as_generator(rng)
+        base_stats: dict[str, Any] = {}
+        current = self.base._solve(network, dag, source, dest, flow, gen, base_stats)
+        verify_embedding(network, current, flow)
+        current_cost = compute_cost(network, current, flow).total
+        best, best_cost = current, current_cost
+        stats["initial_cost"] = current_cost
+
+        s = StretchedSfc(dag)
+        positions: list[Position] = sorted(current.placements)
+        placements: dict[Position, NodeId] = dict(current.placements)
+        temperature = self.t0 * max(current_cost, 1e-9)
+        accepted = 0
+
+        for _ in range(self.iterations):
+            pos = positions[int(gen.integers(0, len(positions)))]
+            vnf_type = s.vnf_at(pos)
+            hosts = sorted(network.nodes_with(vnf_type))
+            if len(hosts) < 2:
+                temperature *= self.cooling
+                continue
+            candidate = hosts[int(gen.integers(0, len(hosts)))]
+            if candidate == placements[pos]:
+                temperature *= self.cooling
+                continue
+            old = placements[pos]
+            placements[pos] = candidate
+            try:
+                trial = route_min_cost(network, dag, source, dest, placements, flow)
+                verify_embedding(network, trial, flow)
+                trial_cost = compute_cost(network, trial, flow).total
+            except (NoSolutionError, EmbeddingError):
+                placements[pos] = old
+                temperature *= self.cooling
+                continue
+            delta = trial_cost - current_cost
+            if delta <= 0 or gen.random() < math.exp(-delta / max(temperature, 1e-12)):
+                current, current_cost = trial, trial_cost
+                accepted += 1
+                if trial_cost < best_cost:
+                    best, best_cost = trial, trial_cost
+            else:
+                placements[pos] = old
+            temperature *= self.cooling
+
+        # End on the best placement seen (placements may hold a worse state).
+        stats["accepted_moves"] = accepted
+        stats["final_cost"] = best_cost
+        stats["base"] = base_stats
+        return best

@@ -1,0 +1,191 @@
+"""Forward and Backward Search Trees (§4.2–4.3, Table 1, Fig. 4).
+
+A search tree stores the result of one BFS ring expansion
+(:func:`repro.network.shortest.bfs_rings`). The algorithmically useful view
+is the predecessor DAG — per node, its neighbours in the previous ring (the
+paper's "previous node list") — from which every shortest-hop real-path back
+to the root can be enumerated.
+
+For fidelity with the paper, :meth:`SearchTree.as_binary_tree` also
+materializes the left-child/right-sibling binary encoding of Fig. 4: the
+left child of a node is (the first) network node searched in the next
+iteration, the right child the next node searched in the same iteration, and
+each node carries the seven elements of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..exceptions import NodeNotFoundError
+from ..network.cloud import CloudNetwork
+from ..network.paths import Path
+from ..network.shortest import BfsRings
+from ..types import NodeId, VnfTypeId
+
+__all__ = ["SearchTree", "BinaryTreeNode"]
+
+
+@dataclass
+class BinaryTreeNode:
+    """One FST/BST node with the seven elements of Table 1."""
+
+    node_id: NodeId  # element 4
+    father: "BinaryTreeNode | None" = None  # element 1
+    left: "BinaryTreeNode | None" = None  # element 2
+    right: "BinaryTreeNode | None" = None  # element 3
+    available_vnfs: frozenset[VnfTypeId] = frozenset()  # element 5
+    previous_nodes: tuple[NodeId, ...] = ()  # element 6
+    next_nodes: tuple[NodeId, ...] = ()  # element 7
+
+
+class SearchTree:
+    """A forward or backward search result over a cloud network.
+
+    The same class backs both FSTs and BSTs — they share structure and
+    differ only in what the search covered (the paper's observation that
+    "the BST has the same logical structure as FST").
+    """
+
+    def __init__(self, network: CloudNetwork, rings: BfsRings) -> None:
+        self.network = network
+        self.rings = rings
+
+    # -- basic views -------------------------------------------------------------
+
+    @property
+    def root(self) -> NodeId:
+        """The search start node (layer start for FSTs, merger for BSTs)."""
+        return self.rings.source
+
+    @property
+    def node_set(self) -> frozenset[NodeId]:
+        """All searched nodes."""
+        return self.rings.node_set
+
+    @property
+    def complete(self) -> bool:
+        """Whether the search satisfied its coverage condition."""
+        return self.rings.complete
+
+    @property
+    def iterations(self) -> int:
+        """Number of BFS iterations."""
+        return self.rings.iterations
+
+    def covered_vnfs(self) -> frozenset[VnfTypeId]:
+        """Union of categories hosted on searched nodes (``F^{F,l}``)."""
+        out: set[VnfTypeId] = set()
+        for node in self.node_set:
+            out.update(self.network.vnf_types_at(node))
+        return frozenset(out)
+
+    def nodes_hosting(
+        self,
+        vnf_type: VnfTypeId,
+        *,
+        admit: Callable[[NodeId], bool] | None = None,
+    ) -> list[NodeId]:
+        """Searched nodes hosting ``vnf_type`` (optionally capacity-filtered)."""
+        out = [
+            node
+            for node in sorted(self.node_set)
+            if self.network.has_vnf(node, vnf_type)
+            and (admit is None or admit(node))
+        ]
+        return out
+
+    # -- path enumeration ------------------------------------------------------------
+
+    def enumerate_root_paths(self, node: NodeId, max_paths: int | None = 4) -> list[Path]:
+        """All shortest-hop real-paths root → ``node`` via the pred DAG.
+
+        Every walk follows "previous node list" pointers, so each path has
+        exactly ``depth(node)`` hops (an instantiation of the dotted-arrow
+        paths of Fig. 4). At most ``max_paths`` are returned, cheapest (by
+        link price) first; ``None`` lifts the cap.
+        """
+        if node not in self.rings:
+            raise NodeNotFoundError(node)
+        if node == self.root:
+            return [Path.trivial(self.root)]
+        sequences: list[tuple[NodeId, ...]] = []
+        # Iterative DFS from `node` back to the root through preds.
+        stack: list[tuple[NodeId, tuple[NodeId, ...]]] = [(node, (node,))]
+        # Enumerate generously, then keep the cheapest max_paths.
+        hard_cap = None if max_paths is None else max(64, 8 * max_paths)
+        while stack:
+            current, suffix = stack.pop()
+            if current == self.root:
+                sequences.append(tuple(reversed(suffix)))
+                if hard_cap is not None and len(sequences) >= hard_cap:
+                    break
+                continue
+            for pred in self.rings.preds.get(current, ()):
+                stack.append((pred, suffix + (pred,)))
+        graph = self.network.graph
+        paths = sorted(
+            (Path(seq) for seq in sequences),
+            key=lambda p: (p.cost(graph), p.nodes),
+        )
+        if max_paths is not None:
+            paths = paths[:max_paths]
+        return paths
+
+    def cheapest_root_path(self, node: NodeId) -> Path:
+        """The cheapest shortest-hop path root → ``node``."""
+        return self.enumerate_root_paths(node, max_paths=1)[0]
+
+    # -- Table 1 binary-tree view --------------------------------------------------------
+
+    def as_binary_tree(self) -> BinaryTreeNode:
+        """Materialize the Fig. 4 binary tree (left = next ring, right = same ring).
+
+        Within each ring, nodes are chained left-to-right in ascending id
+        order via ``right`` pointers; the leftmost node of ring ``q+1``
+        hangs off the leftmost node of ring ``q`` via ``left``.
+        """
+        ring_lists = [sorted(ring) for ring in self.rings.rings]
+        # Successors in the next ring ("next node list").
+        successors: dict[NodeId, list[NodeId]] = {}
+        for nxt_ring in ring_lists[1:]:
+            for nb in nxt_ring:
+                for pred in self.rings.preds.get(nb, ()):
+                    successors.setdefault(pred, []).append(nb)
+
+        def make(node: NodeId) -> BinaryTreeNode:
+            return BinaryTreeNode(
+                node_id=node,
+                available_vnfs=self.network.vnf_types_at(node),
+                previous_nodes=tuple(self.rings.preds.get(node, ())),
+                next_nodes=tuple(sorted(successors.get(node, ()))),
+            )
+
+        made: dict[NodeId, BinaryTreeNode] = {}
+        for ring in ring_lists:
+            for node in ring:
+                made[node] = make(node)
+        # Right-sibling chains within each ring.
+        for ring in ring_lists:
+            for a, b in zip(ring, ring[1:]):
+                made[a].right = made[b]
+                made[b].father = made[a]
+        # Left child: leftmost of next ring under leftmost of this ring.
+        for ring, nxt in zip(ring_lists, ring_lists[1:]):
+            head, nxt_head = made[ring[0]], made[nxt[0]]
+            head.left = nxt_head
+            nxt_head.father = head
+        return made[ring_lists[0][0]]
+
+    def iter_binary_tree(self) -> Iterator[BinaryTreeNode]:
+        """Pre-order iteration over the binary-tree view."""
+        root = self.as_binary_tree()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)

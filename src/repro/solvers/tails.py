@@ -1,0 +1,58 @@
+"""Shared destination-connection step of Algorithm 1 (lines 9–11).
+
+Both BBE and MBBE finish by connecting every omega-layer sub-solution's end
+node to the destination with a min-cost path and keeping the cheapest
+complete candidate. Profiling (see ``examples/profile_trial.py``) showed
+one capacity-filtered Dijkstra *per frontier member* dominating the tail
+phase, so this implementation runs a single unfiltered Dijkstra from the
+destination (undirected links: dest→end reversed is a valid end→dest path)
+and falls back to the per-parent filtered search only when the shared path
+is rejected by that parent's own reservations — which cannot happen under
+the paper's slack capacities.
+"""
+
+from __future__ import annotations
+
+from ..config import FlowConfig
+from ..network.cloud import CloudNetwork
+from ..network.shortest import dijkstra, min_cost_path
+from ..sfc.dag import DagSfc
+from ..types import NodeId
+from .bbe import _residual_link_filter
+from .common import evaluate_tail
+from .subsolution import SubSolution, SubSolutionTree
+
+__all__ = ["connect_destination"]
+
+
+def connect_destination(
+    network: CloudNetwork,
+    flow: FlowConfig,
+    frontier: list[SubSolution],
+    dag: DagSfc,
+    dest: NodeId,
+    tree: SubSolutionTree,
+) -> SubSolution | None:
+    """Complete every frontier sub-solution; return the cheapest leaf."""
+    graph = network.graph
+    dij_dest = dijkstra(graph, dest)
+    best: SubSolution | None = None
+    for parent in frontier:
+        leaf: SubSolution | None = None
+        shared = dij_dest.path_to(parent.end_node)
+        if shared is not None:
+            leaf = evaluate_tail(network, flow, parent, dag.omega + 1, shared.reversed())
+        if leaf is None:
+            # Capacity collision (or unreachable): retry on this parent's
+            # residual view.
+            link_f = _residual_link_filter(network, parent.link_counts, flow.rate)
+            tail = min_cost_path(graph, parent.end_node, dest, link_filter=link_f)
+            if tail is None:
+                continue
+            leaf = evaluate_tail(network, flow, parent, dag.omega + 1, tail)
+            if leaf is None:
+                continue
+        tree.insert(parent, leaf)
+        if best is None or leaf.cum_cost < best.cum_cost:
+            best = leaf
+    return best

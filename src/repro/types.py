@@ -1,0 +1,80 @@
+"""Shared type aliases and small value types used across the library.
+
+The paper indexes VNF categories as ``f(1) … f(n)`` plus two special
+functions: the *dummy* VNF ``f(0)`` assigned to the stretched source and
+destination layers, and the *merger* ``f(n+1)`` that joins the outputs of a
+parallel VNF set. We keep those as module-level sentinel ids so they never
+collide with a catalog id regardless of the catalog size ``n``:
+
+* :data:`DUMMY_VNF`  — ``0`` (matches the paper's ``f(0)``);
+* :data:`MERGER_VNF` — ``-1`` (the paper's ``f(n+1)``; a negative sentinel
+  avoids depending on ``n``).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, TypeAlias
+
+__all__ = [
+    "NodeId",
+    "VnfTypeId",
+    "LayerIndex",
+    "Position",
+    "EdgeKey",
+    "DUMMY_VNF",
+    "MERGER_VNF",
+    "edge_key",
+    "is_special_vnf",
+    "vnf_name",
+]
+
+#: Identifier of a network node (0-based contiguous integers).
+NodeId: TypeAlias = int
+
+#: Identifier of a VNF category ``f(i)``; catalog ids are >= 1.
+VnfTypeId: TypeAlias = int
+
+#: Index of a DAG-SFC layer (1-based for real layers, 0 / omega+1 for the
+#: stretched dummy layers).
+LayerIndex: TypeAlias = int
+
+#: The dummy VNF ``f(0)`` of the stretched SFC S+.
+DUMMY_VNF: VnfTypeId = 0
+
+#: The merger ``f(n+1)`` that integrates parallel-VNF outputs.
+MERGER_VNF: VnfTypeId = -1
+
+
+class Position(NamedTuple):
+    """A VNF position in a (stretched) DAG-SFC.
+
+    ``layer`` is the layer index and ``gamma`` the 1-based index within the
+    layer, matching the paper's ``f_l^gamma`` notation. The merger of a
+    parallel layer with ``phi`` parallel VNFs sits at ``gamma = phi + 1``.
+    """
+
+    layer: LayerIndex
+    gamma: int
+
+
+#: Canonical undirected-link key: the node pair sorted ascending.
+EdgeKey: TypeAlias = tuple[NodeId, NodeId]
+
+
+def edge_key(u: NodeId, v: NodeId) -> EdgeKey:
+    """Return the canonical (sorted) key of the undirected link ``{u, v}``."""
+    return (u, v) if u <= v else (v, u)
+
+
+def is_special_vnf(vnf: VnfTypeId) -> bool:
+    """True for the dummy ``f(0)`` and the merger ``f(n+1)`` sentinels."""
+    return vnf == DUMMY_VNF or vnf == MERGER_VNF
+
+
+def vnf_name(vnf: VnfTypeId) -> str:
+    """Human-readable name of a VNF id, e.g. ``f(3)``, ``merger``, ``dummy``."""
+    if vnf == DUMMY_VNF:
+        return "dummy"
+    if vnf == MERGER_VNF:
+        return "merger"
+    return f"f({vnf})"

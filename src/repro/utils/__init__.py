@@ -1,0 +1,16 @@
+"""Cross-cutting utilities: RNG streams, timing, validation, logging."""
+
+from .rng import RngStream, spawn_streams, trial_seed
+from .timing import Stopwatch, timed
+from .validation import check_probability, check_positive, check_non_negative
+
+__all__ = [
+    "RngStream",
+    "spawn_streams",
+    "trial_seed",
+    "Stopwatch",
+    "timed",
+    "check_probability",
+    "check_positive",
+    "check_non_negative",
+]

@@ -1,0 +1,81 @@
+"""Deterministic random-number management.
+
+Every stochastic component (network generator, SFC generator, RANV, trial
+runner) takes an explicit seed or :class:`numpy.random.Generator`. This
+module centralizes how child streams are derived so that
+
+* the same master seed always reproduces the same experiment, and
+* parallel trials get statistically independent streams (SeedSequence
+  spawning, per the NumPy parallel-RNG guidance).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["RngStream", "as_generator", "spawn_streams", "trial_seed"]
+
+#: Anything acceptable as a seed: None, int, SeedSequence or Generator.
+RngStream = int | np.random.Generator | np.random.SeedSequence | None
+
+
+def as_generator(seed: RngStream) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    A Generator instance is returned unchanged (shared state); anything else
+    seeds a fresh PCG64 generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_streams(seed: RngStream, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent generators from a master seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, which guarantees
+    non-overlapping streams — required when trials run in a process pool.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} streams")
+    if isinstance(seed, np.random.SeedSequence):
+        ss = seed
+    elif isinstance(seed, np.random.Generator):
+        # Derive a SeedSequence from the generator's own bit stream.
+        ss = np.random.SeedSequence(int(seed.integers(0, 2**63)))
+    else:
+        ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+def trial_seed(master_seed: int, trial_index: int, salt: int = 0) -> int:
+    """A stable per-trial integer seed derived from a master seed.
+
+    SplitMix64-style mixing: cheap, stateless, and collision-resistant for
+    the (master, trial, salt) triples used by the experiment runner, so a
+    single trial can be re-run in isolation without replaying the sweep.
+    """
+    x = (master_seed * 0x9E3779B97F4A7C15 + trial_index * 0xBF58476D1CE4E5B9 + salt) % 2**64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) % 2**64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) % 2**64
+    x ^= x >> 31
+    return x
+
+
+def sample_distinct(rng: np.random.Generator, population: Sequence[int], k: int) -> list[int]:
+    """Sample ``k`` distinct elements of ``population`` (order random)."""
+    if k > len(population):
+        raise ValueError(f"cannot sample {k} distinct items from {len(population)}")
+    idx = rng.choice(len(population), size=k, replace=False)
+    return [population[int(i)] for i in idx]
+
+
+def shuffled(rng: np.random.Generator, items: Iterable[int]) -> list[int]:
+    """Return a shuffled copy of ``items``."""
+    out = list(items)
+    rng.shuffle(out)
+    return out

@@ -1,0 +1,57 @@
+"""Lightweight timing helpers used by solvers and the experiment runner."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, ParamSpec, TypeVar
+
+__all__ = ["Stopwatch", "timed"]
+
+P = ParamSpec("P")
+T = TypeVar("T")
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    >>> sw = Stopwatch()
+    >>> with sw.lap("search"):
+    ...     pass
+    >>> sw.total() >= 0.0
+    True
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def lap(self, name: str) -> Iterator[None]:
+        """Context manager accumulating wall time under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.laps[name] = self.laps.get(name, 0.0) + (time.perf_counter() - start)
+
+    def total(self) -> float:
+        """Sum of all recorded laps, in seconds."""
+        return sum(self.laps.values())
+
+    def reset(self) -> None:
+        """Discard all laps."""
+        self.laps.clear()
+
+
+def timed(fn: Callable[P, T]) -> Callable[P, tuple[T, float]]:
+    """Wrap ``fn`` to return ``(result, elapsed_seconds)``."""
+
+    def wrapper(*args: P.args, **kwargs: P.kwargs) -> tuple[T, float]:
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        return result, time.perf_counter() - start
+
+    wrapper.__name__ = getattr(fn, "__name__", "timed")
+    wrapper.__doc__ = fn.__doc__
+    return wrapper

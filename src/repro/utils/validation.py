@@ -1,0 +1,39 @@
+"""Argument-validation helpers shared by public constructors."""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["check_probability", "check_positive", "check_non_negative", "check_finite"]
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` lies in [0, 1]; return it."""
+    if not (0.0 <= value <= 1.0):
+        raise ConfigurationError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return value
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate that ``value`` is finite and strictly positive; return it."""
+    check_finite(name, value)
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Validate that ``value`` is finite and >= 0; return it."""
+    check_finite(name, value)
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_finite(name: str, value: float) -> float:
+    """Validate that ``value`` is a finite number; return it."""
+    if not math.isfinite(value):
+        raise ConfigurationError(f"{name} must be finite, got {value!r}")
+    return value

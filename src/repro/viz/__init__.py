@@ -1,0 +1,5 @@
+"""Visualization exports (dependency-free text formats)."""
+
+from .dot import dag_to_dot, embedding_to_dot, network_to_dot
+
+__all__ = ["dag_to_dot", "embedding_to_dot", "network_to_dot"]

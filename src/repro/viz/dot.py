@@ -1,0 +1,134 @@
+"""Graphviz DOT export for DAG-SFCs, networks, and embeddings.
+
+Pure text generation — no graphviz dependency; render the output with any
+``dot`` installation (``dot -Tsvg out.dot > out.svg``) or an online viewer.
+
+Three exports:
+
+* :func:`dag_to_dot` — the logical DAG-SFC (Fig. 2's bottom panel: layers,
+  parallel sets, mergers, inter-/inner-layer meta-path arrows);
+* :func:`network_to_dot` — the cloud network with per-node VNF labels;
+* :func:`embedding_to_dot` — the network with the embedding overlaid:
+  hosting nodes filled, real-paths as coloured directed edges.
+"""
+
+from __future__ import annotations
+
+from ..embedding.mapping import Embedding
+from ..network.cloud import CloudNetwork
+from ..sfc.dag import DagSfc
+from ..sfc.stretch import StretchedSfc
+from ..types import DUMMY_VNF, MERGER_VNF, vnf_name
+
+__all__ = ["dag_to_dot", "network_to_dot", "embedding_to_dot"]
+
+_INTER_COLOR = "#C23B21"  # inter-layer meta-paths (the paper's red arrows)
+_INNER_COLOR = "#2B7A3A"  # inner-layer meta-paths (the paper's green arrows)
+
+
+def _pos_id(layer: int, gamma: int) -> str:
+    return f"p_{layer}_{gamma}"
+
+
+def dag_to_dot(dag: DagSfc, *, name: str = "dag_sfc") -> str:
+    """Render the logical DAG-SFC with layer clusters."""
+    s = StretchedSfc(dag)
+    lines = [f"digraph {name} {{", "  rankdir=LR;", '  node [shape=circle, fontsize=10];']
+    lines.append('  src [label="s", shape=doublecircle];')
+    lines.append('  dst [label="t", shape=doublecircle];')
+    for l in range(1, dag.omega + 1):
+        layer = dag.layer(l)
+        lines.append(f"  subgraph cluster_L{l} {{")
+        lines.append(f'    label="L{l}";')
+        for gamma in range(1, layer.width + 1):
+            vnf = layer.vnf_at(gamma)
+            shape = "box" if vnf == MERGER_VNF else "circle"
+            lines.append(
+                f'    {_pos_id(l, gamma)} [label="{vnf_name(vnf)}", shape={shape}];'
+            )
+        lines.append("  }")
+
+    def endpoint(pos) -> str:
+        if pos == s.source_position:
+            return "src"
+        if pos == s.dest_position:
+            return "dst"
+        return _pos_id(pos.layer, pos.gamma)
+
+    for mp in s.p1():
+        lines.append(
+            f'  {endpoint(mp.src)} -> {endpoint(mp.dst)} [color="{_INTER_COLOR}"];'
+        )
+    for mp in s.p2():
+        lines.append(
+            f'  {endpoint(mp.src)} -> {endpoint(mp.dst)} [color="{_INNER_COLOR}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def network_to_dot(
+    network: CloudNetwork, *, name: str = "cloud", max_label_vnfs: int = 4
+) -> str:
+    """Render the cloud network; node labels list (up to) the hosted VNFs."""
+    lines = [f"graph {name} {{", "  layout=neato;", '  node [shape=ellipse, fontsize=9];']
+    for node in sorted(network.nodes()):
+        types = sorted(network.vnf_types_at(node), key=lambda t: (t < 0, t))
+        shown = ",".join(vnf_name(t) for t in types[:max_label_vnfs])
+        if len(types) > max_label_vnfs:
+            shown += ",…"
+        label = f"v{node}" + (f"\\n{shown}" if shown else "")
+        lines.append(f'  n{node} [label="{label}"];')
+    for link in sorted(network.graph.links(), key=lambda l: l.key):
+        lines.append(
+            f'  n{link.u} -- n{link.v} [label="{link.price:.0f}", fontsize=8];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def embedding_to_dot(
+    network: CloudNetwork, embedding: Embedding, *, name: str = "embedding"
+) -> str:
+    """Overlay an embedding on the network (directed, paths coloured)."""
+    s = embedding.stretched()
+    hosting: dict[int, list[str]] = {}
+    for pos, node in embedding.placements.items():
+        vnf = s.vnf_at(pos)
+        if vnf != DUMMY_VNF:
+            hosting.setdefault(node, []).append(vnf_name(vnf))
+
+    lines = [f"digraph {name} {{", "  layout=neato;", '  node [shape=ellipse, fontsize=9];']
+    for node in sorted(network.nodes()):
+        attrs = [f'label="v{node}"']
+        if node in hosting:
+            attrs = [
+                f'label="v{node}\\n{",".join(sorted(hosting[node]))}"',
+                'style=filled',
+                'fillcolor="#F3D9A4"',
+            ]
+        if node == embedding.source:
+            attrs.append('shape=doublecircle')
+        if node == embedding.dest:
+            attrs.append('shape=doubleoctagon')
+        lines.append(f"  n{node} [{', '.join(attrs)}];")
+
+    # Base topology, faint.
+    for link in sorted(network.graph.links(), key=lambda l: l.key):
+        lines.append(
+            f'  n{link.u} -> n{link.v} [dir=none, color="#CCCCCC"];'
+        )
+    # Real-paths on top.
+    for pos, path in sorted(embedding.inter_paths.items()):
+        for a, b in zip(path.nodes, path.nodes[1:]):
+            lines.append(
+                f'  n{a} -> n{b} [color="{_INTER_COLOR}", penwidth=2,'
+                f' label="L{pos.layer}", fontsize=7];'
+            )
+    for pos, path in sorted(embedding.inner_paths.items()):
+        for a, b in zip(path.nodes, path.nodes[1:]):
+            lines.append(
+                f'  n{a} -> n{b} [color="{_INNER_COLOR}", penwidth=2, style=dashed];'
+            )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Shared fixtures: small deterministic networks and DAG-SFCs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NetworkConfig, SfcConfig
+from repro.network.cloud import CloudNetwork
+from repro.network.generator import generate_network
+from repro.network.graph import Graph
+from repro.sfc.builder import DagSfcBuilder
+from repro.sfc.dag import DagSfc
+from repro.types import MERGER_VNF
+
+
+def build_line_graph(n: int, *, price: float = 1.0, capacity: float = 100.0) -> Graph:
+    """0 - 1 - 2 - … - (n-1)."""
+    g = Graph()
+    g.add_nodes(range(n))
+    for i in range(n - 1):
+        g.add_link(i, i + 1, price=price, capacity=capacity)
+    return g
+
+
+def build_square_graph(*, price: float = 1.0, capacity: float = 100.0) -> Graph:
+    """4-cycle 0-1-2-3-0 plus the diagonal 0-2 at double price."""
+    g = Graph()
+    g.add_nodes(range(4))
+    g.add_link(0, 1, price=price, capacity=capacity)
+    g.add_link(1, 2, price=price, capacity=capacity)
+    g.add_link(2, 3, price=price, capacity=capacity)
+    g.add_link(3, 0, price=price, capacity=capacity)
+    g.add_link(0, 2, price=2 * price, capacity=capacity)
+    return g
+
+
+@pytest.fixture
+def line5() -> Graph:
+    return build_line_graph(5)
+
+
+@pytest.fixture
+def square() -> Graph:
+    return build_square_graph()
+
+
+@pytest.fixture
+def small_config() -> NetworkConfig:
+    """A miniature paper-style network configuration."""
+    return NetworkConfig(
+        size=30,
+        connectivity=4.0,
+        n_vnf_types=6,
+        deploy_ratio=0.5,
+        vnf_capacity=100.0,
+        link_capacity=100.0,
+    )
+
+
+@pytest.fixture
+def small_network(small_config: NetworkConfig) -> CloudNetwork:
+    return generate_network(small_config, rng=7)
+
+
+@pytest.fixture
+def fig2_dag() -> DagSfc:
+    """The Fig. 2 DAG-SFC: f1 | {f2,f3,f4,f5}+merger | {f6,f7}+merger."""
+    return (
+        DagSfcBuilder()
+        .single(1)
+        .parallel(2, 3, 4, 5)
+        .parallel(6, 7)
+        .build()
+    )
+
+
+def fully_deployed_cloud(
+    graph: Graph,
+    vnf_types: tuple[int, ...],
+    *,
+    price: float = 10.0,
+    capacity: float = 100.0,
+) -> CloudNetwork:
+    """Deploy every given type (plus merger) on every node at a flat price."""
+    net = CloudNetwork(graph)
+    for node in graph.nodes():
+        for t in vnf_types:
+            net.deploy(node, t, price=price, capacity=capacity)
+        net.deploy(node, MERGER_VNF, price=price, capacity=capacity)
+    return net

@@ -1,0 +1,121 @@
+"""Tests for the delay/complexity analysis extensions."""
+
+import pytest
+
+from repro.analysis.complexity import mbbe_k_factor, search_effort
+from repro.analysis.delay import (
+    DelayModel,
+    dag_delay,
+    parallelism_speedup,
+    sequentialized_delay,
+)
+from repro.config import FlowConfig, NetworkConfig, SfcConfig
+from repro.embedding.mapping import Embedding
+from repro.network.cloud import CloudNetwork
+from repro.network.generator import generate_network
+from repro.network.paths import Path
+from repro.nfv.vnf import standard_catalog
+from repro.sfc.builder import DagSfcBuilder
+from repro.sfc.generator import generate_dag_sfc
+from repro.solvers import BbeEmbedder, MbbeEmbedder
+from repro.types import MERGER_VNF, Position
+
+from .conftest import build_line_graph
+
+
+@pytest.fixture
+def parallel_embedding():
+    """f1 | {f2,f3}+merger on a line; branch delays differ."""
+    g = build_line_graph(5, price=1.0, capacity=100.0)
+    net = CloudNetwork(g)
+    net.deploy(1, 1, price=10.0, capacity=100.0)
+    net.deploy(2, 2, price=20.0, capacity=100.0)
+    net.deploy(3, 3, price=30.0, capacity=100.0)
+    net.deploy(3, MERGER_VNF, price=5.0, capacity=100.0)
+    dag = DagSfcBuilder().single(1).parallel(2, 3).build()
+    emb = Embedding(
+        dag=dag, source=0, dest=4,
+        placements={
+            Position(1, 1): 1, Position(2, 1): 2,
+            Position(2, 2): 3, Position(2, 3): 3,
+        },
+        inter_paths={
+            Position(1, 1): Path((0, 1)),
+            Position(2, 1): Path((1, 2)),
+            Position(2, 2): Path((1, 2, 3)),
+            Position(3, 1): Path((3, 4)),
+        },
+        inner_paths={Position(2, 1): Path((2, 3)), Position(2, 2): Path.trivial(3)},
+    )
+    return emb
+
+
+class TestDelayModel:
+    def test_hand_computed_dag_delay(self, parallel_embedding):
+        model = DelayModel(per_hop_delay=1.0, default_processing_delay=0.0, merger_delay=0.0)
+        # L1: 1 hop; L2 branches: f2 = 1 + 0 + 1 = 2, f3 = 2 + 0 + 0 = 2 -> max 2.
+        # Tail: 1 hop. Total = 1 + 2 + 1 = 4.
+        assert dag_delay(parallel_embedding, model) == pytest.approx(4.0)
+
+    def test_sequentialized_sums_branches(self, parallel_embedding):
+        model = DelayModel(per_hop_delay=1.0, default_processing_delay=0.0, merger_delay=0.0)
+        # L2 contributes 2 + 2 = 4 instead of 2. Total = 1 + 4 + 1 = 6.
+        assert sequentialized_delay(parallel_embedding, model) == pytest.approx(6.0)
+
+    def test_speedup_ge_one(self, parallel_embedding):
+        assert parallelism_speedup(parallel_embedding) >= 1.0
+
+    def test_serial_dag_speedup_is_one(self):
+        g = build_line_graph(3, capacity=100.0)
+        net = CloudNetwork(g)
+        net.deploy(1, 1, price=1.0, capacity=100.0)
+        dag = DagSfcBuilder().single(1).build()
+        emb = Embedding(
+            dag=dag, source=0, dest=2,
+            placements={Position(1, 1): 1},
+            inter_paths={Position(1, 1): Path((0, 1)), Position(2, 1): Path((1, 2))},
+            inner_paths={},
+        )
+        assert parallelism_speedup(emb) == pytest.approx(1.0)
+
+    def test_catalog_delays_used(self, parallel_embedding):
+        cat = standard_catalog()
+        model = DelayModel(catalog=cat, per_hop_delay=0.0, merger_delay=0.0)
+        # With zero hop delay, layer delay = max of catalog processing delays.
+        d = dag_delay(parallel_embedding, model)
+        expected = cat.descriptor(1).processing_delay + max(
+            cat.descriptor(2).processing_delay, cat.descriptor(3).processing_delay
+        )
+        assert d == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            DelayModel(per_hop_delay=-1.0)
+
+    def test_hybrid_beats_sequential_on_real_solutions(self):
+        net = generate_network(
+            NetworkConfig(size=40, connectivity=4.0, n_vnf_types=6), rng=3
+        )
+        dag = generate_dag_sfc(SfcConfig(size=6), n_vnf_types=6, rng=4)
+        r = MbbeEmbedder().embed(net, dag, 0, 39, FlowConfig())
+        assert r.success
+        assert parallelism_speedup(r.embedding) > 1.0
+
+
+class TestComplexity:
+    def test_k_factor(self):
+        assert mbbe_k_factor(1, 3) == 4.0
+        assert mbbe_k_factor(4, 2) == pytest.approx((1 - 4**3) / (1 - 4))
+
+    def test_search_effort_extraction(self):
+        net = generate_network(
+            NetworkConfig(size=30, connectivity=4.0, n_vnf_types=6), rng=5
+        )
+        dag = generate_dag_sfc(SfcConfig(size=5), n_vnf_types=6, rng=6)
+        bbe = BbeEmbedder().embed(net, dag, 0, 29)
+        mbbe = MbbeEmbedder().embed(net, dag, 0, 29)
+        eb, em = search_effort(bbe), search_effort(mbbe)
+        assert eb.solver == "BBE" and em.solver == "MBBE"
+        assert eb.tree_size > 0 and em.tree_size > 0
+        # The §4.5 claim: MBBE's search space is much smaller.
+        assert em.total_subsolutions <= eb.total_subsolutions

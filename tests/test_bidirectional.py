@@ -1,0 +1,92 @@
+"""Tests for bidirectional Dijkstra and the canonical chain library."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import NetworkConfig
+from repro.exceptions import NodeNotFoundError
+from repro.network.generator import generate_network
+from repro.network.shortest import bidirectional_dijkstra, min_cost_path
+from repro.nfv.chains import CANONICAL_CHAINS, branch_access_chain, intercept_chain, web_security_chain
+from repro.nfv.parallelism import ParallelismAnalyzer
+from repro.sfc.transform import to_dag_sfc
+
+from .conftest import build_line_graph, build_square_graph
+
+
+class TestBidirectionalDijkstra:
+    def test_trivial_and_adjacent(self, line5):
+        assert bidirectional_dijkstra(line5, 2, 2).is_trivial
+        assert bidirectional_dijkstra(line5, 0, 1).nodes == (0, 1)
+
+    def test_picks_cheapest_route(self):
+        g = build_square_graph(price=1.0)  # diagonal 0-2 costs 2, ring 2 hops cost 2
+        p = bidirectional_dijkstra(g, 0, 2)
+        assert p.cost(g) == pytest.approx(2.0)
+
+    def test_unreachable(self):
+        g = build_line_graph(3)
+        g.add_node(7)
+        assert bidirectional_dijkstra(g, 0, 7) is None
+
+    def test_missing_nodes_raise(self, line5):
+        with pytest.raises(NodeNotFoundError):
+            bidirectional_dijkstra(line5, 99, 0)
+        with pytest.raises(NodeNotFoundError):
+            bidirectional_dijkstra(line5, 0, 99)
+
+    def test_link_filter_respected(self, line5):
+        p = bidirectional_dijkstra(line5, 0, 4, link_filter=lambda l: l.key != (2, 3))
+        assert p is None
+
+    @given(seed=st.integers(0, 2000), pair_seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_matches_unidirectional(self, seed, pair_seed):
+        net = generate_network(
+            NetworkConfig(size=40, connectivity=4.0, n_vnf_types=3), rng=seed
+        )
+        g = net.graph
+        rng = np.random.default_rng(pair_seed)
+        a, b = (int(x) for x in rng.choice(40, size=2, replace=False))
+        p1 = min_cost_path(g, a, b)
+        p2 = bidirectional_dijkstra(g, a, b)
+        assert (p1 is None) == (p2 is None)
+        if p1 is not None:
+            assert p2.cost(g) == pytest.approx(p1.cost(g))
+            assert p2.source == a and p2.target == b
+            p2.validate(g)
+
+
+class TestCanonicalChains:
+    def test_registry_complete(self):
+        assert set(CANONICAL_CHAINS) == {
+            "web-security", "branch-access", "cdn-edge", "intercept"
+        }
+        for factory in CANONICAL_CHAINS.values():
+            chain, catalog = factory()
+            assert chain.size == 4
+            for vnf in chain:
+                assert vnf in catalog
+
+    def test_web_security_parallelizes_inspection(self):
+        chain, catalog = web_security_chain()
+        dag = to_dag_sfc(chain, ParallelismAnalyzer(catalog))
+        # firewall/dpi/ids merge; the LB stays behind them.
+        assert dag.omega < chain.size
+        assert dag.layer(1).phi >= 2
+
+    def test_branch_access_stays_mostly_serial(self):
+        chain, catalog = branch_access_chain()
+        dag = to_dag_sfc(chain, ParallelismAnalyzer(catalog))
+        inter_chain, _ = intercept_chain()
+        intercept_dag = to_dag_sfc(inter_chain, ParallelismAnalyzer(catalog))
+        # Write-heavy chain has more layers than the read-only tap.
+        assert dag.omega >= intercept_dag.omega
+
+    def test_intercept_fully_parallel(self):
+        chain, catalog = intercept_chain()
+        dag = to_dag_sfc(chain, ParallelismAnalyzer(catalog), max_parallel=4)
+        assert dag.omega == 1
+        assert dag.layer(1).phi == 4

@@ -1,0 +1,105 @@
+"""Tests for the sequential-chain DP embedder and DAG flattening."""
+
+import pytest
+
+from repro.config import FlowConfig, NetworkConfig, SfcConfig
+from repro.embedding.feasibility import verify_embedding
+from repro.network.cloud import CloudNetwork
+from repro.network.generator import generate_network
+from repro.sfc.builder import DagSfcBuilder
+from repro.sfc.generator import generate_dag_sfc
+from repro.solvers import ChainDpEmbedder, ExactEmbedder, IlpEmbedder, flatten_to_chain
+
+from .conftest import build_line_graph
+
+
+class TestFlatten:
+    def test_parallel_sets_unrolled_in_order(self, fig2_dag):
+        chain = flatten_to_chain(fig2_dag)
+        assert chain.omega == 7
+        assert [l.parallel[0] for l in chain.layers] == [1, 2, 3, 4, 5, 6, 7]
+        assert chain.num_mergers == 0
+
+    def test_serial_dag_unchanged(self):
+        dag = DagSfcBuilder().single(1).single(2).build()
+        assert flatten_to_chain(dag) == dag
+
+
+class TestChainDp:
+    def test_hand_computed_line(self):
+        # Line 0-1-2-3 price 1; f1 on nodes 1 (price 10) and 2 (price 5).
+        g = build_line_graph(4, price=1.0, capacity=100.0)
+        net = CloudNetwork(g)
+        net.deploy(1, 1, price=10.0, capacity=100.0)
+        net.deploy(2, 1, price=5.0, capacity=100.0)
+        dag = DagSfcBuilder().single(1).build()
+        r = ChainDpEmbedder().embed(net, dag, 0, 3, FlowConfig())
+        assert r.success
+        # Via node 1: 10 + links(1 + 2) = 13. Via node 2: 5 + (2 + 1) = 8.
+        assert r.total_cost == pytest.approx(8.0)
+        assert r.embedding.placements[(1, 1)] == 2
+
+    def test_matches_exact_on_serial_dags(self):
+        """On single-VNF-per-layer DAGs, chain embedding IS the problem."""
+        cfg = NetworkConfig(size=14, connectivity=3.5, n_vnf_types=5, deploy_ratio=0.6)
+        for seed in (1, 2, 3):
+            net = generate_network(cfg, rng=seed)
+            dag = generate_dag_sfc(
+                SfcConfig(size=3, max_parallel=1), n_vnf_types=5, rng=seed + 50
+            )
+            assert all(not l.has_merger for l in dag.layers)
+            dp = ChainDpEmbedder().embed(net, dag, 0, 13, FlowConfig())
+            opt = ExactEmbedder().embed(net, dag, 0, 13, FlowConfig())
+            assert dp.success and opt.success
+            assert dp.total_cost == pytest.approx(opt.total_cost, rel=1e-9)
+
+    def test_result_verifies_as_serial_embedding(self):
+        cfg = NetworkConfig(size=30, connectivity=4.0, n_vnf_types=8)
+        net = generate_network(cfg, rng=5)
+        dag = generate_dag_sfc(SfcConfig(size=6), n_vnf_types=8, rng=6)
+        r = ChainDpEmbedder().embed(net, dag, 0, 29, FlowConfig())
+        assert r.success
+        # The returned embedding targets the flattened chain.
+        assert r.embedding.dag == flatten_to_chain(dag)
+        verify_embedding(net, r.embedding, FlowConfig())
+
+    def test_serial_cheaper_than_hybrid_on_average(self):
+        """No mergers to rent: the serial optimum usually undercuts MBBE."""
+        from repro.solvers import MbbeEmbedder
+
+        cfg = NetworkConfig(size=60, connectivity=5.0, n_vnf_types=8)
+        net = generate_network(cfg, rng=7)
+        wins = 0
+        for seed in range(6):
+            dag = generate_dag_sfc(SfcConfig(size=5), n_vnf_types=8, rng=seed)
+            dp = ChainDpEmbedder().embed(net, dag, 0, 59, FlowConfig())
+            mbbe = MbbeEmbedder().embed(net, dag, 0, 59, FlowConfig())
+            assert dp.success and mbbe.success
+            if dp.total_cost <= mbbe.total_cost:
+                wins += 1
+        assert wins >= 4
+
+    def test_missing_category_fails(self):
+        g = build_line_graph(3, capacity=10.0)
+        net = CloudNetwork(g)
+        dag = DagSfcBuilder().single(1).build()
+        r = ChainDpEmbedder().embed(net, dag, 0, 2, FlowConfig())
+        assert not r.success
+
+    def test_capacity_overload_detected(self):
+        # Same type twice, single instance with capacity for one use.
+        g = build_line_graph(3, capacity=10.0)
+        net = CloudNetwork(g)
+        net.deploy(1, 1, price=1.0, capacity=1.0)
+        dag = DagSfcBuilder().single(1).single(1).build()
+        r = ChainDpEmbedder().embed(net, dag, 0, 2, FlowConfig(rate=1.0))
+        assert not r.success
+
+    def test_stage_cap_still_solves(self):
+        cfg = NetworkConfig(size=30, connectivity=4.0, n_vnf_types=6)
+        net = generate_network(cfg, rng=9)
+        dag = generate_dag_sfc(SfcConfig(size=4), n_vnf_types=6, rng=10)
+        free = ChainDpEmbedder().embed(net, dag, 0, 29, FlowConfig())
+        capped = ChainDpEmbedder(max_stage_nodes=2).embed(net, dag, 0, 29, FlowConfig())
+        assert capped.success
+        assert capped.total_cost >= free.total_cost - 1e-9

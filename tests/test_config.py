@@ -1,0 +1,99 @@
+"""Unit tests for the configuration dataclasses (Table 2 semantics)."""
+
+import pytest
+
+from repro.config import (
+    FlowConfig,
+    NetworkConfig,
+    ScenarioConfig,
+    SfcConfig,
+    table2_defaults,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestNetworkConfig:
+    def test_defaults_are_table2(self):
+        cfg = NetworkConfig()
+        assert cfg.size == 500
+        assert cfg.connectivity == 6.0
+        assert cfg.deploy_ratio == 0.5
+        assert cfg.price_ratio == 0.20
+        assert cfg.vnf_price_fluctuation == 0.05
+
+    def test_mean_link_price_from_ratio(self):
+        cfg = NetworkConfig(price_ratio=0.2, mean_vnf_price=100.0)
+        assert cfg.mean_link_price == pytest.approx(20.0)
+
+    def test_merger_ratio_defaults_to_deploy_ratio(self):
+        cfg = NetworkConfig(deploy_ratio=0.3)
+        assert cfg.effective_merger_deploy_ratio == pytest.approx(0.3)
+
+    def test_merger_ratio_override(self):
+        cfg = NetworkConfig(deploy_ratio=0.3, merger_deploy_ratio=0.9)
+        assert cfg.effective_merger_deploy_ratio == pytest.approx(0.9)
+
+    def test_rejects_tiny_size(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(size=1)
+
+    def test_rejects_connectivity_below_tree(self):
+        # A 500-node connected graph needs average degree >= 2*(499)/500.
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(size=500, connectivity=1.0)
+
+    def test_rejects_connectivity_above_complete(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(size=10, connectivity=9.5)
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(deploy_ratio=1.5)
+
+    def test_with_replaces_and_validates(self):
+        cfg = NetworkConfig().with_(size=100)
+        assert cfg.size == 100
+        with pytest.raises(ConfigurationError):
+            NetworkConfig().with_(deploy_ratio=-0.1)
+
+
+class TestSfcConfig:
+    def test_defaults(self):
+        cfg = SfcConfig()
+        assert cfg.size == 5
+        assert cfg.max_parallel == 3
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            SfcConfig(size=0)
+
+
+class TestFlowConfig:
+    def test_defaults_unit(self):
+        f = FlowConfig()
+        assert f.size == 1.0
+        assert f.rate == 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            FlowConfig(size=0.0)
+        with pytest.raises(ConfigurationError):
+            FlowConfig(rate=-1.0)
+
+
+class TestScenario:
+    def test_table2_defaults_complete(self):
+        sc = table2_defaults()
+        assert sc.network.size == 500
+        assert sc.sfc.size == 5
+        assert sc.flow.rate == 1.0
+
+    def test_with_network_produces_new_scenario(self):
+        sc = table2_defaults()
+        sc2 = sc.with_network(size=50)
+        assert sc2.network.size == 50
+        assert sc.network.size == 500  # original untouched
+
+    def test_with_sfc(self):
+        sc = ScenarioConfig().with_sfc(size=9)
+        assert sc.sfc.size == 9

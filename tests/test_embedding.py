@@ -1,0 +1,210 @@
+"""Tests for the embedding core: mapping, costing (multicast!), feasibility."""
+
+import pytest
+
+from repro.config import FlowConfig
+from repro.embedding.costing import charged_link_uses, compute_cost, vnf_uses
+from repro.embedding.feasibility import (
+    check_capacity,
+    check_completeness,
+    verify_embedding,
+)
+from repro.embedding.mapping import Embedding
+from repro.exceptions import IncompleteEmbeddingError, InfeasibleEmbeddingError
+from repro.network.cloud import CloudNetwork
+from repro.network.paths import Path
+from repro.sfc.builder import DagSfcBuilder
+from repro.types import MERGER_VNF, Position
+
+from .conftest import build_line_graph
+
+
+@pytest.fixture
+def tiny_instance():
+    """Line 0-1-2-3-4 (price 1), DAG f1 | {f2,f3}+merger, s=0, t=4.
+
+    Placements: f1@1, f2@2, f3@3, merger@3. Hand-computable costs.
+    """
+    g = build_line_graph(5, price=1.0, capacity=100.0)
+    net = CloudNetwork(g)
+    net.deploy(1, 1, price=10.0, capacity=100.0)
+    net.deploy(2, 2, price=20.0, capacity=100.0)
+    net.deploy(3, 3, price=30.0, capacity=100.0)
+    net.deploy(3, MERGER_VNF, price=5.0, capacity=100.0)
+    dag = DagSfcBuilder().single(1).parallel(2, 3).build()
+    emb = Embedding(
+        dag=dag,
+        source=0,
+        dest=4,
+        placements={
+            Position(1, 1): 1,
+            Position(2, 1): 2,
+            Position(2, 2): 3,
+            Position(2, 3): 3,  # merger
+        },
+        inter_paths={
+            Position(1, 1): Path((0, 1)),
+            Position(2, 1): Path((1, 2)),
+            Position(2, 2): Path((1, 2, 3)),
+            Position(3, 1): Path((3, 4)),  # tail to destination dummy
+        },
+        inner_paths={
+            Position(2, 1): Path((2, 3)),
+            Position(2, 2): Path.trivial(3),
+        },
+    )
+    return net, dag, emb
+
+
+class TestMapping:
+    def test_node_of_real_and_dummy(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        assert emb.node_of(Position(1, 1)) == 1
+        assert emb.node_of(Position(0, 1)) == 0  # source dummy
+        assert emb.node_of(Position(3, 1)) == 4  # dest dummy
+
+    def test_node_of_missing_raises(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        with pytest.raises(IncompleteEmbeddingError):
+            emb.node_of(Position(1, 2))
+
+    def test_end_node(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        assert emb.end_node(1) == 1
+        assert emb.end_node(2) == 3  # merger node
+
+    def test_total_hops(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        assert emb.total_hops() == 1 + 1 + 2 + 1 + 1 + 0
+
+    def test_nodes_used(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        assert emb.nodes_used() == frozenset({0, 1, 2, 3, 4})
+
+    def test_describe_mentions_layers(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        text = emb.describe()
+        assert "L1" in text and "L2" in text
+
+
+class TestCosting:
+    def test_vnf_uses(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        alpha = vnf_uses(emb)
+        assert alpha == {(1, 1): 1, (2, 2): 1, (3, 3): 1, (3, MERGER_VNF): 1}
+
+    def test_multicast_shares_interlayer_link(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        alpha = charged_link_uses(emb)
+        # Link 1-2 is used by BOTH layer-2 inter paths but charged once.
+        assert alpha[(1, 2)] == 1
+        # Link 2-3: once by the inter path into f3, once by the inner path of f2.
+        assert alpha[(2, 3)] == 2
+        assert alpha[(0, 1)] == 1
+        assert alpha[(3, 4)] == 1
+
+    def test_total_cost_hand_computed(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        cost = compute_cost(net, emb, FlowConfig(size=1.0, rate=1.0))
+        assert cost.vnf_cost == pytest.approx(10 + 20 + 30 + 5)
+        assert cost.link_cost == pytest.approx(1 + 1 + 2 + 1)
+        assert cost.total == pytest.approx(70.0)
+
+    def test_cost_scales_with_flow_size(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        cost = compute_cost(net, emb, FlowConfig(size=2.5, rate=1.0))
+        assert cost.total == pytest.approx(70.0 * 2.5)
+
+    def test_same_node_placement_is_free(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        # Inner path of f3 is trivial (f3 and merger share node 3): no link cost.
+        alpha = charged_link_uses(emb)
+        assert sum(alpha.values()) == 5
+
+
+class TestCompleteness:
+    def test_valid_embedding_passes(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        check_completeness(net, emb)
+
+    def test_missing_placement(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        placements = dict(emb.placements)
+        del placements[Position(2, 2)]
+        bad = Embedding(dag, 0, 4, placements, emb.inter_paths, emb.inner_paths)
+        with pytest.raises(IncompleteEmbeddingError):
+            check_completeness(net, bad)
+
+    def test_wrong_host_category(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        placements = dict(emb.placements)
+        placements[Position(1, 1)] = 2  # node 2 hosts f2, not f1
+        bad = Embedding(dag, 0, 4, placements, emb.inter_paths, emb.inner_paths)
+        with pytest.raises(IncompleteEmbeddingError):
+            check_completeness(net, bad)
+
+    def test_missing_inter_path(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        inter = dict(emb.inter_paths)
+        del inter[Position(2, 1)]
+        bad = Embedding(dag, 0, 4, emb.placements, inter, emb.inner_paths)
+        with pytest.raises(IncompleteEmbeddingError):
+            check_completeness(net, bad)
+
+    def test_path_endpoint_mismatch(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        inter = dict(emb.inter_paths)
+        inter[Position(2, 1)] = Path((1, 2, 3))  # should end at node 2
+        bad = Embedding(dag, 0, 4, emb.placements, inter, emb.inner_paths)
+        with pytest.raises(IncompleteEmbeddingError):
+            check_completeness(net, bad)
+
+    def test_path_over_missing_link(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        inter = dict(emb.inter_paths)
+        inter[Position(2, 1)] = Path((1, 3, 2))  # 1-3 is not a link
+        bad = Embedding(dag, 0, 4, emb.placements, inter, emb.inner_paths)
+        with pytest.raises(Exception):
+            check_completeness(net, bad)
+
+    def test_stray_path_rejected(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        inner = dict(emb.inner_paths)
+        inner[Position(1, 1)] = Path.trivial(1)  # layer 1 has no inner paths
+        bad = Embedding(dag, 0, 4, emb.placements, emb.inter_paths, inner)
+        with pytest.raises(IncompleteEmbeddingError):
+            check_completeness(net, bad)
+
+    def test_missing_source_node(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        bad = Embedding(dag, 77, 4, emb.placements, emb.inter_paths, emb.inner_paths)
+        with pytest.raises(IncompleteEmbeddingError):
+            check_completeness(net, bad)
+
+
+class TestCapacity:
+    def test_slack_capacities_pass(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        check_capacity(net, emb, FlowConfig(size=1.0, rate=1.0))
+
+    def test_link_overload_detected(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        # Link 2-3 carries 2 charged uses; rate 60 -> demand 120 > capacity 100.
+        with pytest.raises(InfeasibleEmbeddingError):
+            check_capacity(net, emb, FlowConfig(size=1.0, rate=60.0))
+
+    def test_multicast_consumes_once(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        # Link 1-2 is shared by the layer-2 multicast: demand is 1*rate, so
+        # rate 90 still fits capacity 100 on that link (2-3 breaks first).
+        alpha = charged_link_uses(emb)
+        assert alpha[(1, 2)] * 90.0 <= 100.0
+
+    def test_vnf_overload_detected(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        with pytest.raises(InfeasibleEmbeddingError):
+            check_capacity(net, emb, FlowConfig(size=1.0, rate=150.0))
+
+    def test_verify_runs_both(self, tiny_instance):
+        net, dag, emb = tiny_instance
+        verify_embedding(net, emb, FlowConfig())

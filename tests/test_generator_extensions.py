@@ -1,0 +1,107 @@
+"""Tests for the SFC generator extensions (random structure, chains,
+analyzer-derived DAGs)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.nfv.parallelism import ParallelismAnalyzer
+from repro.nfv.vnf import standard_catalog
+from repro.sfc.generator import (
+    generate_analyzed_dag,
+    generate_chain,
+    generate_random_structure_dag,
+)
+
+
+class TestRandomStructure:
+    @given(size=st.integers(1, 12), seed=st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_size_and_width_invariants(self, size, seed):
+        dag = generate_random_structure_dag(size, 12, rng=seed)
+        assert dag.size == size
+        assert all(1 <= l.phi <= 3 for l in dag.layers)
+        flat = [v for l in dag.layers for v in l.parallel]
+        assert len(set(flat)) == size  # distinct categories
+
+    def test_width_weights_bias(self):
+        # All weight on width 1 -> strictly serial.
+        dag = generate_random_structure_dag(6, 12, rng=1, width_weights=(1.0, 0.0, 0.0))
+        assert all(l.phi == 1 for l in dag.layers)
+        # All weight on width 3 -> layers of three (last may be smaller).
+        dag3 = generate_random_structure_dag(7, 12, rng=1, width_weights=(0.0, 0.0, 1.0))
+        assert [l.phi for l in dag3.layers] == [3, 3, 1]
+
+    def test_structures_vary_across_seeds(self):
+        shapes = {
+            tuple(l.phi for l in generate_random_structure_dag(8, 12, rng=s).layers)
+            for s in range(20)
+        }
+        assert len(shapes) > 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_random_structure_dag(0, 12)
+        with pytest.raises(ConfigurationError):
+            generate_random_structure_dag(5, 3)
+        with pytest.raises(ConfigurationError):
+            generate_random_structure_dag(5, 12, width_weights=(1.0,))
+        with pytest.raises(ConfigurationError):
+            generate_random_structure_dag(5, 12, width_weights=(0.0, 0.0, 0.0))
+
+
+class TestChainGenerator:
+    def test_distinct_chain(self):
+        c = generate_chain(6, 12, rng=1)
+        assert c.size == 6
+        assert len(set(c.vnfs)) == 6
+
+    def test_non_distinct_allows_repeats(self):
+        c = generate_chain(20, 3, rng=2, distinct=False)
+        assert c.size == 20
+        assert set(c.vnfs) <= {1, 2, 3}
+
+    def test_distinct_needs_enough_types(self):
+        with pytest.raises(ConfigurationError):
+            generate_chain(6, 3, rng=1)
+
+
+class TestAnalyzedDag:
+    def test_respects_analyzer_policy(self):
+        cat = standard_catalog()
+        permissive = ParallelismAnalyzer(cat, allow_merge_logic=True)
+        strict = ParallelismAnalyzer(cat, allow_merge_logic=False)
+        # Over many seeds, the permissive analyzer should merge more.
+        p_layers = sum(
+            generate_analyzed_dag(6, permissive, rng=s).omega for s in range(10)
+        )
+        s_layers = sum(
+            generate_analyzed_dag(6, strict, rng=s).omega for s in range(10)
+        )
+        assert p_layers <= s_layers
+
+    def test_size_preserved(self):
+        cat = standard_catalog()
+        an = ParallelismAnalyzer(cat)
+        for s in range(5):
+            dag = generate_analyzed_dag(5, an, rng=s)
+            assert dag.size == 5
+
+    def test_catalog_too_small(self):
+        cat = standard_catalog(4)
+        with pytest.raises(ConfigurationError):
+            generate_analyzed_dag(5, ParallelismAnalyzer(cat), rng=1)
+
+    def test_embeddable_end_to_end(self):
+        from repro.config import FlowConfig, NetworkConfig
+        from repro.network.generator import generate_network
+        from repro.solvers import MbbeEmbedder
+
+        cat = standard_catalog()
+        dag = generate_analyzed_dag(5, ParallelismAnalyzer(cat), rng=9)
+        net = generate_network(
+            NetworkConfig(size=40, connectivity=4.0, n_vnf_types=len(cat)), rng=10
+        )
+        r = MbbeEmbedder().embed(net, dag, 0, 39, FlowConfig())
+        assert r.success

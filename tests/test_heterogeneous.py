@@ -1,0 +1,91 @@
+"""Tests for heterogeneous capacity/price transforms."""
+
+import numpy as np
+import pytest
+
+from repro.config import FlowConfig, NetworkConfig, SfcConfig
+from repro.exceptions import ConfigurationError
+from repro.network.generator import generate_network
+from repro.network.heterogeneous import (
+    degree_proportional_link_capacity,
+    lognormal_instance_capacity,
+    transform_network,
+)
+from repro.sfc.generator import generate_dag_sfc
+from repro.solvers import MbbeEmbedder
+
+
+@pytest.fixture(scope="module")
+def base_net():
+    return generate_network(
+        NetworkConfig(size=30, connectivity=4.0, n_vnf_types=6), rng=5
+    )
+
+
+class TestTransform:
+    def test_identity_preserves_everything(self, base_net):
+        clone = transform_network(base_net)
+        assert clone.graph.num_links == base_net.graph.num_links
+        for link in base_net.graph.links():
+            c = clone.graph.link(link.u, link.v)
+            assert (c.price, c.capacity) == (link.price, link.capacity)
+        assert clone.deployments.count() == base_net.deployments.count()
+
+    def test_link_transform_applied(self, base_net):
+        out = transform_network(base_net, link=lambda l: (l.price * 2, l.capacity))
+        for link in base_net.graph.links():
+            assert out.graph.link(link.u, link.v).price == pytest.approx(2 * link.price)
+
+    def test_instance_transform_applied(self, base_net):
+        out = transform_network(
+            base_net, instance=lambda i: (i.price, i.capacity + 1.0)
+        )
+        for inst in base_net.deployments.all_instances():
+            assert out.instance(inst.node, inst.vnf_type).capacity == pytest.approx(
+                inst.capacity + 1.0
+            )
+
+    def test_original_untouched(self, base_net):
+        before = [l.capacity for l in base_net.graph.links()]
+        transform_network(base_net, link=lambda l: (l.price, 999.0))
+        after = [l.capacity for l in base_net.graph.links()]
+        assert before == after
+
+
+class TestDegreeProportional:
+    def test_capacity_follows_min_degree(self, base_net):
+        out = degree_proportional_link_capacity(base_net, base=2.0, per_degree=1.0)
+        g = base_net.graph
+        for link in g.links():
+            expected = 2.0 + min(g.degree(link.u), g.degree(link.v))
+            assert out.graph.link(link.u, link.v).capacity == pytest.approx(expected)
+
+    def test_validation(self, base_net):
+        with pytest.raises(ConfigurationError):
+            degree_proportional_link_capacity(base_net, base=0.0)
+
+    def test_still_embeddable(self, base_net):
+        out = degree_proportional_link_capacity(base_net)
+        dag = generate_dag_sfc(SfcConfig(size=4), n_vnf_types=6, rng=6)
+        r = MbbeEmbedder().embed(out, dag, 0, 29, FlowConfig())
+        assert r.success
+
+
+class TestLognormal:
+    def test_median_roughly_respected(self, base_net):
+        out = lognormal_instance_capacity(base_net, median=4.0, sigma=0.5, rng=7)
+        caps = [i.capacity for i in out.deployments.all_instances()]
+        assert np.median(caps) == pytest.approx(4.0, rel=0.25)
+        assert min(caps) > 0
+
+    def test_deterministic_under_seed(self, base_net):
+        a = lognormal_instance_capacity(base_net, rng=9)
+        b = lognormal_instance_capacity(base_net, rng=9)
+        for inst in a.deployments.all_instances():
+            assert b.instance(inst.node, inst.vnf_type).capacity == pytest.approx(
+                inst.capacity
+            )
+
+    def test_validation(self, base_net):
+        with pytest.raises(ConfigurationError):
+            lognormal_instance_capacity(base_net, median=0.0)

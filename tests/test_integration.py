@@ -1,0 +1,133 @@
+"""End-to-end integration tests through the public API only."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    FlowConfig,
+    NetworkConfig,
+    ScenarioConfig,
+    SfcConfig,
+    generate_dag_sfc,
+    generate_network,
+    make_solver,
+    standard_catalog,
+    to_dag_sfc,
+    verify_embedding,
+)
+from repro.config import table2_defaults
+from repro.network.topologies import barabasi_albert, deploy_uniform, fat_tree, grid, waxman
+from repro.nfv.parallelism import ParallelismAnalyzer
+from repro.sfc.chain import SequentialSfc
+from repro.sim.experiment import SolverSpec
+from repro.sim.figures import figure_by_id
+from repro.sim.metrics import aggregate
+from repro.sim.report import markdown_table, summary_table
+from repro.sim.runner import run_experiment, run_trial
+
+
+class TestPublicApiSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestChainToEmbeddingPipeline:
+    def test_full_pipeline(self):
+        """catalog -> chain -> parallelism -> DAG -> network -> embed -> verify."""
+        catalog = standard_catalog()
+        chain = SequentialSfc(list(catalog.regular_ids)[:5])
+        dag = to_dag_sfc(chain, ParallelismAnalyzer(catalog), max_parallel=3)
+        net = generate_network(
+            NetworkConfig(size=60, connectivity=5.0, n_vnf_types=len(catalog)), rng=2
+        )
+        result = make_solver("MBBE").embed(net, dag, 0, 59, FlowConfig())
+        assert result.success
+        verify_embedding(net, result.embedding, FlowConfig())
+        assert result.total_cost < make_solver("RANV").embed(
+            net, dag, 0, 59, FlowConfig(), rng=1
+        ).total_cost * 1.2
+
+
+class TestAlternativeTopologies:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: grid(6, 6),
+            lambda: fat_tree(4),
+            lambda: barabasi_albert(36, 2, rng=1),
+            lambda: waxman(36, rng=1),
+        ],
+        ids=["grid", "fat-tree", "barabasi-albert", "waxman"],
+    )
+    def test_embedding_on_structured_topologies(self, build):
+        graph = build()
+        cfg = NetworkConfig(
+            size=graph.num_nodes, connectivity=3.0, n_vnf_types=6, deploy_ratio=0.6
+        )
+        net = deploy_uniform(graph, cfg, rng=3)
+        dag = generate_dag_sfc(SfcConfig(size=4), n_vnf_types=6, rng=4)
+        nodes = sorted(graph.nodes())
+        for name in ("MINV", "MBBE"):
+            r = make_solver(name).embed(net, dag, nodes[0], nodes[-1], FlowConfig(), rng=5)
+            assert r.success, f"{name} on {graph!r}: {r.reason}"
+            verify_embedding(net, r.embedding, FlowConfig())
+
+
+class TestExperimentPipeline:
+    def test_miniature_figure_to_report(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NET_SCALE", "0.05")  # 25-node networks
+        spec = figure_by_id("6f", trials=2)
+        records = run_experiment(spec)
+        summaries = aggregate(records)
+        table = summary_table(summaries, x_label=spec.x_label)
+        md = markdown_table(summaries, x_label=spec.x_label)
+        # Every sweep point appears in the rendered artifacts.
+        for x in spec.x_values:
+            assert f"{x:g}" in table
+            assert f"| {x:g} |" in md
+
+    def test_experiment_is_reproducible(self):
+        scenario = ScenarioConfig(
+            network=NetworkConfig(size=25, connectivity=4.0, n_vnf_types=6),
+            sfc=SfcConfig(size=4),
+        )
+        solvers = [SolverSpec(name="MBBE"), SolverSpec(name="RANV")]
+        a = run_trial(scenario, solvers, seed=12345)
+        b = run_trial(scenario, solvers, seed=12345)
+        for ra, rb in zip(a, b):
+            assert ra.total_cost == pytest.approx(rb.total_cost)
+
+    def test_paired_instances_across_algorithms(self):
+        """All algorithms in one trial see the same network and SFC."""
+        scenario = ScenarioConfig(
+            network=NetworkConfig(size=25, connectivity=4.0, n_vnf_types=6),
+            sfc=SfcConfig(size=4),
+        )
+        recs = run_trial(
+            scenario,
+            [SolverSpec(name="MINV"), SolverSpec(name="MBBE")],
+            seed=777,
+        )
+        # MBBE can never exceed... no guarantee per-instance, but both must
+        # have solved *some* instance with identical seed bookkeeping.
+        assert recs[0].seed == recs[1].seed
+
+
+class TestDefaultsSanity:
+    def test_table2_runs_and_orders(self):
+        sc = table2_defaults().with_network(size=100)
+        rng = np.random.default_rng(0)
+        net = generate_network(sc.network, rng)
+        dag = generate_dag_sfc(sc.sfc, sc.network.n_vnf_types, rng)
+        costs = {}
+        for name in ("RANV", "MINV", "BBE", "MBBE"):
+            r = make_solver(name).embed(net, dag, 0, 99, sc.flow, rng=1)
+            assert r.success
+            costs[name] = r.total_cost
+        assert costs["MBBE"] < min(costs["RANV"], costs["MINV"])
+        assert costs["BBE"] < min(costs["RANV"], costs["MINV"])

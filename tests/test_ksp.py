@@ -1,0 +1,80 @@
+"""Unit tests for Yen's k-shortest paths, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.config import NetworkConfig
+from repro.exceptions import ConfigurationError, NodeNotFoundError
+from repro.network.generator import generate_network
+from repro.network.ksp import k_shortest_paths
+
+from .conftest import build_line_graph, build_square_graph
+
+
+class TestBasics:
+    def test_k_must_be_positive(self, line5):
+        with pytest.raises(ConfigurationError):
+            k_shortest_paths(line5, 0, 4, 0)
+
+    def test_missing_nodes(self, line5):
+        with pytest.raises(NodeNotFoundError):
+            k_shortest_paths(line5, 99, 0, 1)
+        with pytest.raises(NodeNotFoundError):
+            k_shortest_paths(line5, 0, 99, 1)
+
+    def test_same_node(self, line5):
+        paths = k_shortest_paths(line5, 2, 2, 3)
+        assert len(paths) == 1 and paths[0].is_trivial
+
+    def test_line_has_single_path(self, line5):
+        paths = k_shortest_paths(line5, 0, 4, 5)
+        assert len(paths) == 1
+        assert paths[0].nodes == (0, 1, 2, 3, 4)
+
+    def test_unreachable_returns_empty(self):
+        g = build_line_graph(2)
+        g.add_node(7)
+        assert k_shortest_paths(g, 0, 7, 3) == []
+
+
+class TestOrderingAndDistinctness:
+    def test_square_paths_sorted_by_cost(self):
+        g = build_square_graph(price=1.0)
+        paths = k_shortest_paths(g, 0, 2, 3)
+        costs = [p.cost(g) for p in paths]
+        assert costs == sorted(costs)
+        assert len({p.nodes for p in paths}) == len(paths)
+
+    def test_all_paths_simple(self):
+        g = build_square_graph()
+        for p in k_shortest_paths(g, 0, 2, 5):
+            assert p.is_simple()
+
+    def test_link_filter_respected(self):
+        g = build_square_graph(price=1.0)
+        paths = k_shortest_paths(g, 0, 2, 5, link_filter=lambda l: l.key != (0, 2))
+        assert all((0, 2) not in p.edge_set() for p in paths)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_matches_networkx_shortest_simple_paths(self, seed):
+        net = generate_network(
+            NetworkConfig(size=25, connectivity=4.0, n_vnf_types=3), rng=seed
+        )
+        g = net.graph
+        nxg = nx.Graph()
+        for link in g.links():
+            nxg.add_edge(link.u, link.v, weight=link.price)
+        k = 5
+        ours = k_shortest_paths(g, 0, 10, k)
+        ref_iter = nx.shortest_simple_paths(nxg, 0, 10, weight="weight")
+        ref_costs = []
+        for _, path in zip(range(k), ref_iter):
+            ref_costs.append(
+                sum(nxg[u][v]["weight"] for u, v in zip(path, path[1:]))
+            )
+        our_costs = [p.cost(g) for p in ours]
+        assert len(our_costs) == len(ref_costs)
+        for a, b in zip(our_costs, ref_costs):
+            assert a == pytest.approx(b)

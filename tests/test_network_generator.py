@@ -1,0 +1,132 @@
+"""Tests for the paper's random network generator (§5.1 contract)."""
+
+import numpy as np
+import pytest
+
+from repro.config import NetworkConfig
+from repro.exceptions import ConfigurationError
+from repro.network.generator import generate_network, target_link_count
+from repro.network.spanning import (
+    degree_sequence,
+    is_connected_edges,
+    random_spanning_tree_edges,
+)
+from repro.types import MERGER_VNF
+
+
+class TestSpanningTree:
+    def test_tree_has_n_minus_1_edges_and_connects(self):
+        for seed in range(5):
+            edges = random_spanning_tree_edges(20, seed)
+            assert len(edges) == 19
+            assert is_connected_edges(20, edges)
+
+    def test_single_node(self):
+        assert random_spanning_tree_edges(1, 0) == []
+
+    def test_deterministic(self):
+        assert random_spanning_tree_edges(15, 42) == random_spanning_tree_edges(15, 42)
+
+    def test_degree_sequence(self):
+        deg = degree_sequence(3, [(0, 1), (1, 2)])
+        assert list(deg) == [1, 2, 1]
+
+
+class TestTargetLinkCount:
+    def test_connectivity_six(self):
+        assert target_link_count(500, 6.0) == 1500
+
+    def test_never_below_tree(self):
+        assert target_link_count(10, 0.5) == 9
+
+    def test_never_above_complete(self):
+        assert target_link_count(5, 100.0) == 10
+
+
+class TestGeneratedTopology:
+    def test_connected_and_sized(self):
+        net = generate_network(NetworkConfig(size=100, connectivity=5.0, n_vnf_types=4), rng=1)
+        assert net.graph.num_nodes == 100
+        assert net.graph.is_connected()
+
+    def test_average_degree_close_to_target(self):
+        cfg = NetworkConfig(size=200, connectivity=6.0, n_vnf_types=4)
+        net = generate_network(cfg, rng=2)
+        assert net.graph.average_degree() == pytest.approx(6.0, abs=0.1)
+
+    def test_dense_request_works(self):
+        cfg = NetworkConfig(size=12, connectivity=9.0, n_vnf_types=2)
+        net = generate_network(cfg, rng=3)
+        assert net.graph.average_degree() == pytest.approx(9.0, abs=0.4)
+        assert net.graph.is_connected()
+
+    def test_deterministic_under_seed(self):
+        cfg = NetworkConfig(size=50, connectivity=4.0, n_vnf_types=3)
+        a = generate_network(cfg, rng=9)
+        b = generate_network(cfg, rng=9)
+        assert {l.key for l in a.graph.links()} == {l.key for l in b.graph.links()}
+        for link_a in a.graph.links():
+            link_b = b.graph.link(link_a.u, link_a.v)
+            assert link_a.price == link_b.price
+
+    def test_different_seeds_differ(self):
+        cfg = NetworkConfig(size=50, connectivity=4.0, n_vnf_types=3)
+        a = generate_network(cfg, rng=1)
+        b = generate_network(cfg, rng=2)
+        assert {l.key for l in a.graph.links()} != {l.key for l in b.graph.links()}
+
+
+class TestGeneratedDeployments:
+    def test_deploy_ratio_statistics(self):
+        cfg = NetworkConfig(size=400, connectivity=4.0, n_vnf_types=5, deploy_ratio=0.5)
+        net = generate_network(cfg, rng=4)
+        for t in range(1, 6):
+            ratio = net.deployments.deployment_ratio(t, 400)
+            assert 0.40 <= ratio <= 0.60  # ~5 sigma band for p=.5, n=400
+
+    def test_every_category_deployed_somewhere(self):
+        cfg = NetworkConfig(size=30, connectivity=3.0, n_vnf_types=8, deploy_ratio=0.1)
+        net = generate_network(cfg, rng=5)
+        for t in range(1, 9):
+            assert net.nodes_with(t)
+        assert net.merger_nodes()
+
+    def test_vnf_price_fluctuation_bounds(self):
+        cfg = NetworkConfig(
+            size=300, connectivity=4.0, n_vnf_types=3, vnf_price_fluctuation=0.05
+        )
+        net = generate_network(cfg, rng=6)
+        prices = [
+            inst.price
+            for inst in net.deployments.all_instances()
+            if inst.vnf_type != MERGER_VNF
+        ]
+        assert min(prices) >= 95.0 - 1e-9
+        assert max(prices) <= 105.0 + 1e-9
+        assert np.mean(prices) == pytest.approx(100.0, rel=0.02)
+
+    def test_link_price_ratio(self):
+        cfg = NetworkConfig(size=300, connectivity=6.0, n_vnf_types=3, price_ratio=0.2)
+        net = generate_network(cfg, rng=7)
+        link_prices = [l.price for l in net.graph.links()]
+        assert np.mean(link_prices) == pytest.approx(20.0, rel=0.03)
+
+    def test_capacities_applied(self):
+        cfg = NetworkConfig(
+            size=20, connectivity=3.0, n_vnf_types=2, vnf_capacity=3.0, link_capacity=4.0
+        )
+        net = generate_network(cfg, rng=8)
+        assert all(l.capacity == 4.0 for l in net.graph.links())
+        assert all(i.capacity == 3.0 for i in net.deployments.all_instances())
+
+    def test_merger_price_scale(self):
+        cfg = NetworkConfig(
+            size=200, connectivity=4.0, n_vnf_types=2, merger_price_scale=0.5
+        )
+        net = generate_network(cfg, rng=9)
+        merger_prices = [
+            inst.price
+            for inst in net.deployments.all_instances()
+            if inst.vnf_type == MERGER_VNF
+        ]
+        assert np.mean(merger_prices) == pytest.approx(50.0, rel=0.05)

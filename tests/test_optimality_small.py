@@ -1,0 +1,107 @@
+"""Cross-solver optimality tests on tiny instances.
+
+The two independent oracles (layer-DP with exact Steiner multicast, and the
+flow MILP) must agree; every heuristic must be lower-bounded by them; the
+heuristics' gap to optimal must stay moderate on easy instances.
+"""
+
+import pytest
+
+from repro.config import FlowConfig, NetworkConfig, SfcConfig
+from repro.embedding.feasibility import verify_embedding
+from repro.network.generator import generate_network
+from repro.sfc.generator import generate_dag_sfc
+from repro.solvers import (
+    BbeEmbedder,
+    ExactEmbedder,
+    IlpEmbedder,
+    MbbeEmbedder,
+    MinvEmbedder,
+    RanvEmbedder,
+)
+
+
+def tiny_instance(seed: int, *, size: int = 12, sfc_size: int = 4):
+    cfg = NetworkConfig(
+        size=size, connectivity=3.0, n_vnf_types=5, deploy_ratio=0.6,
+        vnf_capacity=100.0, link_capacity=100.0,
+    )
+    net = generate_network(cfg, rng=seed)
+    dag = generate_dag_sfc(SfcConfig(size=sfc_size), n_vnf_types=5, rng=seed + 1000)
+    return net, dag
+
+
+class TestOraclesAgree:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_exact_equals_ilp(self, seed):
+        net, dag = tiny_instance(seed)
+        exact = ExactEmbedder().embed(net, dag, 0, net.num_nodes - 1, FlowConfig())
+        ilp = IlpEmbedder().embed(net, dag, 0, net.num_nodes - 1, FlowConfig())
+        assert exact.success and ilp.success
+        assert exact.total_cost == pytest.approx(ilp.total_cost, rel=1e-6)
+
+    @pytest.mark.parametrize("seed", [6, 7])
+    def test_oracles_agree_single_layer(self, seed):
+        net, dag = tiny_instance(seed, sfc_size=3)
+        exact = ExactEmbedder().embed(net, dag, 1, 8, FlowConfig())
+        ilp = IlpEmbedder().embed(net, dag, 1, 8, FlowConfig())
+        assert exact.total_cost == pytest.approx(ilp.total_cost, rel=1e-6)
+
+    def test_ilp_objective_matches_referee_cost(self):
+        net, dag = tiny_instance(11)
+        r = IlpEmbedder().embed(net, dag, 0, 5, FlowConfig())
+        assert r.success
+        assert r.stats["milp_objective"] == pytest.approx(r.total_cost, rel=1e-6)
+
+
+class TestHeuristicsVsOptimal:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6])
+    def test_never_below_optimal(self, seed):
+        net, dag = tiny_instance(seed)
+        opt = ExactEmbedder().embed(net, dag, 0, net.num_nodes - 1, FlowConfig())
+        assert opt.success
+        for factory in (BbeEmbedder, MbbeEmbedder, MinvEmbedder, RanvEmbedder):
+            r = factory().embed(net, dag, 0, net.num_nodes - 1, FlowConfig(), rng=seed)
+            assert r.success
+            assert r.total_cost >= opt.total_cost - 1e-6
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_bbe_mbbe_near_optimal(self, seed):
+        """BBE/MBBE stay within a modest factor of optimal on easy instances."""
+        net, dag = tiny_instance(seed)
+        opt = ExactEmbedder().embed(net, dag, 0, net.num_nodes - 1, FlowConfig())
+        bbe = BbeEmbedder().embed(net, dag, 0, net.num_nodes - 1, FlowConfig())
+        mbbe = MbbeEmbedder().embed(net, dag, 0, net.num_nodes - 1, FlowConfig())
+        assert bbe.total_cost <= 1.25 * opt.total_cost
+        assert mbbe.total_cost <= 1.25 * opt.total_cost
+
+
+class TestCapacitatedIlp:
+    def test_ilp_respects_tight_capacity(self):
+        """With one link capacity-1, the ILP must route around or fail —
+        never overload (the referee would raise)."""
+        cfg = NetworkConfig(
+            size=10, connectivity=3.0, n_vnf_types=4, deploy_ratio=0.7,
+            vnf_capacity=1.0, link_capacity=1.0,
+        )
+        net = generate_network(cfg, rng=21)
+        dag = generate_dag_sfc(SfcConfig(size=3), n_vnf_types=4, rng=22)
+        r = IlpEmbedder().embed(net, dag, 0, 9, FlowConfig(rate=1.0))
+        if r.success:  # feasibility is instance-dependent; validity is not
+            verify_embedding(net, r.embedding, FlowConfig(rate=1.0))
+
+    def test_ilp_finds_capacity_feasible_when_exact_dp_cannot(self):
+        """The DP oracle ignores capacity coupling; the ILP handles it."""
+        from repro.network.cloud import CloudNetwork
+        from repro.sfc.builder import DagSfcBuilder
+
+        from .conftest import build_square_graph
+
+        g = build_square_graph(price=1.0, capacity=1.0)
+        net = CloudNetwork(g)
+        net.deploy(1, 1, price=10.0, capacity=10.0)
+        net.deploy(3, 2, price=10.0, capacity=10.0)
+        dag = DagSfcBuilder().single(1).single(2).build()
+        r = IlpEmbedder().embed(net, dag, 0, 2, FlowConfig(rate=1.0))
+        assert r.success
+        verify_embedding(net, r.embedding, FlowConfig(rate=1.0))

@@ -1,0 +1,82 @@
+"""Unit tests for the real-path value type."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.paths import Path
+
+from .conftest import build_line_graph, build_square_graph
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Path(())
+
+    def test_consecutive_repeat_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Path((1, 1))
+
+    def test_trivial_path(self):
+        p = Path.trivial(4)
+        assert p.is_trivial
+        assert p.length == 0
+        assert p.source == p.target == 4
+        assert list(p.edges()) == []
+
+
+class TestAccessors:
+    def test_length_counts_links(self):
+        p = Path((0, 1, 2, 3))
+        assert p.length == 3
+        assert len(p) == 3
+
+    def test_edges_canonical(self):
+        p = Path((3, 1, 2))
+        assert list(p.edges()) == [(1, 3), (1, 2)]
+
+    def test_edge_set_dedups(self):
+        p = Path((0, 1, 0))  # walk back and forth
+        assert p.edge_set() == frozenset({(0, 1)})
+
+    def test_is_simple(self):
+        assert Path((0, 1, 2)).is_simple()
+        assert not Path((0, 1, 0)).is_simple()
+
+
+class TestGraphAware:
+    def test_validate_ok(self, line5):
+        Path((0, 1, 2)).validate(line5)
+
+    def test_validate_bad_hop(self, line5):
+        with pytest.raises(ConfigurationError):
+            Path((0, 2)).validate(line5)
+
+    def test_cost_sums_prices(self):
+        g = build_square_graph(price=1.0)
+        assert Path((1, 0, 2)).cost(g) == pytest.approx(1.0 + 2.0)
+
+    def test_cost_of_trivial_is_zero(self, line5):
+        assert Path.trivial(0).cost(line5) == 0.0
+
+
+class TestOperations:
+    def test_concat(self):
+        p = Path((0, 1)).concat(Path((1, 2)))
+        assert p.nodes == (0, 1, 2)
+
+    def test_concat_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Path((0, 1)).concat(Path((2, 3)))
+
+    def test_concat_with_trivial(self):
+        p = Path((0, 1)).concat(Path.trivial(1))
+        assert p.nodes == (0, 1)
+
+    def test_reversed(self):
+        assert Path((0, 1, 2)).reversed().nodes == (2, 1, 0)
+
+    def test_equality_and_hash(self):
+        assert Path((0, 1)) == Path((0, 1))
+        assert hash(Path((0, 1))) == hash(Path((0, 1)))
+        assert Path((0, 1)) != Path((1, 0))

@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import FlowConfig, NetworkConfig, SfcConfig
+from repro.embedding.costing import charged_link_uses, compute_cost
+from repro.embedding.feasibility import verify_embedding
+from repro.network.generator import generate_network
+from repro.network.ksp import k_shortest_paths
+from repro.network.paths import Path
+from repro.network.shortest import bfs_rings, dijkstra
+from repro.network.spanning import is_connected_edges, random_spanning_tree_edges
+from repro.network.steiner import exact_steiner_tree, mst_steiner_tree
+from repro.sfc.generator import generate_dag_sfc, layer_sizes_for
+from repro.solvers import MbbeEmbedder, MinvEmbedder, RanvEmbedder
+
+# Shared settings: generators build whole networks, so keep examples modest.
+MODERATE = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+nets = st.builds(
+    lambda seed, size, conn: generate_network(
+        NetworkConfig(
+            size=size,
+            connectivity=min(conn, size - 1.0),
+            n_vnf_types=5,
+            deploy_ratio=0.6,
+            vnf_capacity=100.0,
+            link_capacity=100.0,
+        ),
+        rng=seed,
+    ),
+    seed=st.integers(0, 10_000),
+    size=st.integers(8, 40),
+    conn=st.floats(2.5, 6.0),
+)
+
+
+class TestSpanningProperties:
+    @given(n=st.integers(2, 120), seed=st.integers(0, 10_000))
+    @MODERATE
+    def test_spanning_tree_always_connects(self, n, seed):
+        edges = random_spanning_tree_edges(n, seed)
+        assert len(edges) == n - 1
+        assert is_connected_edges(n, edges)
+
+
+class TestDijkstraProperties:
+    @given(net=nets, seed=st.integers(0, 1000))
+    @MODERATE
+    def test_triangle_inequality_and_path_cost(self, net, seed):
+        g = net.graph
+        rng = np.random.default_rng(seed)
+        src = int(rng.integers(0, g.num_nodes))
+        res = dijkstra(g, src)
+        for node in list(res.dist)[:10]:
+            path = res.path_to(node)
+            assert path is not None
+            # Reported distance equals the reconstructed path's cost.
+            assert path.cost(g) == pytest.approx(res.cost_to(node))
+            path.validate(g)
+        # Distances satisfy the edge triangle inequality.
+        for link in list(g.links())[:50]:
+            du, dv = res.cost_to(link.u), res.cost_to(link.v)
+            assert du <= dv + link.price + 1e-9
+            assert dv <= du + link.price + 1e-9
+
+    @given(net=nets)
+    @MODERATE
+    def test_bfs_rings_partition_and_preds(self, net):
+        g = net.graph
+        r = bfs_rings(g, 0, stop=lambda seen: len(seen) >= g.num_nodes)
+        all_nodes = [n for ring in r.rings for n in ring]
+        assert len(all_nodes) == len(set(all_nodes))  # rings are disjoint
+        for node, preds in r.preds.items():
+            d = r.depth_of(node)
+            for p in preds:
+                assert r.depth_of(p) == d - 1
+                assert g.has_link(p, node)
+
+
+class TestKspProperties:
+    @given(net=nets, k=st.integers(1, 6), seed=st.integers(0, 1000))
+    @MODERATE
+    def test_sorted_distinct_simple(self, net, k, seed):
+        g = net.graph
+        rng = np.random.default_rng(seed)
+        a, b = rng.choice(g.num_nodes, size=2, replace=False)
+        paths = k_shortest_paths(g, int(a), int(b), k)
+        costs = [p.cost(g) for p in paths]
+        assert costs == sorted(costs)
+        assert len({p.nodes for p in paths}) == len(paths)
+        for p in paths:
+            assert p.is_simple()
+            p.validate(g)
+
+
+class TestSteinerProperties:
+    @given(net=nets, seed=st.integers(0, 1000))
+    @MODERATE
+    def test_exact_below_approx_below_sum_of_paths(self, net, seed):
+        g = net.graph
+        rng = np.random.default_rng(seed)
+        nodes = rng.choice(g.num_nodes, size=3, replace=False)
+        root, t1, t2 = (int(x) for x in nodes)
+        exact = exact_steiner_tree(g, root, [t1, t2])
+        approx = mst_steiner_tree(g, root, [t1, t2])
+        d = dijkstra(g, root)
+        unicast_sum = d.cost_to(t1) + d.cost_to(t2)
+        assert exact.cost <= approx.cost + 1e-9
+        assert approx.cost <= 2 * exact.cost + 1e-9
+        # Multicast never beats the best single path but never exceeds the
+        # straightforward unicast combination.
+        assert exact.cost <= unicast_sum + 1e-9
+        assert exact.cost >= max(d.cost_to(t1), d.cost_to(t2)) - 1e-9
+
+
+class TestSfcGeneratorProperties:
+    @given(size=st.integers(1, 12), seed=st.integers(0, 10_000))
+    @MODERATE
+    def test_structure_rule_holds(self, size, seed):
+        dag = generate_dag_sfc(
+            SfcConfig(size=size), n_vnf_types=max(12, size), rng=seed
+        )
+        assert dag.size == size
+        assert tuple(l.phi for l in dag.layers) == layer_sizes_for(size)
+        for layer in dag.layers:
+            assert layer.has_merger == (layer.phi > 1)
+
+
+class TestSolverInvariants:
+    @given(
+        net=nets,
+        sfc_seed=st.integers(0, 10_000),
+        sfc_size=st.integers(1, 5),
+        rng_seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_solutions_always_verify_and_order(self, net, sfc_seed, sfc_size, rng_seed):
+        dag = generate_dag_sfc(SfcConfig(size=sfc_size), n_vnf_types=5, rng=sfc_seed)
+        flow = FlowConfig()
+        n = net.num_nodes
+        src, dst = 0, n - 1
+        results = {}
+        for solver in (MbbeEmbedder(), MinvEmbedder(), RanvEmbedder()):
+            r = solver.embed(net, dag, src, dst, flow, rng=rng_seed)
+            assert r.success, f"{solver.name}: {r.reason}"
+            verify_embedding(net, r.embedding, flow)  # referee accepts
+            # Cost decomposition is consistent.
+            assert r.cost.total == pytest.approx(r.cost.vnf_cost + r.cost.link_cost)
+            assert r.cost.vnf_cost > 0
+            results[solver.name] = r
+
+        # Multicast accounting: charged uses never exceed naive per-path sums.
+        for r in results.values():
+            emb = r.embedding
+            naive = sum(p.length for p in emb.inter_paths.values()) + sum(
+                p.length for p in emb.inner_paths.values()
+            )
+            assert sum(charged_link_uses(emb).values()) <= naive
+
+    @given(net=nets, seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_cost_scale_invariance_in_z(self, net, seed):
+        dag = generate_dag_sfc(SfcConfig(size=4), n_vnf_types=5, rng=seed)
+        r1 = MbbeEmbedder().embed(net, dag, 0, net.num_nodes - 1, FlowConfig(size=1.0))
+        r2 = MbbeEmbedder().embed(net, dag, 0, net.num_nodes - 1, FlowConfig(size=3.0))
+        assert r1.success and r2.success
+        assert r2.total_cost == pytest.approx(3.0 * r1.total_cost, rel=1e-6)

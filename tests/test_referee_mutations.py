@@ -1,0 +1,163 @@
+"""Mutation testing of the referee: every tampered embedding must be caught.
+
+The shared referee (`verify_embedding`) is the last line of defence against
+solver bugs; these tests mutate *valid* solver outputs in every structural
+way we can think of and assert the referee rejects each mutant. If a new
+mutation class survives, the referee has a hole.
+"""
+
+import pytest
+
+from repro.config import FlowConfig, NetworkConfig, SfcConfig
+from repro.embedding.feasibility import verify_embedding
+from repro.embedding.mapping import Embedding
+from repro.exceptions import EmbeddingError, ReproError
+from repro.network.generator import generate_network
+from repro.network.paths import Path
+from repro.sfc.generator import generate_dag_sfc
+from repro.solvers import MbbeEmbedder
+from repro.types import Position
+
+
+@pytest.fixture(scope="module")
+def valid():
+    net = generate_network(
+        NetworkConfig(size=30, connectivity=4.0, n_vnf_types=6), rng=42
+    )
+    dag = generate_dag_sfc(SfcConfig(size=5), n_vnf_types=6, rng=43)
+    r = MbbeEmbedder().embed(net, dag, 0, 29, FlowConfig())
+    assert r.success
+    return net, r.embedding
+
+
+def remake(emb: Embedding, **kw) -> Embedding:
+    fields = dict(
+        dag=emb.dag,
+        source=emb.source,
+        dest=emb.dest,
+        placements=dict(emb.placements),
+        inter_paths=dict(emb.inter_paths),
+        inner_paths=dict(emb.inner_paths),
+    )
+    fields.update(kw)
+    return Embedding(**fields)
+
+
+def assert_rejected(net, emb):
+    with pytest.raises(ReproError):
+        verify_embedding(net, emb, FlowConfig())
+
+
+class TestPlacementMutations:
+    def test_original_is_valid(self, valid):
+        net, emb = valid
+        verify_embedding(net, emb, FlowConfig())
+
+    def test_drop_each_placement(self, valid):
+        net, emb = valid
+        for pos in emb.placements:
+            placements = dict(emb.placements)
+            del placements[pos]
+            assert_rejected(net, remake(emb, placements=placements))
+
+    def test_move_each_placement_to_nonhosting_node(self, valid):
+        net, emb = valid
+        s = emb.stretched()
+        for pos, node in emb.placements.items():
+            vnf = s.vnf_at(pos)
+            bad = next(
+                (n for n in sorted(net.nodes()) if not net.has_vnf(n, vnf)), None
+            )
+            if bad is None:
+                continue
+            placements = dict(emb.placements)
+            placements[pos] = bad
+            assert_rejected(net, remake(emb, placements=placements))
+
+    def test_extra_phantom_placement(self, valid):
+        net, emb = valid
+        placements = dict(emb.placements)
+        placements[Position(99, 1)] = 0
+        assert_rejected(net, remake(emb, placements=placements))
+
+
+class TestPathMutations:
+    def test_drop_each_inter_path(self, valid):
+        net, emb = valid
+        for pos in emb.inter_paths:
+            inter = dict(emb.inter_paths)
+            del inter[pos]
+            assert_rejected(net, remake(emb, inter_paths=inter))
+
+    def test_drop_each_inner_path(self, valid):
+        net, emb = valid
+        for pos in emb.inner_paths:
+            inner = dict(emb.inner_paths)
+            del inner[pos]
+            assert_rejected(net, remake(emb, inner_paths=inner))
+
+    def test_truncate_each_nontrivial_inter_path(self, valid):
+        net, emb = valid
+        for pos, path in emb.inter_paths.items():
+            if path.length < 1:
+                continue
+            inter = dict(emb.inter_paths)
+            inter[pos] = Path(path.nodes[:-1])
+            # Endpoint mismatch (or, if length was 1, a trivial path that
+            # no longer reaches the placement).
+            assert_rejected(net, remake(emb, inter_paths=inter))
+
+    def test_reverse_each_nontrivial_path(self, valid):
+        net, emb = valid
+        mutated = False
+        for pos, path in emb.inter_paths.items():
+            if path.length < 1 or path.source == path.target:
+                continue
+            inter = dict(emb.inter_paths)
+            inter[pos] = path.reversed()
+            assert_rejected(net, remake(emb, inter_paths=inter))
+            mutated = True
+        assert mutated
+
+    def test_path_over_phantom_link(self, valid):
+        net, emb = valid
+        # Find two non-adjacent nodes and fabricate a path over them.
+        nodes = sorted(net.nodes())
+        a, b = next(
+            (x, y)
+            for x in nodes
+            for y in nodes
+            if x < y and not net.graph.has_link(x, y)
+        )
+        pos = next(iter(emb.inter_paths))
+        src = emb.inter_paths[pos].source
+        dst = emb.inter_paths[pos].target
+        if src == dst:
+            pytest.skip("first inter path is trivial in this instance")
+        inter = dict(emb.inter_paths)
+        inter[pos] = Path((src, a, b, dst)) if src not in (a, b) else Path((src, b, dst))
+        assert_rejected(net, remake(emb, inter_paths=inter))
+
+    def test_stray_extra_inner_path(self, valid):
+        net, emb = valid
+        inner = dict(emb.inner_paths)
+        inner[Position(50, 1)] = Path.trivial(0)
+        assert_rejected(net, remake(emb, inner_paths=inner))
+
+
+class TestEndpointMutations:
+    def test_wrong_source(self, valid):
+        net, emb = valid
+        if emb.source == 5:
+            pytest.skip("instance uses node 5 as source")
+        assert_rejected(net, remake(emb, source=5))
+
+    def test_wrong_dest(self, valid):
+        net, emb = valid
+        other = next(n for n in sorted(net.nodes()) if n != emb.dest)
+        assert_rejected(net, remake(emb, dest=other))
+
+    def test_nonexistent_endpoints(self, valid):
+        net, emb = valid
+        assert_rejected(net, remake(emb, source=10_000))
+        assert_rejected(net, remake(emb, dest=10_000))

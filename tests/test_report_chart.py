@@ -1,0 +1,95 @@
+"""Tests for table/CSV rendering and the ASCII chart."""
+
+import csv
+import io
+import math
+
+from repro.sim.ascii_chart import line_chart
+from repro.sim.metrics import PointSummary
+from repro.sim.report import (
+    markdown_table,
+    series_from_summaries,
+    summaries_to_csv,
+    summary_table,
+)
+
+
+def ps(x, algo, mean, *, n=5, ok=5):
+    return PointSummary(
+        x=x, algorithm=algo, n_trials=n, n_success=ok,
+        mean_cost=mean, std_cost=1.0, ci95_cost=0.5,
+        mean_vnf_cost=mean * 0.7, mean_link_cost=mean * 0.3, mean_runtime=0.01,
+    )
+
+
+SUMMARIES = [
+    ps(1.0, "RANV", 100.0),
+    ps(1.0, "MBBE", 70.0),
+    ps(2.0, "RANV", 150.0, ok=4),
+    ps(2.0, "MBBE", 90.0),
+]
+
+
+class TestSummaryTable:
+    def test_columns_ordered_paper_style(self):
+        table = summary_table(SUMMARIES, x_label="SFC size")
+        header = table.splitlines()[0]
+        assert header.index("RANV") < header.index("MBBE")
+
+    def test_partial_success_annotated(self):
+        table = summary_table(SUMMARIES)
+        assert "(4/5)" in table
+
+    def test_missing_cell_dash(self):
+        table = summary_table([ps(1.0, "A", 10.0), ps(2.0, "B", 20.0)])
+        assert "—" in table
+
+    def test_all_failed_cell_dash(self):
+        table = summary_table([ps(1.0, "A", math.nan, ok=0)])
+        assert "—" in table
+
+
+class TestMarkdown:
+    def test_markdown_structure(self):
+        md = markdown_table(SUMMARIES, x_label="x")
+        lines = md.splitlines()
+        assert lines[0].startswith("| x |")
+        assert lines[1].startswith("|---")
+        assert len(lines) == 2 + 2  # two x rows
+
+
+class TestCsv:
+    def test_roundtrip(self):
+        text = summaries_to_csv(SUMMARIES)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 4
+        assert rows[0]["algorithm"] in {"RANV", "MBBE"}
+        assert float(rows[0]["mean_cost"]) > 0
+
+
+class TestSeries:
+    def test_series_skip_nan(self):
+        s = series_from_summaries(SUMMARIES + [ps(3.0, "MBBE", math.nan, ok=0)])
+        assert [x for x, _ in s["MBBE"]] == [1.0, 2.0]
+
+
+class TestAsciiChart:
+    def test_renders_all_series(self):
+        chart = line_chart(
+            {"MBBE": [(1, 70), (2, 90)], "RANV": [(1, 100), (2, 150)]},
+            title="demo", x_label="size",
+        )
+        assert "demo" in chart
+        assert "o=MBBE" in chart and "*=RANV" in chart
+        assert "size" in chart
+
+    def test_empty(self):
+        assert line_chart({}) == "(no data)"
+
+    def test_single_point(self):
+        chart = line_chart({"A": [(1.0, 5.0)]})
+        assert "o=A" in chart
+
+    def test_nan_points_ignored(self):
+        chart = line_chart({"A": [(1.0, 5.0), (2.0, math.nan)]})
+        assert "o=A" in chart

@@ -1,0 +1,175 @@
+"""Reuse-accounting semantics of eq. 7–10, exercised edge by edge.
+
+These are the behaviours a naive implementation gets wrong: the same VNF
+instance rented by two SFC positions, the same link charged by different
+layers, multicast sharing within a layer but not across layers, and
+inner-layer paths never sharing.
+"""
+
+import pytest
+
+from repro.config import FlowConfig
+from repro.embedding.costing import charged_link_uses, compute_cost, vnf_uses
+from repro.embedding.feasibility import check_capacity
+from repro.embedding.mapping import Embedding
+from repro.exceptions import InfeasibleEmbeddingError
+from repro.network.cloud import CloudNetwork
+from repro.network.paths import Path
+from repro.sfc.builder import DagSfcBuilder
+from repro.types import MERGER_VNF, Position
+
+from .conftest import build_line_graph
+
+
+@pytest.fixture
+def reuse_cloud():
+    """Line 0-1-2 with f(1) only on node 1 (capacity 2 uses)."""
+    g = build_line_graph(3, price=1.0, capacity=10.0)
+    net = CloudNetwork(g)
+    net.deploy(1, 1, price=10.0, capacity=2.0)
+    return net
+
+
+class TestVnfReuseAcrossLayers:
+    """eq. 7: alpha_{v,i} counts positions; rental paid per use."""
+
+    def _embedding(self, net):
+        dag = DagSfcBuilder().single(1).single(1).build()  # f(1) twice
+        return Embedding(
+            dag=dag, source=0, dest=2,
+            placements={Position(1, 1): 1, Position(2, 1): 1},
+            inter_paths={
+                Position(1, 1): Path((0, 1)),
+                Position(2, 1): Path.trivial(1),
+                Position(3, 1): Path((1, 2)),
+            },
+            inner_paths={},
+        )
+
+    def test_alpha_counts_both_uses(self, reuse_cloud):
+        emb = self._embedding(reuse_cloud)
+        assert vnf_uses(emb) == {(1, 1): 2}
+
+    def test_rental_charged_twice(self, reuse_cloud):
+        emb = self._embedding(reuse_cloud)
+        cost = compute_cost(reuse_cloud, emb, FlowConfig())
+        assert cost.vnf_cost == pytest.approx(20.0)
+
+    def test_capacity_consumed_per_use(self, reuse_cloud):
+        emb = self._embedding(reuse_cloud)
+        check_capacity(reuse_cloud, emb, FlowConfig(rate=1.0))  # 2*1 <= 2
+        with pytest.raises(InfeasibleEmbeddingError):
+            check_capacity(reuse_cloud, emb, FlowConfig(rate=1.1))  # 2.2 > 2
+
+
+class TestLinkReuseAcrossLayers:
+    """eq. 9's sum over l: the same link in two layers' multicasts pays twice."""
+
+    def test_two_layers_same_link(self):
+        g = build_line_graph(2, price=3.0, capacity=10.0)
+        net = CloudNetwork(g)
+        net.deploy(1, 1, price=1.0, capacity=10.0)
+        net.deploy(0, 2, price=1.0, capacity=10.0)
+        dag = DagSfcBuilder().single(1).single(2).build()
+        emb = Embedding(
+            dag=dag, source=0, dest=0,
+            placements={Position(1, 1): 1, Position(2, 1): 0},
+            inter_paths={
+                Position(1, 1): Path((0, 1)),  # layer 1 uses 0-1
+                Position(2, 1): Path((1, 0)),  # layer 2 uses 0-1 again
+                Position(3, 1): Path.trivial(0),
+            },
+            inner_paths={},
+        )
+        alpha = charged_link_uses(emb)
+        assert alpha[(0, 1)] == 2  # no cross-layer sharing
+        assert compute_cost(net, emb, FlowConfig()).link_cost == pytest.approx(6.0)
+
+
+class TestMulticastScope:
+    """eq. 9's min{…,1}: sharing within one layer's inter paths only."""
+
+    @pytest.fixture
+    def multi_cloud(self):
+        g = build_line_graph(4, price=1.0, capacity=10.0)
+        net = CloudNetwork(g)
+        for t in (1, 2):
+            net.deploy(2, t, price=1.0, capacity=10.0)
+        net.deploy(3, MERGER_VNF, price=1.0, capacity=10.0)
+        return net
+
+    def test_within_layer_shared(self, multi_cloud):
+        dag = DagSfcBuilder().parallel(1, 2).build()
+        emb = Embedding(
+            dag=dag, source=0, dest=0,
+            placements={Position(1, 1): 2, Position(1, 2): 2, Position(1, 3): 3},
+            inter_paths={
+                Position(1, 1): Path((0, 1, 2)),
+                Position(1, 2): Path((0, 1, 2)),  # identical path, shared
+                Position(2, 1): Path((3, 2, 1, 0)),
+            },
+            inner_paths={
+                Position(1, 1): Path((2, 3)),
+                Position(1, 2): Path((2, 3)),  # same nodes but inner: paid twice
+            },
+        )
+        alpha = charged_link_uses(emb)
+        # 0-1: inter layer1 (1) + tail (1) = 2; 1-2: same = 2;
+        # 2-3: inner twice + tail once = 3.
+        assert alpha[(0, 1)] == 2
+        assert alpha[(1, 2)] == 2
+        assert alpha[(2, 3)] == 3
+
+    def test_inner_paths_never_share(self, multi_cloud):
+        """Two inner paths over one link consume two capacity units."""
+        dag = DagSfcBuilder().parallel(1, 2).build()
+        emb = Embedding(
+            dag=dag, source=2, dest=2,
+            placements={Position(1, 1): 2, Position(1, 2): 2, Position(1, 3): 3},
+            inter_paths={
+                Position(1, 1): Path.trivial(2),
+                Position(1, 2): Path.trivial(2),
+                Position(2, 1): Path((3, 2)),
+            },
+            inner_paths={
+                Position(1, 1): Path((2, 3)),
+                Position(1, 2): Path((2, 3)),
+            },
+        )
+        # Link 2-3 carries: 2 inner + 1 tail = 3 uses.
+        check_capacity(multi_cloud, emb, FlowConfig(rate=3.0))  # 9 <= 10
+        with pytest.raises(InfeasibleEmbeddingError):
+            check_capacity(multi_cloud, emb, FlowConfig(rate=3.5))
+
+
+class TestSolversHonourReuse:
+    """End-to-end: solvers exploit or respect reuse correctly."""
+
+    def test_exact_dp_handles_duplicate_types(self):
+        from repro.solvers import ExactEmbedder, IlpEmbedder
+
+        g = build_line_graph(5, price=1.0, capacity=10.0)
+        net = CloudNetwork(g)
+        net.deploy(1, 1, price=10.0, capacity=10.0)
+        net.deploy(3, 1, price=50.0, capacity=10.0)
+        net.deploy(2, 2, price=10.0, capacity=10.0)
+        dag = DagSfcBuilder().single(1).single(2).single(1).build()
+        exact = ExactEmbedder().embed(net, dag, 0, 4, FlowConfig())
+        ilp = IlpEmbedder().embed(net, dag, 0, 4, FlowConfig())
+        assert exact.success and ilp.success
+        assert exact.total_cost == pytest.approx(ilp.total_cost, rel=1e-6)
+        # Both f(1) positions should land on the cheap node 1 (reuse).
+        assert exact.cost.alpha_vnf.get((1, 1)) == 2
+
+    def test_mbbe_respects_instance_capacity_on_reuse(self):
+        from repro.solvers import MbbeEmbedder
+
+        g = build_line_graph(4, price=1.0, capacity=10.0)
+        net = CloudNetwork(g)
+        net.deploy(1, 1, price=10.0, capacity=1.0)  # ONE use only
+        net.deploy(2, 1, price=90.0, capacity=1.0)
+        dag = DagSfcBuilder().single(1).single(1).build()
+        r = MbbeEmbedder().embed(net, dag, 0, 3, FlowConfig(rate=1.0))
+        assert r.success
+        # Forced to use both instances despite the price gap.
+        assert r.cost.alpha_vnf == {(1, 1): 1, (2, 1): 1}

@@ -1,0 +1,80 @@
+"""Tests for the simulated-annealing embedder."""
+
+import pytest
+
+from repro.config import FlowConfig, NetworkConfig, SfcConfig
+from repro.embedding.feasibility import verify_embedding
+from repro.network.generator import generate_network
+from repro.sfc.generator import generate_dag_sfc
+from repro.solvers import MbbeEmbedder, MinvEmbedder, RanvEmbedder, SaEmbedder, make_solver
+
+
+@pytest.fixture(scope="module")
+def sa_instance():
+    cfg = NetworkConfig(size=40, connectivity=4.5, n_vnf_types=6)
+    net = generate_network(cfg, rng=13)
+    dag = generate_dag_sfc(SfcConfig(size=4), n_vnf_types=6, rng=14)
+    return net, dag
+
+
+class TestSa:
+    def test_valid_and_never_worse_than_start(self, sa_instance):
+        net, dag = sa_instance
+        minv = MinvEmbedder().embed(net, dag, 0, 39, FlowConfig())
+        sa = SaEmbedder(iterations=150).embed(net, dag, 0, 39, FlowConfig(), rng=1)
+        assert sa.success
+        verify_embedding(net, sa.embedding, FlowConfig())
+        assert sa.total_cost <= minv.total_cost + 1e-9
+        assert sa.stats["initial_cost"] == pytest.approx(minv.total_cost)
+
+    def test_deterministic_under_seed(self, sa_instance):
+        net, dag = sa_instance
+        a = SaEmbedder(iterations=100).embed(net, dag, 0, 39, FlowConfig(), rng=5)
+        b = SaEmbedder(iterations=100).embed(net, dag, 0, 39, FlowConfig(), rng=5)
+        assert a.total_cost == pytest.approx(b.total_cost)
+
+    def test_zero_iterations_returns_base(self, sa_instance):
+        net, dag = sa_instance
+        sa = SaEmbedder(iterations=0).embed(net, dag, 0, 39, FlowConfig(), rng=1)
+        minv = MinvEmbedder().embed(net, dag, 0, 39, FlowConfig())
+        assert sa.total_cost == pytest.approx(minv.total_cost)
+        assert sa.stats["accepted_moves"] == 0
+
+    def test_more_iterations_never_hurt(self, sa_instance):
+        net, dag = sa_instance
+        short = SaEmbedder(iterations=30).embed(net, dag, 0, 39, FlowConfig(), rng=3)
+        # Same seed, longer run: the best-so-far can only improve.
+        long = SaEmbedder(iterations=300).embed(net, dag, 0, 39, FlowConfig(), rng=3)
+        assert long.total_cost <= short.total_cost + 1e-9
+
+    def test_custom_base_solver(self, sa_instance):
+        net, dag = sa_instance
+        sa = SaEmbedder(base=RanvEmbedder(), iterations=50).embed(
+            net, dag, 0, 39, FlowConfig(), rng=2
+        )
+        assert sa.success
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SaEmbedder(iterations=-1)
+        with pytest.raises(ValueError):
+            SaEmbedder(cooling=0.0)
+        with pytest.raises(ValueError):
+            SaEmbedder(t0=0.0)
+
+    def test_base_failure_propagates(self, sa_instance):
+        net, dag = sa_instance
+        r = SaEmbedder().embed(net, dag, 0, 999, FlowConfig(), rng=1)
+        assert not r.success
+
+    def test_registered(self):
+        assert make_solver("SA").name == "SA"
+
+    def test_mbbe_competitive_with_sa(self, sa_instance):
+        """MBBE's structured search should be in SA's quality ballpark
+        (within 10 %) at a fraction of the runtime."""
+        net, dag = sa_instance
+        sa = SaEmbedder(iterations=400).embed(net, dag, 0, 39, FlowConfig(), rng=9)
+        mbbe = MbbeEmbedder().embed(net, dag, 0, 39, FlowConfig())
+        assert mbbe.total_cost <= 1.10 * sa.total_cost
+        assert mbbe.runtime < sa.runtime

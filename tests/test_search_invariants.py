@@ -1,0 +1,120 @@
+"""Property tests of the §4.2–4.4 structural invariants.
+
+The paper states several relationships its correctness rests on:
+``L_l ⊆ F^{F,l}`` (forward coverage), ``L_l ⊆ F^{B,l}`` (backward
+coverage), ``V^{B,l} ⊆ V^{F,l}`` (backward within forward), shortest-hop
+path lengths equal ring depth, and sub-solution chains accumulating cost
+exactly. We check them on randomized instances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import FlowConfig, NetworkConfig, SfcConfig
+from repro.embedding.costing import compute_cost
+from repro.network.generator import generate_network
+from repro.network.shortest import bfs_rings
+from repro.sfc.generator import generate_dag_sfc
+from repro.solvers import BbeEmbedder, MbbeEmbedder
+from repro.solvers.common import coverage_stop, vnf_admit
+from repro.solvers.searchtree import SearchTree
+from repro.types import MERGER_VNF
+
+nets = st.builds(
+    lambda seed: generate_network(
+        NetworkConfig(
+            size=35, connectivity=4.0, n_vnf_types=5, deploy_ratio=0.5,
+            vnf_capacity=50.0, link_capacity=50.0,
+        ),
+        rng=seed,
+    ),
+    seed=st.integers(0, 5000),
+)
+
+MODERATE = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@given(net=nets, sfc_seed=st.integers(0, 5000), start=st.integers(0, 34))
+@MODERATE
+def test_forward_backward_containment(net, sfc_seed, start):
+    """Run one layer's forward+backward search; check the paper's set relations."""
+    dag = generate_dag_sfc(SfcConfig(size=3), n_vnf_types=5, rng=sfc_seed)
+    layer = dag.layer(1)
+    admit = vnf_admit(net, {}, rate=1.0)
+    stop = coverage_stop(net, layer.required_types, admit)
+    rings = bfs_rings(net.graph, start, stop=stop)
+    if not rings.complete:
+        return  # category missing in this instance; nothing to check
+    fst = SearchTree(net, rings)
+    # L_l ⊆ F^{F,l}
+    assert set(layer.required_types) <= set(fst.covered_vnfs())
+    if not layer.has_merger:
+        return
+    fst_nodes = fst.node_set
+    for merger_node in fst.nodes_hosting(MERGER_VNF):
+        bstop = coverage_stop(net, layer.parallel, admit)
+        brings = bfs_rings(
+            net.graph, merger_node, stop=bstop, allowed=lambda n: n in fst_nodes
+        )
+        bst = SearchTree(net, brings)
+        # V^{B,l} ⊆ V^{F,l} always.
+        assert bst.node_set <= fst_nodes
+        if brings.complete:
+            # L_l ⊆ F^{B,l} when the backward search covered.
+            assert set(layer.parallel) <= set(bst.covered_vnfs())
+
+
+@given(net=nets, start=st.integers(0, 34), seed=st.integers(0, 1000))
+@MODERATE
+def test_tree_paths_have_ring_depth_hops(net, start, seed):
+    rings = bfs_rings(net.graph, start, stop=lambda s: len(s) >= 20)
+    tree = SearchTree(net, rings)
+    rng = np.random.default_rng(seed)
+    nodes = sorted(tree.node_set)
+    for node in rng.choice(nodes, size=min(5, len(nodes)), replace=False):
+        node = int(node)
+        depth = rings.depth_of(node)
+        for path in tree.enumerate_root_paths(node, max_paths=3):
+            assert path.length == depth
+            assert path.source == start and path.target == node
+            path.validate(net.graph)
+
+
+@given(net=nets, sfc_seed=st.integers(0, 5000))
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_subsolution_chain_cost_accumulates_exactly(net, sfc_seed):
+    """Each solver's internal cumulative cost equals the referee's total."""
+    dag = generate_dag_sfc(SfcConfig(size=4), n_vnf_types=5, rng=sfc_seed)
+    for solver in (MbbeEmbedder(), BbeEmbedder()):
+        r = solver.embed(net, dag, 0, 34, FlowConfig())
+        assert r.success, r.reason
+        # compute_cost re-derives the objective from scratch; the search's
+        # incremental bookkeeping must agree to the cent.
+        again = compute_cost(net, r.embedding, FlowConfig())
+        assert again.total == pytest.approx(r.total_cost)
+        # alpha maps are internally consistent with the embedding.
+        assert again.alpha_vnf == r.cost.alpha_vnf
+        assert again.alpha_link == r.cost.alpha_link
+
+
+@given(net=nets, sfc_seed=st.integers(0, 5000))
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_mbbe_tree_size_respects_xd_bound(net, sfc_seed):
+    """The X_d-tree never stores more than the k-bound of §4.5."""
+    from repro.analysis.complexity import mbbe_k_factor
+
+    dag = generate_dag_sfc(SfcConfig(size=5), n_vnf_types=5, rng=sfc_seed)
+    solver = MbbeEmbedder(x_d=3)
+    r = solver.embed(net, dag, 0, 34, FlowConfig())
+    if not r.success:
+        return
+    if r.stats.get("escalations"):
+        return  # escalation rescales the budgets; the bound shifts
+    k = mbbe_k_factor(3, dag.omega)
+    # Tree layers 0..omega hold at most k nodes total; layer omega+1 adds
+    # at most one leaf per omega-layer sub-solution.
+    assert r.stats["tree_size"] <= k + 3 ** dag.omega

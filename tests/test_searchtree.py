@@ -1,0 +1,103 @@
+"""Tests for the FST/BST search-tree structure (§4.2–4.3, Table 1, Fig. 4)."""
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.network.cloud import CloudNetwork
+from repro.network.shortest import bfs_rings
+from repro.solvers.searchtree import SearchTree
+
+from .conftest import build_square_graph, fully_deployed_cloud
+
+
+@pytest.fixture
+def square_tree():
+    g = build_square_graph(price=1.0)
+    net = CloudNetwork(g)
+    net.deploy(0, 1, price=1.0, capacity=10.0)
+    net.deploy(2, 2, price=1.0, capacity=10.0)
+    net.deploy(3, 2, price=1.0, capacity=10.0)
+    rings = bfs_rings(g, 1, stop=lambda seen: len(seen) >= 4)
+    return net, SearchTree(net, rings)
+
+
+class TestViews:
+    def test_root_and_nodes(self, square_tree):
+        net, tree = square_tree
+        assert tree.root == 1
+        assert tree.node_set == frozenset({0, 1, 2, 3})
+        assert tree.complete
+
+    def test_covered_vnfs(self, square_tree):
+        net, tree = square_tree
+        assert tree.covered_vnfs() == frozenset({1, 2})
+
+    def test_nodes_hosting(self, square_tree):
+        net, tree = square_tree
+        assert tree.nodes_hosting(2) == [2, 3]
+        assert tree.nodes_hosting(2, admit=lambda n: n != 2) == [3]
+        assert tree.nodes_hosting(9) == []
+
+
+class TestPathEnumeration:
+    def test_root_path_is_trivial(self, square_tree):
+        net, tree = square_tree
+        paths = tree.enumerate_root_paths(1)
+        assert len(paths) == 1 and paths[0].is_trivial
+
+    def test_multiple_shortest_hop_paths(self, square_tree):
+        net, tree = square_tree
+        # Node 3 is 2 hops from root 1, via 0 or via 2.
+        paths = tree.enumerate_root_paths(3, max_paths=None)
+        assert {p.nodes for p in paths} == {(1, 0, 3), (1, 2, 3)}
+        # Sorted by cost: both cost 2.0 here, ties broken deterministically.
+        assert paths[0].cost(net.graph) <= paths[1].cost(net.graph)
+
+    def test_max_paths_cap(self, square_tree):
+        net, tree = square_tree
+        assert len(tree.enumerate_root_paths(3, max_paths=1)) == 1
+
+    def test_all_paths_start_at_root_end_at_node(self, square_tree):
+        net, tree = square_tree
+        for p in tree.enumerate_root_paths(3, max_paths=None):
+            assert p.source == 1 and p.target == 3
+            p.validate(net.graph)
+
+    def test_unsearched_node_raises(self):
+        g = build_square_graph()
+        net = CloudNetwork(g)
+        rings = bfs_rings(g, 0, stop=lambda seen: True)  # only the root
+        tree = SearchTree(net, rings)
+        with pytest.raises(NodeNotFoundError):
+            tree.enumerate_root_paths(2)
+
+    def test_cheapest_root_path(self, square_tree):
+        net, tree = square_tree
+        p = tree.cheapest_root_path(2)
+        assert p.nodes == (1, 2)
+
+
+class TestBinaryTreeView:
+    def test_table1_elements(self, square_tree):
+        net, tree = square_tree
+        root = tree.as_binary_tree()
+        assert root.node_id == 1
+        assert root.father is None
+        # Ring 1 = {0, 2} chained by right pointers; leftmost hangs off root.
+        assert root.left is not None and root.left.node_id == 0
+        assert root.left.right is not None and root.left.right.node_id == 2
+        # Ring 2 = {3}.
+        assert root.left.left is not None and root.left.left.node_id == 3
+
+    def test_previous_and_next_node_lists(self, square_tree):
+        net, tree = square_tree
+        nodes = {n.node_id: n for n in tree.iter_binary_tree()}
+        assert set(nodes) == {0, 1, 2, 3}
+        assert set(nodes[3].previous_nodes) == {0, 2}
+        assert 3 in nodes[0].next_nodes
+        assert nodes[0].available_vnfs == frozenset({1})
+
+    def test_iteration_right_then_left_visits_all(self, square_tree):
+        net, tree = square_tree
+        ids = [n.node_id for n in tree.iter_binary_tree()]
+        assert sorted(ids) == [0, 1, 2, 3]

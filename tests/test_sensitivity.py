@@ -1,0 +1,110 @@
+"""Tests for the knob-sensitivity sweep and Pareto tooling."""
+
+import pytest
+
+from repro.config import NetworkConfig, ScenarioConfig, SfcConfig
+from repro.exceptions import ConfigurationError
+from repro.sim.sensitivity import KnobPoint, pareto_front, recommend, sweep_knobs
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    return ScenarioConfig(
+        network=NetworkConfig(size=25, connectivity=4.0, n_vnf_types=6),
+        sfc=SfcConfig(size=4),
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep_points(small_scenario):
+    return sweep_knobs(
+        small_scenario,
+        {"x_d": [1, 4], "candidate_cap": [1, 4]},
+        trials=3,
+        master_seed=11,
+    )
+
+
+class TestSweep:
+    def test_full_factorial(self, sweep_points):
+        assert len(sweep_points) == 4
+        kwarg_sets = {tuple(sorted(p.kwargs.items())) for p in sweep_points}
+        assert len(kwarg_sets) == 4
+
+    def test_all_succeed_on_slack_instances(self, sweep_points):
+        assert all(p.success_rate == 1.0 for p in sweep_points)
+        assert all(p.mean_cost > 0 for p in sweep_points)
+
+    def test_bigger_budgets_cheaper_or_equal(self, sweep_points):
+        by_kwargs = {tuple(sorted(p.kwargs.items())): p for p in sweep_points}
+        small = by_kwargs[(("candidate_cap", 1), ("x_d", 1))]
+        big = by_kwargs[(("candidate_cap", 4), ("x_d", 4))]
+        assert big.mean_cost <= small.mean_cost + 1e-6
+
+    def test_paired_instances(self, small_scenario):
+        """Same grid twice -> identical measurements (shared instances)."""
+        a = sweep_knobs(small_scenario, {"x_d": [2]}, trials=2, master_seed=3)
+        b = sweep_knobs(small_scenario, {"x_d": [2]}, trials=2, master_seed=3)
+        assert a[0].mean_cost == pytest.approx(b[0].mean_cost)
+
+    def test_validation(self, small_scenario):
+        with pytest.raises(ConfigurationError):
+            sweep_knobs(small_scenario, {}, trials=1)
+        with pytest.raises(ConfigurationError):
+            sweep_knobs(small_scenario, {"x_d": [1]}, trials=0)
+
+    def test_label(self):
+        p = KnobPoint(kwargs={"x_d": 4}, mean_cost=1.0, mean_runtime=0.1, success_rate=1.0)
+        assert p.label() == "{x_d=4}"
+
+
+def kp(cost, runtime, success=1.0, **kwargs):
+    return KnobPoint(
+        kwargs=kwargs, mean_cost=cost, mean_runtime=runtime, success_rate=success
+    )
+
+
+class TestPareto:
+    def test_dominated_removed(self):
+        a = kp(10.0, 1.0, x=1)
+        b = kp(12.0, 2.0, x=2)  # dominated by a
+        c = kp(8.0, 3.0, x=3)
+        front = pareto_front([a, b, c])
+        assert a in front and c in front and b not in front
+
+    def test_failing_configs_excluded(self):
+        good = kp(10.0, 1.0, x=1)
+        dead = kp(float("nan"), 0.5, success=0.0, x=2)
+        assert pareto_front([good, dead]) == [good]
+
+    def test_front_sorted_by_runtime(self):
+        pts = [kp(8.0, 3.0, x=1), kp(10.0, 1.0, x=2)]
+        front = pareto_front(pts)
+        assert [p.mean_runtime for p in front] == [1.0, 3.0]
+
+    def test_sweep_front_nonempty(self, sweep_points):
+        front = pareto_front(sweep_points)
+        assert 1 <= len(front) <= len(sweep_points)
+
+
+class TestRecommend:
+    def test_budget_respected(self):
+        fast = kp(12.0, 0.5, x=1)
+        slow = kp(8.0, 5.0, x=2)
+        assert recommend([fast, slow], runtime_budget=1.0) is fast
+        assert recommend([fast, slow], runtime_budget=None) is slow
+
+    def test_success_floor(self):
+        flaky = kp(5.0, 0.5, success=0.5, x=1)
+        solid = kp(9.0, 0.5, success=1.0, x=2)
+        assert recommend([flaky, solid]) is solid
+        assert recommend([flaky, solid], min_success=0.5) is flaky
+
+    def test_no_eligible_raises(self):
+        slow = kp(8.0, 5.0, x=1)
+        with pytest.raises(ConfigurationError):
+            recommend([slow], runtime_budget=1.0)
+
+    def test_on_real_sweep(self, sweep_points):
+        best = recommend(sweep_points)
+        assert best.mean_cost == min(p.mean_cost for p in sweep_points)

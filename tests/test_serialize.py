@@ -1,0 +1,126 @@
+"""Round-trip tests for the JSON serialization of instances."""
+
+import json
+
+import pytest
+
+from repro.config import FlowConfig, NetworkConfig, SfcConfig
+from repro.embedding.costing import compute_cost
+from repro.embedding.feasibility import verify_embedding
+from repro.exceptions import ConfigurationError
+from repro.network.generator import generate_network
+from repro.serialize import (
+    dag_from_dict,
+    dag_to_dict,
+    dump_instance,
+    embedding_from_dict,
+    embedding_to_dict,
+    load_instance,
+    network_from_dict,
+    network_to_dict,
+)
+from repro.sfc.generator import generate_dag_sfc
+from repro.solvers import MbbeEmbedder
+
+
+@pytest.fixture(scope="module")
+def instance():
+    cfg = NetworkConfig(size=30, connectivity=4.0, n_vnf_types=6)
+    net = generate_network(cfg, rng=3)
+    dag = generate_dag_sfc(SfcConfig(size=5), n_vnf_types=6, rng=4)
+    result = MbbeEmbedder().embed(net, dag, 0, 29, FlowConfig())
+    assert result.success
+    return net, dag, result
+
+
+class TestNetworkRoundTrip:
+    def test_topology_preserved(self, instance):
+        net, _, _ = instance
+        clone = network_from_dict(network_to_dict(net))
+        assert set(clone.graph.nodes()) == set(net.graph.nodes())
+        assert {l.key for l in clone.graph.links()} == {l.key for l in net.graph.links()}
+        for link in net.graph.links():
+            c = clone.graph.link(link.u, link.v)
+            assert c.price == link.price and c.capacity == link.capacity
+
+    def test_instances_preserved(self, instance):
+        net, _, _ = instance
+        clone = network_from_dict(network_to_dict(net))
+        assert clone.deployments.count() == net.deployments.count()
+        for inst in net.deployments.all_instances():
+            c = clone.instance(inst.node, inst.vnf_type)
+            assert c.price == inst.price and c.capacity == inst.capacity
+
+    def test_json_serializable(self, instance):
+        net, _, _ = instance
+        json.dumps(network_to_dict(net))  # must not raise
+
+    def test_header_checked(self, instance):
+        net, _, _ = instance
+        doc = network_to_dict(net)
+        doc["version"] = 99
+        with pytest.raises(ConfigurationError):
+            network_from_dict(doc)
+        doc = network_to_dict(net)
+        doc["kind"] = "other"
+        with pytest.raises(ConfigurationError):
+            network_from_dict(doc)
+
+
+class TestDagRoundTrip:
+    def test_structure_preserved(self, instance):
+        _, dag, _ = instance
+        clone = dag_from_dict(dag_to_dict(dag))
+        assert clone == dag
+
+    def test_mergers_implicit(self, instance):
+        _, dag, _ = instance
+        doc = dag_to_dict(dag)
+        # Serialized layers carry only the parallel sets, no sentinel ids.
+        for layer in doc["layers"]:
+            assert all(v >= 1 for v in layer)
+
+
+class TestEmbeddingRoundTrip:
+    def test_full_roundtrip_verifies_and_costs_equal(self, instance):
+        net, dag, result = instance
+        clone = embedding_from_dict(embedding_to_dict(result.embedding))
+        verify_embedding(net, clone, FlowConfig())
+        original = compute_cost(net, result.embedding, FlowConfig())
+        restored = compute_cost(net, clone, FlowConfig())
+        assert restored.total == pytest.approx(original.total)
+        assert clone.placements == dict(result.embedding.placements)
+
+
+class TestInstanceFiles:
+    def test_dump_and_load(self, instance, tmp_path):
+        net, dag, result = instance
+        path = tmp_path / "instance.json"
+        dump_instance(
+            str(path), net, dag, source=0, dest=29,
+            embedding=result.embedding, metadata={"seed": 3},
+        )
+        net2, dag2, src, dst, emb2, meta = load_instance(str(path))
+        assert (src, dst) == (0, 29)
+        assert dag2 == dag
+        assert meta == {"seed": 3}
+        assert emb2 is not None
+        verify_embedding(net2, emb2, FlowConfig())
+
+    def test_instance_without_embedding(self, instance, tmp_path):
+        net, dag, _ = instance
+        path = tmp_path / "bare.json"
+        dump_instance(str(path), net, dag, source=1, dest=2)
+        _, _, src, dst, emb, meta = load_instance(str(path))
+        assert emb is None and meta == {}
+        assert (src, dst) == (1, 2)
+
+    def test_solution_on_reloaded_network_matches(self, instance, tmp_path):
+        """Solving the reloaded instance reproduces the original cost."""
+        net, dag, result = instance
+        path = tmp_path / "replay.json"
+        dump_instance(str(path), net, dag, source=0, dest=29)
+        net2, dag2, src, dst, _, _ = load_instance(str(path))
+        replay = MbbeEmbedder().embed(net2, dag2, src, dst, FlowConfig())
+        assert replay.success
+        assert replay.total_cost == pytest.approx(result.total_cost)

@@ -1,0 +1,217 @@
+"""Tests for chains, DAG-SFCs, the builder, stretching and the generator."""
+
+import pytest
+
+from repro.config import SfcConfig
+from repro.exceptions import ConfigurationError, InvalidChainError, InvalidDagError
+from repro.sfc.builder import DagSfcBuilder
+from repro.sfc.chain import SequentialSfc
+from repro.sfc.dag import DagSfc, Layer
+from repro.sfc.generator import generate_dag_sfc, layer_sizes_for
+from repro.sfc.stretch import MetaPathKind, StretchedSfc
+from repro.types import DUMMY_VNF, MERGER_VNF, Position
+
+
+class TestSequentialSfc:
+    def test_basic(self):
+        c = SequentialSfc([1, 2, 3])
+        assert c.size == 3
+        assert list(c) == [1, 2, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidChainError):
+            SequentialSfc([])
+
+    def test_special_vnfs_rejected(self):
+        with pytest.raises(InvalidChainError):
+            SequentialSfc([1, DUMMY_VNF])
+        with pytest.raises(InvalidChainError):
+            SequentialSfc([MERGER_VNF])
+
+    def test_equality(self):
+        assert SequentialSfc([1, 2]) == SequentialSfc([1, 2])
+        assert SequentialSfc([1, 2]) != SequentialSfc([2, 1])
+
+
+class TestLayer:
+    def test_single_layer_no_merger(self):
+        l = Layer((4,))
+        assert not l.has_merger
+        assert l.width == 1
+        assert l.required_types == (4,)
+        assert l.vnf_at(1) == 4
+
+    def test_parallel_layer_has_merger(self):
+        l = Layer((2, 3, 4))
+        assert l.has_merger
+        assert l.phi == 3
+        assert l.width == 4
+        assert l.required_types == (2, 3, 4, MERGER_VNF)
+        assert l.vnf_at(4) == MERGER_VNF
+
+    def test_bad_gamma(self):
+        l = Layer((2, 3))
+        with pytest.raises(InvalidDagError):
+            l.vnf_at(4)
+        with pytest.raises(InvalidDagError):
+            l.vnf_at(0)
+
+    def test_empty_layer_rejected(self):
+        with pytest.raises(InvalidDagError):
+            Layer(())
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(InvalidDagError):
+            Layer((2, 2))
+
+    def test_special_members_rejected(self):
+        with pytest.raises(InvalidDagError):
+            Layer((1, MERGER_VNF))
+
+
+class TestDagSfc:
+    def test_fig2_structure(self, fig2_dag):
+        assert fig2_dag.omega == 3
+        assert fig2_dag.size == 7
+        assert fig2_dag.num_mergers == 2
+        assert fig2_dag.num_positions == 9
+
+    def test_positions_enumeration(self, fig2_dag):
+        pos = list(fig2_dag.positions())
+        assert pos[0] == Position(1, 1)
+        assert Position(2, 5) in pos  # layer-2 merger
+        assert len(pos) == 9
+
+    def test_vnf_at(self, fig2_dag):
+        assert fig2_dag.vnf_at(Position(1, 1)) == 1
+        assert fig2_dag.vnf_at(Position(2, 3)) == 4
+        assert fig2_dag.vnf_at(Position(2, 5)) == MERGER_VNF
+
+    def test_required_types(self, fig2_dag):
+        assert fig2_dag.required_types() == frozenset({1, 2, 3, 4, 5, 6, 7, MERGER_VNF})
+
+    def test_vnf_multiset_counts_mergers(self, fig2_dag):
+        counts = fig2_dag.vnf_multiset()
+        assert counts[MERGER_VNF] == 2
+        assert counts[1] == 1
+
+    def test_layer_accessor_bounds(self, fig2_dag):
+        with pytest.raises(InvalidDagError):
+            fig2_dag.layer(0)
+        with pytest.raises(InvalidDagError):
+            fig2_dag.layer(4)
+
+    def test_accepts_raw_sequences(self):
+        dag = DagSfc([(1,), (2, 3)])
+        assert dag.omega == 2
+        assert dag.layer(2).has_merger
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidDagError):
+            DagSfc([])
+
+
+class TestBuilder:
+    def test_fluent(self):
+        dag = DagSfcBuilder().single(1).parallel(2, 3).build()
+        assert dag.omega == 2
+
+    def test_parallel_needs_two(self):
+        with pytest.raises(InvalidDagError):
+            DagSfcBuilder().parallel(1)
+
+
+class TestStretchedSfc:
+    def test_dummy_positions(self, fig2_dag):
+        s = StretchedSfc(fig2_dag)
+        assert s.vnf_at(s.source_position) == DUMMY_VNF
+        assert s.vnf_at(s.dest_position) == DUMMY_VNF
+        assert s.dest_position == Position(4, 1)
+
+    def test_end_positions(self, fig2_dag):
+        s = StretchedSfc(fig2_dag)
+        assert s.end_position(0) == Position(0, 1)
+        assert s.end_position(1) == Position(1, 1)  # single VNF
+        assert s.end_position(2) == Position(2, 5)  # merger
+        assert s.end_position(4) == s.dest_position
+
+    def test_inter_layer_metapaths(self, fig2_dag):
+        s = StretchedSfc(fig2_dag)
+        l2 = s.inter_layer_metapaths(2)
+        assert len(l2) == 4  # to each of f2..f5, NOT the merger
+        assert all(m.src == Position(1, 1) for m in l2)
+        tail = s.inter_layer_metapaths(4)
+        assert len(tail) == 1
+        assert tail[0].dst == s.dest_position
+
+    def test_inner_layer_metapaths(self, fig2_dag):
+        s = StretchedSfc(fig2_dag)
+        assert s.inner_layer_metapaths(1) == []
+        l2 = s.inner_layer_metapaths(2)
+        assert len(l2) == 4
+        assert all(m.dst == Position(2, 5) for m in l2)
+
+    def test_metapath_counts_fig2(self, fig2_dag):
+        s = StretchedSfc(fig2_dag)
+        # P1: src->f1 (1) + f1->{f2..f5} (4) + m2->{f6,f7} (2) + m3->dst (1) = 8
+        assert len(s.p1()) == 8
+        # P2: 4 (layer 2) + 2 (layer 3) = 6
+        assert len(s.p2()) == 6
+        assert len(s.all_metapaths()) == 14
+
+    def test_metapath_kinds(self, fig2_dag):
+        s = StretchedSfc(fig2_dag)
+        for m in s.p1():
+            assert m.kind is MetaPathKind.INTER_LAYER
+        for m in s.p2():
+            assert m.kind is MetaPathKind.INNER_LAYER
+
+
+class TestLayerSizes:
+    @pytest.mark.parametrize(
+        "size,expected",
+        [(1, (1,)), (2, (2,)), (3, (3,)), (4, (3, 1)), (5, (3, 2)), (9, (3, 3, 3))],
+    )
+    def test_paper_rule(self, size, expected):
+        assert layer_sizes_for(size) == expected
+
+    def test_custom_max_parallel(self):
+        assert layer_sizes_for(5, 2) == (2, 2, 1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            layer_sizes_for(0)
+
+
+class TestSfcGenerator:
+    def test_structure_matches_rule(self):
+        dag = generate_dag_sfc(SfcConfig(size=5), n_vnf_types=12, rng=1)
+        assert tuple(l.phi for l in dag.layers) == (3, 2)
+        assert dag.size == 5
+
+    def test_distinct_vnfs(self):
+        dag = generate_dag_sfc(SfcConfig(size=9), n_vnf_types=12, rng=2)
+        all_vnfs = [v for l in dag.layers for v in l.parallel]
+        assert len(set(all_vnfs)) == 9
+
+    def test_distinct_requires_enough_types(self):
+        with pytest.raises(ConfigurationError):
+            generate_dag_sfc(SfcConfig(size=9), n_vnf_types=5, rng=3)
+
+    def test_non_distinct_mode(self):
+        cfg = SfcConfig(size=9, distinct_vnfs=False)
+        dag = generate_dag_sfc(cfg, n_vnf_types=4, rng=4)
+        assert dag.size == 9
+        for layer in dag.layers:  # no duplicates within one set
+            assert len(set(layer.parallel)) == layer.phi
+
+    def test_deterministic(self):
+        a = generate_dag_sfc(SfcConfig(size=6), n_vnf_types=10, rng=42)
+        b = generate_dag_sfc(SfcConfig(size=6), n_vnf_types=10, rng=42)
+        assert a == b
+
+    def test_same_structure_different_vnfs(self):
+        a = generate_dag_sfc(SfcConfig(size=6), n_vnf_types=10, rng=1)
+        b = generate_dag_sfc(SfcConfig(size=6), n_vnf_types=10, rng=2)
+        assert tuple(l.phi for l in a.layers) == tuple(l.phi for l in b.layers)
+        assert a != b

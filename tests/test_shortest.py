@@ -1,0 +1,149 @@
+"""Unit tests for Dijkstra and BFS-ring searches, cross-checked vs networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.network.generator import generate_network
+from repro.config import NetworkConfig
+from repro.network.shortest import (
+    bfs_rings,
+    dijkstra,
+    hop_distances,
+    min_cost_path,
+)
+
+from .conftest import build_line_graph, build_square_graph
+
+
+class TestDijkstra:
+    def test_line_distances(self, line5):
+        res = dijkstra(line5, 0)
+        assert res.cost_to(4) == pytest.approx(4.0)
+        assert res.path_to(4).nodes == (0, 1, 2, 3, 4)
+
+    def test_prefers_cheap_two_hop_over_pricy_diagonal(self):
+        g = build_square_graph(price=1.0)  # diagonal 0-2 costs 2.0, 0-1-2 costs 2.0
+        res = dijkstra(g, 0)
+        assert res.cost_to(2) == pytest.approx(2.0)
+
+    def test_unreachable(self):
+        g = build_line_graph(3)
+        g.add_node(10)
+        res = dijkstra(g, 0)
+        assert not res.reachable(10)
+        assert res.cost_to(10) == float("inf")
+        assert res.path_to(10) is None
+
+    def test_missing_source_raises(self, line5):
+        with pytest.raises(NodeNotFoundError):
+            dijkstra(line5, 99)
+
+    def test_targets_early_exit_correct(self, line5):
+        res = dijkstra(line5, 0, targets=(2,))
+        assert res.cost_to(2) == pytest.approx(2.0)
+
+    def test_link_filter_blocks_edge(self, line5):
+        res = dijkstra(line5, 0, link_filter=lambda l: l.key != (1, 2))
+        assert not res.reachable(3)
+
+    def test_node_filter_blocks_node(self, line5):
+        res = dijkstra(line5, 0, node_filter=lambda n: n != 2)
+        assert not res.reachable(3)
+
+    def test_node_filter_excluding_source_returns_empty(self, line5):
+        res = dijkstra(line5, 0, node_filter=lambda n: n != 0)
+        assert res.dist == {}
+
+    def test_max_cost_bounds_search(self, line5):
+        res = dijkstra(line5, 0, max_cost=2.0)
+        assert res.reachable(2)
+        assert not res.reachable(3)
+
+    def test_matches_networkx_on_random_network(self):
+        net = generate_network(NetworkConfig(size=60, connectivity=5.0, n_vnf_types=3), rng=11)
+        g = net.graph
+        nxg = nx.Graph()
+        for link in g.links():
+            nxg.add_edge(link.u, link.v, weight=link.price)
+        res = dijkstra(g, 0)
+        expected = nx.single_source_dijkstra_path_length(nxg, 0)
+        assert set(res.dist) == set(expected)
+        for node, d in expected.items():
+            assert res.dist[node] == pytest.approx(d)
+
+
+class TestMinCostPath:
+    def test_same_node_is_trivial(self, line5):
+        p = min_cost_path(line5, 2, 2)
+        assert p.is_trivial and p.source == 2
+
+    def test_simple(self, line5):
+        assert min_cost_path(line5, 1, 3).nodes == (1, 2, 3)
+
+    def test_none_when_unreachable(self):
+        g = build_line_graph(2)
+        g.add_node(5)
+        assert min_cost_path(g, 0, 5) is None
+
+
+class TestBfsRings:
+    def test_rings_expand_by_hops(self, line5):
+        r = bfs_rings(line5, 0, stop=lambda seen: len(seen) >= 4)
+        assert r.rings[0] == frozenset({0})
+        assert r.rings[1] == frozenset({1})
+        assert r.rings[2] == frozenset({2})
+        assert r.complete
+
+    def test_stop_checked_on_root(self, line5):
+        r = bfs_rings(line5, 2, stop=lambda seen: True)
+        assert r.iterations == 1
+        assert r.node_set == frozenset({2})
+
+    def test_preds_are_previous_ring_neighbors(self, square):
+        r = bfs_rings(square, 1, stop=lambda seen: len(seen) >= 4)
+        # Node 3 is two hops from 1 via 0 or 2; both are ring-1 nodes.
+        assert set(r.preds[3]) == {0, 2}
+
+    def test_exhausts_component_without_stop(self):
+        g = build_line_graph(3)
+        g.add_node(9)
+        r = bfs_rings(g, 0, stop=lambda seen: 9 in seen)
+        assert not r.complete
+        assert r.node_set == frozenset({0, 1, 2})
+
+    def test_max_nodes_caps_expansion(self, line5):
+        r = bfs_rings(line5, 0, stop=lambda seen: len(seen) >= 5, max_nodes=2)
+        assert len(r.node_set) <= 2
+        assert not r.complete
+
+    def test_allowed_restricts_nodes(self, square):
+        r = bfs_rings(
+            square, 1, stop=lambda seen: len(seen) >= 3, allowed=lambda n: n != 0
+        )
+        assert 0 not in r.node_set
+
+    def test_depth_of(self, line5):
+        r = bfs_rings(line5, 0, stop=lambda seen: len(seen) >= 3)
+        assert r.depth_of(0) == 0
+        assert r.depth_of(2) == 2
+        with pytest.raises(NodeNotFoundError):
+            r.depth_of(4)
+
+    def test_contains(self, line5):
+        r = bfs_rings(line5, 0, stop=lambda seen: len(seen) >= 2)
+        assert 1 in r
+        assert 4 not in r
+
+
+class TestHopDistances:
+    def test_line(self, line5):
+        d = hop_distances(line5, 0)
+        assert d == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_matches_networkx(self):
+        net = generate_network(NetworkConfig(size=40, connectivity=4.0, n_vnf_types=3), rng=5)
+        g = net.graph
+        nxg = nx.Graph((l.u, l.v) for l in g.links())
+        expected = nx.single_source_shortest_path_length(nxg, 0)
+        assert hop_distances(g, 0) == dict(expected)

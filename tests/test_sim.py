@@ -1,0 +1,199 @@
+"""Tests for the simulation harness: metrics, experiments, runner, figures."""
+
+import math
+
+import pytest
+
+from repro.config import ScenarioConfig, NetworkConfig, SfcConfig
+from repro.exceptions import ConfigurationError
+from repro.sim.experiment import ExperimentSpec, SolverSpec
+from repro.sim.figures import (
+    FIGURES,
+    figure_6a,
+    figure_6b,
+    figure_by_id,
+    table2_experiment,
+)
+from repro.sim.metrics import TrialRecord, aggregate
+from repro.sim.runner import run_experiment, run_trial
+from repro.utils.rng import trial_seed
+
+
+def small_scenario(**net_kw) -> ScenarioConfig:
+    base = dict(size=25, connectivity=4.0, n_vnf_types=6, deploy_ratio=0.6,
+                vnf_capacity=50.0, link_capacity=50.0)
+    base.update(net_kw)
+    return ScenarioConfig(network=NetworkConfig(**base), sfc=SfcConfig(size=4))
+
+
+def tiny_spec(trials=2) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="tiny",
+        title="tiny sweep",
+        x_label="x",
+        scenarios={1.0: small_scenario(), 2.0: small_scenario(deploy_ratio=0.3)},
+        solvers=(SolverSpec(name="MINV"), SolverSpec(name="MBBE")),
+        trials=trials,
+        master_seed=99,
+    )
+
+
+class TestMetrics:
+    def _rec(self, **kw):
+        base = dict(x=1.0, algorithm="A", trial=0, seed=0, success=True,
+                    total_cost=10.0, vnf_cost=6.0, link_cost=4.0, runtime=0.1)
+        base.update(kw)
+        return TrialRecord(**base)
+
+    def test_aggregate_means(self):
+        recs = [self._rec(trial=i, total_cost=10.0 + i) for i in range(4)]
+        (s,) = aggregate(recs)
+        assert s.mean_cost == pytest.approx(11.5)
+        assert s.n_trials == s.n_success == 4
+        assert s.success_rate == 1.0
+        assert s.ci95_cost > 0
+
+    def test_failures_excluded_from_cost(self):
+        recs = [
+            self._rec(trial=0, total_cost=10.0),
+            self._rec(trial=1, success=False, total_cost=float("nan")),
+        ]
+        (s,) = aggregate(recs)
+        assert s.mean_cost == pytest.approx(10.0)
+        assert s.n_success == 1
+        assert s.success_rate == 0.5
+
+    def test_all_failed_gives_nan(self):
+        recs = [self._rec(success=False, total_cost=float("nan"))]
+        (s,) = aggregate(recs)
+        assert math.isnan(s.mean_cost)
+
+    def test_groups_by_x_and_algorithm(self):
+        recs = [
+            self._rec(x=1.0, algorithm="A"),
+            self._rec(x=1.0, algorithm="B"),
+            self._rec(x=2.0, algorithm="A"),
+        ]
+        assert len(aggregate(recs)) == 3
+
+
+class TestExperimentSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec("e", "t", "x", {}, (SolverSpec(name="MINV"),))
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec("e", "t", "x", {1.0: small_scenario()}, ())
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(
+                "e", "t", "x", {1.0: small_scenario()},
+                (SolverSpec(name="MINV"), SolverSpec(name="MINV")),
+            )
+
+    def test_solver_max_x(self):
+        s = SolverSpec(name="BBE", max_x=5.0)
+        assert s.active_at(5.0)
+        assert not s.active_at(6.0)
+
+    def test_total_embeddings(self):
+        spec = tiny_spec(trials=3)
+        assert spec.total_embeddings() == 2 * 2 * 3
+
+
+class TestRunner:
+    def test_run_trial_paired(self):
+        recs = run_trial(
+            small_scenario(),
+            [SolverSpec(name="MINV"), SolverSpec(name="MBBE")],
+            seed=42, x=1.0, trial=7,
+        )
+        assert [r.algorithm for r in recs] == ["MINV", "MBBE"]
+        assert all(r.trial == 7 and r.x == 1.0 and r.seed == 42 for r in recs)
+        assert all(r.success for r in recs)
+
+    def test_run_trial_deterministic(self):
+        a = run_trial(small_scenario(), [SolverSpec(name="RANV")], seed=5)
+        b = run_trial(small_scenario(), [SolverSpec(name="RANV")], seed=5)
+        assert a[0].total_cost == pytest.approx(b[0].total_cost)
+
+    def test_adding_solver_does_not_perturb_others(self):
+        only = run_trial(small_scenario(), [SolverSpec(name="RANV")], seed=5)
+        both = run_trial(
+            small_scenario(),
+            [SolverSpec(name="RANV"), SolverSpec(name="MINV")],
+            seed=5,
+        )
+        assert only[0].total_cost == pytest.approx(both[0].total_cost)
+
+    def test_run_experiment_counts(self):
+        spec = tiny_spec(trials=2)
+        recs = run_experiment(spec, parallel=1)
+        assert len(recs) == spec.total_embeddings()
+        assert {r.x for r in recs} == {1.0, 2.0}
+
+    def test_run_experiment_parallel_matches_serial(self):
+        spec = tiny_spec(trials=2)
+        serial = run_experiment(spec, parallel=1)
+        par = run_experiment(spec, parallel=2)
+        key = lambda r: (r.x, r.algorithm, r.trial)
+        for a, b in zip(sorted(serial, key=key), sorted(par, key=key)):
+            assert a.seed == b.seed
+            assert a.total_cost == pytest.approx(b.total_cost)
+
+    def test_trial_seeds_distinct_across_points(self):
+        spec = tiny_spec(trials=2)
+        recs = run_experiment(spec, parallel=1)
+        seeds = {(r.x, r.trial): r.seed for r in recs}
+        assert len(set(seeds.values())) == 4
+
+
+class TestFigureDefinitions:
+    def test_all_figures_registered(self):
+        assert {"6a", "6b", "6c", "6d", "6e", "6f", "table2", "ext-robustness"} <= set(FIGURES)
+
+    def test_fig6a_shape(self):
+        spec = figure_6a(trials=1)
+        assert spec.x_values == tuple(float(x) for x in range(1, 10))
+        bbe = next(s for s in spec.solvers if s.name == "BBE")
+        assert bbe.max_x == 5.0  # paper stops BBE at SFC size 5
+        for x, sc in spec.scenarios.items():
+            assert sc.sfc.size == int(x)
+
+    def test_fig6b_sizes(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NET_SCALE", raising=False)
+        spec = figure_6b(trials=1)
+        assert [int(x) for x in spec.x_values] == [10, 20, 50, 100, 200, 500, 1000]
+        assert spec.scenarios[50.0].network.size == 50
+
+    def test_net_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NET_SCALE", "0.1")
+        spec = figure_6b(trials=1)
+        assert spec.scenarios[500.0].network.size == 50
+        assert spec.scenarios[10.0].network.size == 10  # floor at 10
+
+    def test_trials_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "3")
+        assert figure_6a().trials == 3
+
+    def test_table2_single_point(self):
+        spec = table2_experiment(trials=1)
+        assert len(spec.x_values) == 1
+
+    def test_figure_by_id(self):
+        assert figure_by_id("6C", trials=1).name == "fig6c"
+        with pytest.raises(ConfigurationError):
+            figure_by_id("9z")
+
+    def test_all_sweeps_have_four_series(self):
+        for fid in FIGURES:
+            if fid.startswith("ext-"):
+                continue  # extension sweeps choose their own line-up
+            spec = figure_by_id(fid, trials=1)
+            assert {s.name for s in spec.solvers} == {"RANV", "MINV", "BBE", "MBBE"}
+
+
+class TestTrialSeedStability:
+    def test_documented_derivation(self):
+        spec = tiny_spec()
+        recs = run_experiment(spec, parallel=1)
+        first_point_seed = trial_seed(spec.master_seed, 0, salt=0)
+        assert any(r.seed == first_point_seed for r in recs)

@@ -1,0 +1,139 @@
+"""Tests for the statistics module, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from scipy import stats as sp_stats
+
+from repro.exceptions import ConfigurationError
+from repro.sim.metrics import TrialRecord
+from repro.sim.stats import (
+    PairedComparison,
+    bootstrap_mean_ci,
+    paired_comparison,
+    welch_t_test,
+)
+
+
+class TestWelch:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_matches_scipy(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(10.0, 2.0, size=rng.integers(5, 40))
+        b = rng.normal(11.0, 3.0, size=rng.integers(5, 40))
+        ours = welch_t_test(a, b)
+        ref = sp_stats.ttest_ind(a, b, equal_var=False)
+        assert ours.t == pytest.approx(ref.statistic, rel=1e-9)
+        assert ours.p_value == pytest.approx(ref.pvalue, rel=1e-6)
+
+    def test_clear_difference_significant(self):
+        a = [1.0, 1.1, 0.9, 1.05, 0.95]
+        b = [5.0, 5.1, 4.9, 5.05, 4.95]
+        r = welch_t_test(a, b)
+        assert r.significant
+        assert r.mean_a < r.mean_b
+
+    def test_identical_constants(self):
+        r = welch_t_test([2.0, 2.0, 2.0], [2.0, 2.0])
+        assert r.p_value == 1.0
+        assert not r.significant
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ConfigurationError):
+            welch_t_test([1.0], [1.0, 2.0])
+
+
+class TestBootstrap:
+    def test_ci_contains_mean_usually(self):
+        rng = np.random.default_rng(5)
+        hits = 0
+        for _ in range(40):
+            xs = rng.normal(50.0, 5.0, size=30)
+            lo, hi = bootstrap_mean_ci(xs, rng=rng)
+            if lo <= 50.0 <= hi:
+                hits += 1
+        assert hits >= 32  # ~95 % nominal coverage, generous slack
+
+    def test_ci_ordered_and_tightens_with_n(self):
+        rng = np.random.default_rng(6)
+        small = rng.normal(0, 1, size=10)
+        large = rng.normal(0, 1, size=1000)
+        lo_s, hi_s = bootstrap_mean_ci(small, rng=1)
+        lo_l, hi_l = bootstrap_mean_ci(large, rng=1)
+        assert lo_s < hi_s and lo_l < hi_l
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean_ci([1.0])
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean_ci([1.0, 2.0], confidence=1.5)
+
+    def test_deterministic_under_seed(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_mean_ci(xs, rng=7) == bootstrap_mean_ci(xs, rng=7)
+
+
+def rec(algo, trial, cost, *, x=1.0, success=True):
+    return TrialRecord(
+        x=x, algorithm=algo, trial=trial, seed=trial, success=success,
+        total_cost=cost, vnf_cost=cost * 0.7, link_cost=cost * 0.3, runtime=0.0,
+    )
+
+
+class TestPairedComparison:
+    def test_counts_wins_ties_losses(self):
+        records = [
+            rec("A", 0, 10.0), rec("B", 0, 12.0),  # A wins
+            rec("A", 1, 10.0), rec("B", 1, 10.0),  # tie
+            rec("A", 2, 15.0), rec("B", 2, 12.0),  # B wins
+        ]
+        c = paired_comparison(records, "A", "B")
+        assert (c.wins_a, c.ties, c.wins_b) == (1, 1, 1)
+        assert c.n_pairs == 3
+        assert c.win_rate_a == pytest.approx(1 / 3)
+
+    def test_mean_saving(self):
+        records = [rec("A", 0, 80.0), rec("B", 0, 100.0)]
+        c = paired_comparison(records, "A", "B")
+        assert c.mean_saving == pytest.approx(0.2)
+
+    def test_failed_trials_excluded(self):
+        records = [
+            rec("A", 0, 10.0), rec("B", 0, float("nan"), success=False),
+            rec("A", 1, 10.0), rec("B", 1, 20.0),
+        ]
+        c = paired_comparison(records, "A", "B")
+        assert c.n_pairs == 1
+
+    def test_pairs_respect_x(self):
+        records = [
+            rec("A", 0, 10.0, x=1.0), rec("B", 0, 20.0, x=2.0),  # different x: no pair
+        ]
+        c = paired_comparison(records, "A", "B")
+        assert c.n_pairs == 0
+
+    def test_on_real_trials(self):
+        """MBBE should dominate RANV pairwise on real instances."""
+        from repro.config import NetworkConfig, ScenarioConfig, SfcConfig
+        from repro.sim.experiment import SolverSpec
+        from repro.sim.runner import run_trial
+        from repro.utils.rng import trial_seed
+
+        scenario = ScenarioConfig(
+            network=NetworkConfig(size=30, connectivity=4.0, n_vnf_types=6),
+            sfc=SfcConfig(size=4),
+        )
+        records = []
+        for t in range(6):
+            records.extend(
+                run_trial(
+                    scenario,
+                    [SolverSpec(name="MBBE"), SolverSpec(name="RANV")],
+                    seed=trial_seed(3, t),
+                    trial=t,
+                )
+            )
+        c = paired_comparison(records, "MBBE", "RANV")
+        assert c.n_pairs == 6
+        assert c.wins_a >= 5
+        assert c.mean_saving > 0

@@ -1,0 +1,96 @@
+"""Unit tests for exact and approximate Steiner trees."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.config import NetworkConfig
+from repro.exceptions import ConfigurationError, DisconnectedNetworkError
+from repro.network.generator import generate_network
+from repro.network.steiner import exact_steiner_tree, mst_steiner_tree
+
+from .conftest import build_line_graph, build_square_graph
+
+
+def _tree_is_connected_and_spans(tree, graph):
+    """The edge set must connect root to all terminals and be acyclic."""
+    nodes = {tree.root}
+    for u, v in tree.edges:
+        nodes.add(u)
+        nodes.add(v)
+    # acyclic: |E| = |V| - 1 for a connected tree.
+    if tree.edges:
+        assert len(tree.edges) == len(nodes) - 1
+    for t in tree.terminals:
+        p = tree.path_to(graph, t)
+        assert p.source == tree.root and p.target == t
+        for e in p.edges():
+            assert e in tree.edges or p.is_trivial
+
+
+class TestExact:
+    def test_single_terminal_is_empty(self, line5):
+        t = exact_steiner_tree(line5, 2, [2])
+        assert t.cost == 0.0 and t.edges == frozenset()
+
+    def test_line_tree_spans_interval(self, line5):
+        t = exact_steiner_tree(line5, 0, [4, 2])
+        assert t.cost == pytest.approx(4.0)
+        _tree_is_connected_and_spans(t, line5)
+
+    def test_square_multicast_shares_links(self):
+        g = build_square_graph(price=1.0)
+        # Root 0 to terminals {1, 2}: tree 0-1, 1-2 costs 2.0 (vs 0-1 + 0-2 = 3.0).
+        t = exact_steiner_tree(g, 0, [1, 2])
+        assert t.cost == pytest.approx(2.0)
+        _tree_is_connected_and_spans(t, g)
+
+    def test_terminal_cap(self, line5):
+        with pytest.raises(ConfigurationError):
+            exact_steiner_tree(line5, 0, [1, 2, 3, 4], max_terminals=3)
+
+    def test_disconnected_raises(self):
+        g = build_line_graph(3)
+        g.add_node(9)
+        with pytest.raises(DisconnectedNetworkError):
+            exact_steiner_tree(g, 0, [9])
+
+    def test_steiner_point_used(self):
+        # Star: center 0 with leaves 1,2,3 - optimal tree for terminals
+        # {1,2,3} rooted at 1 must pass through non-terminal 0.
+        from repro.network.graph import Graph
+
+        g = Graph()
+        for leaf in (1, 2, 3):
+            g.add_link(0, leaf, price=1.0, capacity=10.0)
+        t = exact_steiner_tree(g, 1, [2, 3])
+        assert t.cost == pytest.approx(3.0)
+        assert {e for e in t.edges} == {(0, 1), (0, 2), (0, 3)}
+
+
+class TestApprox:
+    def test_matches_exact_on_line(self, line5):
+        a = mst_steiner_tree(line5, 0, [3])
+        e = exact_steiner_tree(line5, 0, [3])
+        assert a.cost == pytest.approx(e.cost)
+
+    def test_within_2x_of_exact_on_random_networks(self):
+        for seed in (1, 2, 3):
+            net = generate_network(
+                NetworkConfig(size=14, connectivity=3.5, n_vnf_types=2), rng=seed
+            )
+            g = net.graph
+            nodes = sorted(g.nodes())
+            for terms in list(combinations(nodes[:8], 3))[:5]:
+                e = exact_steiner_tree(g, terms[0], terms[1:])
+                a = mst_steiner_tree(g, terms[0], terms[1:])
+                assert e.cost <= a.cost + 1e-9
+                assert a.cost <= 2.0 * e.cost + 1e-9
+                _tree_is_connected_and_spans(a, g)
+                _tree_is_connected_and_spans(e, g)
+
+    def test_disconnected_raises(self):
+        g = build_line_graph(2)
+        g.add_node(5)
+        with pytest.raises(DisconnectedNetworkError):
+            mst_steiner_tree(g, 0, [5])

@@ -1,0 +1,101 @@
+"""Tests for the shared destination-connection step (solvers/tails.py)."""
+
+import pytest
+
+from repro.config import FlowConfig
+from repro.network.cloud import CloudNetwork
+from repro.network.graph import Graph
+from repro.sfc.builder import DagSfcBuilder
+from repro.solvers.common import evaluate_layer_candidate
+from repro.solvers.subsolution import SubSolution, SubSolutionTree
+from repro.solvers.tails import connect_destination
+from repro.network.paths import Path
+
+
+@pytest.fixture
+def diamond():
+    """0 -cheap- 1 -cheap- 2 plus detour 0-3-2 (pricier)."""
+    g = Graph()
+    g.add_link(0, 1, price=1.0, capacity=1.0)
+    g.add_link(1, 2, price=1.0, capacity=1.0)
+    g.add_link(0, 3, price=2.0, capacity=10.0)
+    g.add_link(3, 2, price=2.0, capacity=10.0)
+    net = CloudNetwork(g)
+    net.deploy(0, 1, price=5.0, capacity=10.0)
+    return net
+
+
+def make_layer1_subsolution(net, root, *, via_cheap: bool):
+    """A layer-1 sub-solution placing f(1) on node 0 (trivially)."""
+    dag = DagSfcBuilder().single(1).build()
+    ss = evaluate_layer_candidate(
+        net,
+        FlowConfig(rate=1.0),
+        root,
+        1,
+        dag.layer(1),
+        assignment={1: 0},
+        inter_paths={1: Path.trivial(0)},
+        inner_paths={},
+    )
+    assert ss is not None
+    if via_cheap:
+        # Pre-consume the cheap corridor 0-1, 1-2 in this chain's counts.
+        ss = SubSolution(
+            layer=1,
+            parent=root,
+            end_node=0,
+            placements=ss.placements,
+            inter_paths=ss.inter_paths,
+            inner_paths=ss.inner_paths,
+            layer_cost=ss.layer_cost,
+            cum_cost=ss.cum_cost,
+            vnf_counts=ss.vnf_counts,
+            link_counts={(0, 1): 1, (1, 2): 1},
+        )
+    return dag, ss
+
+
+class TestConnectDestination:
+    def test_shared_path_used_when_free(self, diamond):
+        tree = SubSolutionTree(0)
+        dag, ss = make_layer1_subsolution(diamond, tree.root, via_cheap=False)
+        tree.insert(tree.root, ss)
+        best = connect_destination(diamond, FlowConfig(rate=1.0), [ss], dag, 2, tree)
+        assert best is not None
+        tail = best.inter_paths[(2, 1)]
+        assert tail.nodes == (0, 1, 2)  # the cheap global shortest path
+        assert best.cum_cost == pytest.approx(ss.cum_cost + 2.0)
+
+    def test_fallback_when_cheap_corridor_saturated(self, diamond):
+        """The parent already saturated 0-1/1-2: the shared dest-Dijkstra
+        path is rejected and the filtered fallback detours via node 3."""
+        tree = SubSolutionTree(0)
+        dag, ss = make_layer1_subsolution(diamond, tree.root, via_cheap=True)
+        tree.insert(tree.root, ss)
+        best = connect_destination(diamond, FlowConfig(rate=1.0), [ss], dag, 2, tree)
+        assert best is not None
+        tail = best.inter_paths[(2, 1)]
+        assert tail.nodes == (0, 3, 2)
+        assert best.cum_cost == pytest.approx(ss.cum_cost + 4.0)
+
+    def test_none_when_unreachable(self, diamond):
+        diamond.graph.add_node(9)
+        tree = SubSolutionTree(0)
+        dag, ss = make_layer1_subsolution(diamond, tree.root, via_cheap=False)
+        tree.insert(tree.root, ss)
+        assert connect_destination(
+            diamond, FlowConfig(rate=1.0), [ss], dag, 9, tree
+        ) is None
+
+    def test_cheapest_parent_wins(self, diamond):
+        tree = SubSolutionTree(0)
+        dag, cheap = make_layer1_subsolution(diamond, tree.root, via_cheap=False)
+        _, blocked = make_layer1_subsolution(diamond, tree.root, via_cheap=True)
+        tree.insert(tree.root, cheap)
+        tree.insert(tree.root, blocked)
+        best = connect_destination(
+            diamond, FlowConfig(rate=1.0), [cheap, blocked], dag, 2, tree
+        )
+        # cheap parent + 2.0 tail beats blocked parent + 4.0 detour.
+        assert best.parent is cheap

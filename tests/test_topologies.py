@@ -1,0 +1,100 @@
+"""Tests for the extra topology families."""
+
+import pytest
+
+from repro.config import NetworkConfig
+from repro.exceptions import ConfigurationError
+from repro.network.topologies import (
+    barabasi_albert,
+    deploy_uniform,
+    erdos_renyi,
+    fat_tree,
+    grid,
+    ring,
+    waxman,
+)
+
+
+class TestErdosRenyi:
+    def test_connected_by_default(self):
+        g = erdos_renyi(30, 0.05, rng=1)
+        assert g.is_connected()
+
+    def test_p_zero_without_patch_is_edgeless(self):
+        g = erdos_renyi(10, 0.0, rng=1, ensure_connected=False)
+        assert g.num_links == 0
+
+    def test_p_one_is_complete(self):
+        g = erdos_renyi(8, 1.0, rng=1, ensure_connected=False)
+        assert g.num_links == 8 * 7 // 2
+
+    def test_invalid_p(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi(5, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_connected_and_sized(self):
+        g = barabasi_albert(40, 2, rng=2)
+        assert g.num_nodes == 40
+        assert g.is_connected()
+
+    def test_hub_emerges(self):
+        g = barabasi_albert(200, 1, rng=3)
+        max_deg = max(g.degree(n) for n in g.nodes())
+        assert max_deg >= 5  # scale-free graphs grow hubs
+
+    def test_m_validation(self):
+        with pytest.raises(ConfigurationError):
+            barabasi_albert(10, 0)
+
+
+class TestWaxman:
+    def test_connected_by_default(self):
+        g = waxman(25, rng=4)
+        assert g.is_connected()
+
+    def test_prices_scale_with_distance(self):
+        g = waxman(25, rng=4)
+        prices = [l.price for l in g.links()]
+        assert min(prices) >= 0.0
+        assert max(prices) <= 40.0 * 2**0.5 + 1e-9
+
+
+class TestRegular:
+    def test_ring_degrees(self):
+        g = ring(6)
+        assert all(g.degree(n) == 2 for n in g.nodes())
+        assert g.is_connected()
+
+    def test_ring_min_size(self):
+        with pytest.raises(ConfigurationError):
+            ring(2)
+
+    def test_grid_structure(self):
+        g = grid(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_links == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.is_connected()
+        assert g.degree(0) == 2  # corner
+
+    def test_fat_tree_k4(self):
+        g = fat_tree(4)
+        # k=4: 4 cores + 4 pods x (2 agg + 2 edge) = 20 switches.
+        assert g.num_nodes == 20
+        assert g.is_connected()
+
+    def test_fat_tree_odd_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fat_tree(3)
+
+
+class TestDeployUniform:
+    def test_deploys_on_custom_topology(self):
+        g = grid(4, 4)
+        cfg = NetworkConfig(size=16, connectivity=3.0, n_vnf_types=3, deploy_ratio=0.5)
+        net = deploy_uniform(g, cfg, rng=5)
+        for t in (1, 2, 3):
+            assert net.nodes_with(t)
+        assert net.merger_nodes()
+        assert net.graph is g

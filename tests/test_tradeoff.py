@@ -1,0 +1,83 @@
+"""Tests for the cost/delay trade-off frontier."""
+
+import pytest
+
+from repro.analysis.delay import DelayModel, dag_delay
+from repro.analysis.tradeoff import cost_delay_frontier
+from repro.config import FlowConfig, NetworkConfig, SfcConfig
+from repro.embedding.costing import compute_cost
+from repro.embedding.feasibility import verify_embedding
+from repro.exceptions import ConfigurationError
+from repro.network.generator import generate_network
+from repro.sfc.generator import generate_dag_sfc
+from repro.solvers import MbbeEmbedder
+
+
+@pytest.fixture(scope="module")
+def instance():
+    # Expensive links relative to hops make the trade-off visible.
+    net = generate_network(
+        NetworkConfig(size=60, connectivity=5.0, n_vnf_types=8, price_ratio=0.4),
+        rng=3,
+    )
+    dag = generate_dag_sfc(SfcConfig(size=5), n_vnf_types=8, rng=4)
+    return net, dag
+
+
+class TestFrontier:
+    def test_points_are_nondominated_and_sorted(self, instance):
+        net, dag = instance
+        front = cost_delay_frontier(net, dag, 0, 59, MbbeEmbedder())
+        assert front
+        costs = [p.cost for p in front]
+        delays = [p.delay for p in front]
+        assert costs == sorted(costs)
+        # As cost rises along the front, delay must strictly fall.
+        for (c1, d1), (c2, d2) in zip(zip(costs, delays), zip(costs[1:], delays[1:])):
+            assert c2 > c1 - 1e-9
+            if c2 > c1 + 1e-9:
+                assert d2 < d1 + 1e-9
+
+    def test_lambda_zero_is_paper_problem(self, instance):
+        net, dag = instance
+        front = cost_delay_frontier(
+            net, dag, 0, 59, MbbeEmbedder(), lambdas=(0.0,)
+        )
+        direct = MbbeEmbedder().embed(net, dag, 0, 59, FlowConfig())
+        assert front[0].cost == pytest.approx(direct.total_cost)
+
+    def test_all_embeddings_verify_on_original_network(self, instance):
+        net, dag = instance
+        for p in cost_delay_frontier(net, dag, 0, 59, MbbeEmbedder()):
+            verify_embedding(net, p.embedding, FlowConfig())
+            assert p.cost == pytest.approx(
+                compute_cost(net, p.embedding, FlowConfig()).total
+            )
+            assert p.delay == pytest.approx(dag_delay(p.embedding, DelayModel()))
+
+    def test_high_lambda_reduces_or_keeps_delay(self, instance):
+        net, dag = instance
+        pts = {}
+        for lam in (0.0, 1.0):
+            front = cost_delay_frontier(
+                net, dag, 0, 59, MbbeEmbedder(), lambdas=(lam,)
+            )
+            pts[lam] = front[0]
+        assert pts[1.0].delay <= pts[0.0].delay + 1e-9
+        assert pts[1.0].cost >= pts[0.0].cost - 1e-9
+
+    def test_validation(self, instance):
+        net, dag = instance
+        with pytest.raises(ConfigurationError):
+            cost_delay_frontier(net, dag, 0, 59, MbbeEmbedder(), lambdas=(1.5,))
+        with pytest.raises(ConfigurationError):
+            cost_delay_frontier(
+                net, dag, 0, 59, MbbeEmbedder(), delay_weight=0.0
+            )
+
+    def test_failed_lambdas_skipped(self, instance):
+        net, dag = instance
+        front = cost_delay_frontier(
+            net, dag, 0, 9999, MbbeEmbedder(), lambdas=(0.0, 0.5)
+        )
+        assert front == []

@@ -1,0 +1,106 @@
+"""Tests for the sequential → DAG-SFC transformation (Fig. 2 procedure)."""
+
+import pytest
+
+from repro.exceptions import TransformError
+from repro.nfv.actions import ActionProfile, PacketField
+from repro.nfv.parallelism import ParallelismAnalyzer
+from repro.nfv.vnf import VnfCatalog, VnfDescriptor, standard_catalog
+from repro.sfc.chain import SequentialSfc
+from repro.sfc.transform import to_dag_sfc
+
+
+def catalog_all_parallel(n: int) -> VnfCatalog:
+    """Every category read-only and disjoint -> fully parallelizable."""
+    fields = list(PacketField)
+    return VnfCatalog(
+        {
+            i: VnfDescriptor(
+                type_id=i,
+                name=f"ro{i}",
+                profile=ActionProfile.of(reads=(fields[i % len(fields)],)),
+            )
+            for i in range(1, n + 1)
+        }
+    )
+
+
+def catalog_all_sequential(n: int) -> VnfCatalog:
+    """Every category writes the same field -> nothing parallelizable."""
+    return VnfCatalog(
+        {
+            i: VnfDescriptor(
+                type_id=i,
+                name=f"w{i}",
+                profile=ActionProfile.of(writes=(PacketField.TTL,)),
+            )
+            for i in range(1, n + 1)
+        }
+    )
+
+
+class TestGrouping:
+    def test_fully_parallel_chain_collapses(self):
+        cat = catalog_all_parallel(4)
+        dag = to_dag_sfc(SequentialSfc([1, 2, 3, 4]), ParallelismAnalyzer(cat))
+        assert dag.omega == 1
+        assert dag.layer(1).parallel == (1, 2, 3, 4)
+
+    def test_fully_sequential_chain_stays(self):
+        cat = catalog_all_sequential(4)
+        dag = to_dag_sfc(SequentialSfc([1, 2, 3, 4]), ParallelismAnalyzer(cat))
+        assert dag.omega == 4
+        assert all(not l.has_merger for l in dag.layers)
+
+    def test_max_parallel_cap(self):
+        cat = catalog_all_parallel(6)
+        dag = to_dag_sfc(
+            SequentialSfc([1, 2, 3, 4, 5, 6]), ParallelismAnalyzer(cat), max_parallel=3
+        )
+        assert tuple(l.phi for l in dag.layers) == (3, 3)
+
+    def test_duplicate_category_splits_layer(self):
+        cat = catalog_all_parallel(3)
+        dag = to_dag_sfc(SequentialSfc([1, 2, 1]), ParallelismAnalyzer(cat))
+        # The second f(1) cannot join a set already containing f(1).
+        assert dag.omega >= 2
+        assert dag.size == 3
+
+    def test_preserves_order_across_layers(self):
+        cat = standard_catalog()
+        chain = SequentialSfc(list(cat.regular_ids)[:6])
+        dag = to_dag_sfc(chain, ParallelismAnalyzer(cat))
+        flat = [v for l in dag.layers for v in sorted(l.parallel, key=chain.vnfs.index)]
+        assert sorted(flat) == sorted(chain.vnfs)
+        assert dag.size == chain.size
+
+    def test_single_vnf_chain(self):
+        cat = catalog_all_parallel(1)
+        dag = to_dag_sfc(SequentialSfc([1]), ParallelismAnalyzer(cat))
+        assert dag.omega == 1
+        assert not dag.layer(1).has_merger
+
+
+class TestRealisticCatalog:
+    def test_standard_chain_gets_some_parallelism(self):
+        cat = standard_catalog()
+        # firewall, dpi, ids, monitor: read-only/drop-only -> parallel-with-merge.
+        ids = {cat.name(i): i for i in cat}
+        chain = SequentialSfc([ids["firewall"], ids["dpi"], ids["ids"], ids["monitor"]])
+        dag = to_dag_sfc(chain, ParallelismAnalyzer(cat))
+        assert dag.omega < 4  # at least one pair merged
+
+    def test_conservative_policy_blocks_droppers(self):
+        cat = standard_catalog()
+        ids = {cat.name(i): i for i in cat}
+        chain = SequentialSfc([ids["firewall"], ids["dpi"]])
+        an = ParallelismAnalyzer(cat, allow_merge_logic=False)
+        dag = to_dag_sfc(chain, an)
+        assert dag.omega == 2
+
+
+class TestValidation:
+    def test_bad_max_parallel(self):
+        cat = catalog_all_parallel(2)
+        with pytest.raises(TransformError):
+            to_dag_sfc(SequentialSfc([1, 2]), ParallelismAnalyzer(cat), max_parallel=0)

@@ -1,0 +1,55 @@
+"""Unit tests for repro.types."""
+
+from repro.types import (
+    DUMMY_VNF,
+    MERGER_VNF,
+    Position,
+    edge_key,
+    is_special_vnf,
+    vnf_name,
+)
+
+
+class TestEdgeKey:
+    def test_sorts_endpoints(self):
+        assert edge_key(5, 2) == (2, 5)
+        assert edge_key(2, 5) == (2, 5)
+
+    def test_idempotent_on_sorted(self):
+        assert edge_key(0, 1) == (0, 1)
+
+
+class TestSentinels:
+    def test_dummy_is_zero_like_paper_f0(self):
+        assert DUMMY_VNF == 0
+
+    def test_merger_never_collides_with_catalog(self):
+        assert MERGER_VNF < 1
+
+    def test_is_special(self):
+        assert is_special_vnf(DUMMY_VNF)
+        assert is_special_vnf(MERGER_VNF)
+        assert not is_special_vnf(1)
+        assert not is_special_vnf(99)
+
+
+class TestNames:
+    def test_regular_name(self):
+        assert vnf_name(3) == "f(3)"
+
+    def test_special_names(self):
+        assert vnf_name(DUMMY_VNF) == "dummy"
+        assert vnf_name(MERGER_VNF) == "merger"
+
+
+class TestPosition:
+    def test_fields(self):
+        p = Position(2, 3)
+        assert p.layer == 2
+        assert p.gamma == 3
+
+    def test_is_tuple(self):
+        assert Position(1, 1) == (1, 1)
+
+    def test_hashable_distinct(self):
+        assert len({Position(1, 1), Position(1, 2), Position(2, 1)}) == 3

@@ -1,0 +1,94 @@
+"""Unit tests for repro.utils (rng, timing, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import as_generator, sample_distinct, spawn_streams, trial_seed
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.validation import (
+    check_finite,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestRng:
+    def test_as_generator_from_int_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=5)
+        b = as_generator(42).integers(0, 1000, size=5)
+        assert (a == b).all()
+
+    def test_as_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert as_generator(g) is g
+
+    def test_spawn_streams_are_independent(self):
+        streams = spawn_streams(7, 3)
+        draws = [g.integers(0, 2**31) for g in streams]
+        assert len(set(int(d) for d in draws)) == 3
+
+    def test_spawn_streams_deterministic(self):
+        a = [g.integers(0, 2**31) for g in spawn_streams(7, 3)]
+        b = [g.integers(0, 2**31) for g in spawn_streams(7, 3)]
+        assert a == b
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_streams(1, -1)
+
+    def test_trial_seed_stable_and_distinct(self):
+        s1 = trial_seed(123, 0)
+        s2 = trial_seed(123, 1)
+        assert s1 == trial_seed(123, 0)
+        assert s1 != s2
+        assert trial_seed(123, 0, salt=1) != s1
+
+    def test_sample_distinct(self):
+        rng = as_generator(3)
+        out = sample_distinct(rng, list(range(10)), 4)
+        assert len(set(out)) == 4
+        with pytest.raises(ValueError):
+            sample_distinct(rng, [1, 2], 3)
+
+
+class TestTiming:
+    def test_stopwatch_accumulates(self):
+        sw = Stopwatch()
+        with sw.lap("a"):
+            pass
+        with sw.lap("a"):
+            pass
+        assert sw.laps["a"] >= 0.0
+        assert sw.total() == pytest.approx(sum(sw.laps.values()))
+        sw.reset()
+        assert sw.total() == 0.0
+
+    def test_timed_returns_result_and_elapsed(self):
+        result, elapsed = timed(lambda: 21 * 2)()
+        assert result == 42
+        assert elapsed >= 0.0
+
+
+class TestValidation:
+    def test_probability_bounds(self):
+        assert check_probability("p", 0.5) == 0.5
+        with pytest.raises(ConfigurationError):
+            check_probability("p", 1.0001)
+
+    def test_positive(self):
+        assert check_positive("x", 1e-9) == 1e-9
+        with pytest.raises(ConfigurationError):
+            check_positive("x", 0.0)
+
+    def test_non_negative(self):
+        assert check_non_negative("x", 0.0) == 0.0
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", -0.1)
+
+    def test_finite(self):
+        with pytest.raises(ConfigurationError):
+            check_finite("x", float("inf"))
+        with pytest.raises(ConfigurationError):
+            check_finite("x", float("nan"))

@@ -1,0 +1,82 @@
+"""Tests for the DOT exports (structure of the generated text)."""
+
+import re
+
+import pytest
+
+from repro.config import FlowConfig, NetworkConfig, SfcConfig
+from repro.network.generator import generate_network
+from repro.sfc.builder import DagSfcBuilder
+from repro.sfc.generator import generate_dag_sfc
+from repro.solvers import MbbeEmbedder
+from repro.viz.dot import dag_to_dot, embedding_to_dot, network_to_dot
+
+
+@pytest.fixture(scope="module")
+def solved():
+    net = generate_network(NetworkConfig(size=20, connectivity=3.5, n_vnf_types=6), rng=3)
+    dag = generate_dag_sfc(SfcConfig(size=5), n_vnf_types=6, rng=4)
+    r = MbbeEmbedder().embed(net, dag, 0, 19, FlowConfig())
+    assert r.success
+    return net, dag, r.embedding
+
+
+class TestDagDot:
+    def test_fig2_structure(self, fig2_dag):
+        dot = dag_to_dot(fig2_dag)
+        assert dot.startswith("digraph")
+        assert dot.count("subgraph cluster_L") == 3
+        assert dot.count('shape=box') == 2  # two mergers
+        # 8 inter-layer + 6 inner-layer meta-path arrows.
+        assert dot.count("#C23B21") == 8
+        assert dot.count("#2B7A3A") == 6
+        assert "src" in dot and "dst" in dot
+
+    def test_serial_dag_has_no_mergers(self):
+        dag = DagSfcBuilder().single(1).single(2).build()
+        dot = dag_to_dot(dag)
+        assert "shape=box" not in dot
+        assert "#2B7A3A" not in dot
+
+    def test_balanced_braces(self, fig2_dag):
+        dot = dag_to_dot(fig2_dag)
+        assert dot.count("{") == dot.count("}")
+
+
+class TestNetworkDot:
+    def test_all_nodes_and_links_present(self, solved):
+        net, _, _ = solved
+        dot = network_to_dot(net)
+        assert dot.startswith("graph")
+        for node in net.nodes():
+            assert f"n{node} [" in dot
+        assert dot.count(" -- ") == net.graph.num_links
+
+    def test_label_truncation(self, solved):
+        net, _, _ = solved
+        dot = network_to_dot(net, max_label_vnfs=1)
+        assert "…" in dot
+
+
+class TestEmbeddingDot:
+    def test_hosting_nodes_highlighted(self, solved):
+        net, _, emb = solved
+        dot = embedding_to_dot(net, emb)
+        filled = dot.count("style=filled")
+        assert filled == len(set(emb.placements.values()))
+        assert "doublecircle" in dot  # source marker
+        assert "doubleoctagon" in dot  # dest marker
+
+    def test_path_arrows_match_hops(self, solved):
+        net, _, emb = solved
+        dot = embedding_to_dot(net, emb)
+        inter_arrows = len(re.findall(r"#C23B21", dot))
+        inner_arrows = len(re.findall(r"#2B7A3A", dot))
+        assert inter_arrows == sum(p.length for p in emb.inter_paths.values())
+        assert inner_arrows == sum(p.length for p in emb.inner_paths.values())
+
+    def test_balanced_and_renderable_syntax(self, solved):
+        net, _, emb = solved
+        dot = embedding_to_dot(net, emb)
+        assert dot.count("{") == dot.count("}")
+        assert dot.rstrip().endswith("}")
