@@ -89,6 +89,16 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--seed", type=int, default=1)
     inspect.add_argument("--solver", type=str, default="MBBE")
     inspect.add_argument("--save", type=str, default=None, help="dump instance+solution JSON here")
+
+    lint = sub.add_parser(
+        "lint", help="run the reprolint static-analysis suite (see docs/static_analysis.md)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=[], help="files/directories to check (default: src/repro)"
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--select", type=str, default=None, help="comma-separated rule codes")
+    lint.add_argument("--list-rules", action="store_true", help="print the rule catalog")
     return parser
 
 
@@ -248,6 +258,39 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run reprolint (``tools.reprolint``) through the dag-sfc front-end.
+
+    ``tools`` is importable when the console script is installed from this
+    repo or when the working directory is the repo root; as a fallback the
+    checkout layout (``src/repro`` next to ``tools/``) is probed.
+    """
+    try:
+        from tools.reprolint.cli import main as reprolint_main
+    except ModuleNotFoundError:
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        if (root / "tools" / "reprolint").is_dir():
+            sys.path.insert(0, str(root))
+            from tools.reprolint.cli import main as reprolint_main
+        else:
+            print(
+                "dag-sfc lint: the `tools.reprolint` package is not importable; "
+                "run from a repo checkout or `pip install` the repo itself",
+                file=sys.stderr,
+            )
+            return 2
+    forwarded: list[str] = list(args.paths)
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    if args.format != "text":
+        forwarded.extend(["--format", args.format])
+    if args.select:
+        forwarded.extend(["--select", args.select])
+    return reprolint_main(forwarded)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -261,6 +304,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_compare(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "list-solvers":
         for name in available_solvers():
             print(name)

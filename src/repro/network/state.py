@@ -17,7 +17,7 @@ Reservation semantics follow the paper's reuse model:
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Callable, Iterator
 
 from ..exceptions import CapacityError
 from ..types import EdgeKey, NodeId, VnfTypeId, edge_key
@@ -179,7 +179,7 @@ class ResidualState:
 
     # -- filters for searches -----------------------------------------------------------
 
-    def link_filter(self, rate: float):
+    def link_filter(self, rate: float) -> Callable[[Link], bool]:
         """A :data:`~repro.network.shortest.LinkFilter` admitting ``rate``."""
 
         def _filter(link: Link) -> bool:

@@ -12,11 +12,16 @@ each position are drawn randomly.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..config import SfcConfig
 from ..exceptions import ConfigurationError
 from ..utils.rng import RngStream, as_generator
 from .chain import SequentialSfc
 from .dag import DagSfc, Layer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..nfv.parallelism import ParallelismAnalyzer
 
 __all__ = [
     "layer_sizes_for",
@@ -177,7 +182,7 @@ def generate_chain(
 
 def generate_analyzed_dag(
     size: int,
-    analyzer,
+    analyzer: "ParallelismAnalyzer",
     rng: RngStream = None,
     *,
     max_parallel: int = 3,

@@ -17,7 +17,7 @@ and, as in Fig. 6(a), stops at SFC size 5.
 from __future__ import annotations
 
 import os
-from typing import Callable, Mapping
+from typing import Any, Callable, Mapping
 
 from ..config import ScenarioConfig, table2_defaults
 from ..exceptions import ConfigurationError
@@ -112,7 +112,7 @@ def _experiment(
     )
 
 
-def figure_6a(**kw) -> ExperimentSpec:
+def figure_6a(**kw: Any) -> ExperimentSpec:
     """Fig. 6(a): impact of the SFC size (1–9; BBE stops at 5)."""
     return _experiment(
         "fig6a",
@@ -125,7 +125,7 @@ def figure_6a(**kw) -> ExperimentSpec:
     )
 
 
-def figure_6b(**kw) -> ExperimentSpec:
+def figure_6b(**kw: Any) -> ExperimentSpec:
     """Fig. 6(b): impact of the network size (10–1000 nodes)."""
     sizes = (10, 20, 50, 100, 200, 500, 1000)
     return _experiment(
@@ -138,7 +138,7 @@ def figure_6b(**kw) -> ExperimentSpec:
     )
 
 
-def figure_6c(**kw) -> ExperimentSpec:
+def figure_6c(**kw: Any) -> ExperimentSpec:
     """Fig. 6(c): impact of the network connectivity (avg degree 2–14)."""
     return _experiment(
         "fig6c",
@@ -150,7 +150,7 @@ def figure_6c(**kw) -> ExperimentSpec:
     )
 
 
-def figure_6d(**kw) -> ExperimentSpec:
+def figure_6d(**kw: Any) -> ExperimentSpec:
     """Fig. 6(d): impact of the VNF deploying ratio (10–70 %)."""
     return _experiment(
         "fig6d",
@@ -162,7 +162,7 @@ def figure_6d(**kw) -> ExperimentSpec:
     )
 
 
-def figure_6e(**kw) -> ExperimentSpec:
+def figure_6e(**kw: Any) -> ExperimentSpec:
     """Fig. 6(e): impact of the average price ratio (1–50 %)."""
     return _experiment(
         "fig6e",
@@ -174,7 +174,7 @@ def figure_6e(**kw) -> ExperimentSpec:
     )
 
 
-def figure_6f(**kw) -> ExperimentSpec:
+def figure_6f(**kw: Any) -> ExperimentSpec:
     """Fig. 6(f): impact of the VNF price fluctuation ratio (5–50 %)."""
     return _experiment(
         "fig6f",
@@ -186,7 +186,7 @@ def figure_6f(**kw) -> ExperimentSpec:
     )
 
 
-def extension_robustness(**kw) -> ExperimentSpec:
+def extension_robustness(**kw: Any) -> ExperimentSpec:
     """Extension: success rate under shrinking VNF capacity.
 
     Quantifies the paper's closing observation ("MBBE always results in a
@@ -210,7 +210,7 @@ def extension_robustness(**kw) -> ExperimentSpec:
     )
 
 
-def table2_experiment(**kw) -> ExperimentSpec:
+def table2_experiment(**kw: Any) -> ExperimentSpec:
     """The Table-2 default configuration as a single-point experiment."""
     return _experiment(
         "table2",
@@ -234,7 +234,7 @@ FIGURES: dict[str, Callable[..., ExperimentSpec]] = {
 }
 
 
-def figure_by_id(fig_id: str, **kw) -> ExperimentSpec:
+def figure_by_id(fig_id: str, **kw: Any) -> ExperimentSpec:
     """Look up a figure factory by id ("6a" … "6f", "table2")."""
     key = fig_id.lower()
     if key not in FIGURES:

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..utils.rng import RngStream, as_generator
+from ..utils.tolerance import close
 from .metrics import TrialRecord
 
 __all__ = [
@@ -120,7 +121,7 @@ def welch_t_test(a: Sequence[float], b: Sequence[float]) -> WelchResult:
     se2 = va / na + vb / nb
     if se2 == 0.0:
         # Identical constants: no evidence of difference (or infinite t).
-        same = math.isclose(ma, mb)
+        same = close(ma, mb)
         return WelchResult(
             t=0.0 if same else math.inf,
             df=float(na + nb - 2),

@@ -16,7 +16,7 @@ from ..config import FlowConfig, SfcConfig
 from ..exceptions import ConfigurationError
 from ..sfc.generator import generate_dag_sfc
 from ..utils.rng import RngStream, as_generator
-from .online import SfcRequest
+from .online import OnlineSimulator, SfcRequest
 
 __all__ = ["TraceEvent", "ArrivalTrace", "generate_trace"]
 
@@ -102,7 +102,7 @@ def generate_trace(
 
 def replay(
     trace: ArrivalTrace,
-    simulator,
+    simulator: OnlineSimulator,
     *,
     rng: RngStream = None,
 ) -> None:

@@ -26,9 +26,11 @@ from ..embedding.mapping import Embedding
 from ..exceptions import EmbeddingError, NoSolutionError
 from ..network.cloud import CloudNetwork
 from ..network.shortest import dijkstra
+from ..sfc.dag import DagSfc
 from ..sfc.stretch import StretchedSfc
 from ..types import NodeId
 from ..utils.rng import RngStream
+from ..utils.tolerance import lt as tolerant_lt
 from .routing import route_min_cost
 
 __all__ = ["LocalSearchRefiner", "RefinedEmbedder"]
@@ -100,7 +102,7 @@ class LocalSearchRefiner:
                         placements[pos] = current
                         continue
                     cost = compute_cost(network, trial, flow).total
-                    if cost < best_cost - 1e-9:
+                    if tolerant_lt(cost, best_cost):
                         best, best_cost = trial, cost
                         moves += 1
                         improved = True
@@ -128,7 +130,7 @@ class RefinedEmbedder(Embedder):
     def _solve(
         self,
         network: CloudNetwork,
-        dag,
+        dag: DagSfc,
         source: NodeId,
         dest: NodeId,
         flow: FlowConfig,

@@ -37,10 +37,11 @@ from ..embedding.base import Embedder
 from ..embedding.mapping import Embedding
 from ..exceptions import NoSolutionError
 from ..network.cloud import CloudNetwork
+from ..network.graph import Link
 from ..network.paths import Path
-from ..network.shortest import BfsRings, DijkstraResult, bfs_rings, dijkstra
+from ..network.shortest import BfsRings, DijkstraResult, LinkFilter, bfs_rings, dijkstra
 from ..sfc.dag import DagSfc, Layer
-from ..types import MERGER_VNF, NodeId
+from ..types import MERGER_VNF, EdgeKey, NodeId
 from ..utils.rng import RngStream
 from .bbe import _residual_link_filter
 from .common import coverage_stop, evaluate_layer_candidate, vnf_admit
@@ -178,7 +179,7 @@ class MbbeEmbedder(Embedder):
         parent: SubSolution,
         layer: Layer,
         admit: Callable[[NodeId, int], bool],
-        link_f,
+        link_f: LinkFilter,
         stats: dict[str, Any],
     ) -> BfsRings | None:
         stop = coverage_stop(network, layer.required_types, admit)
@@ -302,7 +303,7 @@ class MbbeEmbedder(Embedder):
         merger_node: NodeId,
         admit: Callable[[NodeId, int], bool],
         dij_start: DijkstraResult,
-        link_f,
+        link_f: LinkFilter,
         scale: int,
     ) -> list[SubSolution]:
         """Allocation product over pruned candidates, min-cost instantiation."""
@@ -389,15 +390,15 @@ class MbbeEmbedder(Embedder):
         rate = flow.rate
         phi = layer.phi
         layer_inner: dict[tuple[NodeId, NodeId], int] = {}
-        inter_union: set = set()
+        inter_union: set[EdgeKey] = set()
 
-        def residual_ok(link) -> bool:
+        def residual_ok(link: Link) -> bool:
             used = parent.link_counts.get(link.key, 0)
             used += layer_inner.get(link.key, 0)
             used += 1 if link.key in inter_union else 0
             return (used + 1) * rate <= link.capacity + 1e-9
 
-        def inter_filter(link) -> bool:
+        def inter_filter(link: Link) -> bool:
             return link.key in inter_union or residual_ok(link)
 
         inter_paths: dict[int, Path] = {}

@@ -22,11 +22,15 @@ from ..exceptions import DisconnectedNetworkError
 from ..network.cloud import CloudNetwork
 from ..network.paths import Path
 from ..network.steiner import mst_steiner_tree
+from typing import Callable
+
 from ..config import FlowConfig
+from ..network.shortest import DijkstraResult, LinkFilter
 from ..sfc.dag import Layer
 from ..types import NodeId
 from .common import evaluate_layer_candidate
 from .mbbe import MbbeEmbedder
+from .searchtree import SearchTree
 from .subsolution import SubSolution
 
 __all__ = ["MbbeSteinerEmbedder"]
@@ -44,11 +48,11 @@ class MbbeSteinerEmbedder(MbbeEmbedder):
         parent: SubSolution,
         l: int,
         layer: Layer,
-        bst,
+        bst: SearchTree,
         merger_node: NodeId,
-        admit,
-        dij_start,
-        link_f,
+        admit: Callable[[NodeId, int], bool],
+        dij_start: DijkstraResult,
+        link_f: LinkFilter,
         scale: int,
     ) -> list[SubSolution]:
         # Generate MBBE's candidates first (shared-prefix multicast), then

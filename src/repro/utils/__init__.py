@@ -2,6 +2,7 @@
 
 from .rng import RngStream, spawn_streams, trial_seed
 from .timing import Stopwatch, timed
+from .tolerance import close, close_to_zero
 from .validation import check_probability, check_positive, check_non_negative
 
 __all__ = [
@@ -10,6 +11,8 @@ __all__ = [
     "trial_seed",
     "Stopwatch",
     "timed",
+    "close",
+    "close_to_zero",
     "check_probability",
     "check_positive",
     "check_non_negative",

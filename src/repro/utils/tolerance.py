@@ -1,0 +1,50 @@
+"""Float comparison with explicit tolerances.
+
+Embedding costs are sums of float products (eq. 1, eq. 7-10), so exact
+``==``/``!=`` between two independently computed costs is evaluation-order
+dependent. reprolint (rule RPL501) rejects raw equality on cost expressions;
+this module is the sanctioned alternative.
+
+The tolerances match the ``1e-9`` slack already used by capacity admission
+checks in :mod:`repro.network.state`, so "equal cost" and "fits capacity"
+agree about what a rounding error is.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["COST_ABS_TOL", "COST_REL_TOL", "close", "close_to_zero", "le", "lt"]
+
+#: relative tolerance for cost comparisons.
+COST_REL_TOL = 1e-9
+#: absolute tolerance, for costs near zero.
+COST_ABS_TOL = 1e-12
+
+
+def close(a: float, b: float, *, rel_tol: float = COST_REL_TOL, abs_tol: float = COST_ABS_TOL) -> bool:
+    """True when ``a`` and ``b`` are equal up to rounding error.
+
+    Handles infinities the way cost code expects: two infinite costs of the
+    same sign compare equal (``math.isclose`` already guarantees this).
+    """
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def close_to_zero(a: float, *, abs_tol: float = COST_ABS_TOL) -> bool:
+    """True when ``a`` is zero up to rounding error."""
+    return abs(a) <= abs_tol
+
+
+def le(a: float, b: float, *, rel_tol: float = COST_REL_TOL, abs_tol: float = COST_ABS_TOL) -> bool:
+    """Tolerant ``a <= b``: true when ``a`` is smaller or indistinguishable."""
+    return a <= b or close(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def lt(a: float, b: float, *, rel_tol: float = COST_REL_TOL, abs_tol: float = COST_ABS_TOL) -> bool:
+    """Strict tolerant ``a < b``: true only for a distinguishable improvement.
+
+    Local search uses this to reject "improvements" smaller than rounding
+    error, which would otherwise make termination order-dependent.
+    """
+    return a < b and not close(a, b, rel_tol=rel_tol, abs_tol=abs_tol)

@@ -18,7 +18,7 @@ from ..embedding.mapping import Embedding
 from ..network.cloud import CloudNetwork
 from ..sfc.dag import DagSfc
 from ..sfc.stretch import StretchedSfc
-from ..types import DUMMY_VNF, MERGER_VNF, vnf_name
+from ..types import DUMMY_VNF, MERGER_VNF, Position, vnf_name
 
 __all__ = ["dag_to_dot", "network_to_dot", "embedding_to_dot"]
 
@@ -48,7 +48,7 @@ def dag_to_dot(dag: DagSfc, *, name: str = "dag_sfc") -> str:
             )
         lines.append("  }")
 
-    def endpoint(pos) -> str:
+    def endpoint(pos: Position) -> str:
         if pos == s.source_position:
             return "src"
         if pos == s.dest_position:

@@ -1,0 +1,8 @@
+"""Clean module: entry points (cli.py) may mint an unseeded root stream."""
+
+import numpy as np
+
+
+def main() -> int:
+    rng = np.random.default_rng()
+    return int(rng.integers(0, 2))

@@ -1,0 +1,3 @@
+"""RPL001: a suppression without `-- reason` can never make a tree clean."""
+
+import random  # reprolint: disable=RPL101

@@ -1,0 +1,3 @@
+"""RPL002: suppressions must name real rule codes."""
+
+X = 1  # reprolint: disable=RPL999 -- there is no rule RPL999

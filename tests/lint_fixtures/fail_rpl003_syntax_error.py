@@ -1,0 +1,4 @@
+"""RPL003: unparsable files are reported, not skipped."""
+
+def broken(:
+    pass

@@ -1,0 +1,3 @@
+"""RPL004: suppressions that silence nothing must be removed."""
+
+TOTAL_NODES = 500  # reprolint: disable=RPL501 -- stale: the comparison moved away

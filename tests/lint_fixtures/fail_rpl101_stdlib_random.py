@@ -1,0 +1,9 @@
+"""RPL101: both stdlib-random import forms are banned."""
+
+import random
+
+from random import choice
+
+
+def pick(items):
+    return choice(items) if items else random.random()

@@ -1,0 +1,9 @@
+"""RPL102: module-import-time RNG work creates hidden global state."""
+
+import numpy as np
+
+_SHARED = np.random.default_rng(42)
+
+
+class Jitter:
+    noise = np.random.default_rng(7)

@@ -1,0 +1,13 @@
+"""RPL103: library code must accept an RngStream, not mint unseeded streams."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def sample_nodes(n):
+    rng = np.random.default_rng()
+    return rng.integers(0, n)
+
+
+def sample_more(n):
+    return default_rng().integers(0, n)

@@ -1,0 +1,11 @@
+"""RPL104: the legacy numpy global-singleton RNG API is banned everywhere."""
+
+import numpy as np
+from numpy.random import shuffle
+
+
+def scramble(items, n):
+    np.random.seed(0)
+    picked = np.random.choice(n, size=2)
+    shuffle(items)
+    return picked

@@ -1,0 +1,10 @@
+"""RPL201: residual bookkeeping is private to network/state.py."""
+
+
+def leak_reservation(state, u, v, rate):
+    state._link_used[(u, v)] = rate
+
+
+def overwrite_capacity(link, state, node, vnf_type):
+    link.capacity = 0.0
+    return state._vnf_used.get((node, vnf_type), 0.0)

@@ -1,0 +1,10 @@
+"""RPL401: mutable default arguments alias state across calls."""
+
+
+def accumulate(x, acc=[]):
+    acc.append(x)
+    return acc
+
+
+def index(key, table={}, *, tags=set()):
+    return table.get(key, tags)

@@ -1,0 +1,9 @@
+"""RPL501: exact equality on float cost expressions."""
+
+
+def same_cost(a, b):
+    return a.total_cost == b.total_cost
+
+
+def changed(result, baseline_price):
+    return result.link_price != baseline_price

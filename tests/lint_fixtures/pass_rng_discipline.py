@@ -1,0 +1,11 @@
+"""Clean module: explicit RngStream parameters, Generator API only."""
+
+import numpy as np
+
+
+def sample(rng: np.random.Generator, n: int) -> int:
+    return int(rng.integers(0, n))
+
+
+def derive(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)

@@ -1,0 +1,5 @@
+"""Clean module: a documented suppression silences its finding."""
+
+import random  # reprolint: disable=RPL101 -- fixture: demonstrates a justified exception
+
+SALT = random.Random  # referenced so the import is meaningful

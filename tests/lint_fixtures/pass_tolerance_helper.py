@@ -1,0 +1,11 @@
+"""Clean module: cost comparison through the tolerance helper."""
+
+from repro.utils.tolerance import close
+
+
+def same_cost(a: float, b: float) -> bool:
+    return close(a, b)
+
+
+def is_unsolved(total_cost: float) -> bool:
+    return total_cost == float("inf")  # equality against inf is exact-safe

@@ -1,0 +1,29 @@
+"""RPL301: a concrete Embedder subclass missing from the registry."""
+
+
+class Embedder:
+    """Stand-in for repro.embedding.base.Embedder."""
+
+
+class GoodEmbedder(Embedder):
+    def _solve(self, network, dag):
+        return None
+
+
+class WrappedEmbedder(Embedder):
+    def _solve(self, network, dag):
+        return None
+
+
+class ForgottenEmbedder(Embedder):
+    """Concrete, under solvers/, but nobody can reach it: flagged."""
+
+    def _solve(self, network, dag):
+        return None
+
+
+class ForgottenChild(ForgottenEmbedder):
+    """Transitive subclasses are flagged too."""
+
+    def _solve(self, network, dag):
+        return None

@@ -1,0 +1,29 @@
+"""Abstract and private embedders are exempt from RPL301."""
+
+import abc
+
+
+class Embedder:
+    """Stand-in base."""
+
+
+class TwoPhaseSkeleton(Embedder):
+    """Abstract by NotImplementedError convention: not flagged."""
+
+    def _pick_node(self, feasible, rng):
+        raise NotImplementedError
+
+
+class DecoratedSkeleton(Embedder):
+    """Abstract by decorator: not flagged."""
+
+    @abc.abstractmethod
+    def _solve(self, network, dag):
+        ...
+
+
+class _InternalEmbedder(Embedder):
+    """Private by name: not flagged."""
+
+    def _solve(self, network, dag):
+        return None

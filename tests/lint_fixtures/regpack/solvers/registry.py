@@ -1,0 +1,6 @@
+"""Fixture registry: only GoodEmbedder (and a lambda-wrapped variant) registered."""
+
+_REGISTRY = {
+    "GOOD": GoodEmbedder,  # noqa: F821 - fixture, never imported
+    "GOOD+X": lambda **kw: WrappedEmbedder(GoodEmbedder(), **kw),  # noqa: F821
+}

@@ -1,0 +1,7 @@
+"""RPL202: reserving without release or mark/rollback leaks on failure."""
+
+
+def commit_candidate(state, path, rate):
+    for u, v in path.edges():
+        state.reserve_link(u, v, rate)
+    return state

@@ -1,0 +1,17 @@
+"""Clean solver code: every reserve is guarded or balanced."""
+
+
+def try_candidate(state, path, rate):
+    snapshot = state.mark()
+    try:
+        for u, v in path.edges():
+            state.reserve_link(u, v, rate)
+    except Exception:
+        state.rollback(snapshot)
+        raise
+    return snapshot
+
+
+def move_reservation(state, old, new, rate):
+    state.release_link(old[0], old[1], rate)
+    state.reserve_link(new[0], new[1], rate)

@@ -1,0 +1,29 @@
+"""reprolint — AST-based domain lint suite for the DAG-SFC codebase.
+
+Machine-checks the three conventions the reproduction depends on (explicit
+RNG streams, ResidualState-mediated capacity mutation, registry-reachable
+solvers) plus two generic hygiene rules (mutable defaults, float cost
+equality). See ``docs/static_analysis.md`` for the rule catalog.
+
+Programmatic use::
+
+    from tools.reprolint import run_paths
+    diagnostics, files_checked = run_paths(["src/repro"])
+"""
+
+from __future__ import annotations
+
+from .config import DEFAULT_CONFIG, LintConfig
+from .diagnostics import Diagnostic
+from .engine import all_rules, run_paths
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "Diagnostic",
+    "LintConfig",
+    "__version__",
+    "all_rules",
+    "run_paths",
+]

@@ -1,0 +1,100 @@
+"""reprolint command line: ``python -m tools.reprolint [paths...]``.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Sequence
+
+from .config import DEFAULT_CONFIG
+from .diagnostics import format_json, format_text
+from .engine import META_RULES, all_rules, run_paths
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "AST-based domain linter for the DAG-SFC codebase: RNG discipline, "
+            "residual-state discipline, solver-registry conformance, mutable "
+            "defaults, float cost equality."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        type=str,
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule code with its description and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = ["meta (always on):"]
+    for code, desc in sorted(META_RULES.items()):
+        lines.append(f"  {code}  {desc}")
+    lines.append("rules:")
+    for code, rule_fn in all_rules().items():
+        lines.append(f"  {code}  [{rule_fn.scope}] {rule_fn.name}: {rule_fn.description}")
+    return "\n".join(lines)
+
+
+def _emit(text: str) -> None:
+    # `reprolint ... | head` closes stdout early; swallow the pipe error so the
+    # exit status still reflects the findings rather than a traceback.
+    try:
+        print(text)
+        sys.stdout.flush()
+    except BrokenPipeError:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _emit(_list_rules())
+        return 0
+    select = None
+    if args.select:
+        select = [c.strip().upper() for c in args.select.split(",") if c.strip()] or None
+    try:
+        diagnostics, files_checked = run_paths(
+            args.paths, config=DEFAULT_CONFIG, select=select
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        _emit(json.dumps(format_json(diagnostics, files_checked), indent=2))
+    else:
+        _emit(format_text(diagnostics, files_checked))
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

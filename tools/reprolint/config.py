@@ -1,0 +1,50 @@
+"""Project-policy knobs for the reprolint rule pack.
+
+The defaults encode the DAG-SFC repo conventions (see docs/static_analysis.md);
+tests override individual fields to exercise rules against fixture trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LintConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Where each convention applies, expressed as path fragments.
+
+    Directory names are matched against any component of the checked file's
+    path; suffixes are matched against its POSIX form, so the same config
+    works for ``src/repro/...`` and for fixture trees under ``tests/``.
+    """
+
+    #: basenames allowed to call ``np.random.default_rng()`` with no argument
+    #: (process entry points that legitimately mint a fresh root stream).
+    rng_entry_basenames: tuple[str, ...] = ("cli.py", "__main__.py")
+    #: directory names whose modules are treated as entry points as well.
+    rng_entry_dirs: tuple[str, ...] = ("sim",)
+    #: module(s) that own residual-capacity bookkeeping; only they may touch
+    #: the private usage dicts or assign capacity attributes.
+    state_module_suffixes: tuple[str, ...] = ("network/state.py",)
+    #: private ResidualState attributes off-limits everywhere else.
+    state_private_attrs: tuple[str, ...] = ("_link_used", "_vnf_used")
+    #: attributes that only the state module may rebind on foreign objects.
+    capacity_attrs: tuple[str, ...] = ("capacity", "bandwidth")
+    #: directory names holding solver code (reserve/release balance checked,
+    #: embedder registration enforced).
+    solver_dir_names: tuple[str, ...] = ("solvers",)
+    #: registry module basename looked up next to solver modules.
+    registry_basename: str = "registry.py"
+    #: name of the dict mapping solver names to factories.
+    registry_dict: str = "_REGISTRY"
+    #: base class whose concrete subclasses must be registered.
+    embedder_base: str = "Embedder"
+    #: identifier fragments that mark a float "cost-like" for RPL501.
+    cost_name_fragments: tuple[str, ...] = ("cost", "price", "objective", "total")
+    #: exact identifiers also treated as cost-like.
+    cost_exact_names: tuple[str, ...] = ("total",)
+
+
+DEFAULT_CONFIG = LintConfig()

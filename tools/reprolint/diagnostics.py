@@ -1,0 +1,55 @@
+"""Diagnostic records and output formatting for reprolint."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Diagnostic", "format_text", "format_json"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: ``path:line:col: CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+def format_text(diagnostics: list[Diagnostic], files_checked: int) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [d.format() for d in sorted(diagnostics)]
+    noun = "file" if files_checked == 1 else "files"
+    if diagnostics:
+        codes = sorted({d.code for d in diagnostics})
+        lines.append(
+            f"reprolint: {len(diagnostics)} finding(s) "
+            f"[{', '.join(codes)}] in {files_checked} {noun}"
+        )
+    else:
+        lines.append(f"reprolint: clean ({files_checked} {noun} checked)")
+    return "\n".join(lines)
+
+
+def format_json(diagnostics: list[Diagnostic], files_checked: int) -> dict[str, Any]:
+    """Machine-readable report (stable key order via sorted diagnostics)."""
+    return {
+        "tool": "reprolint",
+        "files_checked": files_checked,
+        "findings": [d.to_json() for d in sorted(diagnostics)],
+    }

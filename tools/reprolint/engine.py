@@ -1,0 +1,279 @@
+"""Rule registry and lint runner.
+
+Rules come in two scopes:
+
+* ``file`` rules run once per checked module with a :class:`FileContext`;
+* ``project`` rules run once per invocation with a :class:`ProjectContext`
+  holding every parsed module (cross-file invariants such as registry
+  conformance).
+
+Findings are reported through ``ctx.report(...)``; the runner applies inline
+suppressions afterwards (see :mod:`tools.reprolint.suppressions`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Protocol
+
+from .config import DEFAULT_CONFIG, LintConfig
+from .diagnostics import Diagnostic
+from .suppressions import collect_suppressions
+
+__all__ = [
+    "FileContext",
+    "ProjectContext",
+    "Rule",
+    "all_rules",
+    "iter_python_files",
+    "rule",
+    "run_paths",
+]
+
+#: meta-rule codes emitted by the runner itself; never suppressible.
+CODE_REASONLESS = "RPL001"
+CODE_UNKNOWN_CODE = "RPL002"
+CODE_SYNTAX_ERROR = "RPL003"
+CODE_UNUSED_SUPPRESSION = "RPL004"
+
+META_RULES: dict[str, str] = {
+    CODE_REASONLESS: "suppression comment is missing the required `-- reason`",
+    CODE_UNKNOWN_CODE: "suppression names a rule code that does not exist",
+    CODE_SYNTAX_ERROR: "file could not be parsed",
+    CODE_UNUSED_SUPPRESSION: "suppression comment silences nothing on its line",
+}
+
+
+class FileContext:
+    """Everything a file-scoped rule needs about one module."""
+
+    def __init__(
+        self,
+        path: Path,
+        tree: ast.Module,
+        source: str,
+        config: LintConfig,
+        sink: list[Diagnostic],
+    ) -> None:
+        self.path = path
+        self.tree = tree
+        self.source = source
+        self.config = config
+        self._sink = sink
+        resolved = path.resolve()
+        #: path components, used for directory-name policies ("sim", "solvers").
+        self.parts: tuple[str, ...] = resolved.parts
+        #: POSIX form, used for suffix policies ("network/state.py").
+        self.posix: str = resolved.as_posix()
+        #: display path (as given on the command line / by the runner).
+        self.display: str = path.as_posix()
+
+    # -- path policy helpers ---------------------------------------------------
+
+    def in_dir(self, names: Iterable[str]) -> bool:
+        """True when any path component matches one of ``names``."""
+        wanted = set(names)
+        return any(part in wanted for part in self.parts)
+
+    def has_suffix(self, suffixes: Iterable[str]) -> bool:
+        """True when the POSIX path ends with one of ``suffixes``."""
+        return any(self.posix.endswith(s) for s in suffixes)
+
+    @property
+    def basename(self) -> str:
+        return self.path.name
+
+    # -- reporting -------------------------------------------------------------
+
+    def report(self, code: str, node: ast.AST | int, message: str) -> None:
+        """Record a finding at ``node`` (an AST node or a bare line number)."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        self._sink.append(
+            Diagnostic(path=self.display, line=line, col=col, code=code, message=message)
+        )
+
+
+class ProjectContext:
+    """All parsed modules of one invocation, for cross-file rules."""
+
+    def __init__(self, files: list[FileContext], config: LintConfig) -> None:
+        self.files = files
+        self.config = config
+
+
+class Rule(Protocol):
+    code: str
+    name: str
+    description: str
+    scope: str
+
+    def __call__(self, ctx: FileContext | ProjectContext) -> None: ...
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(
+    code: str, name: str, description: str, scope: str = "file"
+) -> Callable[[Callable[..., None]], Callable[..., None]]:
+    """Register a rule function under ``code``.
+
+    ``scope`` is ``"file"`` (called with a :class:`FileContext` per module)
+    or ``"project"`` (called once with a :class:`ProjectContext`).
+    """
+    if scope not in ("file", "project"):
+        raise ValueError(f"invalid rule scope {scope!r}")
+
+    def decorate(fn: Callable[..., None]) -> Callable[..., None]:
+        if code in _REGISTRY or code in META_RULES:
+            raise ValueError(f"duplicate rule code {code}")
+        fn.code = code  # type: ignore[attr-defined]
+        fn.name = name  # type: ignore[attr-defined]
+        fn.description = description  # type: ignore[attr-defined]
+        fn.scope = scope  # type: ignore[attr-defined]
+        _REGISTRY[code] = fn  # type: ignore[assignment]
+        return fn
+
+    return decorate
+
+
+def all_rules() -> dict[str, Rule]:
+    """code -> rule, with the rule pack imported."""
+    from . import rules  # noqa: F401  (importing registers the pack)
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+def known_codes() -> frozenset[str]:
+    return frozenset(all_rules()) | frozenset(META_RULES)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for sub in sorted(p.rglob("*.py")):
+                if "__pycache__" not in sub.parts:
+                    seen.setdefault(sub, None)
+        elif p.suffix == ".py":
+            seen.setdefault(p, None)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {p}")
+    return list(seen)
+
+
+def run_paths(
+    paths: Iterable[str | Path],
+    config: LintConfig = DEFAULT_CONFIG,
+    select: Iterable[str] | None = None,
+) -> tuple[list[Diagnostic], int]:
+    """Lint ``paths`` and return ``(diagnostics, files_checked)``.
+
+    ``select`` restricts to a subset of rule codes (meta-rule checks still
+    run, except the unused-suppression audit which needs the full pack).
+    """
+    registry = all_rules()
+    selected = set(select) if select is not None else None
+    if selected is not None:
+        unknown = selected - set(registry)
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+
+    file_rules = [
+        r for r in registry.values()
+        if r.scope == "file" and (selected is None or r.code in selected)
+    ]
+    project_rules = [
+        r for r in registry.values()
+        if r.scope == "project" and (selected is None or r.code in selected)
+    ]
+
+    contexts: list[FileContext] = []
+    raw: list[Diagnostic] = []
+    meta: list[Diagnostic] = []
+    files = iter_python_files(paths)
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            meta.append(
+                Diagnostic(
+                    path=path.as_posix(),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    code=CODE_SYNTAX_ERROR,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        contexts.append(FileContext(path, tree, source, config, raw))
+
+    for ctx in contexts:
+        for file_rule in file_rules:
+            file_rule(ctx)
+    project = ProjectContext(contexts, config)
+    for project_rule in project_rules:
+        project_rule(project)
+
+    # -- apply suppressions ----------------------------------------------------
+    codes = known_codes()
+    kept: list[Diagnostic] = []
+    by_path = {ctx.display: collect_suppressions(ctx.source) for ctx in contexts}
+    for diag in raw:
+        silenced = False
+        for sup in by_path.get(diag.path, []):
+            if sup.line == diag.line and diag.code in sup.codes:
+                sup.used = True
+                silenced = True
+        if not silenced:
+            kept.append(diag)
+
+    for ctx in contexts:
+        for sup in by_path[ctx.display]:
+            for code in sorted(sup.codes - codes):
+                meta.append(
+                    Diagnostic(
+                        path=ctx.display,
+                        line=sup.line,
+                        col=sup.col,
+                        code=CODE_UNKNOWN_CODE,
+                        message=f"unknown rule code {code} in suppression",
+                    )
+                )
+            if not sup.has_reason:
+                meta.append(
+                    Diagnostic(
+                        path=ctx.display,
+                        line=sup.line,
+                        col=sup.col,
+                        code=CODE_REASONLESS,
+                        message=(
+                            "suppression needs a reason: "
+                            "`# reprolint: disable=CODE -- why`"
+                        ),
+                    )
+                )
+            elif not sup.used and selected is None and sup.codes <= codes:
+                meta.append(
+                    Diagnostic(
+                        path=ctx.display,
+                        line=sup.line,
+                        col=sup.col,
+                        code=CODE_UNUSED_SUPPRESSION,
+                        message=(
+                            "suppression silences nothing on this line "
+                            f"({', '.join(sorted(sup.codes))}); remove it"
+                        ),
+                    )
+                )
+
+    return sorted(kept + meta), len(files)

@@ -1,0 +1,5 @@
+"""The reprolint rule pack; importing this package registers every rule."""
+
+from __future__ import annotations
+
+from . import defaults, floats, registry_conformance, rng, state  # noqa: F401

@@ -1,0 +1,46 @@
+"""Mutable default arguments (RPL401)."""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, rule
+
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+
+
+def _is_mutable(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@rule(
+    "RPL401",
+    "mutable-default-argument",
+    "default argument values are evaluated once at import; mutable defaults "
+    "alias state across calls — default to None (or use dataclass field factories)",
+)
+def check_mutable_defaults(ctx: FileContext) -> None:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        args = node.args
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is not None and _is_mutable(default):
+                ctx.report(
+                    "RPL401",
+                    default,
+                    "mutable default argument is shared across calls; "
+                    "default to None and create the value inside the function",
+                )

@@ -1,0 +1,80 @@
+"""Float cost comparisons (RPL501).
+
+Embedding costs are sums of float products (eq. 1, eq. 7-10); exact
+``==``/``!=`` on them is order-of-evaluation dependent. Compare through
+:func:`repro.utils.tolerance.close` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, rule
+
+
+def _identifier(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Call):
+        return _identifier(expr.func)
+    return None
+
+
+def _is_cost_like(expr: ast.expr, ctx: FileContext) -> bool:
+    name = _identifier(expr)
+    if name is None:
+        return False
+    lowered = name.lower()
+    if lowered in ctx.config.cost_exact_names:
+        return True
+    return any(frag in lowered for frag in ctx.config.cost_name_fragments)
+
+
+def _is_exactness_safe(expr: ast.expr) -> bool:
+    """Comparisons against inf/None are exact even for floats."""
+    if isinstance(expr, ast.Constant) and expr.value is None:
+        return True
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "float"
+            and len(expr.args) == 1
+            and isinstance(expr.args[0], ast.Constant)
+            and str(expr.args[0].value).lower() in ("inf", "-inf", "nan")
+        ):
+            return True
+    if isinstance(expr, ast.Attribute) and expr.attr in ("inf", "infty"):
+        return True
+    if isinstance(expr, ast.Name) and expr.id.strip("_").upper() in ("INF", "INFINITY"):
+        return True
+    if isinstance(expr, ast.UnaryOp):
+        return _is_exactness_safe(expr.operand)
+    return False
+
+
+@rule(
+    "RPL501",
+    "float-cost-equality",
+    "no ==/!= on float cost expressions; use repro.utils.tolerance.close "
+    "(comparisons against float('inf')/math.inf are exempt)",
+)
+def check_float_cost_equality(ctx: FileContext) -> None:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_exactness_safe(left) or _is_exactness_safe(right):
+                continue
+            if _is_cost_like(left, ctx) or _is_cost_like(right, ctx):
+                ctx.report(
+                    "RPL501",
+                    node,
+                    "exact ==/!= on a float cost is evaluation-order dependent; "
+                    "use repro.utils.tolerance.close(a, b)",
+                )

@@ -1,0 +1,225 @@
+"""RNG discipline (RPL1xx).
+
+Reproducibility of every figure depends on all randomness flowing through
+explicit :data:`repro.utils.rng.RngStream` parameters. These rules ban the
+stdlib ``random`` module, module-import-time RNG work, the legacy NumPy
+global-singleton API, and unseeded generators in library code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..engine import FileContext, rule
+
+__all__ = ["NumpyRandomNames"]
+
+#: numpy.random attributes that are part of the modern, explicit-stream API.
+_SAFE_ATTRS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+
+@dataclass
+class NumpyRandomNames:
+    """How ``numpy.random`` is reachable in one module."""
+
+    #: names bound to the numpy package itself ("numpy", "np").
+    numpy: set[str] = field(default_factory=set)
+    #: names bound to the numpy.random module ("npr", "random" via from-import).
+    nprandom: set[str] = field(default_factory=set)
+    #: local names bound to numpy.random.default_rng.
+    default_rng: set[str] = field(default_factory=set)
+
+    @classmethod
+    def scan(cls, tree: ast.Module) -> "NumpyRandomNames":
+        names = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if alias.name == "numpy.random" and alias.asname:
+                        names.nprandom.add(alias.asname)
+                    elif root == "numpy":
+                        names.numpy.add(alias.asname or root)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            names.nprandom.add(alias.asname or alias.name)
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name == "default_rng":
+                            names.default_rng.add(alias.asname or alias.name)
+        return names
+
+    def random_attr(self, call: ast.Call) -> str | None:
+        """The ``X`` of an ``np.random.X(...)`` call, else None."""
+        func = call.func
+        if isinstance(func, ast.Name) and func.id in self.default_rng:
+            return "default_rng"
+        if not isinstance(func, ast.Attribute):
+            return None
+        value = func.value
+        if isinstance(value, ast.Name) and value.id in self.nprandom:
+            return func.attr
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self.numpy
+        ):
+            return func.attr
+        return None
+
+
+def _is_entry_module(ctx: FileContext) -> bool:
+    cfg = ctx.config
+    return ctx.basename in cfg.rng_entry_basenames or ctx.in_dir(cfg.rng_entry_dirs)
+
+
+@rule(
+    "RPL101",
+    "rng-stdlib-random",
+    "the stdlib `random` module is banned; thread numpy Generators via "
+    "repro.utils.rng instead",
+)
+def check_stdlib_random(ctx: FileContext) -> None:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "random":
+                    ctx.report(
+                        "RPL101",
+                        node,
+                        "stdlib `random` is not replayable across workers; "
+                        "use repro.utils.rng (RngStream / as_generator)",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is not None and node.module.split(".")[0] == "random":
+                ctx.report(
+                    "RPL101",
+                    node,
+                    "stdlib `random` is not replayable across workers; "
+                    "use repro.utils.rng (RngStream / as_generator)",
+                )
+
+
+def _module_level_nodes(tree: ast.Module) -> list[ast.AST]:
+    """AST nodes executed at import time (skips function bodies).
+
+    Class bodies, decorators, default-argument expressions and module-level
+    comprehensions all run at import; function bodies do not.
+    """
+    out: list[ast.AST] = []
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for dec in node.decorator_list:
+                visit(dec)
+            for default in [*node.args.defaults, *node.args.kw_defaults]:
+                if default is not None:
+                    visit(default)
+            return
+        if isinstance(node, ast.Lambda):
+            return
+        out.append(node)
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    for stmt in tree.body:
+        visit(stmt)
+    return out
+
+
+@rule(
+    "RPL102",
+    "rng-module-level",
+    "no np.random.* calls at module import time — module-global RNG state "
+    "breaks replayability",
+)
+def check_module_level_rng(ctx: FileContext) -> None:
+    names = NumpyRandomNames.scan(ctx.tree)
+    for node in _module_level_nodes(ctx.tree):
+        if isinstance(node, ast.Call):
+            attr = names.random_attr(node)
+            if attr is not None:
+                ctx.report(
+                    "RPL102",
+                    node,
+                    f"np.random.{attr}(...) at module level creates hidden "
+                    "global RNG state; build streams inside functions from an "
+                    "explicit seed",
+                )
+
+
+@rule(
+    "RPL103",
+    "rng-unseeded-default-rng",
+    "library code must not call np.random.default_rng() with no seed; accept "
+    "an RngStream/Generator parameter (entry points: cli.py, __main__.py, sim/)",
+)
+def check_argless_default_rng(ctx: FileContext) -> None:
+    if _is_entry_module(ctx):
+        return
+    names = NumpyRandomNames.scan(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Call)
+            and names.random_attr(node) == "default_rng"
+            and not node.args
+            and not node.keywords
+        ):
+            ctx.report(
+                "RPL103",
+                node,
+                "unseeded default_rng() makes this run unreplayable; accept "
+                "an RngStream parameter and call as_generator(rng)",
+            )
+
+
+@rule(
+    "RPL104",
+    "rng-legacy-numpy",
+    "the legacy numpy global-singleton RNG API (np.random.seed/rand/choice/...) "
+    "is banned everywhere; use Generator methods on an explicit stream",
+)
+def check_legacy_numpy_rng(ctx: FileContext) -> None:
+    names = NumpyRandomNames.scan(ctx.tree)
+    module_level = set(
+        id(n) for n in _module_level_nodes(ctx.tree) if isinstance(n, ast.Call)
+    )
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in _SAFE_ATTRS:
+                    ctx.report(
+                        "RPL104",
+                        node,
+                        f"numpy.random.{alias.name} is the legacy global-state "
+                        "API; use methods on an explicit np.random.Generator",
+                    )
+        if not isinstance(node, ast.Call):
+            continue
+        attr = names.random_attr(node)
+        if attr is None or attr in _SAFE_ATTRS:
+            continue
+        if id(node) in module_level:
+            continue  # already RPL102; don't double-report
+        ctx.report(
+            "RPL104",
+            node,
+            f"np.random.{attr}(...) mutates/reads the hidden global "
+            "RandomState; use the equivalent method on an explicit Generator",
+        )

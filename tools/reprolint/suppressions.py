@@ -1,0 +1,79 @@
+"""Inline suppression comments.
+
+Syntax (one per line, after the code it silences)::
+
+    expr  # reprolint: disable=RPL101 -- reason the violation is acceptable
+    expr  # reprolint: disable=RPL101,RPL401 -- shared reason
+
+The ``-- reason`` part is mandatory: a suppression without it still silences
+the target finding but raises ``RPL001`` in its place, so a reason-less
+suppression can never make a tree lint clean. ``RPL001``/``RPL002`` findings
+themselves cannot be suppressed.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Suppression", "collect_suppressions"]
+
+_PATTERN = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<codes>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s+--\s*(?P<reason>\S.*?))?\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """A parsed ``# reprolint: disable=...`` comment."""
+
+    line: int
+    col: int
+    codes: frozenset[str]
+    reason: str | None
+    #: set by the engine when the suppression silenced at least one finding.
+    used: bool = field(default=False)
+
+    @property
+    def has_reason(self) -> bool:
+        return self.reason is not None and self.reason.strip() != ""
+
+
+def _iter_comments(source: str) -> list[tuple[int, int, str]]:
+    """(line, col, text) for every comment token; tolerant of bad syntax."""
+    out: list[tuple[int, int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.start[1], tok.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Fall back to a line scan; comments inside strings may false-match,
+        # but the file will usually fail to parse anyway.
+        for i, line in enumerate(source.splitlines(), start=1):
+            pos = line.find("#")
+            if pos >= 0:
+                out.append((i, pos, line[pos:]))
+    return out
+
+
+def collect_suppressions(source: str) -> list[Suppression]:
+    """Parse every suppression comment in ``source``."""
+    found: list[Suppression] = []
+    for line, col, text in _iter_comments(source):
+        match = _PATTERN.search(text)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip().upper()
+            for code in match.group("codes").split(",")
+            if code.strip()
+        )
+        if not codes:
+            continue
+        found.append(
+            Suppression(line=line, col=col, codes=codes, reason=match.group("reason"))
+        )
+    return found
