@@ -90,6 +90,28 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--solver", type=str, default="MBBE")
     inspect.add_argument("--save", type=str, default=None, help="dump instance+solution JSON here")
 
+    profile = sub.add_parser(
+        "profile",
+        help="profile the solver core on a fixed-seed workload (see docs/performance.md)",
+    )
+    profile.add_argument("--solver", type=str, default="MBBE", help="solver to profile")
+    profile.add_argument("--network-size", type=int, default=150)
+    profile.add_argument("--sfc-size", type=int, default=5)
+    profile.add_argument("--trials", type=int, default=6, help="instances to embed")
+    profile.add_argument("--seed", type=int, default=20180813, help="master seed")
+    profile.add_argument("--top", type=int, default=20, help="hot-spot rows to print")
+    profile.add_argument(
+        "--sort",
+        choices=("cumulative", "tottime", "calls"),
+        default="cumulative",
+        help="pstats sort key",
+    )
+    profile.add_argument(
+        "--phases-only",
+        action="store_true",
+        help="print only the per-phase wall-time table (skip cProfile)",
+    )
+
     lint = sub.add_parser(
         "lint", help="run the reprolint static-analysis suite (see docs/static_analysis.md)"
     )
@@ -258,6 +280,69 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Per-phase wall-time breakdown + cProfile hot spots on fixed seeds.
+
+    The workload mirrors the solver-core microbenchmark
+    (``benchmarks/solver_core.py``): Table-2-style instances at a chosen
+    size, derived per-trial seeds, one embed per instance.
+    """
+    from .sfc.generator import generate_dag_sfc as _gen_dag
+    from .solvers.registry import make_solver
+    from .utils.profiling import format_phases, profile_call
+    from .utils.rng import trial_seed
+    from .utils.timing import Stopwatch
+
+    scenario = ScenarioConfig(
+        network=NetworkConfig(size=args.network_size, connectivity=6.0),
+        sfc=SfcConfig(size=args.sfc_size),
+    )
+    seeds = [trial_seed(args.seed, t, salt=0) for t in range(args.trials)]
+    sw = Stopwatch()
+
+    instances = []
+    with sw.lap("generate"):
+        for seed in seeds:
+            rng = np.random.default_rng(seed)
+            network = generate_network(scenario.network, rng)
+            dag = _gen_dag(scenario.sfc, scenario.network.n_vnf_types, rng)
+            src, dst = (
+                int(v) for v in rng.choice(scenario.network.size, size=2, replace=False)
+            )
+            instances.append((seed, network, dag, src, dst))
+
+    solver = make_solver(args.solver)
+
+    def _embed_all() -> int:
+        n_ok = 0
+        for seed, network, dag, src, dst in instances:
+            solver_rng = np.random.default_rng(trial_seed(seed, 0, salt=0xA160))
+            result = solver.embed(
+                network, dag, src, dst, scenario.flow, rng=solver_rng
+            )
+            n_ok += 1 if result.success else 0
+        return n_ok
+
+    print(
+        f"profiling {args.solver}: {args.trials} instances, "
+        f"{args.network_size} nodes, SFC size {args.sfc_size}, seed {args.seed}"
+    )
+    hot_spots = ""
+    if args.phases_only:
+        with sw.lap("embed"):
+            n_ok = _embed_all()
+    else:
+        with sw.lap("embed"):
+            n_ok, hot_spots = profile_call(_embed_all, sort=args.sort, top=args.top)
+    print(f"{n_ok}/{args.trials} embeddings succeeded")
+    print()
+    print(format_phases(sw.laps))
+    if not args.phases_only:
+        print()
+        print(hot_spots.rstrip())
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run reprolint (``tools.reprolint``) through the dag-sfc front-end.
 
@@ -304,6 +389,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_compare(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "list-solvers":

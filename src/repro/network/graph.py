@@ -9,8 +9,8 @@ capacity lives in :class:`repro.network.state.ResidualState`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Iterator, KeysView
+from dataclasses import dataclass, field
+from typing import Iterable, ItemsView, Iterator, KeysView
 
 from ..exceptions import (
     ConfigurationError,
@@ -30,6 +30,9 @@ class Link:
     v: NodeId
     price: float
     capacity: float
+    #: canonical node pair, precomputed — ``key`` is probed once per relaxed
+    #: edge in every residual-filtered search, which dominates solver time.
+    _key: EdgeKey = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.u == self.v:
@@ -38,11 +41,12 @@ class Link:
             raise ConfigurationError(f"link price must be >= 0, got {self.price}")
         if self.capacity <= 0:
             raise ConfigurationError(f"link capacity must be > 0, got {self.capacity}")
+        object.__setattr__(self, "_key", edge_key(self.u, self.v))
 
     @property
     def key(self) -> EdgeKey:
         """Canonical (sorted) node pair identifying this link."""
-        return edge_key(self.u, self.v)
+        return self._key
 
     def other(self, node: NodeId) -> NodeId:
         """The endpoint opposite ``node``."""
@@ -141,6 +145,17 @@ class Graph:
         """Links incident to ``node``."""
         try:
             return iter(self._adj[node].values())
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def adjacency(self, node: NodeId) -> ItemsView[NodeId, Link]:
+        """``(neighbor, link)`` pairs for ``node``.
+
+        The search kernels iterate this instead of :meth:`incident` so the
+        relaxation loop never pays ``Link.other`` per edge.
+        """
+        try:
+            return self._adj[node].items()
         except KeyError:
             raise NodeNotFoundError(node) from None
 

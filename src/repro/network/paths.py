@@ -22,7 +22,7 @@ __all__ = ["Path"]
 class Path:
     """An immutable walk through the network, identified by its node list."""
 
-    __slots__ = ("_nodes",)
+    __slots__ = ("_nodes", "_edge_set")
 
     def __init__(self, nodes: Sequence[NodeId]) -> None:
         if len(nodes) == 0:
@@ -31,6 +31,7 @@ class Path:
             if a == b:
                 raise ConfigurationError(f"path repeats node {a} consecutively")
         self._nodes: tuple[NodeId, ...] = tuple(nodes)
+        self._edge_set: frozenset[EdgeKey] | None = None
 
     # -- basic accessors ---------------------------------------------------------
 
@@ -65,8 +66,17 @@ class Path:
             yield edge_key(a, b)
 
     def edge_set(self) -> frozenset[EdgeKey]:
-        """Set of distinct links used (multicast accounting uses this)."""
-        return frozenset(self.edges())
+        """Set of distinct links used (multicast accounting uses this).
+
+        Cached: the same path's edge set is consulted once per candidate
+        layer chaining it, which in MBBE's allocation product means many
+        times per Dijkstra-reconstructed path.
+        """
+        cached = self._edge_set
+        if cached is None:
+            cached = frozenset(self.edges())
+            self._edge_set = cached
+        return cached
 
     def is_simple(self) -> bool:
         """True when no node repeats."""

@@ -17,6 +17,10 @@ from ..types import NodeId, VnfTypeId, vnf_name
 
 __all__ = ["VnfInstance", "DeploymentMap"]
 
+#: Shared fallback for nodes hosting nothing — only ever read, never
+#: mutated; avoids allocating an empty dict per miss in the hot lookups.
+_NO_INSTANCES: dict[VnfTypeId, "VnfInstance"] = {}
+
 
 @dataclass(frozen=True, slots=True)
 class VnfInstance:
@@ -63,11 +67,11 @@ class DeploymentMap:
 
     def instance(self, node: NodeId, vnf_type: VnfTypeId) -> VnfInstance | None:
         """The instance of ``vnf_type`` on ``node``, or None."""
-        return self._by_node.get(node, {}).get(vnf_type)
+        return self._by_node.get(node, _NO_INSTANCES).get(vnf_type)
 
     def has(self, node: NodeId, vnf_type: VnfTypeId) -> bool:
         """True when ``node`` hosts an instance of ``vnf_type``."""
-        return vnf_type in self._by_node.get(node, {})
+        return vnf_type in self._by_node.get(node, _NO_INSTANCES)
 
     def types_at(self, node: NodeId) -> frozenset[VnfTypeId]:
         """The VNF categories hosted on ``node`` (the paper's ``F_v``)."""

@@ -18,6 +18,7 @@ from typing import Sequence
 import numpy as np
 
 from ..config import ScenarioConfig
+from ..embedding.base import Embedder
 from ..network.generator import generate_network
 from ..sfc.generator import generate_dag_sfc
 from ..solvers.registry import make_solver
@@ -26,6 +27,20 @@ from .experiment import ExperimentSpec, SolverSpec
 from .metrics import TrialRecord
 
 __all__ = ["run_trial", "run_experiment", "default_parallelism"]
+
+#: Per-process solver cache: embedders are configuration-only (all mutable
+#: per-solve state lives in locals / the stats dict), so one instance can
+#: serve every trial of a sweep instead of being rebuilt per record.
+_SOLVER_CACHE: dict[tuple[str, tuple[tuple[str, object], ...]], Embedder] = {}
+
+
+def _cached_solver(spec: SolverSpec) -> Embedder:
+    """The solver for ``spec``, constructed once per process per spec."""
+    try:
+        key = (spec.name, tuple(sorted(spec.kwargs.items())))
+        return _SOLVER_CACHE.setdefault(key, make_solver(spec.name, **dict(spec.kwargs)))
+    except TypeError:  # unhashable/unsortable kwargs: fall back to fresh build
+        return make_solver(spec.name, **dict(spec.kwargs))
 
 
 def run_trial(
@@ -50,7 +65,7 @@ def run_trial(
 
     records: list[TrialRecord] = []
     for i, spec in enumerate(solvers):
-        solver = make_solver(spec.name, **dict(spec.kwargs))
+        solver = _cached_solver(spec)
         solver_rng = np.random.default_rng(trial_seed(seed, i, salt=0xA160))
         result = solver.embed(network, dag, src, dst, scenario.flow, rng=solver_rng)
         records.append(
@@ -122,8 +137,12 @@ def run_experiment(
             if progress:
                 print(f"\r  {spec.name}: {i + 1}/{len(tasks)} trials", end="", flush=True)
     else:
+        # Chunking amortizes the pickle/IPC round-trip that otherwise
+        # dominates large sweeps of fast trials; ~4 chunks per worker keeps
+        # load-balancing slack without per-trial dispatch overhead.
+        chunksize = max(1, len(tasks) // (parallel * 4))
         with ProcessPoolExecutor(max_workers=parallel) as pool:
-            for i, recs in enumerate(pool.map(_point_task, tasks)):
+            for i, recs in enumerate(pool.map(_point_task, tasks, chunksize=chunksize)):
                 records.extend(recs)
                 if progress:
                     print(

@@ -27,7 +27,7 @@ algorithm.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Mapping
 
 from ..config import FlowConfig
 from ..embedding.base import Embedder
@@ -41,6 +41,7 @@ from ..sfc.dag import DagSfc, Layer
 from ..types import MERGER_VNF, EdgeKey, NodeId
 from ..utils.rng import RngStream
 from .common import coverage_stop, evaluate_layer_candidate, vnf_admit
+from .counts import flat_counts
 from .searchtree import SearchTree
 from .subsolution import SubSolution, SubSolutionTree
 
@@ -50,12 +51,18 @@ _EPS = 1e-9
 
 
 def _residual_link_filter(
-    network: CloudNetwork, link_counts: dict[EdgeKey, int] | Any, rate: float
+    network: CloudNetwork, link_counts: Mapping[EdgeKey, int], rate: float
 ) -> Callable[[Link], bool]:
-    """Admit links that can absorb at least one more charged use."""
+    """Admit links that can absorb at least one more charged use.
+
+    This closure is the hottest predicate in the solver core (one call per
+    relaxed edge of every Dijkstra/BFS), so the counts are flattened to a
+    plain dict once and its bound ``get`` is captured.
+    """
+    counts_get = flat_counts(link_counts).get
 
     def _filter(link: Link) -> bool:
-        used = link_counts.get(link.key, 0)
+        used = counts_get(link.key, 0)
         return (used + 1) * rate <= link.capacity + _EPS
 
     return _filter

@@ -20,6 +20,7 @@ from ..network.cloud import CloudNetwork
 from ..network.paths import Path
 from ..sfc.dag import Layer
 from ..types import EdgeKey, NodeId, Position, VnfTypeId
+from .counts import CountChain, flat_counts
 from .subsolution import SubSolution
 
 __all__ = [
@@ -40,14 +41,17 @@ def vnf_admit(
     """Predicate: can ``node`` absorb one more use of ``vnf_type``?
 
     Accounts for uses already accumulated along the current sub-solution
-    chain (``vnf_counts``).
+    chain (``vnf_counts``). Counts are flattened once up front so each probe
+    is a single dict lookup even on a deep copy-on-write chain.
     """
+    counts_get = flat_counts(vnf_counts).get
+    instance = network.deployments.instance
 
     def admit(node: NodeId, vnf_type: VnfTypeId) -> bool:
-        inst = network.deployments.instance(node, vnf_type)
+        inst = instance(node, vnf_type)
         if inst is None:
             return False
-        used = vnf_counts.get((node, vnf_type), 0)
+        used = counts_get((node, vnf_type), 0)
         return (used + 1) * rate <= inst.capacity + _EPS
 
     return admit
@@ -60,13 +64,30 @@ def coverage_stop(
 ) -> Callable[[frozenset[NodeId]], bool]:
     """Stop predicate for forward/backward searches: the searched node set
     hosts every required category with capacity for one more use
-    (``L_l ⊆ F^{F,l}`` with the real-time capacities of Algorithm 1)."""
+    (``L_l ⊆ F^{F,l}`` with the real-time capacities of Algorithm 1).
+
+    The returned predicate is *incrementally stateful*: it remembers which
+    nodes it has scanned and which categories those nodes already covered, so
+    each BFS iteration only examines the newly added ring nodes instead of
+    rescanning the whole cumulative node set. Because ``admit`` is fixed for
+    the lifetime of one search and the node set only grows within one search,
+    the answers are identical to a full rescan — but a predicate instance
+    must not be shared across *separate* search invocations (a retried
+    forward search needs a fresh one).
+    """
+    remaining = set(required)
+    seen: set[NodeId] = set()
 
     def stop(node_set: frozenset[NodeId]) -> bool:
-        for t in required:
-            if not any(admit(node, t) for node in node_set):
-                return False
-        return True
+        if not remaining:
+            return True
+        new_nodes = node_set - seen
+        if new_nodes:
+            seen.update(new_nodes)
+            for t in tuple(remaining):
+                if any(admit(node, t) for node in new_nodes):
+                    remaining.discard(t)
+        return not remaining
 
     return stop
 
@@ -77,32 +98,50 @@ def _check_and_merge_counts(
     parent: SubSolution,
     vnf_adds: dict[tuple[NodeId, VnfTypeId], int],
     link_adds: dict[EdgeKey, int],
-) -> tuple[dict[tuple[NodeId, VnfTypeId], int], dict[EdgeKey, int]] | None:
+) -> tuple[
+    Mapping[tuple[NodeId, VnfTypeId], int], Mapping[EdgeKey, int], float, float
+] | None:
     """Merge per-layer additions into the chain's cumulative counts.
 
-    Returns the new cumulative dicts, or None when any VNF-instance or link
-    capacity would be exceeded (eq. 2–3 checked incrementally).
+    Returns ``(vnf_counts, link_counts, vnf_cost, link_cost)``, or None when
+    any VNF-instance or link capacity would be exceeded (eq. 2–3 checked
+    incrementally). The incremental rental/link costs are accumulated here
+    from the same instance/link objects the capacity check already fetched
+    (term order matches the additions dicts, so values are bit-identical to
+    a separate pass). Copy-on-write: only the changed keys are stored (new
+    totals chained over the parent's counts), so this is O(layer additions),
+    not O(chain).
     """
     rate = flow.rate
-    new_vnf = dict(parent.vnf_counts)
+    z = flow.size
+    parent_vnf = parent.vnf_counts
+    vnf_updates: dict[tuple[NodeId, VnfTypeId], int] = {}
+    vnf_cost = 0.0
+    instance = network.deployments.instance
     for key, add in vnf_adds.items():
         node, vnf_type = key
-        inst = network.deployments.instance(node, vnf_type)
+        inst = instance(node, vnf_type)
         if inst is None:
             return None
-        total = new_vnf.get(key, 0) + add
+        total = parent_vnf.get(key, 0) + add
         if total * rate > inst.capacity + _EPS:
             return None
-        new_vnf[key] = total
-    graph = network.graph
-    new_link = dict(parent.link_counts)
+        vnf_updates[key] = total
+        vnf_cost += add * inst.price * z
+    get_link = network.graph.link
+    parent_link = parent.link_counts
+    link_updates: dict[EdgeKey, int] = {}
+    link_cost = 0.0
     for key, add in link_adds.items():
-        link = graph.link(*key)
-        total = new_link.get(key, 0) + add
+        link = get_link(*key)
+        total = parent_link.get(key, 0) + add
         if total * rate > link.capacity + _EPS:
             return None
-        new_link[key] = total
-    return new_vnf, new_link
+        link_updates[key] = total
+        link_cost += add * link.price * z
+    new_vnf = CountChain.ensure(parent_vnf).chain(vnf_updates)
+    new_link = CountChain.ensure(parent_link).chain(link_updates)
+    return new_vnf, new_link, vnf_cost, link_cost
 
 
 def evaluate_layer_candidate(
@@ -174,18 +213,8 @@ def evaluate_layer_candidate(
     merged = _check_and_merge_counts(network, flow, parent, vnf_adds, link_adds)
     if merged is None:
         return None
-    new_vnf, new_link = merged
-
     # --- exact incremental cost (shares eq. 1 semantics with compute_cost).
-    z = flow.size
-    vnf_cost = sum(
-        add * network.rental_price(node, t) * z
-        for (node, t), add in vnf_adds.items()
-    )
-    graph = network.graph
-    link_cost = sum(
-        add * graph.link(*key).price * z for key, add in link_adds.items()
-    )
+    new_vnf, new_link, vnf_cost, link_cost = merged
     layer_cost = vnf_cost + link_cost
 
     placements = {
@@ -233,11 +262,7 @@ def evaluate_tail(
     merged = _check_and_merge_counts(network, flow, parent, {}, link_adds)
     if merged is None:
         return None
-    new_vnf, new_link = merged
-    graph = network.graph
-    layer_cost = sum(
-        add * graph.link(*key).price * flow.size for key, add in link_adds.items()
-    )
+    new_vnf, new_link, _, layer_cost = merged
     return SubSolution(
         layer=dest_layer_index,
         parent=parent,

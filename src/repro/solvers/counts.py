@@ -1,0 +1,166 @@
+"""Copy-on-write resource-count bookkeeping for sub-solution chains.
+
+Chaining a candidate layer onto a parent sub-solution used to copy the
+parent's *entire* cumulative ``vnf_counts`` / ``link_counts`` dicts — an
+O(chain-length) cost paid once per allocation combo, which made the Python
+inner loop scale worse than the MBBE algorithm it implements. A
+:class:`CountChain` instead stores only the keys the new layer *changed*
+(a delta map of new totals) plus a parent pointer, so chaining is
+O(layer additions).
+
+Reads stay cheap two ways:
+
+* **periodic compaction** — when a chain would exceed
+  :data:`COMPACT_EVERY` delta maps, the child is built as a fresh root
+  holding the fully merged dict, bounding every lookup walk;
+* **cached snapshots** — :meth:`CountChain.snapshot` materializes (and
+  caches) a plain-dict view. The residual-capacity filters evaluated tens of
+  thousands of times per Dijkstra/BFS bind ``snapshot().get`` once per
+  search, paying the O(keys) flatten once per *expanded parent* rather than
+  once per candidate.
+
+This module is the only sanctioned place that materializes full copies of
+sub-solution counts; reprolint rule RPL211 flags ``dict(ss.vnf_counts)``
+full copies anywhere else.
+
+Equivalence: a ``CountChain`` is a ``Mapping`` whose contents are exactly
+the merged totals the old full-copy code produced — the golden-equivalence
+suite and the property tests in ``tests/test_counts.py`` hold it to a
+plain-dict oracle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Iterator, TypeVar
+
+__all__ = ["CountChain", "COMPACT_EVERY", "flat_counts"]
+
+K = TypeVar("K")
+
+#: Maximum delta maps a lookup may walk before the chain is compacted.
+COMPACT_EVERY = 8
+
+
+class CountChain(Mapping[K, int]):
+    """An immutable integer-valued mapping layered over a parent mapping.
+
+    ``_delta`` holds the *new totals* of the keys this link changed; any key
+    absent from every delta map resolves through ``_parent`` down to the
+    root. Instances are value-immutable: :meth:`chain` returns a new child
+    and never mutates ``self`` (the lazily cached snapshot is the only
+    internal mutation, and it is idempotent).
+    """
+
+    __slots__ = ("_parent", "_delta", "_depth", "_flat")
+
+    def __init__(
+        self,
+        parent: "CountChain[K] | None",
+        delta: dict[K, int],
+        depth: int,
+    ) -> None:
+        self._parent = parent
+        self._delta = delta
+        self._depth = depth
+        #: cached flattened view; for a root the delta *is* the flat view.
+        self._flat: dict[K, int] | None = delta if parent is None else None
+
+    # -- construction ------------------------------------------------------------
+
+    @staticmethod
+    def root(initial: Mapping[K, int] | None = None) -> "CountChain[K]":
+        """A chain bottom holding ``initial`` (copied; default empty)."""
+        return CountChain(None, dict(initial) if initial else {}, 0)
+
+    @staticmethod
+    def ensure(counts: "Mapping[K, int]") -> "CountChain[K]":
+        """Wrap a plain mapping as a root chain; pass chains through."""
+        if isinstance(counts, CountChain):
+            return counts
+        return CountChain.root(counts)
+
+    def chain(self, updates: Mapping[K, int]) -> "CountChain[K]":
+        """A child mapping where ``updates`` (new totals) shadow ``self``.
+
+        O(len(updates)) unless the compaction threshold is hit, in which
+        case the merged dict is materialized once and the child becomes a
+        new root (amortized O(total keys / COMPACT_EVERY) per chain step).
+        """
+        if not updates:
+            return self
+        if self._depth + 1 >= COMPACT_EVERY:
+            flat = dict(self.snapshot())
+            flat.update(updates)
+            return CountChain(None, flat, 0)
+        return CountChain(self, dict(updates), self._depth + 1)
+
+    # -- reads -------------------------------------------------------------------
+
+    def get(self, key: K, default: int | None = None) -> int | None:  # type: ignore[override]
+        flat = self._flat
+        if flat is not None:
+            return flat.get(key, default)
+        node: CountChain[K] | None = self
+        while node is not None:
+            if node._flat is not None:
+                return node._flat.get(key, default)
+            if key in node._delta:
+                return node._delta[key]
+            node = node._parent
+        return default
+
+    def __getitem__(self, key: K) -> int:
+        value = self.get(key)
+        if value is None:
+            raise KeyError(key)
+        return value
+
+    def __contains__(self, key: object) -> bool:
+        return self.get(key) is not None  # type: ignore[arg-type]
+
+    def snapshot(self) -> Mapping[K, int]:
+        """A flattened plain-dict view (cached; do not mutate).
+
+        Hot residual filters bind ``snapshot().get`` so every capacity probe
+        is a single dict lookup regardless of chain depth.
+        """
+        if self._flat is None:
+            parents: list[CountChain[K]] = []
+            node: CountChain[K] | None = self
+            while node is not None and node._flat is None:
+                parents.append(node)
+                node = node._parent
+            base = node._flat if node is not None else None
+            flat: dict[K, int] = dict(base) if base is not None else {}
+            for link in reversed(parents):
+                flat.update(link._delta)
+                # Cache intermediate links too: ancestors are shared by many
+                # siblings and each is a future expansion parent candidate.
+                link._flat = flat if link is self else dict(flat)
+        assert self._flat is not None
+        return self._flat
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self.snapshot())
+
+    def __len__(self) -> int:
+        return len(self.snapshot())
+
+    @property
+    def depth(self) -> int:
+        """Delta maps above the nearest flattened ancestor (diagnostics)."""
+        return self._depth
+
+    def __repr__(self) -> str:
+        return f"CountChain(depth={self._depth}, keys={len(self)})"
+
+
+def flat_counts(counts: Mapping[K, int]) -> Mapping[K, int]:
+    """A mapping with O(1) ``get`` for hot read loops.
+
+    Plain dicts pass through; chains flatten (cached) once.
+    """
+    if isinstance(counts, CountChain):
+        return counts.snapshot()
+    return counts

@@ -45,6 +45,7 @@ from ..types import MERGER_VNF, EdgeKey, NodeId
 from ..utils.rng import RngStream
 from .bbe import _residual_link_filter
 from .common import coverage_stop, evaluate_layer_candidate, vnf_admit
+from .counts import flat_counts
 from .searchtree import SearchTree
 from .subsolution import SubSolution, SubSolutionTree
 
@@ -182,10 +183,12 @@ class MbbeEmbedder(Embedder):
         link_f: LinkFilter,
         stats: dict[str, Any],
     ) -> BfsRings | None:
-        stop = coverage_stop(network, layer.required_types, admit)
         cap = self.x_max
         n = network.graph.num_nodes
         while True:
+            # A fresh stop predicate per attempt: coverage_stop is
+            # incrementally stateful within a single search (see its docs).
+            stop = coverage_stop(network, layer.required_types, admit)
             rings = bfs_rings(
                 network.graph,
                 parent.end_node,
@@ -220,8 +223,13 @@ class MbbeEmbedder(Embedder):
             return []
         fst = SearchTree(network, rings)
         # Strategy 2: one Dijkstra from the layer start node gives every
-        # inter-layer min-cost path on the real-time network.
-        dij_start = dijkstra(graph, parent.end_node, link_filter=link_f)
+        # inter-layer min-cost path on the real-time network. Every node this
+        # result is ever queried for lies in the forward node set, so the
+        # search can stop once those are settled instead of settling the
+        # whole graph.
+        dij_start = dijkstra(
+            graph, parent.end_node, targets=rings.node_set, link_filter=link_f
+        )
 
         if not layer.has_merger:
             return self._expand_single(
@@ -234,7 +242,8 @@ class MbbeEmbedder(Embedder):
             for n in fst.nodes_hosting(MERGER_VNF, admit=lambda n: admit(n, MERGER_VNF))
             if dij_start.reachable(n)
         ]
-        # Nearest mergers first (FST ring depth, then path cost).
+        # Nearest mergers first (FST ring depth, then path cost). depth_of is
+        # O(1) via the rings' materialized node -> ring-index map.
         merger_candidates.sort(key=lambda n: (rings.depth_of(n), dij_start.cost_to(n)))
         merger_candidates = merger_candidates[: self.merger_cap * scale]
 
@@ -309,7 +318,11 @@ class MbbeEmbedder(Embedder):
         """Allocation product over pruned candidates, min-cost instantiation."""
         graph = network.graph
         phi = layer.phi
-        dij_merger = dijkstra(graph, merger_node, link_filter=link_f)
+        # Queried only for BST nodes (a subset of the forward set), so the
+        # search may stop once the backward node set is settled.
+        dij_merger = dijkstra(
+            graph, merger_node, targets=bst.node_set, link_filter=link_f
+        )
 
         candidates: list[list[NodeId]] = []
         for gamma in range(1, phi + 1):
@@ -331,6 +344,22 @@ class MbbeEmbedder(Embedder):
             )
             candidates.append(nodes[: self.candidate_cap * scale])
 
+        # Per-node real-paths, computed once outside the allocation product
+        # (each node appears in many combos; reversing a path re-validates
+        # the whole node sequence).
+        inter_by_node: dict[NodeId, Path] = {}
+        inner_by_node: dict[NodeId, Path] = {}
+        for nodes in candidates:
+            for n in nodes:
+                if n in inter_by_node:
+                    continue
+                ip = dij_start.path_to(n)
+                mp = dij_merger.path_to(n)
+                if ip is None or mp is None:
+                    continue
+                inter_by_node[n] = ip
+                inner_by_node[n] = mp.reversed()  # node -> merger
+
         out: list[SubSolution] = []
         for combo in itertools.product(*candidates):
             assignment = {g: combo[g - 1] for g in range(1, phi + 1)}
@@ -339,13 +368,12 @@ class MbbeEmbedder(Embedder):
             inner_paths: dict[int, Path] = {}
             ok = True
             for g in range(1, phi + 1):
-                ip = dij_start.path_to(combo[g - 1])
-                mp = dij_merger.path_to(combo[g - 1])
-                if ip is None or mp is None:
+                node = combo[g - 1]
+                if node not in inter_by_node:
                     ok = False
                     break
-                inter_paths[g] = ip
-                inner_paths[g] = mp.reversed()  # node -> merger
+                inter_paths[g] = inter_by_node[node]
+                inner_paths[g] = inner_by_node[node]
             if not ok:
                 continue
             ss = evaluate_layer_candidate(
@@ -391,11 +419,13 @@ class MbbeEmbedder(Embedder):
         phi = layer.phi
         layer_inner: dict[tuple[NodeId, NodeId], int] = {}
         inter_union: set[EdgeKey] = set()
+        parent_link_get = flat_counts(parent.link_counts).get
 
         def residual_ok(link: Link) -> bool:
-            used = parent.link_counts.get(link.key, 0)
-            used += layer_inner.get(link.key, 0)
-            used += 1 if link.key in inter_union else 0
+            key = link.key
+            used = parent_link_get(key, 0)
+            used += layer_inner.get(key, 0)
+            used += 1 if key in inter_union else 0
             return (used + 1) * rate <= link.capacity + 1e-9
 
         def inter_filter(link: Link) -> bool:

@@ -35,7 +35,9 @@ def connect_destination(
 ) -> SubSolution | None:
     """Complete every frontier sub-solution; return the cheapest leaf."""
     graph = network.graph
-    dij_dest = dijkstra(graph, dest)
+    # Only the frontier end nodes are ever queried, so the shared search can
+    # stop as soon as all of them are settled.
+    dij_dest = dijkstra(graph, dest, targets={p.end_node for p in frontier})
     best: SubSolution | None = None
     for parent in frontier:
         leaf: SubSolution | None = None

@@ -1,0 +1,52 @@
+"""Profiling helpers behind the ``dag-sfc profile`` subcommand.
+
+Thin wrappers over :mod:`cProfile`/:mod:`pstats` plus a phase-table
+formatter for :class:`repro.utils.timing.Stopwatch` laps, so the CLI and
+the benchmark harness share one report format.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Callable, Mapping, TypeVar
+
+__all__ = ["profile_call", "format_phases"]
+
+T = TypeVar("T")
+
+
+def profile_call(
+    fn: Callable[[], T], *, sort: str = "cumulative", top: int = 20
+) -> tuple[T, str]:
+    """Run ``fn`` under cProfile; return ``(result, formatted hot spots)``.
+
+    ``sort`` is any :mod:`pstats` sort key (``cumulative``, ``tottime``,
+    ``calls``, ...); ``top`` caps the number of printed rows.
+    """
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn)
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    return result, buf.getvalue()
+
+
+def format_phases(laps: Mapping[str, float]) -> str:
+    """Render named phase timings as an aligned table with shares.
+
+    >>> print(format_phases({"generate": 0.25, "embed": 0.75}))
+    phase       seconds   share
+    generate     0.2500   25.0%
+    embed        0.7500   75.0%
+    total        1.0000  100.0%
+    """
+    total = sum(laps.values())
+    width = max([len("phase"), len("total"), *(len(k) for k in laps)]) + 2
+    lines = [f"{'phase':<{width}}{'seconds':>9}{'share':>8}"]
+    for name, secs in laps.items():
+        share = (secs / total * 100.0) if total > 0 else 0.0
+        lines.append(f"{name:<{width}}{secs:>9.4f}{share:>7.1f}%")
+    lines.append(f"{'total':<{width}}{total:>9.4f}{100.0 if total > 0 else 0.0:>7.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,8 @@
+"""Fixture: full copies of sub-solution count mappings (three RPL211 hits)."""
+
+
+def expand(parent):
+    vnf = dict(parent.vnf_counts)
+    link = parent.link_counts.copy()
+    merged = {**parent.vnf_counts, ("node", 1): 2}
+    return vnf, link, merged

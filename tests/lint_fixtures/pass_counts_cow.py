@@ -1,0 +1,7 @@
+"""Fixture: reading count mappings without copying them is fine."""
+
+
+def reads(ss, flat_counts):
+    used = ss.vnf_counts.get(("node", 1), 0)
+    probe = flat_counts(ss.link_counts).get
+    return used + probe(("a", "b"), 0) + len(ss.link_counts)

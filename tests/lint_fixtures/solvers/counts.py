@@ -1,0 +1,7 @@
+"""Fixture: the sanctioned counts module may materialize full copies."""
+
+
+def compact(chain):
+    flat = dict(chain.vnf_counts)
+    flat.update({**chain.link_counts})
+    return flat

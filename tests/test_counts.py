@@ -1,0 +1,147 @@
+"""CountChain held to a plain-dict oracle.
+
+The copy-on-write count structure (``repro.solvers.counts``) must be
+observationally identical to the full-copy dicts it replaced: same totals,
+same Mapping semantics, no mutation of ancestors. Random chain/compaction
+sequences are driven by hypothesis; the compaction boundary and snapshot
+caching get directed cases.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers.counts import COMPACT_EVERY, CountChain, flat_counts
+
+# Small key space so updates collide with inherited keys often.
+keys = st.integers(min_value=0, max_value=9)
+update_maps = st.dictionaries(keys, st.integers(min_value=0, max_value=50), max_size=4)
+
+
+def test_root_copies_initial() -> None:
+    initial = {1: 2, 3: 4}
+    chain = CountChain.root(initial)
+    initial[1] = 99
+    assert chain[1] == 2
+    assert dict(chain) == {1: 2, 3: 4}
+
+
+def test_ensure_passthrough_and_wrap() -> None:
+    chain = CountChain.root({1: 1})
+    assert CountChain.ensure(chain) is chain
+    wrapped = CountChain.ensure({2: 5})
+    assert isinstance(wrapped, CountChain)
+    assert dict(wrapped) == {2: 5}
+
+
+def test_chain_empty_updates_returns_self() -> None:
+    chain = CountChain.root({1: 1})
+    assert chain.chain({}) is chain
+
+
+def test_chain_shadows_parent_without_mutation() -> None:
+    parent = CountChain.root({1: 1, 2: 2})
+    child = parent.chain({2: 7, 3: 3})
+    assert dict(parent) == {1: 1, 2: 2}
+    assert dict(child) == {1: 1, 2: 7, 3: 3}
+    assert child[2] == 7 and parent[2] == 2
+    assert child.get(9) is None
+    assert child.get(9, 0) == 0
+    assert 3 in child and 3 not in parent
+
+
+def test_mapping_equality_with_plain_dict() -> None:
+    child = CountChain.root({1: 1}).chain({2: 2})
+    assert child == {1: 1, 2: 2}
+    assert {1: 1, 2: 2} == child
+    assert child != {1: 1}
+    assert len(child) == 2
+    assert sorted(child) == [1, 2]
+
+
+def test_compaction_bounds_depth() -> None:
+    chain = CountChain.root()
+    oracle: dict[int, int] = {}
+    for i in range(5 * COMPACT_EVERY):
+        chain = chain.chain({i % 7: i})
+        oracle[i % 7] = i
+        assert chain.depth < COMPACT_EVERY
+        assert dict(chain) == oracle
+    # At least one compaction happened: a fresh root has depth 0.
+    assert chain.depth < 5 * COMPACT_EVERY
+
+
+def test_compaction_boundary_exact() -> None:
+    # Build a chain sitting exactly one step below the threshold, then cross it.
+    chain = CountChain.root({0: 0})
+    for i in range(1, COMPACT_EVERY):
+        chain = chain.chain({i: i})
+    assert chain.depth == COMPACT_EVERY - 1
+    compacted = chain.chain({99: 99})
+    assert compacted.depth == 0  # became a new root
+    assert dict(compacted) == {**{i: i for i in range(COMPACT_EVERY)}, 99: 99}
+    # The pre-compaction chain is untouched.
+    assert 99 not in chain
+
+
+def test_snapshot_is_cached_and_complete() -> None:
+    chain = CountChain.root({1: 1}).chain({2: 2}).chain({1: 5})
+    snap = chain.snapshot()
+    assert snap == {1: 5, 2: 2}
+    assert chain.snapshot() is snap  # cached
+    # Sibling chained after snapshotting still sees consistent state.
+    sibling = chain.chain({3: 3})
+    assert dict(sibling) == {1: 5, 2: 2, 3: 3}
+    assert dict(chain) == {1: 5, 2: 2}
+
+
+def test_flat_counts_passthrough_and_flatten() -> None:
+    plain = {1: 1}
+    assert flat_counts(plain) is plain
+    chain = CountChain.root({1: 1}).chain({2: 2})
+    flat = flat_counts(chain)
+    assert flat == {1: 1, 2: 2}
+    assert flat_counts(chain) is flat
+
+
+@settings(max_examples=200, deadline=None)
+@given(initial=update_maps, steps=st.lists(update_maps, max_size=3 * COMPACT_EVERY))
+def test_random_chains_match_dict_oracle(
+    initial: dict[int, int], steps: list[dict[int, int]]
+) -> None:
+    chain = CountChain.ensure(initial)
+    oracle = dict(initial)
+    history = [(chain, dict(oracle))]
+    for updates in steps:
+        chain = chain.chain(updates)
+        oracle.update(updates)
+        history.append((chain, dict(oracle)))
+        # Full Mapping agreement at every step.
+        assert dict(chain) == oracle
+        assert len(chain) == len(oracle)
+        for k in range(10):
+            assert chain.get(k) == oracle.get(k)
+            assert (k in chain) == (k in oracle)
+    # Immutability: every ancestor still matches the oracle of its epoch,
+    # even after descendants snapshotted/compacted past it.
+    for link, snap in history:
+        assert dict(link) == snap
+        assert flat_counts(link) == snap
+
+
+@settings(max_examples=100, deadline=None)
+@given(initial=update_maps, steps=st.lists(update_maps, min_size=1, max_size=10))
+def test_interleaved_snapshots_do_not_perturb(
+    initial: dict[int, int], steps: list[dict[int, int]]
+) -> None:
+    # Snapshot after *every* chain step (the hot-filter pattern) and make
+    # sure eager flattening never changes what a later child observes.
+    eager = CountChain.ensure(initial)
+    lazy = CountChain.ensure(initial)
+    oracle = dict(initial)
+    for updates in steps:
+        eager = eager.chain(updates)
+        _ = eager.snapshot()
+        lazy = lazy.chain(updates)
+        oracle.update(updates)
+    assert dict(eager) == oracle
+    assert dict(lazy) == oracle

@@ -1,0 +1,62 @@
+"""Golden equivalence: the solver fast path must match the committed fixture.
+
+The fixture (``tests/golden/solver_equivalence.json``) was captured from the
+tree *before* the copy-on-write/caching optimisations landed. Every cell of
+:data:`repro.sim.goldens.GOLDEN_GRID` is re-run here and compared through a
+JSON round-trip, so a placement, path or cost that moves by a single bit
+fails the test. The benchmark harness (``benchmarks/solver_core.py``) draws
+its seeds from the same grid, which means every benchmarked seed is
+equivalence-checked on every test run.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.goldens import BENCH_SCENARIO_ID, GOLDEN_GRID, GoldenScenario, capture, run_golden_cell
+
+FIXTURE = Path(__file__).parent / "golden" / "solver_equivalence.json"
+
+
+@pytest.fixture(scope="module")
+def fixture_doc() -> dict:
+    with open(FIXTURE, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _cases() -> list[tuple[GoldenScenario, int]]:
+    return [(cell, seed) for cell in GOLDEN_GRID for seed in cell.seeds]
+
+
+@pytest.mark.parametrize(
+    "cell,seed", _cases(), ids=[f"{c.scenario_id}-{s}" for c, s in _cases()]
+)
+def test_run_matches_fixture(cell: GoldenScenario, seed: int, fixture_doc: dict) -> None:
+    got = json.loads(json.dumps(run_golden_cell(cell, seed)))
+    want = fixture_doc["scenarios"][cell.scenario_id]["runs"][str(seed)]
+    assert got == want
+
+
+def test_fixture_covers_whole_grid(fixture_doc: dict) -> None:
+    assert set(fixture_doc["scenarios"]) == {c.scenario_id for c in GOLDEN_GRID}
+    for cell in GOLDEN_GRID:
+        entry = fixture_doc["scenarios"][cell.scenario_id]
+        assert entry["solvers"] == [s.series for s in cell.solvers]
+        assert set(entry["runs"]) == {str(s) for s in cell.seeds}
+
+
+def test_bench_scenario_is_in_grid() -> None:
+    assert any(c.scenario_id == BENCH_SCENARIO_ID for c in GOLDEN_GRID)
+
+
+def test_grid_exercises_every_solver_family() -> None:
+    names = {spec.name for cell in GOLDEN_GRID for spec in cell.solvers}
+    assert {"MBBE", "BBE", "RANV", "MINV"} <= names
+
+
+def test_capture_round_trips_current_tree(fixture_doc: dict) -> None:
+    # capture() must regenerate the exact committed document (modulo the
+    # JSON round-trip) — this is what ``python -m repro.sim.goldens`` writes.
+    doc = json.loads(json.dumps(capture()))
+    assert doc == fixture_doc

@@ -33,6 +33,7 @@ EXPECTED: dict[str, list[str]] = {
     "fail_rpl201_private_state.py": ["RPL201", "RPL201", "RPL201"],
     "fail_rpl401_mutable_default.py": ["RPL401", "RPL401", "RPL401"],
     "fail_rpl501_float_cost_eq.py": ["RPL501", "RPL501"],
+    "fail_rpl211_counts_full_copy.py": ["RPL211", "RPL211", "RPL211"],
     "fail_rpl001_reasonless_suppression.py": ["RPL001"],
     "fail_rpl002_unknown_code.py": ["RPL002"],
     "fail_rpl003_syntax_error.py": ["RPL003"],
@@ -41,6 +42,8 @@ EXPECTED: dict[str, list[str]] = {
     "regpack": ["RPL301", "RPL301"],
     # clean fixtures:
     "pass_rng_discipline.py": [],
+    "pass_counts_cow.py": [],
+    "solvers/counts.py": [],
     "pass_suppression_with_reason.py": [],
     "pass_tolerance_helper.py": [],
     "cli.py": [],
@@ -259,4 +262,6 @@ def test_default_config_matches_repo_conventions() -> None:
     assert "sim" in DEFAULT_CONFIG.rng_entry_dirs
     assert "network/state.py" in DEFAULT_CONFIG.state_module_suffixes
     assert "solvers" in DEFAULT_CONFIG.solver_dir_names
+    assert "solvers/counts.py" in DEFAULT_CONFIG.counts_module_suffixes
+    assert set(DEFAULT_CONFIG.counts_attrs) == {"vnf_counts", "link_counts"}
     assert DEFAULT_CONFIG.registry_dict == "_REGISTRY"

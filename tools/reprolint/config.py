@@ -32,6 +32,11 @@ class LintConfig:
     state_private_attrs: tuple[str, ...] = ("_link_used", "_vnf_used")
     #: attributes that only the state module may rebind on foreign objects.
     capacity_attrs: tuple[str, ...] = ("capacity", "bandwidth")
+    #: module(s) sanctioned to materialize full copies of sub-solution count
+    #: mappings; everywhere else must chain deltas (copy-on-write, RPL211).
+    counts_module_suffixes: tuple[str, ...] = ("solvers/counts.py",)
+    #: sub-solution count attributes whose full copies RPL211 flags.
+    counts_attrs: tuple[str, ...] = ("vnf_counts", "link_counts")
     #: directory names holding solver code (reserve/release balance checked,
     #: embedder registration enforced).
     solver_dir_names: tuple[str, ...] = ("solvers",)

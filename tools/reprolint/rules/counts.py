@@ -1,0 +1,90 @@
+"""Copy-on-write count discipline (RPL21x).
+
+Sub-solution resource bookkeeping (``vnf_counts`` / ``link_counts``) is
+copy-on-write: chaining a layer stores only the changed keys
+(``repro/solvers/counts.py``). Materializing a full dict copy of those
+mappings re-introduces the O(chain-length)-per-candidate cost the fast path
+removed, so outside the sanctioned counts module it is a lint error — read
+through the Mapping interface or ``flat_counts()`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, rule
+
+
+def _is_counts_module(ctx: FileContext) -> bool:
+    return ctx.has_suffix(ctx.config.counts_module_suffixes)
+
+
+def _counts_attribute(node: ast.AST, attrs: frozenset[str]) -> str | None:
+    """The count-attribute name when ``node`` reads one (``x.vnf_counts``)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr in attrs
+        and isinstance(node.ctx, ast.Load)
+    ):
+        return node.attr
+    return None
+
+
+@rule(
+    "RPL211",
+    "counts-full-copy",
+    "full-dict copies of sub-solution vnf_counts/link_counts outside "
+    "solvers/counts.py defeat the copy-on-write fast path; chain deltas or "
+    "read via flat_counts()",
+)
+def check_counts_full_copy(ctx: FileContext) -> None:
+    if _is_counts_module(ctx):
+        return
+    attrs = frozenset(ctx.config.counts_attrs)
+    for node in ast.walk(ctx.tree):
+        # dict(ss.vnf_counts) — the pattern the fast path replaced.
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "dict"
+            and len(node.args) == 1
+            and not node.keywords
+        ):
+            attr = _counts_attribute(node.args[0], attrs)
+            if attr is not None:
+                ctx.report(
+                    "RPL211",
+                    node,
+                    f"dict({ast.unparse(node.args[0])}) copies the whole "
+                    f"{attr} mapping; chain deltas via CountChain or read "
+                    "through flat_counts()",
+                )
+        # ss.vnf_counts.copy() — same full copy through the dict method.
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "copy"
+            and not node.args
+            and not node.keywords
+        ):
+            attr = _counts_attribute(node.func.value, attrs)
+            if attr is not None:
+                ctx.report(
+                    "RPL211",
+                    node,
+                    f"{ast.unparse(node.func.value)}.copy() materializes the "
+                    f"whole {attr} mapping; use the copy-on-write chain",
+                )
+        # {**ss.vnf_counts, ...} — dict-display unpacking is a full copy too.
+        elif isinstance(node, ast.Dict):
+            for key, value in zip(node.keys, node.values):
+                if key is not None:
+                    continue
+                attr = _counts_attribute(value, attrs)
+                if attr is not None:
+                    ctx.report(
+                        "RPL211",
+                        value,
+                        f"{{**{ast.unparse(value)}}} unpacks the whole {attr} "
+                        "mapping into a new dict; use the copy-on-write chain",
+                    )
