@@ -6,6 +6,8 @@ Sub-commands
 * ``figure {6a,6b,6c,6d,6e,6f,table2}`` — run a Fig. 6 sweep and print the
   mean-cost table (optionally an ASCII chart and a CSV file);
 * ``solve`` — embed one random instance with chosen solvers (quick demo);
+* ``serve`` / ``loadgen`` — run the long-lived embedding service and drive
+  it with a reproducible arrival trace (see ``docs/serving.md``);
 * ``list-solvers`` — registered algorithms.
 """
 
@@ -110,6 +112,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--phases-only",
         action="store_true",
         help="print only the per-phase wall-time table (skip cProfile)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the embedding service on a generated network (see docs/serving.md)"
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7717, help="0 picks an ephemeral port")
+    serve.add_argument("--network-size", type=int, default=80)
+    serve.add_argument("--connectivity", type=float, default=5.0)
+    serve.add_argument("--n-vnf-types", type=int, default=8)
+    serve.add_argument("--deploy-ratio", type=float, default=0.4)
+    serve.add_argument("--vnf-capacity", type=float, default=4.0)
+    serve.add_argument("--link-capacity", type=float, default=4.0)
+    serve.add_argument("--seed", type=int, default=1, help="network generator + service seed")
+    serve.add_argument("--solver", type=str, default="MBBE")
+    serve.add_argument("--queue-limit", type=int, default=64)
+    serve.add_argument("--batch-size", type=int, default=8)
+    serve.add_argument("--tick", type=float, default=0.0, help="batch collection window (s)")
+    serve.add_argument("--workers", type=int, default=0, help="solver processes; 0 = inline")
+    serve.add_argument("--admission", type=str, default="fifo")
+    serve.add_argument(
+        "--max-rate", type=float, default=2.0, help="threshold for --admission rate-threshold"
+    )
+    serve.add_argument(
+        "--speculative",
+        action="store_true",
+        help="solve batches in parallel against the batch-start view",
+    )
+    serve.add_argument(
+        "--snapshot", type=str, default=None, help="persist state here on drain/snapshot"
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore reservations and counters from --snapshot before serving",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive a running service with a reproducible arrival trace"
+    )
+    loadgen.add_argument("--host", type=str, default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=7717)
+    loadgen.add_argument("--steps", type=int, default=200)
+    loadgen.add_argument("--arrival-prob", type=float, default=0.5)
+    loadgen.add_argument("--mean-hold", type=float, default=40.0)
+    loadgen.add_argument("--sfc-size", type=int, default=4)
+    loadgen.add_argument("--rate", type=float, default=1.0)
+    loadgen.add_argument("--seed", type=int, default=1)
+    loadgen.add_argument("--mode", choices=("open", "closed"), default="open")
+    loadgen.add_argument("--tick", type=float, default=0.02, help="seconds per trace step")
+    loadgen.add_argument(
+        "--max-in-flight", type=int, default=8, help="closed-loop concurrency bound"
+    )
+    loadgen.add_argument(
+        "--out", type=str, default=None, help="write BENCH_service.json-style report here"
+    )
+    loadgen.add_argument(
+        "--require-accepted",
+        action="store_true",
+        help="exit nonzero when no request was accepted (CI smoke guard)",
+    )
+    loadgen.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="drain and shut the server down after the run",
     )
 
     lint = sub.add_parser(
@@ -343,6 +410,137 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Generate the substrate, then serve until drained (Ctrl-C also stops)."""
+    import asyncio
+
+    from .service import EmbeddingServer, ServiceConfig, load_snapshot, make_policy
+
+    net_cfg = NetworkConfig(
+        size=args.network_size,
+        connectivity=args.connectivity,
+        n_vnf_types=args.n_vnf_types,
+        deploy_ratio=args.deploy_ratio,
+        vnf_capacity=args.vnf_capacity,
+        link_capacity=args.link_capacity,
+    )
+    network = generate_network(net_cfg, rng=args.seed)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        solver=args.solver,
+        queue_limit=args.queue_limit,
+        batch_size=args.batch_size,
+        tick=args.tick,
+        workers=args.workers,
+        speculative=args.speculative,
+        admission=args.admission,
+        seed=args.seed,
+        snapshot_path=args.snapshot,
+    )
+    policy_kwargs = (
+        {"max_rate": args.max_rate}
+        if args.admission.upper() == "RATE-THRESHOLD"
+        else {}
+    )
+    policy = make_policy(args.admission, **policy_kwargs)
+    ledger = counters = None
+    if args.resume:
+        if not args.snapshot:
+            print("dag-sfc serve: --resume requires --snapshot", file=sys.stderr)
+            return 2
+        ledger, counters = load_snapshot(args.snapshot, network)
+        print(f"resumed {len(ledger)} active reservations from {args.snapshot}")
+
+    async def _serve() -> None:
+        server = EmbeddingServer(
+            network, config, policy=policy, ledger=ledger, counters=counters,
+            n_vnf_types=args.n_vnf_types,
+        )
+        host, port = await server.start()
+        print(
+            f"serving {args.network_size} nodes on {host}:{port} "
+            f"(solver {config.solver}, policy {policy.name}, "
+            f"{'speculative' if config.speculative else 'strict'} dispatch, "
+            f"workers {config.workers})",
+            flush=True,
+        )
+        try:
+            await server.serve_until_stopped()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted; server stopped")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Replay a generated trace against a running service and report."""
+    import asyncio
+
+    from .service import ServiceClient
+    from .service.loadgen import run_load, write_report
+    from .sim.trace import generate_trace
+
+    async def _run() -> int:
+        client = await ServiceClient.connect(args.host, args.port)
+        try:
+            trace = generate_trace(
+                steps=args.steps,
+                n_nodes=int(client.hello["n_nodes"]),
+                n_vnf_types=max(1, int(client.hello["n_vnf_types"])),
+                sfc=SfcConfig(size=args.sfc_size),
+                arrival_probability=args.arrival_prob,
+                mean_hold=args.mean_hold,
+                rate=args.rate,
+                rng=args.seed,
+            )
+            print(
+                f"trace: {len(trace)} arrivals over {args.steps} steps, "
+                f"offered load ≈ {trace.offered_load:.1f} concurrent requests"
+            )
+            report = await run_load(
+                client,
+                trace,
+                mode=args.mode,
+                tick_s=args.tick,
+                max_in_flight=args.max_in_flight,
+                rng=args.seed + 1,
+            )
+            print(report.format_table())
+            if args.out:
+                write_report(
+                    args.out,
+                    report,
+                    params={
+                        "steps": args.steps,
+                        "arrival_prob": args.arrival_prob,
+                        "mean_hold": args.mean_hold,
+                        "sfc_size": args.sfc_size,
+                        "rate": args.rate,
+                        "seed": args.seed,
+                        "tick_s": args.tick,
+                        "max_in_flight": args.max_in_flight,
+                        "server": dict(client.hello),
+                    },
+                )
+                print(f"report written to {args.out}")
+            if args.shutdown:
+                await client.drain(shutdown=True)
+                print("server drained and shut down")
+            if args.require_accepted and report.accepted == 0:
+                print("loadgen: no request was accepted", file=sys.stderr)
+                return 1
+            return 0
+        finally:
+            await client.close()
+
+    return asyncio.run(_run())
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run reprolint (``tools.reprolint``) through the dag-sfc front-end.
 
@@ -391,6 +589,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_inspect(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "list-solvers":

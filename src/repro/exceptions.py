@@ -26,6 +26,9 @@ __all__ = [
     "NoSolutionError",
     "SearchExhaustedError",
     "IlpUnavailableError",
+    "ServiceError",
+    "ProtocolError",
+    "SnapshotError",
 ]
 
 
@@ -134,3 +137,20 @@ class SearchExhaustedError(SolverError):
 
 class IlpUnavailableError(SolverError):
     """scipy.optimize.milp is unavailable in this environment."""
+
+
+# --------------------------------------------------------------------------
+# Embedding service
+# --------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for embedding-service errors."""
+
+
+class ProtocolError(ServiceError):
+    """A wire message violates the JSON-lines service protocol."""
+
+
+class SnapshotError(ServiceError):
+    """A service state snapshot is unreadable or does not match the network."""

@@ -14,7 +14,9 @@ subpackage implements the whole substrate from scratch:
 * :mod:`repro.network.generator` — the paper's random network generator;
 * :mod:`repro.network.topologies` — extra topology families;
 * :mod:`repro.network.cloud` — graph + VNF deployment facade;
-* :mod:`repro.network.state` — residual capacities with reserve/rollback.
+* :mod:`repro.network.state` — residual capacities with reserve/rollback;
+* :mod:`repro.network.reservations` — per-request reservation ledger shared
+  by the online simulator and the embedding service.
 """
 
 from .graph import Graph, Link
@@ -26,6 +28,7 @@ from .spanning import random_spanning_tree_edges, is_connected_edges
 from .generator import generate_network
 from .cloud import CloudNetwork
 from .state import ResidualState
+from .reservations import Reservation, ReservationLedger
 
 __all__ = [
     "Graph",
@@ -45,4 +48,6 @@ __all__ = [
     "generate_network",
     "CloudNetwork",
     "ResidualState",
+    "Reservation",
+    "ReservationLedger",
 ]

@@ -1,0 +1,132 @@
+"""Per-request reservation bookkeeping shared by the simulator and the server.
+
+Both the online-arrivals simulator (:mod:`repro.sim.online`) and the
+embedding service (:mod:`repro.service.server`) face the same accounting
+problem: an accepted request must hold exactly the resources its embedding
+consumes (eq. 7/8 reuse counts × flow rate) until it departs, and a
+departure must return exactly what was reserved. :class:`ReservationLedger`
+is that single implementation — a map ``request id → Reservation`` layered
+on a :class:`~repro.network.state.ResidualState`, with all-or-nothing
+reserve semantics (a mid-reservation :class:`~repro.exceptions.CapacityError`
+rolls back the partial claim instead of leaking it).
+
+The ledger deliberately stores *amounts*, not embeddings: a reservation is
+the minimal record needed to undo an admission, which is also exactly what
+a server snapshot has to persist (:mod:`repro.service.state_store`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from ..exceptions import CapacityError, ConfigurationError
+from ..types import EdgeKey, NodeId, VnfTypeId
+from .state import ResidualState
+
+__all__ = ["Reservation", "ReservationLedger"]
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """Resources held by one accepted request, in absolute rate units."""
+
+    #: (node, category) -> reserved processing rate (eq. 7 count × rate).
+    vnf: Mapping[tuple[NodeId, VnfTypeId], float]
+    #: link -> reserved bandwidth (eq. 8 charged uses × rate).
+    links: Mapping[EdgeKey, float]
+    #: objective value of the embedding that produced this reservation.
+    cost: float
+
+    @classmethod
+    def from_counts(
+        cls,
+        vnf_counts: Mapping[tuple[NodeId, VnfTypeId], int],
+        link_counts: Mapping[EdgeKey, int],
+        *,
+        rate: float,
+        cost: float,
+    ) -> "Reservation":
+        """Scale eq. 7/8 reuse counts by the flow rate into absolute amounts."""
+        return cls(
+            vnf={key: count * rate for key, count in vnf_counts.items()},
+            links={key: count * rate for key, count in link_counts.items()},
+            cost=cost,
+        )
+
+
+class ReservationLedger:
+    """Request-keyed reserve/release accounting over a residual state."""
+
+    def __init__(self, state: ResidualState) -> None:
+        self.state = state
+        self._active: dict[int, Reservation] = {}
+
+    # -- queries -----------------------------------------------------------------
+
+    def is_active(self, request_id: int) -> bool:
+        """True while ``request_id`` holds resources."""
+        return request_id in self._active
+
+    def active_ids(self) -> Iterator[int]:
+        """Ids of requests currently holding resources (sorted)."""
+        return iter(sorted(self._active))
+
+    def reservation(self, request_id: int) -> Reservation:
+        """The reservation held by an active request."""
+        try:
+            return self._active[request_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"request id {request_id} is not active"
+            ) from None
+
+    def reservations(self) -> Iterator[tuple[int, Reservation]]:
+        """(request id, reservation) pairs, sorted by id (snapshot order)."""
+        return iter(sorted(self._active.items()))
+
+    def __len__(self) -> int:
+        return len(self._active)
+
+    # -- reserve / release ---------------------------------------------------------
+
+    def reserve(self, request_id: int, reservation: Reservation) -> None:
+        """Claim a reservation atomically under ``request_id``.
+
+        Raises :class:`ConfigurationError` when the id is already active and
+        :class:`CapacityError` when the residual network cannot hold the
+        amounts — in the latter case the partial claim is rolled back, so the
+        state is untouched on failure.
+        """
+        if request_id in self._active:
+            raise ConfigurationError(
+                f"request id {request_id} is already active"
+            )
+        mark = self.state.mark()
+        try:
+            for (node, vnf_type), amount in reservation.vnf.items():
+                self.state.reserve_vnf(node, vnf_type, amount)
+            for (u, v), amount in reservation.links.items():
+                self.state.reserve_link(u, v, amount)
+        except CapacityError:
+            self.state.rollback(mark)
+            raise
+        self._active[request_id] = reservation
+
+    def release(self, request_id: int) -> Reservation:
+        """Return every resource held by ``request_id``.
+
+        Raises :class:`ConfigurationError` for an unknown (or already
+        released) id; the state is untouched in that case.
+        """
+        try:
+            reservation = self._active.pop(request_id)
+        except KeyError:
+            raise ConfigurationError(
+                f"request id {request_id} is not active"
+            ) from None
+        for (node, vnf_type), amount in reservation.vnf.items():
+            self.state.release_vnf(node, vnf_type, amount)
+        for (u, v), amount in reservation.links.items():
+            self.state.release_link(u, v, amount)
+        return reservation

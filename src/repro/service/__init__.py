@@ -1,0 +1,57 @@
+"""The embedding service: concurrent SFC requests over one shared substrate.
+
+Everything the one-shot entry points (``dag-sfc solve``, the offline
+:class:`~repro.sim.online.OnlineSimulator`) cannot do: a long-running
+asyncio TCP server that owns the authoritative residual capacity, admits a
+*stream* of tenant requests under explicit backpressure, micro-batches
+solves onto a worker pool, and survives restarts via state snapshots.
+
+* :mod:`repro.service.protocol` — the versioned JSON-lines wire protocol;
+* :mod:`repro.service.admission` — pluggable admission policies + registry;
+* :mod:`repro.service.server` — the server (queueing, dispatch, commits);
+* :mod:`repro.service.worker` — the pool-side solve with solver reuse;
+* :mod:`repro.service.state_store` — snapshot/restore of residual state;
+* :mod:`repro.service.client` — multiplexing async client;
+* :mod:`repro.service.loadgen` — open/closed-loop load generation.
+
+See ``docs/serving.md`` for the architecture and failure modes.
+"""
+
+from .admission import (
+    AdmissionPolicy,
+    CheapestFirstAdmission,
+    FifoAdmission,
+    RateThresholdAdmission,
+    available_policies,
+    make_policy,
+    register_policy,
+)
+from .client import ServiceClient, SubmitOutcome
+from .loadgen import LoadReport, run_load, write_report
+from .protocol import PROTOCOL_FORMAT, PROTOCOL_VERSION, REJECT_CODES, SubmitIntent
+from .server import EmbeddingServer, ServiceConfig
+from .state_store import load_snapshot, network_fingerprint, save_snapshot
+
+__all__ = [
+    "AdmissionPolicy",
+    "FifoAdmission",
+    "RateThresholdAdmission",
+    "CheapestFirstAdmission",
+    "available_policies",
+    "make_policy",
+    "register_policy",
+    "ServiceClient",
+    "SubmitOutcome",
+    "LoadReport",
+    "run_load",
+    "write_report",
+    "PROTOCOL_FORMAT",
+    "PROTOCOL_VERSION",
+    "REJECT_CODES",
+    "SubmitIntent",
+    "EmbeddingServer",
+    "ServiceConfig",
+    "load_snapshot",
+    "save_snapshot",
+    "network_fingerprint",
+]

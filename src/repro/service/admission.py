@@ -1,0 +1,130 @@
+"""Pluggable admission control for the embedding service.
+
+A policy sees two moments of a request's life:
+
+* :meth:`AdmissionPolicy.screen` at enqueue time — may refuse the request
+  outright (structured ``admission`` rejection) before it consumes a queue
+  slot;
+* :meth:`AdmissionPolicy.order` at dispatch time — may reorder the
+  micro-batch pulled from the queue before solves are attempted.
+
+Policies are configuration-only objects (no per-request mutable state), so
+one instance serves the whole server lifetime. The name → factory registry
+mirrors :mod:`repro.solvers.registry`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Sequence
+
+from ..exceptions import ConfigurationError
+from .protocol import SubmitIntent
+
+__all__ = [
+    "AdmissionPolicy",
+    "FifoAdmission",
+    "RateThresholdAdmission",
+    "CheapestFirstAdmission",
+    "available_policies",
+    "make_policy",
+    "register_policy",
+]
+
+
+class AdmissionPolicy(abc.ABC):
+    """Decides which submissions enter the queue and in what order they solve."""
+
+    #: short identifier used in stats replies and the CLI.
+    name: str = "abstract"
+
+    def screen(self, intent: SubmitIntent, *, queue_depth: int, queue_limit: int) -> str | None:
+        """Refusal reason for an arriving request, or ``None`` to admit.
+
+        Called before the queue-bound check, so a policy can shed load
+        earlier (and with a better reason) than plain backpressure.
+        """
+        return None
+
+    def order(self, batch: Sequence[SubmitIntent]) -> list[SubmitIntent]:
+        """Dispatch order for one micro-batch (default: arrival order)."""
+        return list(batch)
+
+
+class FifoAdmission(AdmissionPolicy):
+    """Admit everything; solve strictly in arrival order."""
+
+    name = "fifo"
+
+
+class RateThresholdAdmission(AdmissionPolicy):
+    """Refuse requests whose flow rate exceeds a threshold.
+
+    A cheap guard against elephant flows monopolizing shared capacity: one
+    high-rate request can reserve what would serve many small tenants. The
+    threshold is in the same units as :class:`~repro.config.FlowConfig.rate`.
+    """
+
+    name = "rate-threshold"
+
+    def __init__(self, *, max_rate: float = 2.0) -> None:
+        if max_rate <= 0:
+            raise ConfigurationError(f"max_rate must be > 0, got {max_rate}")
+        self.max_rate = max_rate
+
+    def screen(self, intent: SubmitIntent, *, queue_depth: int, queue_limit: int) -> str | None:
+        if intent.rate > self.max_rate:
+            return f"rate {intent.rate:g} exceeds threshold {self.max_rate:g}"
+        return None
+
+
+class CheapestFirstAdmission(AdmissionPolicy):
+    """Within a micro-batch, solve the lightest requests first.
+
+    The proxy for "cheapest" is demanded work ``rate × positions`` (VNFs
+    plus mergers): under contention, committing small requests first packs
+    the residual network better and raises the acceptance ratio, at the
+    price of potentially starving large requests (documented trade-off;
+    ties fall back to arrival order, so equal-size requests stay FIFO).
+    """
+
+    name = "cheapest-first"
+
+    def order(self, batch: Sequence[SubmitIntent]) -> list[SubmitIntent]:
+        return sorted(
+            batch,
+            key=lambda s: (s.rate * s.dag.num_positions, s.arrival_index),
+        )
+
+
+_REGISTRY: dict[str, Callable[..., AdmissionPolicy]] = {
+    "FIFO": FifoAdmission,
+    "RATE-THRESHOLD": RateThresholdAdmission,
+    "CHEAPEST-FIRST": CheapestFirstAdmission,
+}
+
+
+def available_policies() -> tuple[str, ...]:
+    """Registered admission-policy names."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_policy(name: str, **kwargs: Any) -> AdmissionPolicy:
+    """Instantiate an admission policy by (case-insensitive) name."""
+    key = name.upper()
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown admission policy {name!r}; available: "
+            f"{', '.join(available_policies())}"
+        ) from None
+    return factory(**kwargs)
+
+
+def register_policy(name: str, factory: Callable[..., AdmissionPolicy]) -> None:
+    """Register a custom admission policy (downstream extension point)."""
+    key = name.upper()
+    if key in _REGISTRY:
+        raise ConfigurationError(f"admission policy {name!r} is already registered")
+    _REGISTRY[key] = factory

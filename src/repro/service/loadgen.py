@@ -1,0 +1,232 @@
+"""Open/closed-loop load generation against a running embedding service.
+
+Replays an :class:`~repro.sim.trace.ArrivalTrace` (the same reproducible
+traces the offline simulator consumes) through a
+:class:`~repro.service.client.ServiceClient` and measures what an operator
+cares about: acceptance ratio, decision throughput, and submit→reply
+latency percentiles.
+
+Two driving disciplines:
+
+* **open loop** — arrivals fire at their trace-scheduled wall time
+  (``step × tick_s``) regardless of how the server keeps up; this is the
+  honest overload model (latency grows when the service falls behind).
+* **closed loop** — at most ``max_in_flight`` submissions outstanding;
+  the next request fires only when a slot frees. This measures sustainable
+  service capacity instead of queueing collapse.
+
+In both modes an accepted request holds its resources for its trace
+holding time (``departure_step − step`` ticks) and is then released, so
+the server sees genuine churn on its shared residual capacity.
+
+Results serialize to a versioned ``BENCH_service.json`` document beside
+the solver-core benchmark's ``BENCH_solver_core.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..exceptions import ConfigurationError
+from ..sim.trace import ArrivalTrace, TraceEvent
+from ..utils.rng import RngStream, as_generator
+from .client import ServiceClient, SubmitOutcome
+
+__all__ = ["LoadReport", "run_load", "write_report", "percentile"]
+
+BENCH_FORMAT = "repro.dag-sfc/bench-service"
+BENCH_VERSION = 1
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """The q-quantile (0..1) of an ascending sequence (nearest-rank)."""
+    if not sorted_values:
+        return float("nan")
+    if not (0.0 <= q <= 1.0):
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+    rank = min(len(sorted_values), max(1, math.ceil(q * len(sorted_values))))
+    return sorted_values[rank - 1]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Aggregate measurements of one load-generation run."""
+
+    mode: str
+    submitted: int
+    accepted: int
+    rejected: int
+    released: int
+    rejects_by_code: Mapping[str, int]
+    duration_s: float
+    total_cost_accepted: float
+    #: ascending submit→reply latencies in seconds.
+    latencies_s: tuple[float, ...]
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Accepted fraction of all decided submissions."""
+        return self.accepted / self.submitted if self.submitted else 1.0
+
+    @property
+    def throughput_rps(self) -> float:
+        """Submit decisions per wall second."""
+        return self.submitted / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def mean_cost_accepted(self) -> float:
+        """Mean objective value over accepted embeddings."""
+        return self.total_cost_accepted / self.accepted if self.accepted else float("nan")
+
+    def latency_ms(self, q: float) -> float:
+        """Latency quantile in milliseconds."""
+        return percentile(self.latencies_s, q) * 1e3
+
+    def to_dict(self) -> dict[str, Any]:
+        """The versioned benchmark document body."""
+        return {
+            "format": BENCH_FORMAT,
+            "version": BENCH_VERSION,
+            "mode": self.mode,
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "released": self.released,
+            "rejects_by_code": dict(sorted(self.rejects_by_code.items())),
+            "acceptance_ratio": round(self.acceptance_ratio, 6),
+            "throughput_rps": round(self.throughput_rps, 3),
+            "duration_s": round(self.duration_s, 6),
+            "mean_cost_accepted": (
+                round(self.mean_cost_accepted, 3) if self.accepted else None
+            ),
+            "latency_ms": {
+                "p50": round(self.latency_ms(0.50), 3),
+                "p95": round(self.latency_ms(0.95), 3),
+                "p99": round(self.latency_ms(0.99), 3),
+                "max": round(self.latencies_s[-1] * 1e3, 3) if self.latencies_s else None,
+            },
+        }
+
+    def format_table(self) -> str:
+        """Human-readable summary (printed by ``dag-sfc loadgen``)."""
+        lines = [
+            f"{self.mode}-loop run: {self.submitted} decided in {self.duration_s:.2f}s "
+            f"({self.throughput_rps:.1f} req/s)",
+            f"  accepted {self.accepted} ({self.acceptance_ratio:.1%}), "
+            f"rejected {self.rejected}, released {self.released}",
+        ]
+        if self.rejects_by_code:
+            pairs = ", ".join(f"{k}={v}" for k, v in sorted(self.rejects_by_code.items()))
+            lines.append(f"  rejections by code: {pairs}")
+        if self.accepted:
+            lines.append(f"  mean accepted cost: {self.mean_cost_accepted:.1f}")
+        if self.latencies_s:
+            lines.append(
+                "  latency p50/p95/p99: "
+                f"{self.latency_ms(0.50):.1f} / {self.latency_ms(0.95):.1f} / "
+                f"{self.latency_ms(0.99):.1f} ms"
+            )
+        return "\n".join(lines)
+
+
+async def run_load(
+    client: ServiceClient,
+    trace: ArrivalTrace,
+    *,
+    mode: str = "open",
+    tick_s: float = 0.02,
+    max_in_flight: int = 8,
+    release: bool = True,
+    rng: RngStream = None,
+) -> LoadReport:
+    """Drive one trace through a connected client and measure the run.
+
+    Per-request solver seeds are drawn from ``rng`` in arrival order — the
+    same discipline as :func:`repro.sim.trace.replay` — so a service run is
+    comparable against an offline replay of the identical trace.
+    """
+    if mode not in ("open", "closed"):
+        raise ConfigurationError(f"mode must be 'open' or 'closed', got {mode!r}")
+    if tick_s < 0:
+        raise ConfigurationError(f"tick_s must be >= 0, got {tick_s}")
+    if max_in_flight < 1:
+        raise ConfigurationError(f"max_in_flight must be >= 1, got {max_in_flight}")
+    gen = as_generator(rng)
+    seeds = {ev.request.request_id: int(gen.integers(2**31)) for ev in trace}
+
+    outcomes: list[SubmitOutcome] = []
+    release_tasks: list[asyncio.Task[None]] = []
+    released = 0
+    gate = asyncio.Semaphore(max_in_flight) if mode == "closed" else None
+    start = time.perf_counter()
+
+    async def _hold_then_release(event: TraceEvent) -> None:
+        nonlocal released
+        hold_until = event.departure_step * tick_s
+        delay = hold_until - (time.perf_counter() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        if await client.release(event.request.request_id):
+            released += 1
+
+    async def _drive(event: TraceEvent) -> None:
+        if gate is None:
+            delay = event.step * tick_s - (time.perf_counter() - start)
+            if delay > 0:
+                await asyncio.sleep(delay)
+        else:
+            await gate.acquire()
+        try:
+            outcome = await client.submit(
+                event.request.request_id,
+                event.request.dag,
+                event.request.source,
+                event.request.dest,
+                rate=event.request.flow.rate,
+                seed=seeds[event.request.request_id],
+            )
+        finally:
+            if gate is not None:
+                gate.release()
+        outcomes.append(outcome)
+        if outcome.accepted and release:
+            release_tasks.append(asyncio.create_task(_hold_then_release(event)))
+
+    await asyncio.gather(*(_drive(ev) for ev in trace))
+    duration = time.perf_counter() - start
+    if release_tasks:
+        await asyncio.gather(*release_tasks)
+
+    rejects: dict[str, int] = {}
+    for outcome in outcomes:
+        if not outcome.accepted and outcome.code is not None:
+            rejects[outcome.code] = rejects.get(outcome.code, 0) + 1
+    accepted = sum(1 for o in outcomes if o.accepted)
+    return LoadReport(
+        mode=mode,
+        submitted=len(outcomes),
+        accepted=accepted,
+        rejected=len(outcomes) - accepted,
+        released=released,
+        rejects_by_code=rejects,
+        duration_s=duration,
+        total_cost_accepted=sum(o.total_cost or 0.0 for o in outcomes if o.accepted),
+        latencies_s=tuple(sorted(o.latency for o in outcomes)),
+    )
+
+
+def write_report(
+    path: str, report: LoadReport, *, params: Mapping[str, Any] | None = None
+) -> None:
+    """Write the benchmark document (plus run parameters) to ``path``."""
+    doc = report.to_dict()
+    if params:
+        doc["params"] = dict(params)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,237 @@
+"""The JSON-lines wire protocol of the embedding service.
+
+One message per line, UTF-8 JSON, newline-terminated. Every message carries
+a ``"type"`` tag; client→server messages additionally carry a client-chosen
+``"msg_id"`` echoed verbatim in the reply, so a client can multiplex many
+in-flight requests over one connection and match replies out of order
+(micro-batching reorders them).
+
+The protocol is versioned like the on-disk formats in
+:mod:`repro.serialize`: the server opens every connection with a ``hello``
+naming ``format``/``version``; clients must reject mismatches rather than
+guess. DAG payloads reuse the :mod:`repro.serialize` document schema.
+
+Verbs
+-----
+
+* ``submit`` — embed one request against the shared residual capacity;
+* ``release`` — return the resources of an accepted request (departure);
+* ``stats`` — acceptance counters, queue depth, residual summary;
+* ``snapshot`` — persist the authoritative state to disk;
+* ``drain`` — stop admitting, flush the queue, optionally shut down.
+
+Replies are ``accepted`` / ``rejected`` (submit), ``released``, ``stats``,
+``snapshotted``, ``drained`` — or ``error`` for malformed input. Rejections
+are *structured*: a machine-readable ``code`` (:data:`REJECT_CODES`) plus a
+human-readable ``reason``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..exceptions import ProtocolError
+from ..sfc.dag import DagSfc
+from ..serialize import dag_from_dict, dag_to_dict
+
+__all__ = [
+    "PROTOCOL_FORMAT",
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "REJECT_CODES",
+    "SubmitIntent",
+    "encode_message",
+    "decode_message",
+    "read_message",
+    "write_message",
+    "hello_message",
+    "check_hello",
+    "submit_message",
+    "submit_from_message",
+    "release_message",
+    "stats_message",
+    "snapshot_message",
+    "drain_message",
+]
+
+PROTOCOL_FORMAT = "repro.dag-sfc/service"
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one wire line; a line longer than this is a protocol error
+#: (guards the server against unbounded buffering on a misbehaving peer).
+MAX_LINE_BYTES = 1 << 20
+
+#: Machine-readable rejection codes a ``rejected`` reply may carry.
+REJECT_CODES = (
+    "queue_full",  # bounded submit queue is at capacity (backpressure)
+    "draining",  # server no longer admits new work
+    "duplicate_id",  # request id already active or already queued
+    "admission",  # an admission policy refused the request
+    "no_solution",  # the solver found no feasible embedding
+    "capacity_conflict",  # speculative batch member lost its capacity race
+)
+
+
+@dataclass(frozen=True)
+class SubmitIntent:
+    """A decoded ``submit``: everything the dispatcher needs to solve it.
+
+    ``seed`` feeds the solver's RNG stream so a service run can be replayed
+    offline bit-for-bit; clients that omit it get a server-derived seed.
+    """
+
+    request_id: int
+    dag: DagSfc
+    source: int
+    dest: int
+    rate: float = 1.0
+    seed: int | None = None
+    msg_id: int = 0
+    #: arrival order within the server (assigned at enqueue time).
+    arrival_index: int = field(default=0, compare=False)
+
+
+# -- framing ---------------------------------------------------------------------
+
+
+def encode_message(message: Mapping[str, Any]) -> bytes:
+    """Serialize one message to its wire line (compact JSON + newline)."""
+    return json.dumps(dict(message), separators=(",", ":")).encode() + b"\n"
+
+
+def decode_message(line: bytes | str) -> dict[str, Any]:
+    """Parse one wire line; raises :class:`ProtocolError` on malformed input."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON line: {exc}") from None
+    if not isinstance(data, dict):
+        raise ProtocolError(f"message must be a JSON object, got {type(data).__name__}")
+    if not isinstance(data.get("type"), str):
+        raise ProtocolError("message is missing its 'type' tag")
+    return data
+
+
+async def read_message(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one message; ``None`` on EOF; :class:`ProtocolError` on bad input."""
+    try:
+        line = await reader.readline()
+    except (ValueError, asyncio.LimitOverrunError):
+        raise ProtocolError(f"wire line exceeds {MAX_LINE_BYTES} bytes") from None
+    if not line:
+        return None
+    return decode_message(line)
+
+
+async def write_message(writer: asyncio.StreamWriter, message: Mapping[str, Any]) -> None:
+    """Write one message and flush it."""
+    writer.write(encode_message(message))
+    await writer.drain()
+
+
+# -- handshake ---------------------------------------------------------------------
+
+
+def hello_message(
+    *, solver: str, n_nodes: int, n_vnf_types: int, network_fingerprint: str
+) -> dict[str, Any]:
+    """The server's connection banner: protocol + substrate identity."""
+    return {
+        "type": "hello",
+        "format": PROTOCOL_FORMAT,
+        "version": PROTOCOL_VERSION,
+        "solver": solver,
+        "n_nodes": n_nodes,
+        "n_vnf_types": n_vnf_types,
+        "network_fingerprint": network_fingerprint,
+    }
+
+
+def check_hello(message: Mapping[str, Any]) -> None:
+    """Validate a ``hello``; raises :class:`ProtocolError` on a mismatch."""
+    if message.get("type") != "hello":
+        raise ProtocolError(f"expected a hello, got {message.get('type')!r}")
+    if message.get("format") != PROTOCOL_FORMAT:
+        raise ProtocolError(f"not a {PROTOCOL_FORMAT} peer")
+    if message.get("version") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {message.get('version')!r} "
+            f"(expected {PROTOCOL_VERSION})"
+        )
+
+
+# -- client → server messages -------------------------------------------------------
+
+
+def submit_message(
+    *,
+    msg_id: int,
+    request_id: int,
+    dag: DagSfc,
+    source: int,
+    dest: int,
+    rate: float = 1.0,
+    seed: int | None = None,
+) -> dict[str, Any]:
+    """Build a ``submit`` line."""
+    message: dict[str, Any] = {
+        "type": "submit",
+        "msg_id": msg_id,
+        "request_id": request_id,
+        "dag": dag_to_dict(dag),
+        "source": source,
+        "dest": dest,
+        "rate": rate,
+    }
+    if seed is not None:
+        message["seed"] = seed
+    return message
+
+
+def submit_from_message(message: Mapping[str, Any]) -> SubmitIntent:
+    """Decode/validate a ``submit`` into a :class:`SubmitIntent`."""
+    try:
+        request_id = int(message["request_id"])
+        source = int(message["source"])
+        dest = int(message["dest"])
+        rate = float(message.get("rate", 1.0))
+        msg_id = int(message.get("msg_id", 0))
+        dag = dag_from_dict(message["dag"])
+    except (KeyError, TypeError, ValueError) as exc:
+        # serialize/dag validation errors are ValueError subclasses too.
+        raise ProtocolError(f"malformed submit: {exc}") from None
+    if rate <= 0:
+        raise ProtocolError(f"submit rate must be > 0, got {rate}")
+    seed = message.get("seed")
+    return SubmitIntent(
+        request_id=request_id,
+        dag=dag,
+        source=source,
+        dest=dest,
+        rate=rate,
+        seed=None if seed is None else int(seed),
+        msg_id=msg_id,
+    )
+
+
+def release_message(*, msg_id: int, request_id: int) -> dict[str, Any]:
+    """Build a ``release`` line."""
+    return {"type": "release", "msg_id": msg_id, "request_id": request_id}
+
+
+def stats_message(*, msg_id: int) -> dict[str, Any]:
+    """Build a ``stats`` line."""
+    return {"type": "stats", "msg_id": msg_id}
+
+
+def snapshot_message(*, msg_id: int) -> dict[str, Any]:
+    """Build a ``snapshot`` line."""
+    return {"type": "snapshot", "msg_id": msg_id}
+
+
+def drain_message(*, msg_id: int, shutdown: bool = False) -> dict[str, Any]:
+    """Build a ``drain`` line (``shutdown=True`` stops the server after)."""
+    return {"type": "drain", "msg_id": msg_id, "shutdown": shutdown}

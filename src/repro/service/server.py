@@ -1,0 +1,664 @@
+"""The asyncio embedding server: shared residual capacity behind a socket.
+
+One :class:`EmbeddingServer` owns the *authoritative*
+:class:`~repro.network.state.ResidualState` for its substrate network (via
+the shared :class:`~repro.network.reservations.ReservationLedger`) and
+serves the JSON-lines protocol of :mod:`repro.service.protocol` over TCP.
+
+Architecture (single-writer, explicit backpressure)::
+
+    connections ──screen──▶ bounded queue ──▶ dispatcher ──▶ worker pool
+        ▲                                        │ commit (sole writer)
+        └──────────── replies (by msg_id) ◀──────┘
+
+* Every connection handler only *screens* (draining / duplicate /
+  admission-policy / queue bound) and enqueues; structured rejections are
+  produced instead of blocking or crashing when the bounded queue is full.
+* One dispatcher task is the sole mutator of the ledger. Per tick it pulls
+  a **micro-batch** (up to ``batch_size`` submits, after an optional
+  ``tick``-long collection window), lets the admission policy order it,
+  and decides each member. Releases bypass the submit bound and are applied
+  before the batch — the departures-before-arrivals convention of
+  :func:`repro.sim.trace.replay`.
+* Solves run off the event loop: in a ``ProcessPoolExecutor`` reusing one
+  solver instance per worker process (``workers >= 1``; the
+  :mod:`repro.sim.runner` reuse trick, see :mod:`repro.service.worker`) or
+  inline in a thread (``workers = 0``).
+
+Two dispatch modes:
+
+* **strict** (default): batch members are solved *sequentially*, each
+  against the residual view left by the previous commit. Acceptance
+  decisions and costs are then bit-identical to replaying the same decision
+  order through an offline :class:`~repro.sim.online.OnlineSimulator` — the
+  property the end-to-end tests assert.
+* **speculative** (``speculative=True``): batch members are solved in
+  parallel against the batch-start view, then committed in policy order
+  with re-validation; a member whose resources were taken by an earlier
+  commit is rejected with the structured code ``capacity_conflict``.
+  Higher throughput, slightly stale views — the classic serving trade-off.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..embedding.base import EmbeddingResult
+from ..exceptions import CapacityError, ConfigurationError
+from ..network.cloud import CloudNetwork
+from ..network.reservations import Reservation, ReservationLedger
+from ..network.state import ResidualState
+from ..utils.rng import trial_seed
+from . import protocol, state_store
+from .admission import AdmissionPolicy, make_policy
+from .protocol import MAX_LINE_BYTES, SubmitIntent
+from .worker import solve_on_view
+
+__all__ = ["ServiceConfig", "EmbeddingServer"]
+
+#: Seed salt for server-derived solver streams (clients may override per
+#: request); distinct from the runner's 0xA160 so service traffic never
+#: aliases experiment streams.
+_SERVICE_SEED_SALT = 0x5EC5
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`EmbeddingServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral (bound port reported by start())
+    solver: str = "MBBE"
+    #: bound on queued-but-undecided submits; beyond it, reject queue_full.
+    queue_limit: int = 64
+    #: max submits decided per dispatch tick (the micro-batch).
+    batch_size: int = 8
+    #: seconds the dispatcher lingers collecting a batch after the first
+    #: submit arrives; 0 = dispatch whatever is queued right now.
+    tick: float = 0.0
+    #: worker processes for solves; 0 = solve inline in a thread.
+    workers: int = 0
+    #: parallel in-batch solving against the batch-start view (see module doc).
+    speculative: bool = False
+    admission: str = "fifo"
+    #: master seed for server-derived solver streams.
+    seed: int = 0
+    #: snapshot written here on drain and on `snapshot` requests.
+    snapshot_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1:
+            raise ConfigurationError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.tick < 0:
+            raise ConfigurationError(f"tick must be >= 0, got {self.tick}")
+        if self.workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {self.workers}")
+
+
+@dataclass
+class _PendingSubmit:
+    intent: SubmitIntent
+    reply: "asyncio.Future[dict[str, Any]]" = field(compare=False)
+
+
+@dataclass
+class _PendingRelease:
+    msg_id: int
+    request_id: int
+    reply: "asyncio.Future[dict[str, Any]]" = field(compare=False)
+
+
+@dataclass
+class _PendingDrain:
+    msg_id: int
+    shutdown: bool
+    reply: "asyncio.Future[dict[str, Any]]" = field(compare=False)
+
+
+_COUNTER_KEYS = (
+    "submitted",
+    "shed_queue_full",
+    "shed_admission",
+    "shed_duplicate",
+    "shed_draining",
+    "dispatched",
+    "accepted",
+    "rejected_no_solution",
+    "rejected_conflict",
+    "departed",
+    "total_cost_accepted",
+)
+
+
+class EmbeddingServer:
+    """A long-running embedding service over one substrate network."""
+
+    def __init__(
+        self,
+        network: CloudNetwork,
+        config: ServiceConfig | None = None,
+        *,
+        policy: AdmissionPolicy | None = None,
+        ledger: ReservationLedger | None = None,
+        counters: dict[str, float] | None = None,
+        n_vnf_types: int | None = None,
+    ) -> None:
+        self.network = network
+        self.config = config if config is not None else ServiceConfig()
+        #: catalog size advertised in the hello (drives client trace
+        #: generation); defaults to the largest deployed regular category.
+        self.n_vnf_types = (
+            n_vnf_types
+            if n_vnf_types is not None
+            else max(
+                (t for t in network.deployments.deployed_types if t > 0), default=0
+            )
+        )
+        self.policy = policy if policy is not None else make_policy(self.config.admission)
+        if ledger is not None and ledger.state.network is not network:
+            raise ConfigurationError("restored ledger belongs to a different network")
+        self.ledger = ledger if ledger is not None else ReservationLedger(ResidualState(network))
+        # Event counts stay ints; only the accumulated cost is a float.
+        self.counters: dict[str, float] = {key: 0 for key in _COUNTER_KEYS}
+        self.counters["total_cost_accepted"] = 0.0
+        if counters:
+            for key, value in counters.items():
+                if key in self.counters:
+                    self.counters[key] = (
+                        float(value) if key == "total_cost_accepted" else int(value)
+                    )
+        self._fingerprint = state_store.network_fingerprint(network)
+        self._queue: asyncio.Queue[_PendingSubmit | _PendingRelease | _PendingDrain] = (
+            asyncio.Queue()
+        )
+        self._queued_submits = 0
+        self._pending_ids: set[int] = set()
+        self._arrival_counter = 0
+        self._decision_counter = 0
+        self._draining = False
+        self._stop_event = asyncio.Event()
+        self._conn_tasks: set[asyncio.Task[None]] = set()
+        self._server: asyncio.Server | None = None
+        self._address: tuple[str, int] | None = None
+        self._dispatch_task: asyncio.Task[None] | None = None
+        self._executor: ProcessPoolExecutor | None = None
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind the socket and start the dispatcher; returns (host, port)."""
+        if self._server is not None:
+            raise ConfigurationError("server is already started")
+        if self.config.workers > 0:
+            self._executor = ProcessPoolExecutor(max_workers=self.config.workers)
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self._dispatch_task = asyncio.create_task(self._dispatch_loop())
+        sock = self._server.sockets[0].getsockname()
+        self._address = (str(sock[0]), int(sock[1]))
+        return self._address
+
+    async def serve_until_stopped(self) -> None:
+        """Block until a drain-with-shutdown (or :meth:`request_stop`)."""
+        await self._stop_event.wait()
+        await self.stop()
+
+    def request_stop(self) -> None:
+        """Ask :meth:`serve_until_stopped` to return."""
+        self._stop_event.set()
+
+    async def stop(self) -> None:
+        """Stop accepting connections and tear the dispatcher down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Python 3.11's Server.wait_closed does not wait for client handler
+        # tasks; reap them explicitly so shutdown leaves no stray tasks.
+        for task in tuple(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*tuple(self._conn_tasks), return_exceptions=True)
+        self._conn_tasks.clear()
+        if self._dispatch_task is not None:
+            self._dispatch_task.cancel()
+            try:
+                await self._dispatch_task
+            except asyncio.CancelledError:
+                pass
+            self._dispatch_task = None
+        # Fail anything still queued so connection handlers can't wait forever.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if isinstance(item, _PendingSubmit):
+                self._queued_submits -= 1
+                self._pending_ids.discard(item.intent.request_id)
+                item.reply.set_result(
+                    self._reject(
+                        item.intent.msg_id,
+                        item.intent.request_id,
+                        "draining",
+                        "server stopped before the request was decided",
+                    )
+                )
+            elif isinstance(item, _PendingRelease):
+                item.reply.set_result(
+                    {
+                        "type": "released",
+                        "msg_id": item.msg_id,
+                        "request_id": item.request_id,
+                        "ok": False,
+                        "reason": "server stopped before the release was applied",
+                    }
+                )
+            else:
+                item.reply.set_result(self._do_drain(item))
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self._stop_event.set()
+
+    async def __aenter__(self) -> "EmbeddingServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.stop()
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port); valid after :meth:`start`."""
+        if self._address is None:
+            raise ConfigurationError("server is not started")
+        return self._address
+
+    @property
+    def queue_depth(self) -> int:
+        """Submits queued but not yet decided."""
+        return self._queued_submits
+
+    def stats_payload(self) -> dict[str, Any]:
+        """The body of a ``stats`` reply (counters + live gauges)."""
+        accepted = self.counters["accepted"]
+        dispatched = self.counters["dispatched"]
+        return {
+            "solver": self.config.solver,
+            "policy": self.policy.name,
+            "speculative": self.config.speculative,
+            "counters": {key: self.counters[key] for key in _COUNTER_KEYS},
+            "acceptance_ratio": accepted / dispatched if dispatched else 1.0,
+            "active": len(self.ledger),
+            "queue_depth": self.queue_depth,
+            "draining": self._draining,
+        }
+
+    # -- connection handling ------------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        current = asyncio.current_task()
+        if current is not None:
+            self._conn_tasks.add(current)
+            current.add_done_callback(self._conn_tasks.discard)
+        lock = asyncio.Lock()
+        tasks: set[asyncio.Task[None]] = set()
+        try:
+            await protocol.write_message(
+                writer,
+                protocol.hello_message(
+                    solver=self.config.solver,
+                    n_nodes=self.network.num_nodes,
+                    n_vnf_types=self.n_vnf_types,
+                    network_fingerprint=self._fingerprint,
+                ),
+            )
+            while True:
+                try:
+                    message = await protocol.read_message(reader)
+                except protocol.ProtocolError as exc:
+                    await self._write_locked(
+                        writer, lock, {"type": "error", "msg_id": 0, "reason": str(exc)}
+                    )
+                    break
+                if message is None:
+                    break
+                task = asyncio.create_task(self._handle_message(message, writer, lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown with the connection still open: end quietly
+            # (asyncio.streams' connection_made callback chokes on handler
+            # tasks that finish cancelled).
+            pass
+        finally:
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _write_locked(
+        self, writer: asyncio.StreamWriter, lock: asyncio.Lock, message: dict[str, Any]
+    ) -> None:
+        try:
+            async with lock:
+                await protocol.write_message(writer, message)
+        except (ConnectionError, OSError):
+            # The peer went away; its admitted work stays admitted (the
+            # reservation is released by a later `release` or an operator).
+            pass
+
+    async def _handle_message(
+        self, message: dict[str, Any], writer: asyncio.StreamWriter, lock: asyncio.Lock
+    ) -> None:
+        msg_id = int(message.get("msg_id", 0) or 0)
+        mtype = message["type"]
+        try:
+            if mtype == "submit":
+                reply = await self._handle_submit(message)
+            elif mtype == "release":
+                reply = await self._handle_release(message)
+            elif mtype == "stats":
+                reply = {"type": "stats", "msg_id": msg_id, **self.stats_payload()}
+            elif mtype == "snapshot":
+                reply = self._handle_snapshot(msg_id)
+            elif mtype == "drain":
+                reply = await self._handle_drain(message)
+            else:
+                reply = {
+                    "type": "error",
+                    "msg_id": msg_id,
+                    "reason": f"unknown message type {mtype!r}",
+                }
+        except protocol.ProtocolError as exc:
+            reply = {"type": "error", "msg_id": msg_id, "reason": str(exc)}
+        shutdown = bool(reply.pop("_shutdown", False))
+        await self._write_locked(writer, lock, reply)
+        if shutdown:
+            self.request_stop()
+
+    # -- submit path ----------------------------------------------------------------
+
+    def _reject(
+        self, msg_id: int, request_id: int, code: str, reason: str
+    ) -> dict[str, Any]:
+        return {
+            "type": "rejected",
+            "msg_id": msg_id,
+            "request_id": request_id,
+            "code": code,
+            "reason": reason,
+        }
+
+    async def _handle_submit(self, message: dict[str, Any]) -> dict[str, Any]:
+        intent = protocol.submit_from_message(message)
+        self.counters["submitted"] += 1
+        if self._draining:
+            self.counters["shed_draining"] += 1
+            return self._reject(
+                intent.msg_id, intent.request_id, "draining", "server is draining"
+            )
+        if self.ledger.is_active(intent.request_id) or intent.request_id in self._pending_ids:
+            self.counters["shed_duplicate"] += 1
+            return self._reject(
+                intent.msg_id,
+                intent.request_id,
+                "duplicate_id",
+                f"request id {intent.request_id} is already active or queued",
+            )
+        refusal = self.policy.screen(
+            intent, queue_depth=self._queued_submits, queue_limit=self.config.queue_limit
+        )
+        if refusal is not None:
+            self.counters["shed_admission"] += 1
+            return self._reject(intent.msg_id, intent.request_id, "admission", refusal)
+        if self._queued_submits >= self.config.queue_limit:
+            self.counters["shed_queue_full"] += 1
+            return self._reject(
+                intent.msg_id,
+                intent.request_id,
+                "queue_full",
+                f"submit queue is at its limit ({self.config.queue_limit})",
+            )
+        intent = SubmitIntent(
+            request_id=intent.request_id,
+            dag=intent.dag,
+            source=intent.source,
+            dest=intent.dest,
+            rate=intent.rate,
+            seed=intent.seed,
+            msg_id=intent.msg_id,
+            arrival_index=self._arrival_counter,
+        )
+        self._arrival_counter += 1
+        self._queued_submits += 1
+        self._pending_ids.add(intent.request_id)
+        pending = _PendingSubmit(intent=intent, reply=asyncio.get_running_loop().create_future())
+        self._queue.put_nowait(pending)
+        return await pending.reply
+
+    async def _handle_release(self, message: dict[str, Any]) -> dict[str, Any]:
+        try:
+            msg_id = int(message.get("msg_id", 0))
+            request_id = int(message["request_id"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise protocol.ProtocolError(f"malformed release: {exc}") from None
+        pending = _PendingRelease(
+            msg_id=msg_id,
+            request_id=request_id,
+            reply=asyncio.get_running_loop().create_future(),
+        )
+        self._queue.put_nowait(pending)
+        return await pending.reply
+
+    def _handle_snapshot(self, msg_id: int) -> dict[str, Any]:
+        if not self.config.snapshot_path:
+            return {
+                "type": "error",
+                "msg_id": msg_id,
+                "reason": "server was started without a snapshot path",
+            }
+        state_store.save_snapshot(
+            self.config.snapshot_path, self.ledger, counters=self.counters
+        )
+        return {
+            "type": "snapshotted",
+            "msg_id": msg_id,
+            "path": self.config.snapshot_path,
+            "active": len(self.ledger),
+        }
+
+    async def _handle_drain(self, message: dict[str, Any]) -> dict[str, Any]:
+        msg_id = int(message.get("msg_id", 0) or 0)
+        shutdown = bool(message.get("shutdown", False))
+        self._draining = True
+        pending = _PendingDrain(
+            msg_id=msg_id, shutdown=shutdown, reply=asyncio.get_running_loop().create_future()
+        )
+        self._queue.put_nowait(pending)
+        return await pending.reply
+
+    # -- dispatcher (sole ledger writer) -------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            first = await self._queue.get()
+            if self.config.tick > 0 and isinstance(first, _PendingSubmit):
+                await asyncio.sleep(self.config.tick)
+            batch: list[_PendingSubmit] = []
+            releases: list[_PendingRelease] = []
+            drains: list[_PendingDrain] = []
+            item: _PendingSubmit | _PendingRelease | _PendingDrain | None = first
+            while item is not None:
+                if isinstance(item, _PendingSubmit):
+                    batch.append(item)
+                elif isinstance(item, _PendingRelease):
+                    releases.append(item)
+                else:
+                    drains.append(item)
+                if len(batch) >= self.config.batch_size:
+                    break
+                try:
+                    item = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    item = None
+
+            # Departures before arrivals (the sim.trace.replay convention).
+            for release in releases:
+                release.reply.set_result(self._do_release(release))
+
+            if batch:
+                await self._decide_batch(batch)
+
+            for drain in drains:
+                drain.reply.set_result(self._do_drain(drain))
+
+    def _do_release(self, release: _PendingRelease) -> dict[str, Any]:
+        try:
+            self.ledger.release(release.request_id)
+        except ConfigurationError as exc:
+            return {
+                "type": "released",
+                "msg_id": release.msg_id,
+                "request_id": release.request_id,
+                "ok": False,
+                "reason": str(exc),
+            }
+        self.counters["departed"] += 1
+        return {
+            "type": "released",
+            "msg_id": release.msg_id,
+            "request_id": release.request_id,
+            "ok": True,
+        }
+
+    def _do_drain(self, drain: _PendingDrain) -> dict[str, Any]:
+        reply: dict[str, Any] = {
+            "type": "drained",
+            "msg_id": drain.msg_id,
+            **self.stats_payload(),
+        }
+        if self.config.snapshot_path:
+            state_store.save_snapshot(
+                self.config.snapshot_path, self.ledger, counters=self.counters
+            )
+            reply["snapshot_path"] = self.config.snapshot_path
+        if drain.shutdown:
+            reply["_shutdown"] = True
+        return reply
+
+    async def _decide_batch(self, batch: list[_PendingSubmit]) -> None:
+        by_arrival = {p.intent.arrival_index: p for p in batch}
+        ordered = self.policy.order([p.intent for p in batch])
+        if len(ordered) != len(batch) or {
+            i.arrival_index for i in ordered
+        } != set(by_arrival):
+            raise ConfigurationError(
+                f"admission policy {self.policy.name!r} must permute the batch"
+            )
+        if self.config.speculative and len(ordered) > 1:
+            view = self.ledger.state.to_network()
+            results = await asyncio.gather(
+                *(self._run_solver(intent, view) for intent in ordered)
+            )
+        else:
+            results = None
+        for position, intent in enumerate(ordered):
+            pending = by_arrival[intent.arrival_index]
+            if results is not None:
+                result = results[position]
+            else:
+                result = await self._run_solver(intent, self.ledger.state.to_network())
+            reply = self._commit(intent, result)
+            self._queued_submits -= 1
+            self._pending_ids.discard(intent.request_id)
+            pending.reply.set_result(reply)
+
+    async def _run_solver(self, intent: SubmitIntent, view: CloudNetwork) -> EmbeddingResult:
+        seed = (
+            intent.seed
+            if intent.seed is not None
+            else trial_seed(self.config.seed, intent.arrival_index, salt=_SERVICE_SEED_SALT)
+        )
+        call = functools.partial(
+            solve_on_view,
+            self.config.solver,
+            view,
+            intent.dag,
+            intent.source,
+            intent.dest,
+            intent.rate,
+            seed,
+        )
+        if self._executor is not None:
+            return await asyncio.get_running_loop().run_in_executor(self._executor, call)
+        return await asyncio.to_thread(call)
+
+    def _commit(self, intent: SubmitIntent, result: EmbeddingResult) -> dict[str, Any]:
+        """Apply one solve outcome to the authoritative state (sync, atomic)."""
+        decision_index = self._decision_counter
+        self._decision_counter += 1
+        self.counters["dispatched"] += 1
+        if not result.success:
+            self.counters["rejected_no_solution"] += 1
+            reply = self._reject(
+                intent.msg_id,
+                intent.request_id,
+                "no_solution",
+                result.reason or "no feasible embedding",
+            )
+            reply["decision_index"] = decision_index
+            return reply
+        assert result.cost is not None
+        reservation = Reservation.from_counts(
+            result.cost.alpha_vnf,
+            result.cost.alpha_link,
+            rate=intent.rate,
+            cost=result.total_cost,
+        )
+        try:
+            self.ledger.reserve(intent.request_id, reservation)
+        except CapacityError as exc:
+            # Only reachable in speculative mode: an earlier in-batch commit
+            # consumed the capacity this stale-view solve assumed.
+            self.counters["rejected_conflict"] += 1
+            reply = self._reject(
+                intent.msg_id, intent.request_id, "capacity_conflict", str(exc)
+            )
+            reply["decision_index"] = decision_index
+            return reply
+        self.counters["accepted"] += 1
+        self.counters["total_cost_accepted"] += result.total_cost
+        return {
+            "type": "accepted",
+            "msg_id": intent.msg_id,
+            "request_id": intent.request_id,
+            "total_cost": result.total_cost,
+            "vnf_cost": result.cost.vnf_cost,
+            "link_cost": result.cost.link_cost,
+            "runtime": result.runtime,
+            "decision_index": decision_index,
+            "commit_index": int(self.counters["accepted"]) - 1,
+        }

@@ -26,9 +26,10 @@ from ..config import FlowConfig
 from ..embedding.base import Embedder, EmbeddingResult
 from ..exceptions import ConfigurationError
 from ..network.cloud import CloudNetwork
+from ..network.reservations import Reservation, ReservationLedger
 from ..network.state import ResidualState
 from ..sfc.dag import DagSfc
-from ..types import EdgeKey, NodeId, VnfTypeId
+from ..types import NodeId
 from ..utils.rng import RngStream
 
 __all__ = ["SfcRequest", "OnlineStats", "OnlineSimulator"]
@@ -43,13 +44,6 @@ class SfcRequest:
     source: NodeId
     dest: NodeId
     flow: FlowConfig = field(default_factory=FlowConfig)
-
-
-@dataclass
-class _Reservation:
-    vnf: dict[tuple[NodeId, VnfTypeId], float]
-    links: dict[EdgeKey, float]
-    cost: float
 
 
 @dataclass(frozen=True)
@@ -73,13 +67,18 @@ class OnlineStats:
 
 
 class OnlineSimulator:
-    """Admits/releases SFC requests against one shared cloud network."""
+    """Admits/releases SFC requests against one shared cloud network.
+
+    Reservation bookkeeping lives in the shared
+    :class:`~repro.network.reservations.ReservationLedger`, the same
+    implementation the embedding service's authoritative state uses.
+    """
 
     def __init__(self, network: CloudNetwork, solver: Embedder) -> None:
         self.network = network
         self.solver = solver
         self.state = ResidualState(network)
-        self._reservations: dict[int, _Reservation] = {}
+        self._ledger = ReservationLedger(self.state)
         self._arrivals = 0
         self._accepted = 0
         self._departed = 0
@@ -93,7 +92,7 @@ class OnlineSimulator:
         On success the embedding's resources are reserved until
         :meth:`release` is called with the same request id.
         """
-        if request.request_id in self._reservations:
+        if self._ledger.is_active(request.request_id):
             raise ConfigurationError(
                 f"request id {request.request_id} is already active"
             )
@@ -106,17 +105,13 @@ class OnlineSimulator:
             return result
 
         assert result.cost is not None
-        rate = request.flow.rate
-        reservation = _Reservation(
-            vnf={key: count * rate for key, count in result.cost.alpha_vnf.items()},
-            links={key: count * rate for key, count in result.cost.alpha_link.items()},
+        reservation = Reservation.from_counts(
+            result.cost.alpha_vnf,
+            result.cost.alpha_link,
+            rate=request.flow.rate,
             cost=result.total_cost,
         )
-        for (node, vnf_type), amount in reservation.vnf.items():
-            self.state.reserve_vnf(node, vnf_type, amount)
-        for (u, v), amount in reservation.links.items():
-            self.state.reserve_link(u, v, amount)
-        self._reservations[request.request_id] = reservation
+        self._ledger.reserve(request.request_id, reservation)
         self._accepted += 1
         self._total_cost += result.total_cost
         return result
@@ -125,21 +120,14 @@ class OnlineSimulator:
 
     def release(self, request_id: int) -> None:
         """Return all resources held by an accepted request."""
-        try:
-            reservation = self._reservations.pop(request_id)
-        except KeyError:
-            raise ConfigurationError(f"request id {request_id} is not active") from None
-        for (node, vnf_type), amount in reservation.vnf.items():
-            self.state.release_vnf(node, vnf_type, amount)
-        for (u, v), amount in reservation.links.items():
-            self.state.release_link(u, v, amount)
+        self._ledger.release(request_id)
         self._departed += 1
 
     # -- introspection ------------------------------------------------------------------
 
     def active_requests(self) -> Iterator[int]:
         """Ids of requests currently holding resources."""
-        return iter(sorted(self._reservations))
+        return self._ledger.active_ids()
 
     def stats(self) -> OnlineStats:
         """Acceptance statistics so far."""

@@ -1,0 +1,548 @@
+"""The embedding service: protocol, admission, ledger, snapshots, and e2e.
+
+The end-to-end tests run the real asyncio server in-process (ephemeral
+loopback port, inline solves) and drive it with the real client. The
+central property: in strict dispatch mode the server's accept/reject
+decisions and costs are identical to replaying the same requests, in the
+server's decision order, through the offline
+:class:`~repro.sim.online.OnlineSimulator`.
+
+Plain ``asyncio.run`` per test — no asyncio pytest plugin is assumed.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.config import FlowConfig, NetworkConfig, SfcConfig
+from repro.exceptions import (
+    CapacityError,
+    ConfigurationError,
+    ProtocolError,
+    SnapshotError,
+)
+from repro.network.cloud import CloudNetwork
+from repro.network.generator import generate_network
+from repro.network.reservations import Reservation, ReservationLedger
+from repro.network.state import ResidualState
+from repro.service import (
+    EmbeddingServer,
+    ServiceClient,
+    ServiceConfig,
+    SubmitIntent,
+    available_policies,
+    make_policy,
+    register_policy,
+)
+from repro.service import protocol, state_store
+from repro.service.admission import (
+    AdmissionPolicy,
+    CheapestFirstAdmission,
+    RateThresholdAdmission,
+)
+from repro.service.loadgen import percentile
+from repro.sfc.builder import DagSfcBuilder
+from repro.sfc.generator import generate_dag_sfc
+from repro.sim.online import OnlineSimulator, SfcRequest
+from repro.solvers.registry import make_solver
+from repro.utils.rng import as_generator
+
+from .conftest import build_line_graph
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def service_network(seed: int = 17) -> CloudNetwork:
+    cfg = NetworkConfig(
+        size=40, connectivity=4.0, n_vnf_types=6, deploy_ratio=0.5,
+        vnf_capacity=4.0, link_capacity=4.0,
+    )
+    return generate_network(cfg, rng=seed)
+
+
+def tight_network() -> CloudNetwork:
+    """0-1-2 line where one unit-rate request saturates everything."""
+    net = CloudNetwork(build_line_graph(3, price=1.0, capacity=1.0))
+    net.deploy(1, 1, price=5.0, capacity=1.0)
+    return net
+
+
+def single_vnf_dag():
+    return DagSfcBuilder().single(1).build()
+
+
+# -- protocol ---------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_encode_decode_roundtrip(self):
+        message = {"type": "stats", "msg_id": 3}
+        assert protocol.decode_message(protocol.encode_message(message)) == message
+
+    def test_decode_rejects_malformed(self):
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            protocol.decode_message(b"{nope\n")
+        with pytest.raises(ProtocolError, match="JSON object"):
+            protocol.decode_message(b"[1,2]\n")
+        with pytest.raises(ProtocolError, match="'type'"):
+            protocol.decode_message(b'{"msg_id":1}\n')
+
+    def test_hello_version_gate(self):
+        hello = protocol.hello_message(
+            solver="MBBE", n_nodes=4, n_vnf_types=2, network_fingerprint="ab"
+        )
+        protocol.check_hello(hello)
+        with pytest.raises(ProtocolError, match="version"):
+            protocol.check_hello({**hello, "version": 999})
+        with pytest.raises(ProtocolError, match="peer"):
+            protocol.check_hello({**hello, "format": "something/else"})
+        with pytest.raises(ProtocolError, match="expected a hello"):
+            protocol.check_hello({"type": "stats"})
+
+    def test_submit_roundtrip(self):
+        dag = single_vnf_dag()
+        message = protocol.submit_message(
+            msg_id=7, request_id=42, dag=dag, source=0, dest=2, rate=1.5, seed=9
+        )
+        intent = protocol.submit_from_message(
+            protocol.decode_message(protocol.encode_message(message))
+        )
+        assert intent == SubmitIntent(
+            request_id=42, dag=dag, source=0, dest=2, rate=1.5, seed=9, msg_id=7
+        )
+
+    def test_submit_validation(self):
+        dag = single_vnf_dag()
+        good = protocol.submit_message(
+            msg_id=1, request_id=1, dag=dag, source=0, dest=2
+        )
+        bad = dict(good)
+        del bad["dag"]
+        with pytest.raises(ProtocolError, match="malformed submit"):
+            protocol.submit_from_message(bad)
+        with pytest.raises(ProtocolError, match="rate"):
+            protocol.submit_from_message({**good, "rate": 0.0})
+        with pytest.raises(ProtocolError, match="malformed submit"):
+            protocol.submit_from_message({**good, "dag": {"layers": "zap"}})
+
+
+# -- admission --------------------------------------------------------------------
+
+
+def intent(rid: int, *, rate: float = 1.0, arrival_index: int = 0) -> SubmitIntent:
+    return SubmitIntent(
+        request_id=rid, dag=single_vnf_dag(), source=0, dest=2,
+        rate=rate, arrival_index=arrival_index,
+    )
+
+
+class TestAdmission:
+    def test_registry(self):
+        assert set(available_policies()) >= {"FIFO", "RATE-THRESHOLD", "CHEAPEST-FIRST"}
+        assert make_policy("fifo").name == "fifo"
+        with pytest.raises(ConfigurationError, match="unknown admission policy"):
+            make_policy("nope")
+
+    def test_register_policy_rejects_duplicates(self):
+        class Custom(AdmissionPolicy):
+            name = "custom-test"
+
+        register_policy("custom-test", Custom)
+        assert make_policy("CUSTOM-test").name == "custom-test"
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_policy("Custom-Test", Custom)
+
+    def test_fifo_keeps_order(self):
+        batch = [intent(i, arrival_index=i) for i in range(4)]
+        assert make_policy("fifo").order(batch) == batch
+
+    def test_rate_threshold_screens(self):
+        policy = RateThresholdAdmission(max_rate=1.0)
+        assert policy.screen(intent(0, rate=0.5), queue_depth=0, queue_limit=8) is None
+        refusal = policy.screen(intent(1, rate=2.0), queue_depth=0, queue_limit=8)
+        assert refusal is not None and "threshold" in refusal
+        with pytest.raises(ConfigurationError):
+            RateThresholdAdmission(max_rate=0.0)
+
+    def test_cheapest_first_orders_by_work_then_arrival(self):
+        light = intent(0, rate=1.0, arrival_index=2)
+        heavy = intent(1, rate=3.0, arrival_index=0)
+        tied = intent(2, rate=1.0, arrival_index=1)
+        ordered = CheapestFirstAdmission().order([heavy, light, tied])
+        assert [i.request_id for i in ordered] == [2, 0, 1]
+
+
+# -- reservation ledger -----------------------------------------------------------
+
+
+class TestReservationLedger:
+    def make_ledger(self):
+        return ReservationLedger(ResidualState(tight_network()))
+
+    def test_reserve_release_roundtrip(self):
+        ledger = self.make_ledger()
+        res = Reservation(vnf={(1, 1): 1.0}, links={(0, 1): 1.0, (1, 2): 1.0}, cost=7.0)
+        ledger.reserve(5, res)
+        assert ledger.is_active(5)
+        assert list(ledger.active_ids()) == [5]
+        assert ledger.reservation(5) == res
+        assert len(ledger) == 1
+        assert ledger.release(5) == res
+        assert ledger.state.link_used(0, 1) == 0.0
+        assert len(ledger) == 0
+
+    def test_duplicate_reserve_raises(self):
+        ledger = self.make_ledger()
+        res = Reservation(vnf={}, links={(0, 1): 0.5}, cost=1.0)
+        ledger.reserve(1, res)
+        with pytest.raises(ConfigurationError, match="already active"):
+            ledger.reserve(1, res)
+
+    def test_failed_reserve_rolls_back_atomically(self):
+        ledger = self.make_ledger()
+        # The link claim fits, the VNF claim does not: nothing may leak.
+        doomed = Reservation(vnf={(1, 1): 2.0}, links={(0, 1): 1.0}, cost=1.0)
+        with pytest.raises(CapacityError):
+            ledger.reserve(1, doomed)
+        assert not ledger.is_active(1)
+        assert ledger.state.link_used(0, 1) == 0.0
+        # The full capacity is still claimable afterwards.
+        ledger.reserve(2, Reservation(vnf={(1, 1): 1.0}, links={(0, 1): 1.0}, cost=1.0))
+
+    def test_release_unknown_raises(self):
+        with pytest.raises(ConfigurationError, match="not active"):
+            self.make_ledger().release(3)
+
+
+# -- snapshots --------------------------------------------------------------------
+
+
+class TestStateStore:
+    def populated_ledger(self, network):
+        ledger = ReservationLedger(ResidualState(network))
+        ledger.reserve(
+            3, Reservation(vnf={(1, 1): 0.5}, links={(0, 1): 0.5}, cost=5.5)
+        )
+        ledger.reserve(1, Reservation(vnf={}, links={(1, 2): 1.0}, cost=2.0))
+        return ledger
+
+    def test_roundtrip(self, tmp_path):
+        network = tight_network()
+        ledger = self.populated_ledger(network)
+        path = str(tmp_path / "snap.json")
+        state_store.save_snapshot(path, ledger, counters={"accepted": 2})
+        restored, counters = state_store.load_snapshot(path, network)
+        assert counters["accepted"] == 2
+        assert list(restored.active_ids()) == [1, 3]
+        assert restored.reservation(3) == ledger.reservation(3)
+        assert restored.state.link_used(1, 2) == ledger.state.link_used(1, 2)
+
+    def test_fingerprint_mismatch_raises(self, tmp_path):
+        network = tight_network()
+        path = str(tmp_path / "snap.json")
+        state_store.save_snapshot(
+            path, self.populated_ledger(network), counters={}
+        )
+        other = CloudNetwork(build_line_graph(4, price=1.0, capacity=1.0))
+        with pytest.raises(SnapshotError, match="different network"):
+            state_store.load_snapshot(path, other)
+
+    def test_overcommitted_snapshot_raises(self, tmp_path):
+        network = tight_network()
+        doc = state_store.snapshot_to_dict(
+            self.populated_ledger(network), counters={}
+        )
+        doc["reservations"][0]["links"] = [[0, 1, 99.0]]
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(SnapshotError, match="over-commits"):
+            state_store.load_snapshot(str(path), network)
+
+    def test_header_gate(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps({"format": "elsewhere", "kind": "other"}))
+        with pytest.raises(SnapshotError, match="document"):
+            state_store.load_snapshot(str(path), tight_network())
+        path.write_text("{broken")
+        with pytest.raises(SnapshotError, match="JSON"):
+            state_store.load_snapshot(str(path), tight_network())
+
+
+# -- loadgen helpers --------------------------------------------------------------
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = tuple(float(v) for v in range(1, 11))
+        assert percentile(values, 0.5) == 5.0
+        assert percentile(values, 0.95) == 10.0
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 10.0
+
+    def test_empty_and_bad_q(self):
+        assert percentile((), 0.5) != percentile((), 0.5)  # NaN
+        with pytest.raises(ConfigurationError):
+            percentile((1.0,), 1.5)
+
+
+# -- end-to-end -------------------------------------------------------------------
+
+
+def make_workload(network, n: int, *, seed: int = 11):
+    """n submit tuples (rid, dag, src, dst, rate, solver_seed)."""
+    gen = as_generator(seed)
+    out = []
+    for rid in range(n):
+        dag = generate_dag_sfc(SfcConfig(size=3), 6, rng=gen)
+        src, dst = (int(v) for v in gen.choice(network.num_nodes, size=2, replace=False))
+        out.append((rid, dag, src, dst, 1.0, int(gen.integers(2**31))))
+    return out
+
+
+class TestServerEndToEnd:
+    def test_strict_mode_matches_offline_replay(self):
+        """50 concurrent submits == offline simulator in decision order."""
+        network = service_network()
+        workload = make_workload(network, 50)
+        config = ServiceConfig(batch_size=4, queue_limit=128, workers=0)
+
+        async def drive():
+            async with EmbeddingServer(network, config) as server:
+                host, port = server.address
+                async with await ServiceClient.connect(host, port) as client:
+                    outcomes = await asyncio.gather(
+                        *(
+                            client.submit(rid, dag, src, dst, rate=rate, seed=s)
+                            for rid, dag, src, dst, rate, s in workload
+                        )
+                    )
+                    stats = await client.stats()
+            return outcomes, stats
+
+        outcomes, stats = run(drive())
+        assert len(outcomes) == 50
+        assert all(o.decision_index is not None for o in outcomes)
+        assert sorted(o.decision_index for o in outcomes) == list(range(50))
+        accepted = [o for o in outcomes if o.accepted]
+        assert accepted, "workload must accept at least one request"
+        assert stats["counters"]["accepted"] == len(accepted)
+
+        # Offline replay in the server's decision order must reproduce every
+        # decision and every accepted cost exactly (strict-mode guarantee).
+        sim = OnlineSimulator(network, make_solver(config.solver))
+        by_rid = {w[0]: w for w in workload}
+        for outcome in sorted(outcomes, key=lambda o: o.decision_index):
+            rid, dag, src, dst, rate, seed = by_rid[outcome.request_id]
+            result = sim.submit(
+                SfcRequest(rid, dag, src, dst, FlowConfig(rate=rate)), rng=seed
+            )
+            assert result.success == outcome.accepted
+            if result.success:
+                assert result.total_cost == outcome.total_cost
+        assert sim.stats().total_cost_accepted == pytest.approx(
+            sum(o.total_cost for o in accepted)
+        )
+
+    def test_queue_overflow_yields_structured_rejections(self):
+        network = service_network()
+        workload = make_workload(network, 10)
+        config = ServiceConfig(queue_limit=2, batch_size=1, tick=0.2, workers=0)
+
+        async def drive():
+            async with EmbeddingServer(network, config) as server:
+                host, port = server.address
+                async with await ServiceClient.connect(host, port) as client:
+                    outcomes = await asyncio.gather(
+                        *(
+                            client.submit(rid, dag, src, dst, rate=rate, seed=s)
+                            for rid, dag, src, dst, rate, s in workload
+                        )
+                    )
+                    stats = await client.stats()  # server is still healthy
+            return outcomes, stats
+
+        outcomes, stats = run(drive())
+        assert len(outcomes) == 10
+        shed = [o for o in outcomes if o.code == "queue_full"]
+        assert shed, "overflow must surface as structured queue_full rejections"
+        for o in shed:
+            assert not o.accepted
+            assert "limit" in o.reason
+        assert stats["counters"]["shed_queue_full"] == len(shed)
+        decided = [o for o in outcomes if o.code != "queue_full"]
+        assert all(o.accepted or o.code in protocol.REJECT_CODES for o in decided)
+
+    def test_speculative_batch_conflicts_are_structured(self):
+        # Only one embedding fits the tight line network: a speculative
+        # 3-batch must accept exactly one and reject the rest as conflicts.
+        network = tight_network()
+        config = ServiceConfig(
+            batch_size=3, tick=0.2, speculative=True, workers=0, queue_limit=8
+        )
+
+        async def drive():
+            async with EmbeddingServer(network, config) as server:
+                host, port = server.address
+                async with await ServiceClient.connect(host, port) as client:
+                    return await asyncio.gather(
+                        *(
+                            client.submit(rid, single_vnf_dag(), 0, 2, seed=rid)
+                            for rid in range(3)
+                        )
+                    )
+
+        outcomes = run(drive())
+        assert sum(o.accepted for o in outcomes) == 1
+        conflicts = [o for o in outcomes if o.code == "capacity_conflict"]
+        assert len(conflicts) == 2
+
+    def test_duplicate_and_draining_rejections(self):
+        network = tight_network()
+        config = ServiceConfig(workers=0)
+
+        async def drive():
+            async with EmbeddingServer(network, config) as server:
+                host, port = server.address
+                async with await ServiceClient.connect(host, port) as client:
+                    first = await client.submit(7, single_vnf_dag(), 0, 2, seed=1)
+                    dup = await client.submit(7, single_vnf_dag(), 0, 2, seed=1)
+                    await client.drain()
+                    late = await client.submit(8, single_vnf_dag(), 0, 2, seed=1)
+            return first, dup, late
+
+        first, dup, late = run(drive())
+        assert first.accepted
+        assert dup.code == "duplicate_id" and not dup.accepted
+        assert late.code == "draining" and not late.accepted
+
+    def test_admission_policy_rejections(self):
+        network = tight_network()
+        config = ServiceConfig(workers=0, admission="rate-threshold")
+
+        async def drive():
+            async with EmbeddingServer(
+                network, config, policy=RateThresholdAdmission(max_rate=0.75)
+            ) as server:
+                host, port = server.address
+                async with await ServiceClient.connect(host, port) as client:
+                    return await client.submit(
+                        1, single_vnf_dag(), 0, 2, rate=1.0, seed=1
+                    )
+
+        outcome = run(drive())
+        assert outcome.code == "admission" and not outcome.accepted
+
+    def test_release_roundtrip_over_the_wire(self):
+        network = tight_network()
+        config = ServiceConfig(workers=0)
+
+        async def drive():
+            async with EmbeddingServer(network, config) as server:
+                host, port = server.address
+                async with await ServiceClient.connect(host, port) as client:
+                    first = await client.submit(1, single_vnf_dag(), 0, 2, seed=1)
+                    blocked = await client.submit(2, single_vnf_dag(), 0, 2, seed=1)
+                    ok = await client.release(1)
+                    again = await client.release(1)
+                    second = await client.submit(3, single_vnf_dag(), 0, 2, seed=1)
+            return first, blocked, ok, again, second
+
+        first, blocked, ok, again, second = run(drive())
+        assert first.accepted
+        assert blocked.code == "no_solution"
+        assert ok is True
+        assert again is False
+        assert second.accepted, "released capacity must be reusable"
+
+    def test_malformed_submit_yields_error_reply(self):
+        network = tight_network()
+        config = ServiceConfig(workers=0)
+
+        async def drive():
+            async with EmbeddingServer(network, config) as server:
+                host, port = server.address
+                async with await ServiceClient.connect(host, port) as client:
+                    with pytest.raises(ProtocolError, match="rate"):
+                        await client.submit(1, single_vnf_dag(), 0, 2, rate=-1.0)
+
+        run(drive())
+
+    def test_snapshot_restart_resumes_identical_state(self, tmp_path):
+        """Kill + restart from snapshot: same reservations, live releases."""
+        network = service_network()
+        workload = make_workload(network, 8)
+        snap = str(tmp_path / "state.json")
+        config = ServiceConfig(workers=0, batch_size=4, snapshot_path=snap)
+
+        async def first_life():
+            async with EmbeddingServer(network, config) as server:
+                host, port = server.address
+                async with await ServiceClient.connect(host, port) as client:
+                    outcomes = await asyncio.gather(
+                        *(
+                            client.submit(rid, dag, src, dst, rate=rate, seed=s)
+                            for rid, dag, src, dst, rate, s in workload
+                        )
+                    )
+                    reply = await client.snapshot()
+                    assert reply["type"] == "snapshotted"
+                pre_doc = state_store.snapshot_to_dict(server.ledger, counters={})
+            return outcomes, pre_doc
+
+        outcomes, pre_doc = run(first_life())
+        accepted_ids = sorted(o.request_id for o in outcomes if o.accepted)
+        assert accepted_ids, "restart test needs at least one accepted request"
+
+        ledger, counters = state_store.load_snapshot(snap, network)
+        post_doc = state_store.snapshot_to_dict(ledger, counters={})
+        assert post_doc["reservations"] == pre_doc["reservations"]
+        assert post_doc["network_fingerprint"] == pre_doc["network_fingerprint"]
+        assert list(ledger.active_ids()) == accepted_ids
+        assert counters["accepted"] == len(accepted_ids)
+
+        async def second_life():
+            async with EmbeddingServer(
+                network, config, ledger=ledger, counters=counters
+            ) as server:
+                host, port = server.address
+                async with await ServiceClient.connect(host, port) as client:
+                    dup = await client.submit(
+                        accepted_ids[0], single_vnf_dag(), 0, 2, seed=1
+                    )
+                    ok = await client.release(accepted_ids[0])
+                    stats = await client.stats()
+            return dup, ok, stats
+
+        dup, ok, stats = run(second_life())
+        assert dup.code == "duplicate_id"
+        assert ok is True
+        assert stats["counters"]["accepted"] == len(accepted_ids)
+        assert stats["active"] == len(accepted_ids) - 1
+
+    def test_drain_shutdown_stops_the_server(self):
+        network = tight_network()
+        config = ServiceConfig(workers=0)
+
+        async def drive():
+            server = EmbeddingServer(network, config)
+            host, port = await server.start()
+            serve_task = asyncio.create_task(server.serve_until_stopped())
+            async with await ServiceClient.connect(host, port) as client:
+                reply = await client.drain(shutdown=True)
+                assert reply["type"] == "drained"
+            await asyncio.wait_for(serve_task, timeout=5.0)
+
+        run(drive())
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(queue_limit=0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(batch_size=0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(tick=-0.1)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(workers=-1)
