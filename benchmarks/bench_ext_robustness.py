@@ -1,11 +1,19 @@
-"""Extension: success-rate sweep under tight VNF capacity.
+"""Extension: robustness sweeps — tight capacity, and substrate failures.
 
-The paper's closing observation quantified: at shrinking per-instance
-capacity with scarce deployments, who still finds a feasible embedding?
+Two complementary stress axes:
+
+* the paper's closing observation quantified: at shrinking per-instance
+  capacity with scarce deployments, who still finds a feasible embedding?
+* the fault-injection extension: under MTBF/MTTR substrate failures with
+  the repair ladder active, whose embeddings survive, and at what repair
+  cost premium? (``repro.faults.sweep``; see ``docs/fault_tolerance.md``.)
 """
+
+import os
 
 import pytest
 
+from repro.faults.sweep import run_fault_sweep, sweep_table, sweep_to_dict
 from repro.sim.metrics import aggregate
 from repro.sim.figures import extension_robustness
 from repro.sim.runner import run_experiment
@@ -34,3 +42,28 @@ def test_mbbe_dominates_success_rate(benchmark):
     }
     for algo in ("RANV", "MINV"):
         assert mbbe.success_rate >= by_cell[(tightest, algo)].success_rate - 1e-9
+
+
+def test_fault_sweep(benchmark):
+    """Survival rate and repair-cost overhead vs substrate failure rate.
+
+    The paired grid of ``repro.faults.sweep``: identical trace and fault
+    script per (scale, trial) cell across RANV/MINV/BBE/MBBE, so the spread
+    is the embedding strategy's doing. Sanity-asserted, not golden-pinned —
+    repair outcomes depend on solver tie-breaking under churn.
+    """
+    trials = max(1, int(os.environ.get("REPRO_TRIALS", "3")) // 3)
+
+    def run():
+        return run_fault_sweep(
+            trials=trials, steps=50, failure_scales=(0.5, 1.0, 2.0), seed=20180813
+        )
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(sweep_to_dict(cells))
+    print("\n=== Fault sweep: survival / repair cost vs failure rate ===")
+    print(sweep_table(cells))
+    assert all(0.0 <= c.survival_rate <= 1.0 for c in cells)
+    # Some repair activity must exist somewhere in the grid, else the sweep
+    # measured nothing.
+    assert any(c.repairs_rerouted + c.repairs_reembedded + c.evicted > 0 for c in cells)

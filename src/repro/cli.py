@@ -8,6 +8,8 @@ Sub-commands
 * ``solve`` — embed one random instance with chosen solvers (quick demo);
 * ``serve`` / ``loadgen`` — run the long-lived embedding service and drive
   it with a reproducible arrival trace (see ``docs/serving.md``);
+* ``chaos`` — run one scripted fault-injection scenario end to end and
+  write ``BENCH_faults.json`` (see ``docs/fault_tolerance.md``);
 * ``list-solvers`` — registered algorithms.
 """
 
@@ -148,6 +150,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="restore reservations and counters from --snapshot before serving",
     )
+    serve.add_argument(
+        "--chaos",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject faults while serving: a fault-script JSON path, or an "
+            "inline MTBF spec like 'horizon=100,node=30,link=20,instance=40'"
+        ),
+    )
+    serve.add_argument(
+        "--chaos-tick", type=float, default=0.05, help="wall seconds per fault-script step"
+    )
+    serve.add_argument(
+        "--degraded-queue-factor",
+        type=float,
+        default=0.5,
+        help="queue-bound multiplier while substrate faults are active",
+    )
 
     loadgen = sub.add_parser(
         "loadgen", help="drive a running service with a reproducible arrival trace"
@@ -177,6 +198,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--shutdown",
         action="store_true",
         help="drain and shut the server down after the run",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a scripted fault-injection scenario end to end (see docs/fault_tolerance.md)",
+    )
+    chaos.add_argument(
+        "--scenario", type=str, default="smoke", help="registered scenario name"
+    )
+    chaos.add_argument("--solver", type=str, default="MBBE")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--out", type=str, default=None, help="write BENCH_faults.json here"
+    )
+    chaos.add_argument(
+        "--require-repairs",
+        action="store_true",
+        help="exit nonzero when no repair ran or the drain was dirty (CI gate)",
+    )
+    chaos.add_argument(
+        "--list-scenarios", action="store_true", help="print registered scenarios"
     )
 
     lint = sub.add_parser(
@@ -410,6 +452,48 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_chaos_spec(spec: str, network: "object", seed: int) -> "object":
+    """``--chaos`` argument → :class:`~repro.faults.model.FaultScript`.
+
+    A path to a fault-script JSON wins; otherwise the value is an inline
+    ``key=value`` MTBF spec (keys: horizon, node, link, instance, and the
+    ``*_mttr`` variants) used to generate a script for the served network.
+    """
+    import json
+    import os
+
+    from .exceptions import ConfigurationError
+    from .faults.model import FaultSpec, generate_fault_script, script_from_dict
+
+    if os.path.exists(spec):
+        with open(spec, encoding="utf-8") as fh:
+            return script_from_dict(json.load(fh))
+    fields = {
+        "horizon": 100.0, "node": 0.0, "link": 0.0, "instance": 0.0,
+        "node_mttr": 5.0, "link_mttr": 5.0, "instance_mttr": 5.0,
+    }
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        if key not in fields or not value:
+            raise ConfigurationError(
+                f"bad --chaos spec entry {part!r}; keys: {', '.join(sorted(fields))}"
+            )
+        fields[key] = float(value)
+    fault_spec = FaultSpec(
+        horizon=int(fields["horizon"]),
+        node_mtbf=fields["node"],
+        node_mttr=fields["node_mttr"],
+        link_mtbf=fields["link"],
+        link_mttr=fields["link_mttr"],
+        instance_mtbf=fields["instance"],
+        instance_mttr=fields["instance_mttr"],
+    )
+    return generate_fault_script(fault_spec, network, rng=seed)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Generate the substrate, then serve until drained (Ctrl-C also stops)."""
     import asyncio
@@ -425,6 +509,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         link_capacity=args.link_capacity,
     )
     network = generate_network(net_cfg, rng=args.seed)
+    fault_script = None
+    if args.chaos:
+        fault_script = _parse_chaos_spec(args.chaos, network, args.seed + 1)
+        print(f"chaos mode: {len(fault_script.events)} scripted fault events")
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -437,6 +525,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         admission=args.admission,
         seed=args.seed,
         snapshot_path=args.snapshot,
+        fault_script=fault_script,
+        chaos_tick=args.chaos_tick,
+        degraded_queue_factor=args.degraded_queue_factor,
     )
     policy_kwargs = (
         {"max_rate": args.max_rate}
@@ -541,6 +632,33 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return asyncio.run(_run())
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run one chaos scenario in-process and (optionally) gate on repairs."""
+    from .faults.chaos import (
+        available_scenarios,
+        run_chaos,
+        write_chaos_report,
+    )
+
+    if args.list_scenarios:
+        for name in available_scenarios():
+            print(name)
+        return 0
+    report = run_chaos(args.scenario, solver=args.solver, seed=args.seed)
+    print(report.format_table())
+    if args.out:
+        write_chaos_report(args.out, report)
+        print(f"report written to {args.out}")
+    if args.require_repairs:
+        if not report.repairs_total:
+            print("chaos: no repair ran — the scenario exercised nothing", file=sys.stderr)
+            return 1
+        if not report.clean_drain:
+            print("chaos: dirty drain — capacity was not conserved", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run reprolint (``tools.reprolint``) through the dag-sfc front-end.
 
@@ -593,6 +711,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "list-solvers":

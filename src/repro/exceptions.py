@@ -15,6 +15,7 @@ __all__ = [
     "LinkNotFoundError",
     "DisconnectedNetworkError",
     "CapacityError",
+    "LedgerError",
     "SfcError",
     "InvalidChainError",
     "InvalidDagError",
@@ -29,6 +30,7 @@ __all__ = [
     "ServiceError",
     "ProtocolError",
     "SnapshotError",
+    "ServiceUnavailable",
 ]
 
 
@@ -78,6 +80,23 @@ class DisconnectedNetworkError(NetworkError):
 
 class CapacityError(NetworkError):
     """A reservation exceeded a link or VNF-instance capacity."""
+
+
+class LedgerError(ConfigurationError):
+    """A reservation-ledger operation used an invalid request id.
+
+    Carries the offending ``request_id`` and a machine-readable ``code``
+    (``"unknown_request"`` for a release of an id that is not active,
+    ``"duplicate_request"`` for a reserve under an id that already is), so
+    server paths can turn the failure into a typed rejection instead of
+    parsing the message. Subclasses :class:`ConfigurationError` so existing
+    callers that catch the broad class keep working.
+    """
+
+    def __init__(self, request_id: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.request_id = request_id
+        self.code = code
 
 
 # --------------------------------------------------------------------------
@@ -154,3 +173,12 @@ class ProtocolError(ServiceError):
 
 class SnapshotError(ServiceError):
     """A service state snapshot is unreadable or does not match the network."""
+
+
+class ServiceUnavailable(ServiceError):
+    """The service connection was lost or refused while a request was in flight.
+
+    The typed signal the client retry layer acts on: raised for connection
+    resets, unexpected EOF, and refused reconnects — never for structured
+    rejections (those come back as :class:`~repro.service.client.SubmitOutcome`).
+    """

@@ -1,0 +1,383 @@
+"""Scripted end-to-end chaos scenarios against the embedding service.
+
+``dag-sfc chaos --scenario smoke`` runs one :data:`SCENARIOS` entry fully
+in-process: generate a substrate, a request trace, and an MTBF/MTTR fault
+script from one seed; start an :class:`~repro.service.server.EmbeddingServer`
+in chaos mode; drive the trace through a
+:class:`~repro.service.retry.ResilientClient` with many requests in flight;
+collect every repair ``notify`` push; then release all survivors, drain,
+and check the books — a clean drain means the ledger is empty and no
+residual capacity is still marked used, i.e. the fail → repair → recover
+churn conserved capacity.
+
+The measurements land in a versioned ``BENCH_faults.json``
+(:data:`BENCH_FAULTS_FORMAT`): survival rate, repair success rate, repair
+cost overhead, and time-to-repair percentiles.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..config import NetworkConfig, SfcConfig
+from ..exceptions import ConfigurationError
+from ..network.generator import generate_network
+from ..service.loadgen import percentile
+from ..service.retry import ResilientClient, RetryPolicy
+from ..service.server import EmbeddingServer, ServiceConfig
+from ..sim.trace import ArrivalTrace, TraceEvent, generate_trace
+from ..utils.rng import trial_seed
+from .model import FaultSpec, generate_fault_script
+
+__all__ = [
+    "ChaosScenario",
+    "ChaosReport",
+    "SCENARIOS",
+    "available_scenarios",
+    "run_chaos",
+    "run_chaos_async",
+    "write_chaos_report",
+]
+
+BENCH_FAULTS_FORMAT = "repro.dag-sfc/bench-faults"
+BENCH_FAULTS_VERSION = 1
+
+#: Seed salt for chaos-run streams (network / trace / script / jitter).
+_CHAOS_RUN_SALT = 0xC405
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One self-contained chaos experiment definition."""
+
+    name: str
+    description: str
+    network: NetworkConfig
+    sfc: SfcConfig
+    fault: FaultSpec
+    #: request-trace shape.
+    trace_steps: int = 80
+    arrival_probability: float = 0.9
+    mean_hold: float = 40.0
+    #: service tuning.
+    queue_limit: int = 32
+    batch_size: int = 8
+    chaos_tick: float = 0.01
+
+
+SCENARIOS: dict[str, ChaosScenario] = {
+    "smoke": ChaosScenario(
+        name="smoke",
+        description="small substrate, aggressive failures; seconds-scale (CI gate)",
+        network=NetworkConfig(size=25, n_vnf_types=6),
+        sfc=SfcConfig(),
+        fault=FaultSpec(
+            horizon=60, node_mtbf=20.0, link_mtbf=12.0, instance_mtbf=25.0
+        ),
+        trace_steps=80,
+    ),
+    "stress": ChaosScenario(
+        name="stress",
+        description="larger substrate, sustained churn; minutes-scale",
+        network=NetworkConfig(size=60, n_vnf_types=8),
+        sfc=SfcConfig(),
+        fault=FaultSpec(
+            horizon=200, node_mtbf=40.0, link_mtbf=25.0, instance_mtbf=50.0
+        ),
+        trace_steps=250,
+        queue_limit=64,
+    ),
+}
+
+
+def available_scenarios() -> tuple[str, ...]:
+    """Registered chaos scenario names."""
+    return tuple(sorted(SCENARIOS))
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """What one chaos run measured (the ``BENCH_faults.json`` body)."""
+
+    scenario: str
+    solver: str
+    seed: int
+    duration_s: float
+    submitted: int
+    accepted: int
+    rejects_by_code: Mapping[str, int]
+    faults_injected: int
+    recoveries: int
+    repairs_rerouted: int
+    repairs_reembedded: int
+    evictions: int
+    repair_cost_delta: float
+    total_cost_accepted: float
+    #: ascending per-repair wall times in seconds.
+    repair_times_s: tuple[float, ...]
+    notifications: int
+    client_retries: int
+    #: ledger empty and zero residual usage after the final drain.
+    clean_drain: bool
+
+    @property
+    def repairs_total(self) -> int:
+        """Ladder walks that ended in any terminal state."""
+        return self.repairs_rerouted + self.repairs_reembedded + self.evictions
+
+    @property
+    def survival_rate(self) -> float:
+        """Fraction of accepted requests never evicted."""
+        return 1.0 - self.evictions / self.accepted if self.accepted else 1.0
+
+    @property
+    def repair_success_rate(self) -> float:
+        """Fraction of repair attempts that kept the request embedded."""
+        if not self.repairs_total:
+            return 1.0
+        return (self.repairs_rerouted + self.repairs_reembedded) / self.repairs_total
+
+    @property
+    def repair_cost_overhead(self) -> float:
+        """Repair premium relative to the total admitted objective value."""
+        if self.total_cost_accepted <= 0:
+            return 0.0
+        return self.repair_cost_delta / self.total_cost_accepted
+
+    def to_dict(self) -> dict[str, Any]:
+        times = self.repair_times_s
+        return {
+            "format": BENCH_FAULTS_FORMAT,
+            "version": BENCH_FAULTS_VERSION,
+            "scenario": self.scenario,
+            "solver": self.solver,
+            "seed": self.seed,
+            "duration_s": round(self.duration_s, 3),
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "rejects_by_code": dict(sorted(self.rejects_by_code.items())),
+            "faults_injected": self.faults_injected,
+            "recoveries": self.recoveries,
+            "repairs_rerouted": self.repairs_rerouted,
+            "repairs_reembedded": self.repairs_reembedded,
+            "evictions": self.evictions,
+            "survival_rate": round(self.survival_rate, 6),
+            "repair_success_rate": round(self.repair_success_rate, 6),
+            "repair_cost_delta": round(self.repair_cost_delta, 3),
+            "repair_cost_overhead": round(self.repair_cost_overhead, 6),
+            "time_to_repair_ms": (
+                {
+                    "p50": round(percentile(times, 0.50) * 1e3, 3),
+                    "p95": round(percentile(times, 0.95) * 1e3, 3),
+                    "max": round(times[-1] * 1e3, 3),
+                }
+                if times
+                else None
+            ),
+            "notifications": self.notifications,
+            "client_retries": self.client_retries,
+            "clean_drain": self.clean_drain,
+        }
+
+    def format_table(self) -> str:
+        """Human-readable summary (printed by ``dag-sfc chaos``)."""
+        lines = [
+            f"chaos '{self.scenario}' ({self.solver}, seed {self.seed}): "
+            f"{self.submitted} submitted, {self.accepted} accepted "
+            f"in {self.duration_s:.2f}s",
+            f"  faults {self.faults_injected} / recoveries {self.recoveries}; "
+            f"repairs: {self.repairs_rerouted} rerouted, "
+            f"{self.repairs_reembedded} re-embedded, {self.evictions} evicted",
+            f"  survival {self.survival_rate:.1%}, "
+            f"repair success {self.repair_success_rate:.1%}, "
+            f"cost overhead {self.repair_cost_overhead:+.2%}",
+        ]
+        if self.repair_times_s:
+            lines.append(
+                "  time-to-repair p50/p95: "
+                f"{percentile(self.repair_times_s, 0.5) * 1e3:.2f} / "
+                f"{percentile(self.repair_times_s, 0.95) * 1e3:.2f} ms"
+            )
+        lines.append(
+            f"  notifications {self.notifications}, client retries "
+            f"{self.client_retries}, clean drain: {self.clean_drain}"
+        )
+        return "\n".join(lines)
+
+
+async def run_chaos_async(
+    scenario: str | ChaosScenario = "smoke",
+    *,
+    solver: str = "MBBE",
+    seed: int = 0,
+) -> ChaosReport:
+    """Run one scenario end to end in-process; returns the report."""
+    if isinstance(scenario, str):
+        try:
+            scenario = SCENARIOS[scenario]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown chaos scenario {scenario!r}; available: "
+                f"{', '.join(available_scenarios())}"
+            ) from None
+    network = generate_network(
+        scenario.network, rng=trial_seed(seed, 0, salt=_CHAOS_RUN_SALT)
+    )
+    script = generate_fault_script(
+        scenario.fault, network, rng=trial_seed(seed, 1, salt=_CHAOS_RUN_SALT)
+    )
+    trace = generate_trace(
+        steps=scenario.trace_steps,
+        n_nodes=scenario.network.size,
+        n_vnf_types=scenario.network.n_vnf_types,
+        sfc=scenario.sfc,
+        arrival_probability=scenario.arrival_probability,
+        mean_hold=scenario.mean_hold,
+        rng=trial_seed(seed, 2, salt=_CHAOS_RUN_SALT),
+    )
+    config = ServiceConfig(
+        solver=solver,
+        queue_limit=scenario.queue_limit,
+        batch_size=scenario.batch_size,
+        seed=seed,
+        fault_script=script,
+        chaos_tick=scenario.chaos_tick,
+    )
+    server = EmbeddingServer(
+        network, config, n_vnf_types=scenario.network.n_vnf_types
+    )
+    host, port = await server.start()
+    client = ResilientClient(
+        host,
+        port,
+        policy=RetryPolicy(attempts=5, base_delay=0.01, max_delay=0.2, timeout=60.0),
+        rng=trial_seed(seed, 3, salt=_CHAOS_RUN_SALT),
+    )
+    start = time.perf_counter()
+    try:
+        await client.connect()
+        report = await _drive(client, server, trace, scenario)
+    finally:
+        await client.close()
+        await server.stop()
+    return ChaosReport(
+        scenario=scenario.name,
+        solver=solver,
+        seed=seed,
+        duration_s=time.perf_counter() - start,
+        **report,
+    )
+
+
+async def _drive(
+    client: ResilientClient,
+    server: EmbeddingServer,
+    trace: ArrivalTrace,
+    scenario: ChaosScenario,
+) -> dict[str, Any]:
+    """The load loop: concurrent submits/holds racing the chaos pump."""
+    tick_s = scenario.chaos_tick
+    evicted: set[int] = set()
+    notifications = 0
+    outcomes: list[Any] = []
+    start = time.perf_counter()
+
+    async def _drain_notifications() -> None:
+        nonlocal notifications
+        while True:
+            note = await client.notifications.get()
+            notifications += 1
+            if note.get("status") == "evicted":
+                evicted.add(int(note["request_id"]))
+
+    async def _hold_then_release(event: TraceEvent) -> None:
+        delay = event.departure_step * tick_s - (time.perf_counter() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        if event.request.request_id not in evicted:
+            # An eviction may still race this release: the server then
+            # answers ok=False for the unknown id, which is the right
+            # terminal state either way.
+            await client.release(event.request.request_id)
+
+    async def _submit(event: TraceEvent) -> None:
+        delay = event.step * tick_s - (time.perf_counter() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        outcome = await client.submit(
+            event.request.request_id,
+            event.request.dag,
+            event.request.source,
+            event.request.dest,
+            rate=event.request.flow.rate,
+            seed=event.request.request_id,
+        )
+        outcomes.append(outcome)
+        if outcome.accepted:
+            holds.append(asyncio.create_task(_hold_then_release(event)))
+
+    holds: list[asyncio.Task[None]] = []
+    notify_task = asyncio.create_task(_drain_notifications())
+    try:
+        await asyncio.gather(*(_submit(ev) for ev in trace))
+        await server.wait_chaos_complete()
+        if holds:
+            await asyncio.gather(*holds)
+        # Let repairs triggered by the script's tail settle; every survivor
+        # was released by its hold task, so the drain below sees the truth.
+        await asyncio.sleep(2 * tick_s)
+    finally:
+        notify_task.cancel()
+        try:
+            await notify_task
+        except asyncio.CancelledError:
+            pass
+
+    final = await client.drain(shutdown=False)
+    counters = final["counters"]
+    clean = (
+        int(final["active"]) == 0
+        and not any(True for _ in server.ledger.state.used_links())
+        and not any(True for _ in server.ledger.state.used_vnfs())
+    )
+    rejects: dict[str, int] = {}
+    for outcome in outcomes:
+        if not outcome.accepted and outcome.code is not None:
+            rejects[outcome.code] = rejects.get(outcome.code, 0) + 1
+    return {
+        "submitted": len(outcomes),
+        "accepted": sum(1 for o in outcomes if o.accepted),
+        "rejects_by_code": rejects,
+        "faults_injected": int(counters["faults_injected"]),
+        "recoveries": int(counters["recoveries"]),
+        "repairs_rerouted": int(counters["repairs_rerouted"]),
+        "repairs_reembedded": int(counters["repairs_reembedded"]),
+        "evictions": int(counters["evictions"]),
+        "repair_cost_delta": float(counters["repair_cost_delta"]),
+        "total_cost_accepted": float(counters["total_cost_accepted"]),
+        "repair_times_s": tuple(sorted(server.repair_times())),
+        "notifications": notifications,
+        "client_retries": client.retries,
+        "clean_drain": clean,
+    }
+
+
+def run_chaos(
+    scenario: str | ChaosScenario = "smoke",
+    *,
+    solver: str = "MBBE",
+    seed: int = 0,
+) -> ChaosReport:
+    """Synchronous wrapper around :func:`run_chaos_async`."""
+    return asyncio.run(run_chaos_async(scenario, solver=solver, seed=seed))
+
+
+def write_chaos_report(path: str, report: ChaosReport) -> None:
+    """Write the versioned ``BENCH_faults.json`` document."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report.to_dict(), fh, indent=1, sort_keys=True)
+        fh.write("\n")

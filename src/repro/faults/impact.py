@@ -1,0 +1,117 @@
+"""Impact analysis: what exactly a failure broke inside one embedding.
+
+The :class:`~repro.network.reservations.ReservationLedger` answers the coarse
+question — *which* requests touch a dead element — from reservation amounts
+alone. Picking a repair rung needs the fine-grained answer: which placements
+lost their instance, which real-paths cross a dead link or node, and whether
+the flow endpoints themselves are gone. :func:`assess_impact` computes that
+from the tracked :class:`~repro.embedding.mapping.Embedding` and the current
+:class:`~repro.faults.model.FaultState`, and the resulting
+:class:`RequestImpact` drives the repair ladder in
+:mod:`repro.faults.repair`: paths-only damage is locally reroutable, dead
+placements force a re-embed, dead endpoints force an eviction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..embedding.mapping import Embedding
+from ..network.paths import Path
+from ..types import DUMMY_VNF, Position
+from .model import FaultState
+
+__all__ = ["RequestImpact", "assess_impact"]
+
+
+@dataclass(frozen=True)
+class RequestImpact:
+    """Damage report for one embedded request under the current fault state."""
+
+    request_id: int
+    #: positions whose hosting node or VNF instance is dead (mergers included).
+    dead_placements: tuple[Position, ...]
+    #: inter-layer path keys (downstream position) whose real-path is broken.
+    broken_inter: tuple[Position, ...]
+    #: inner-layer path keys (source position) whose real-path is broken.
+    broken_inner: tuple[Position, ...]
+    #: the flow's source or destination node is dead — unrepairable.
+    endpoints_dead: bool
+
+    @property
+    def affected(self) -> bool:
+        """True when anything at all is broken."""
+        return bool(
+            self.endpoints_dead
+            or self.dead_placements
+            or self.broken_inter
+            or self.broken_inner
+        )
+
+    @property
+    def placements_intact(self) -> bool:
+        """True when only real-paths broke — the local-reroute precondition."""
+        return not self.endpoints_dead and not self.dead_placements
+
+    def describe(self) -> str:
+        """Compact single-line summary for logs and notifications."""
+        if not self.affected:
+            return "intact"
+        parts: list[str] = []
+        if self.endpoints_dead:
+            parts.append("endpoints dead")
+        if self.dead_placements:
+            parts.append(f"{len(self.dead_placements)} placements dead")
+        broken = len(self.broken_inter) + len(self.broken_inner)
+        if broken:
+            parts.append(f"{broken} paths broken")
+        return ", ".join(parts)
+
+
+def _path_broken(path: Path, faults: FaultState) -> bool:
+    """True when the walk crosses any dead node or dead link."""
+    if any(not faults.node_alive(n) for n in path.nodes):
+        return True
+    return any(
+        not faults.link_alive(a, b) for a, b in zip(path.nodes, path.nodes[1:])
+    )
+
+
+def assess_impact(
+    request_id: int, embedding: Embedding, faults: FaultState
+) -> RequestImpact:
+    """Classify every piece of one embedding against the current fault state."""
+    stretched = embedding.stretched()
+    endpoints_dead = not faults.node_alive(embedding.source) or not faults.node_alive(
+        embedding.dest
+    )
+
+    dead_placements: list[Position] = []
+    for pos in sorted(embedding.placements):
+        node = embedding.placements[pos]
+        vnf = stretched.vnf_at(pos)
+        alive = (
+            faults.node_alive(node)
+            if vnf == DUMMY_VNF
+            else faults.instance_alive(node, vnf)
+        )
+        if not alive:
+            dead_placements.append(pos)
+
+    broken_inter = [
+        pos
+        for pos in sorted(embedding.inter_paths)
+        if _path_broken(embedding.inter_paths[pos], faults)
+    ]
+    broken_inner = [
+        pos
+        for pos in sorted(embedding.inner_paths)
+        if _path_broken(embedding.inner_paths[pos], faults)
+    ]
+    return RequestImpact(
+        request_id=request_id,
+        dead_placements=tuple(dead_placements),
+        broken_inter=tuple(broken_inter),
+        broken_inner=tuple(broken_inner),
+        endpoints_dead=endpoints_dead,
+    )

@@ -1,0 +1,278 @@
+"""The graded recovery ladder: reroute, re-embed, evict.
+
+:class:`RepairEngine` owns the fault-time lifecycle of embedded requests.
+Admission-time components (:class:`~repro.sim.online.OnlineSimulator`, the
+embedding server) *track* each accepted embedding with the engine; when a
+fault event lands, the engine asks the shared
+:class:`~repro.network.reservations.ReservationLedger` which requests touch a
+dead element, assesses per-request damage (:mod:`repro.faults.impact`), and
+walks each one down the ladder:
+
+1. **local reroute** — placements intact, only real-paths broken: replace
+   them with cheapest feasible detours (:func:`repro.solvers.reembed.rebuild_paths`);
+2. **full re-embed** — placements lost: run the configured solver on the
+   degraded residual view, pinned to the surviving placements first
+   (:func:`repro.solvers.reembed.reembed`);
+3. **structured eviction** — endpoints dead or no rung succeeded: the
+   request's resources stay released and the caller gets an explicit
+   :class:`RepairOutcome` to notify the tenant with.
+
+Every rung keeps the ledger's invariant: the old reservation is released
+before any rebuilding, and a successful rung re-reserves exactly the new
+embedding's eq. 7/8 amounts — so fail → repair → recover cycles conserve
+capacity by construction.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, replace
+
+from ..config import FlowConfig
+from ..embedding.base import Embedder
+from ..embedding.mapping import Embedding
+from ..exceptions import CapacityError
+from ..network.reservations import Reservation, ReservationLedger
+from ..solvers.reembed import rebuild_paths, reembed
+from ..utils.rng import RngStream
+from .impact import assess_impact
+from .model import FaultAction, FaultEvent, FaultState, degrade_network
+
+__all__ = ["RepairAction", "RepairOutcome", "EmbeddedRequest", "RepairEngine"]
+
+
+class RepairAction(enum.Enum):
+    """Terminal state of one repair attempt (the notification vocabulary)."""
+
+    REROUTED = "rerouted"
+    RE_EMBEDDED = "re_embedded"
+    EVICTED = "evicted"
+
+
+@dataclass(frozen=True)
+class RepairOutcome:
+    """What happened to one affected request, with its cost accounting."""
+
+    request_id: int
+    action: RepairAction
+    #: objective value of the embedding before the fault.
+    old_cost: float
+    #: objective value after repair (0.0 when evicted).
+    new_cost: float
+    #: ladder rungs attempted, in order ("reroute", "re_embed").
+    attempts: tuple[str, ...]
+    detail: str
+    #: wall-clock seconds spent repairing this request.
+    duration: float
+
+    @property
+    def cost_delta(self) -> float:
+        """Repair premium (new − old); meaningful for non-evicted outcomes."""
+        return self.new_cost - self.old_cost
+
+    @property
+    def survived(self) -> bool:
+        """True when the request still holds resources after the repair."""
+        return self.action is not RepairAction.EVICTED
+
+
+@dataclass(frozen=True)
+class EmbeddedRequest:
+    """The tracked solution of one admitted request (repair needs the paths)."""
+
+    request_id: int
+    embedding: Embedding
+    flow: FlowConfig
+    cost: float
+
+
+class RepairEngine:
+    """Walks affected requests down the reroute → re-embed → evict ladder."""
+
+    def __init__(
+        self,
+        ledger: ReservationLedger,
+        solver: Embedder,
+        faults: FaultState | None = None,
+    ) -> None:
+        self.ledger = ledger
+        self.solver = solver
+        self.faults = faults if faults is not None else FaultState()
+        self._tracked: dict[int, EmbeddedRequest] = {}
+
+    # -- tracking -----------------------------------------------------------------
+
+    def track(
+        self, request_id: int, embedding: Embedding, flow: FlowConfig, cost: float
+    ) -> None:
+        """Remember an admitted embedding so it can be repaired later."""
+        self._tracked[request_id] = EmbeddedRequest(
+            request_id=request_id, embedding=embedding, flow=flow, cost=cost
+        )
+
+    def forget(self, request_id: int) -> None:
+        """Drop the tracked embedding (departures and evictions)."""
+        self._tracked.pop(request_id, None)
+
+    def tracked(self, request_id: int) -> EmbeddedRequest | None:
+        """The tracked record, or None."""
+        return self._tracked.get(request_id)
+
+    def tracked_count(self) -> int:
+        """Number of embeddings currently tracked."""
+        return len(self._tracked)
+
+    # -- fault intake -----------------------------------------------------------------
+
+    def apply_event(self, event: FaultEvent, rng: RngStream = None) -> list[RepairOutcome]:
+        """Fold one fault event in; failures trigger an immediate repair pass."""
+        changed = self.faults.apply(event)
+        if not changed or event.action is FaultAction.RECOVER:
+            return []
+        return self.repair_affected(rng=rng)
+
+    def repair_affected(self, rng: RngStream = None) -> list[RepairOutcome]:
+        """Repair every active request the current fault state touches."""
+        if not self.faults.any_dead:
+            return []
+        nodes, links, instances = self.faults.dead_sets()
+        affected = self.ledger.affected_by(nodes=nodes, links=links, instances=instances)
+        outcomes: list[RepairOutcome] = []
+        for request_id in affected:
+            outcome = self._repair_one(request_id, rng)
+            if outcome is not None:
+                outcomes.append(outcome)
+        return outcomes
+
+    # -- the ladder ------------------------------------------------------------------
+
+    def _repair_one(self, request_id: int, rng: RngStream) -> RepairOutcome | None:
+        start = time.perf_counter()
+        old_cost = self.ledger.reservation(request_id).cost
+        record = self._tracked.get(request_id)
+        if record is None:
+            # Amounts alone cannot be rerouted; the only safe terminal state
+            # is an explicit eviction (resources returned, tenant notified).
+            self.ledger.release(request_id)
+            return RepairOutcome(
+                request_id=request_id,
+                action=RepairAction.EVICTED,
+                old_cost=old_cost,
+                new_cost=0.0,
+                attempts=(),
+                detail="no tracked embedding to repair",
+                duration=time.perf_counter() - start,
+            )
+
+        impact = assess_impact(request_id, record.embedding, self.faults)
+        if not impact.affected:
+            return None
+
+        # Free the damaged reservation first: detours and re-embeds must see
+        # the request's own capacity as available, and an eviction is then
+        # simply "stop here".
+        self.ledger.release(request_id)
+        attempts: list[str] = []
+
+        if impact.endpoints_dead:
+            self.forget(request_id)
+            return RepairOutcome(
+                request_id=request_id,
+                action=RepairAction.EVICTED,
+                old_cost=old_cost,
+                new_cost=0.0,
+                attempts=tuple(attempts),
+                detail=impact.describe(),
+                duration=time.perf_counter() - start,
+            )
+
+        view = degrade_network(self.ledger.state.to_network(), self.faults)
+
+        if impact.placements_intact:
+            attempts.append("reroute")
+            rerouted = rebuild_paths(
+                view,
+                record.embedding,
+                record.flow,
+                broken_inter=impact.broken_inter,
+                broken_inner=impact.broken_inner,
+            )
+            if rerouted is not None:
+                embedding, cost = rerouted
+                reservation = Reservation.from_counts(
+                    cost.alpha_vnf,
+                    cost.alpha_link,
+                    rate=record.flow.rate,
+                    cost=cost.total,
+                )
+                try:
+                    self.ledger.reserve(request_id, reservation)
+                except CapacityError:
+                    pass  # raced bookkeeping; fall through to the next rung
+                else:
+                    self._tracked[request_id] = replace(
+                        record, embedding=embedding, cost=cost.total
+                    )
+                    return RepairOutcome(
+                        request_id=request_id,
+                        action=RepairAction.REROUTED,
+                        old_cost=old_cost,
+                        new_cost=cost.total,
+                        attempts=tuple(attempts),
+                        detail=impact.describe(),
+                        duration=time.perf_counter() - start,
+                    )
+
+        attempts.append("re_embed")
+        dead = set(impact.dead_placements)
+        pinned = {
+            pos: node
+            for pos, node in record.embedding.placements.items()
+            if pos not in dead
+        }
+        result = reembed(
+            self.solver,
+            view,
+            record.embedding.dag,
+            record.embedding.source,
+            record.embedding.dest,
+            record.flow,
+            pinned=pinned,
+            rng=rng,
+        )
+        if result.success and result.embedding is not None and result.cost is not None:
+            reservation = Reservation.from_counts(
+                result.cost.alpha_vnf,
+                result.cost.alpha_link,
+                rate=record.flow.rate,
+                cost=result.total_cost,
+            )
+            try:
+                self.ledger.reserve(request_id, reservation)
+            except CapacityError:
+                pass  # verified on the view, so this is defensive only
+            else:
+                self._tracked[request_id] = replace(
+                    record, embedding=result.embedding, cost=result.total_cost
+                )
+                return RepairOutcome(
+                    request_id=request_id,
+                    action=RepairAction.RE_EMBEDDED,
+                    old_cost=old_cost,
+                    new_cost=result.total_cost,
+                    attempts=tuple(attempts),
+                    detail=impact.describe(),
+                    duration=time.perf_counter() - start,
+                )
+
+        self.forget(request_id)
+        return RepairOutcome(
+            request_id=request_id,
+            action=RepairAction.EVICTED,
+            old_cost=old_cost,
+            new_cost=0.0,
+            attempts=tuple(attempts),
+            detail=impact.describe(),
+            duration=time.perf_counter() - start,
+        )

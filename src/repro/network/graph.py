@@ -99,6 +99,15 @@ class Graph:
         del self._adj[u][v]
         del self._adj[v][u]
 
+    def remove_node(self, node: NodeId) -> None:
+        """Delete ``node`` together with every incident link."""
+        if node not in self._adj:
+            raise NodeNotFoundError(node)
+        for nb in list(self._adj[node]):
+            del self._links[edge_key(node, nb)]
+            del self._adj[nb][node]
+        del self._adj[node]
+
     # -- queries -----------------------------------------------------------------
 
     @property

@@ -18,9 +18,9 @@ a server snapshot has to persist (:mod:`repro.service.state_store`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Mapping
+from typing import Collection, Iterator, Mapping
 
-from ..exceptions import CapacityError, ConfigurationError
+from ..exceptions import CapacityError, LedgerError
 from ..types import EdgeKey, NodeId, VnfTypeId
 from .state import ResidualState
 
@@ -77,8 +77,10 @@ class ReservationLedger:
         try:
             return self._active[request_id]
         except KeyError:
-            raise ConfigurationError(
-                f"request id {request_id} is not active"
+            raise LedgerError(
+                request_id,
+                "unknown_request",
+                f"request id {request_id} is not active",
             ) from None
 
     def reservations(self) -> Iterator[tuple[int, Reservation]]:
@@ -88,19 +90,52 @@ class ReservationLedger:
     def __len__(self) -> int:
         return len(self._active)
 
+    def affected_by(
+        self,
+        *,
+        nodes: Collection[NodeId] = (),
+        links: Collection[EdgeKey] = (),
+        instances: Collection[tuple[NodeId, VnfTypeId]] = (),
+    ) -> list[int]:
+        """Ids of active requests holding resources on any given element.
+
+        This is the ledger-level impact query of the fault subsystem: a
+        request is *affected* by a substrate failure when its reservation
+        touches a dead node (a VNF amount on it, or bandwidth on an incident
+        link), a dead link, or a dead VNF instance. Link keys must be
+        canonical (:func:`repro.types.edge_key`). Returns sorted ids.
+        """
+        dead_nodes = set(nodes)
+        dead_links = set(links)
+        dead_instances = set(instances)
+        hit: list[int] = []
+        for request_id, reservation in self._active.items():
+            touched = any(
+                node in dead_nodes or (node, vnf_type) in dead_instances
+                for node, vnf_type in reservation.vnf
+            ) or any(
+                key in dead_links or key[0] in dead_nodes or key[1] in dead_nodes
+                for key in reservation.links
+            )
+            if touched:
+                hit.append(request_id)
+        return sorted(hit)
+
     # -- reserve / release ---------------------------------------------------------
 
     def reserve(self, request_id: int, reservation: Reservation) -> None:
         """Claim a reservation atomically under ``request_id``.
 
-        Raises :class:`ConfigurationError` when the id is already active and
-        :class:`CapacityError` when the residual network cannot hold the
-        amounts — in the latter case the partial claim is rolled back, so the
-        state is untouched on failure.
+        Raises :class:`LedgerError` (code ``"duplicate_request"``) when the
+        id is already active and :class:`CapacityError` when the residual
+        network cannot hold the amounts — in the latter case the partial
+        claim is rolled back, so the state is untouched on failure.
         """
         if request_id in self._active:
-            raise ConfigurationError(
-                f"request id {request_id} is already active"
+            raise LedgerError(
+                request_id,
+                "duplicate_request",
+                f"request id {request_id} is already active",
             )
         mark = self.state.mark()
         try:
@@ -116,14 +151,16 @@ class ReservationLedger:
     def release(self, request_id: int) -> Reservation:
         """Return every resource held by ``request_id``.
 
-        Raises :class:`ConfigurationError` for an unknown (or already
-        released) id; the state is untouched in that case.
+        Raises :class:`LedgerError` (code ``"unknown_request"``) for an
+        unknown (or already released) id; the state is untouched in that case.
         """
         try:
             reservation = self._active.pop(request_id)
         except KeyError:
-            raise ConfigurationError(
-                f"request id {request_id} is not active"
+            raise LedgerError(
+                request_id,
+                "unknown_request",
+                f"request id {request_id} is not active",
             ) from None
         for (node, vnf_type), amount in reservation.vnf.items():
             self.state.release_vnf(node, vnf_type, amount)

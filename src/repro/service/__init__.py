@@ -12,9 +12,11 @@ solves onto a worker pool, and survives restarts via state snapshots.
 * :mod:`repro.service.worker` — the pool-side solve with solver reuse;
 * :mod:`repro.service.state_store` — snapshot/restore of residual state;
 * :mod:`repro.service.client` — multiplexing async client;
+* :mod:`repro.service.retry` — bounded-retry client wrapper (chaos-safe);
 * :mod:`repro.service.loadgen` — open/closed-loop load generation.
 
-See ``docs/serving.md`` for the architecture and failure modes.
+See ``docs/serving.md`` for the architecture and failure modes, and
+``docs/fault_tolerance.md`` for chaos mode and repair notifications.
 """
 
 from .admission import (
@@ -28,7 +30,14 @@ from .admission import (
 )
 from .client import ServiceClient, SubmitOutcome
 from .loadgen import LoadReport, run_load, write_report
-from .protocol import PROTOCOL_FORMAT, PROTOCOL_VERSION, REJECT_CODES, SubmitIntent
+from .protocol import (
+    NOTIFY_STATUSES,
+    PROTOCOL_FORMAT,
+    PROTOCOL_VERSION,
+    REJECT_CODES,
+    SubmitIntent,
+)
+from .retry import ResilientClient, RetryPolicy
 from .server import EmbeddingServer, ServiceConfig
 from .state_store import load_snapshot, network_fingerprint, save_snapshot
 
@@ -42,12 +51,15 @@ __all__ = [
     "register_policy",
     "ServiceClient",
     "SubmitOutcome",
+    "ResilientClient",
+    "RetryPolicy",
     "LoadReport",
     "run_load",
     "write_report",
     "PROTOCOL_FORMAT",
     "PROTOCOL_VERSION",
     "REJECT_CODES",
+    "NOTIFY_STATUSES",
     "SubmitIntent",
     "EmbeddingServer",
     "ServiceConfig",

@@ -6,6 +6,15 @@ over a single TCP connection: every outgoing message carries a fresh
 awaiting caller, so ``submit`` calls can be fired concurrently (that is
 what the load generator does) and resolved out of order as the server's
 micro-batching reorders decisions.
+
+Two failure/notification channels matter under faults:
+
+* a broken transport (reset, EOF mid-request, failed write) surfaces as
+  :class:`~repro.exceptions.ServiceUnavailable` on every in-flight call —
+  the typed signal :class:`~repro.service.retry.ResilientClient` retries on;
+* unsolicited server pushes (``type: "notify"`` — repair/eviction events
+  for this connection's accepted requests) land in :attr:`notifications`
+  instead of being dropped.
 """
 
 from __future__ import annotations
@@ -15,7 +24,7 @@ import time
 from dataclasses import dataclass
 from typing import Any
 
-from ..exceptions import ProtocolError, ServiceError
+from ..exceptions import ProtocolError, ServiceError, ServiceUnavailable
 from ..sfc.dag import DagSfc
 from . import protocol
 
@@ -83,6 +92,8 @@ class ServiceClient:
         self._next_msg_id = 1
         self._pending: dict[int, asyncio.Future[dict[str, Any]]] = {}
         self._write_lock = asyncio.Lock()
+        #: unsolicited server pushes (``type: "notify"``), in arrival order.
+        self.notifications: asyncio.Queue[dict[str, Any]] = asyncio.Queue()
         self._reader_task = asyncio.create_task(self._read_loop())
 
     # -- lifecycle ------------------------------------------------------------------
@@ -111,7 +122,7 @@ class ServiceClient:
             await self._writer.wait_closed()
         except (ConnectionError, OSError):
             pass
-        self._fail_pending(ServiceError("connection closed"))
+        self._fail_pending(ServiceUnavailable("connection closed"))
 
     async def __aenter__(self) -> "ServiceClient":
         return self
@@ -132,20 +143,38 @@ class ServiceClient:
             while True:
                 message = await protocol.read_message(self._reader)
                 if message is None:
-                    self._fail_pending(ServiceError("server closed the connection"))
+                    # EOF with requests still in flight is a transport
+                    # failure, not a reply: surface the retryable type.
+                    self._fail_pending(
+                        ServiceUnavailable("server closed the connection")
+                    )
                     return
+                if message.get("type") == "notify":
+                    self.notifications.put_nowait(message)
+                    continue
                 future = self._pending.pop(int(message.get("msg_id", 0) or 0), None)
                 if future is not None and not future.done():
                     future.set_result(message)
-        except (ProtocolError, ConnectionError, OSError) as exc:
-            self._fail_pending(ServiceError(f"connection lost: {exc}"))
+        except ProtocolError as exc:
+            self._fail_pending(ServiceError(f"protocol violation: {exc}"))
+        except (ConnectionError, OSError) as exc:
+            self._fail_pending(ServiceUnavailable(f"connection lost: {exc}"))
 
     async def _request(self, message: dict[str, Any]) -> dict[str, Any]:
+        if self._reader_task.done():
+            # The read loop is gone (EOF or reset already observed): a new
+            # request could never be answered, so fail it immediately
+            # instead of parking a future nothing will resolve.
+            raise ServiceUnavailable("connection is closed")
         msg_id = int(message["msg_id"])
         future: asyncio.Future[dict[str, Any]] = asyncio.get_running_loop().create_future()
         self._pending[msg_id] = future
-        async with self._write_lock:
-            await protocol.write_message(self._writer, message)
+        try:
+            async with self._write_lock:
+                await protocol.write_message(self._writer, message)
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(msg_id, None)
+            raise ServiceUnavailable(f"write failed: {exc}") from exc
         return await future
 
     def _msg_id(self) -> int:

@@ -24,6 +24,13 @@ Replies are ``accepted`` / ``rejected`` (submit), ``released``, ``stats``,
 ``snapshotted``, ``drained`` — or ``error`` for malformed input. Rejections
 are *structured*: a machine-readable ``code`` (:data:`REJECT_CODES`) plus a
 human-readable ``reason``.
+
+Under chaos mode the server additionally *pushes* unsolicited ``notify``
+lines (``msg_id: 0`` — no reply is expected) to the connection that
+submitted an accepted request whenever a substrate fault forces a repair:
+``status`` is one of :data:`NOTIFY_STATUSES` plus the repair cost
+accounting, so a tenant learns its embedding was rerouted, re-embedded at a
+new cost, or evicted. See ``docs/fault_tolerance.md``.
 """
 
 from __future__ import annotations
@@ -42,6 +49,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "MAX_LINE_BYTES",
     "REJECT_CODES",
+    "NOTIFY_STATUSES",
     "SubmitIntent",
     "encode_message",
     "decode_message",
@@ -55,6 +63,7 @@ __all__ = [
     "stats_message",
     "snapshot_message",
     "drain_message",
+    "notify_message",
 ]
 
 PROTOCOL_FORMAT = "repro.dag-sfc/service"
@@ -72,7 +81,12 @@ REJECT_CODES = (
     "admission",  # an admission policy refused the request
     "no_solution",  # the solver found no feasible embedding
     "capacity_conflict",  # speculative batch member lost its capacity race
+    "degraded",  # admission tightened while substrate faults are active
 )
+
+#: Terminal repair states a ``notify`` push may carry
+#: (:class:`repro.faults.repair.RepairAction` values).
+NOTIFY_STATUSES = ("rerouted", "re_embedded", "evicted")
 
 
 @dataclass(frozen=True)
@@ -235,3 +249,30 @@ def snapshot_message(*, msg_id: int) -> dict[str, Any]:
 def drain_message(*, msg_id: int, shutdown: bool = False) -> dict[str, Any]:
     """Build a ``drain`` line (``shutdown=True`` stops the server after)."""
     return {"type": "drain", "msg_id": msg_id, "shutdown": shutdown}
+
+
+# -- server → client pushes ---------------------------------------------------------
+
+
+def notify_message(
+    *,
+    request_id: int,
+    status: str,
+    detail: str,
+    old_cost: float,
+    new_cost: float,
+) -> dict[str, Any]:
+    """Build an unsolicited repair ``notify`` push (``msg_id`` 0 by design)."""
+    if status not in NOTIFY_STATUSES:
+        raise ProtocolError(
+            f"notify status must be one of {NOTIFY_STATUSES}, got {status!r}"
+        )
+    return {
+        "type": "notify",
+        "msg_id": 0,
+        "request_id": request_id,
+        "status": status,
+        "detail": detail,
+        "old_cost": old_cost,
+        "new_cost": new_cost,
+    }

@@ -37,6 +37,17 @@ Two dispatch modes:
   with re-validation; a member whose resources were taken by an earlier
   commit is rejected with the structured code ``capacity_conflict``.
   Higher throughput, slightly stale views — the classic serving trade-off.
+
+Chaos mode (``fault_script``): a pump task feeds the script's timed
+fail/recover events into the same queue the dispatcher drains, so fault
+handling inherits the single-writer discipline for free — repairs (the
+reroute → re-embed → evict ladder of :mod:`repro.faults.repair`) mutate the
+ledger only from the dispatcher, between a cycle's releases and its
+submits. While any element is dead, solves run on the *degraded* residual
+view, admission tightens (``degraded`` sheds beyond a reduced queue bound),
+and every repair outcome is pushed to the submitting connection as a
+``notify`` line. Fault-free servers never touch any of this — the
+bit-identical replay property above is untouched.
 """
 
 from __future__ import annotations
@@ -47,14 +58,19 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..config import FlowConfig
 from ..embedding.base import EmbeddingResult
 from ..exceptions import CapacityError, ConfigurationError
+from ..faults.model import FaultAction, FaultEvent, FaultScript, degrade_network
+from ..faults.repair import RepairAction, RepairEngine, RepairOutcome
 from ..network.cloud import CloudNetwork
 from ..network.reservations import Reservation, ReservationLedger
 from ..network.state import ResidualState
+from ..solvers.registry import make_solver
 from ..utils.rng import trial_seed
 from . import protocol, state_store
 from .admission import AdmissionPolicy, make_policy
+from .loadgen import percentile
 from .protocol import MAX_LINE_BYTES, SubmitIntent
 from .worker import solve_on_view
 
@@ -64,6 +80,10 @@ __all__ = ["ServiceConfig", "EmbeddingServer"]
 #: request); distinct from the runner's 0xA160 so service traffic never
 #: aliases experiment streams.
 _SERVICE_SEED_SALT = 0x5EC5
+
+#: Seed salt for the repair ladder's re-embed solves (one stream per fault
+#: event), distinct from both the runner's and the submit-path salts.
+_CHAOS_SEED_SALT = 0xFA17
 
 
 @dataclass(frozen=True)
@@ -89,6 +109,14 @@ class ServiceConfig:
     seed: int = 0
     #: snapshot written here on drain and on `snapshot` requests.
     snapshot_path: str | None = None
+    #: timed fail/recover events pumped into the dispatcher (chaos mode).
+    fault_script: FaultScript | None = None
+    #: wall seconds per fault-script step.
+    chaos_tick: float = 0.05
+    #: while degraded, the effective submit-queue bound shrinks to
+    #: ``max(1, int(queue_limit * degraded_queue_factor))``; excess sheds
+    #: with the structured code ``degraded``.
+    degraded_queue_factor: float = 0.5
 
     def __post_init__(self) -> None:
         if self.queue_limit < 1:
@@ -99,12 +127,22 @@ class ServiceConfig:
             raise ConfigurationError(f"tick must be >= 0, got {self.tick}")
         if self.workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {self.workers}")
+        if self.chaos_tick <= 0:
+            raise ConfigurationError(f"chaos_tick must be > 0, got {self.chaos_tick}")
+        if not (0.0 < self.degraded_queue_factor <= 1.0):
+            raise ConfigurationError(
+                "degraded_queue_factor must be in (0, 1], got "
+                f"{self.degraded_queue_factor}"
+            )
 
 
 @dataclass
 class _PendingSubmit:
     intent: SubmitIntent
     reply: "asyncio.Future[dict[str, Any]]" = field(compare=False)
+    #: the submitting connection, kept so repair notifications can reach it.
+    writer: "asyncio.StreamWriter | None" = field(default=None, compare=False)
+    lock: "asyncio.Lock | None" = field(default=None, compare=False)
 
 
 @dataclass
@@ -121,19 +159,36 @@ class _PendingDrain:
     reply: "asyncio.Future[dict[str, Any]]" = field(compare=False)
 
 
+@dataclass
+class _PendingFault:
+    """A fault event queued for the dispatcher (no reply — nobody waits)."""
+
+    event: FaultEvent
+
+
 _COUNTER_KEYS = (
     "submitted",
     "shed_queue_full",
     "shed_admission",
     "shed_duplicate",
     "shed_draining",
+    "shed_degraded",
     "dispatched",
     "accepted",
     "rejected_no_solution",
     "rejected_conflict",
     "departed",
+    "faults_injected",
+    "recoveries",
+    "repairs_rerouted",
+    "repairs_reembedded",
+    "evictions",
     "total_cost_accepted",
+    "repair_cost_delta",
 )
+
+#: counters that accumulate objective values rather than event counts.
+_FLOAT_COUNTER_KEYS = frozenset({"total_cost_accepted", "repair_cost_delta"})
 
 
 class EmbeddingServer:
@@ -164,19 +219,20 @@ class EmbeddingServer:
         if ledger is not None and ledger.state.network is not network:
             raise ConfigurationError("restored ledger belongs to a different network")
         self.ledger = ledger if ledger is not None else ReservationLedger(ResidualState(network))
-        # Event counts stay ints; only the accumulated cost is a float.
+        # Event counts stay ints; only accumulated costs are floats.
         self.counters: dict[str, float] = {key: 0 for key in _COUNTER_KEYS}
-        self.counters["total_cost_accepted"] = 0.0
+        for key in _FLOAT_COUNTER_KEYS:
+            self.counters[key] = 0.0
         if counters:
             for key, value in counters.items():
                 if key in self.counters:
                     self.counters[key] = (
-                        float(value) if key == "total_cost_accepted" else int(value)
+                        float(value) if key in _FLOAT_COUNTER_KEYS else int(value)
                     )
         self._fingerprint = state_store.network_fingerprint(network)
-        self._queue: asyncio.Queue[_PendingSubmit | _PendingRelease | _PendingDrain] = (
-            asyncio.Queue()
-        )
+        self._queue: asyncio.Queue[
+            _PendingSubmit | _PendingRelease | _PendingDrain | _PendingFault
+        ] = asyncio.Queue()
         self._queued_submits = 0
         self._pending_ids: set[int] = set()
         self._arrival_counter = 0
@@ -188,6 +244,17 @@ class EmbeddingServer:
         self._address: tuple[str, int] | None = None
         self._dispatch_task: asyncio.Task[None] | None = None
         self._executor: ProcessPoolExecutor | None = None
+        # Fault-time machinery. The repair ladder re-embeds in-process (the
+        # dispatcher is the sole ledger writer, so repairs cannot overlap a
+        # worker-pool solve commit), hence its own solver instance.
+        self._repair = RepairEngine(self.ledger, make_solver(self.config.solver))
+        self._fault_counter = 0
+        self._repair_times: list[float] = []
+        self._notify_routes: dict[int, tuple[asyncio.StreamWriter, asyncio.Lock]] = {}
+        self._chaos_task: asyncio.Task[None] | None = None
+        self._chaos_done = asyncio.Event()
+        if self.config.fault_script is None:
+            self._chaos_done.set()
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -204,6 +271,10 @@ class EmbeddingServer:
             limit=MAX_LINE_BYTES,
         )
         self._dispatch_task = asyncio.create_task(self._dispatch_loop())
+        if self.config.fault_script is not None:
+            self._chaos_task = asyncio.create_task(
+                self._chaos_pump(self.config.fault_script)
+            )
         sock = self._server.sockets[0].getsockname()
         self._address = (str(sock[0]), int(sock[1]))
         return self._address
@@ -230,6 +301,13 @@ class EmbeddingServer:
         if self._conn_tasks:
             await asyncio.gather(*tuple(self._conn_tasks), return_exceptions=True)
         self._conn_tasks.clear()
+        if self._chaos_task is not None:
+            self._chaos_task.cancel()
+            try:
+                await self._chaos_task
+            except asyncio.CancelledError:
+                pass
+            self._chaos_task = None
         if self._dispatch_task is not None:
             self._dispatch_task.cancel()
             try:
@@ -264,8 +342,9 @@ class EmbeddingServer:
                         "reason": "server stopped before the release was applied",
                     }
                 )
-            else:
+            elif isinstance(item, _PendingDrain):
                 item.reply.set_result(self._do_drain(item))
+            # _PendingFault items have no waiter: dropped with the server.
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
@@ -292,10 +371,34 @@ class EmbeddingServer:
         """Submits queued but not yet decided."""
         return self._queued_submits
 
+    @property
+    def degraded(self) -> bool:
+        """True while any substrate element is dead."""
+        return self._repair.faults.any_dead
+
+    @property
+    def chaos_complete(self) -> bool:
+        """True once the fault script (if any) has been fully pumped."""
+        return self._chaos_done.is_set()
+
+    async def wait_chaos_complete(self) -> None:
+        """Block until every scripted fault event has been enqueued."""
+        await self._chaos_done.wait()
+
+    def inject_fault(self, event: FaultEvent) -> None:
+        """Queue one ad-hoc fault event (tests and operator tooling)."""
+        self._queue.put_nowait(_PendingFault(event=event))
+
+    def repair_times(self) -> tuple[float, ...]:
+        """Wall seconds of every completed repair, in occurrence order."""
+        return tuple(self._repair_times)
+
     def stats_payload(self) -> dict[str, Any]:
         """The body of a ``stats`` reply (counters + live gauges)."""
         accepted = self.counters["accepted"]
         dispatched = self.counters["dispatched"]
+        dead_nodes, dead_links, dead_instances = self._repair.faults.dead_sets()
+        times = sorted(self._repair_times)
         return {
             "solver": self.config.solver,
             "policy": self.policy.name,
@@ -305,6 +408,23 @@ class EmbeddingServer:
             "active": len(self.ledger),
             "queue_depth": self.queue_depth,
             "draining": self._draining,
+            "faults": {
+                "degraded": self.degraded,
+                "chaos_complete": self.chaos_complete,
+                "dead_nodes": len(dead_nodes),
+                "dead_links": len(dead_links),
+                "dead_instances": len(dead_instances),
+                "tracked_embeddings": self._repair.tracked_count(),
+                "repair_time_s": (
+                    {
+                        "p50": percentile(times, 0.50),
+                        "p95": percentile(times, 0.95),
+                        "max": times[-1],
+                    }
+                    if times
+                    else None
+                ),
+            },
         }
 
     # -- connection handling ------------------------------------------------------------
@@ -377,7 +497,7 @@ class EmbeddingServer:
         mtype = message["type"]
         try:
             if mtype == "submit":
-                reply = await self._handle_submit(message)
+                reply = await self._handle_submit(message, writer, lock)
             elif mtype == "release":
                 reply = await self._handle_release(message)
             elif mtype == "stats":
@@ -412,7 +532,12 @@ class EmbeddingServer:
             "reason": reason,
         }
 
-    async def _handle_submit(self, message: dict[str, Any]) -> dict[str, Any]:
+    async def _handle_submit(
+        self,
+        message: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> dict[str, Any]:
         intent = protocol.submit_from_message(message)
         self.counters["submitted"] += 1
         if self._draining:
@@ -434,6 +559,21 @@ class EmbeddingServer:
         if refusal is not None:
             self.counters["shed_admission"] += 1
             return self._reject(intent.msg_id, intent.request_id, "admission", refusal)
+        if self.degraded:
+            # Active faults: solver time is being spent on repairs, so shed
+            # earlier (and with a retryable, self-describing code).
+            limit = max(
+                1, int(self.config.queue_limit * self.config.degraded_queue_factor)
+            )
+            if self._queued_submits >= limit:
+                self.counters["shed_degraded"] += 1
+                return self._reject(
+                    intent.msg_id,
+                    intent.request_id,
+                    "degraded",
+                    "admission tightened under active faults "
+                    f"(queue {self._queued_submits}/{limit})",
+                )
         if self._queued_submits >= self.config.queue_limit:
             self.counters["shed_queue_full"] += 1
             return self._reject(
@@ -455,7 +595,12 @@ class EmbeddingServer:
         self._arrival_counter += 1
         self._queued_submits += 1
         self._pending_ids.add(intent.request_id)
-        pending = _PendingSubmit(intent=intent, reply=asyncio.get_running_loop().create_future())
+        pending = _PendingSubmit(
+            intent=intent,
+            reply=asyncio.get_running_loop().create_future(),
+            writer=writer,
+            lock=lock,
+        )
         self._queue.put_nowait(pending)
         return await pending.reply
 
@@ -510,12 +655,17 @@ class EmbeddingServer:
             batch: list[_PendingSubmit] = []
             releases: list[_PendingRelease] = []
             drains: list[_PendingDrain] = []
-            item: _PendingSubmit | _PendingRelease | _PendingDrain | None = first
+            faults: list[_PendingFault] = []
+            item: (
+                _PendingSubmit | _PendingRelease | _PendingDrain | _PendingFault | None
+            ) = first
             while item is not None:
                 if isinstance(item, _PendingSubmit):
                     batch.append(item)
                 elif isinstance(item, _PendingRelease):
                     releases.append(item)
+                elif isinstance(item, _PendingFault):
+                    faults.append(item)
                 else:
                     drains.append(item)
                 if len(batch) >= self.config.batch_size:
@@ -525,9 +675,14 @@ class EmbeddingServer:
                 except asyncio.QueueEmpty:
                     item = None
 
-            # Departures before arrivals (the sim.trace.replay convention).
+            # Departures, then faults, then arrivals — the phase order of
+            # sim.trace.replay_with_faults, so a service run under a script
+            # is comparable to its offline replay.
             for release in releases:
                 release.reply.set_result(self._do_release(release))
+
+            for fault in faults:
+                await self._apply_fault(fault.event)
 
             if batch:
                 await self._decide_batch(batch)
@@ -546,6 +701,8 @@ class EmbeddingServer:
                 "ok": False,
                 "reason": str(exc),
             }
+        self._repair.forget(release.request_id)
+        self._notify_routes.pop(release.request_id, None)
         self.counters["departed"] += 1
         return {
             "type": "released",
@@ -569,6 +726,78 @@ class EmbeddingServer:
             reply["_shutdown"] = True
         return reply
 
+    # -- fault path (dispatcher-only, like every other ledger mutation) ------------------
+
+    async def _chaos_pump(self, script: FaultScript) -> None:
+        """Feed the script's events into the queue on the chaos clock."""
+        by_step = script.events_by_step()
+        previous = 0
+        for step in sorted(by_step):
+            delay = (step - previous) * self.config.chaos_tick
+            previous = step
+            if delay > 0:
+                await asyncio.sleep(delay)
+            for event in by_step[step]:
+                self._queue.put_nowait(_PendingFault(event=event))
+        self._chaos_done.set()
+
+    async def _apply_fault(self, event: FaultEvent) -> None:
+        """Fold one fault event in; failures repair every touched request."""
+        changed = self._repair.faults.apply(event)
+        if event.action is FaultAction.RECOVER:
+            if changed:
+                self.counters["recoveries"] += 1
+            return
+        if not changed:
+            return
+        self.counters["faults_injected"] += 1
+        seed = trial_seed(self.config.seed, self._fault_counter, salt=_CHAOS_SEED_SALT)
+        self._fault_counter += 1
+        for outcome in self._repair.repair_affected(rng=seed):
+            await self._notify_repair(outcome)
+
+    async def _notify_repair(self, outcome: RepairOutcome) -> None:
+        """Account one repair outcome and push it to the submitting peer."""
+        if outcome.action is RepairAction.REROUTED:
+            self.counters["repairs_rerouted"] += 1
+            self.counters["repair_cost_delta"] += outcome.cost_delta
+        elif outcome.action is RepairAction.RE_EMBEDDED:
+            self.counters["repairs_reembedded"] += 1
+            self.counters["repair_cost_delta"] += outcome.cost_delta
+        else:
+            self.counters["evictions"] += 1
+        self._repair_times.append(outcome.duration)
+        route = self._notify_routes.get(outcome.request_id)
+        if outcome.action is RepairAction.EVICTED:
+            self._notify_routes.pop(outcome.request_id, None)
+        if route is not None:
+            writer, lock = route
+            await self._write_locked(
+                writer,
+                lock,
+                protocol.notify_message(
+                    request_id=outcome.request_id,
+                    status=outcome.action.value,
+                    detail=outcome.detail,
+                    old_cost=outcome.old_cost,
+                    new_cost=outcome.new_cost,
+                ),
+            )
+
+    # -- decisions ----------------------------------------------------------------------
+
+    def _current_view(self) -> CloudNetwork:
+        """The residual view solves run on, degraded under active faults.
+
+        Fault-free servers take the first branch only — the projection is
+        never built, keeping the no-chaos pipeline bit-identical to a
+        server without this subsystem.
+        """
+        view = self.ledger.state.to_network()
+        if self._repair.faults.any_dead:
+            view = degrade_network(view, self._repair.faults)
+        return view
+
     async def _decide_batch(self, batch: list[_PendingSubmit]) -> None:
         by_arrival = {p.intent.arrival_index: p for p in batch}
         ordered = self.policy.order([p.intent for p in batch])
@@ -579,7 +808,7 @@ class EmbeddingServer:
                 f"admission policy {self.policy.name!r} must permute the batch"
             )
         if self.config.speculative and len(ordered) > 1:
-            view = self.ledger.state.to_network()
+            view = self._current_view()
             results = await asyncio.gather(
                 *(self._run_solver(intent, view) for intent in ordered)
             )
@@ -590,8 +819,14 @@ class EmbeddingServer:
             if results is not None:
                 result = results[position]
             else:
-                result = await self._run_solver(intent, self.ledger.state.to_network())
+                result = await self._run_solver(intent, self._current_view())
             reply = self._commit(intent, result)
+            if (
+                reply.get("type") == "accepted"
+                and pending.writer is not None
+                and pending.lock is not None
+            ):
+                self._notify_routes[intent.request_id] = (pending.writer, pending.lock)
             self._queued_submits -= 1
             self._pending_ids.discard(intent.request_id)
             pending.reply.set_result(reply)
@@ -649,6 +884,14 @@ class EmbeddingServer:
             )
             reply["decision_index"] = decision_index
             return reply
+        if result.embedding is not None:
+            # Remembered for the repair ladder; dropped again on release.
+            self._repair.track(
+                intent.request_id,
+                result.embedding,
+                FlowConfig(rate=intent.rate),
+                result.total_cost,
+            )
         self.counters["accepted"] += 1
         self.counters["total_cost_accepted"] += result.total_cost
         return {

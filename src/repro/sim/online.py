@@ -24,7 +24,9 @@ from typing import Iterator
 
 from ..config import FlowConfig
 from ..embedding.base import Embedder, EmbeddingResult
-from ..exceptions import ConfigurationError
+from ..exceptions import LedgerError
+from ..faults.model import FaultEvent, FaultState, degrade_network
+from ..faults.repair import RepairAction, RepairEngine, RepairOutcome
 from ..network.cloud import CloudNetwork
 from ..network.reservations import Reservation, ReservationLedger
 from ..network.state import ResidualState
@@ -54,6 +56,11 @@ class OnlineStats:
     accepted: int
     departed: int
     total_cost_accepted: float
+    #: fault-time counters — all zero on a fault-free run.
+    evicted: int = 0
+    repairs_rerouted: int = 0
+    repairs_reembedded: int = 0
+    repair_cost_delta: float = 0.0
 
     @property
     def acceptance_ratio(self) -> float:
@@ -63,7 +70,12 @@ class OnlineStats:
     @property
     def active(self) -> int:
         """Requests currently holding resources."""
-        return self.accepted - self.departed
+        return self.accepted - self.departed - self.evicted
+
+    @property
+    def survival_ratio(self) -> float:
+        """Fraction of accepted requests never evicted by a fault."""
+        return 1.0 - self.evicted / self.accepted if self.accepted else 1.0
 
 
 class OnlineSimulator:
@@ -79,10 +91,25 @@ class OnlineSimulator:
         self.solver = solver
         self.state = ResidualState(network)
         self._ledger = ReservationLedger(self.state)
+        self._repair = RepairEngine(self._ledger, solver)
         self._arrivals = 0
         self._accepted = 0
         self._departed = 0
         self._total_cost = 0.0
+        self._evicted = 0
+        self._rerouted = 0
+        self._reembedded = 0
+        self._repair_cost_delta = 0.0
+
+    @property
+    def faults(self) -> FaultState:
+        """The live fault state (pristine unless :meth:`apply_fault` was used)."""
+        return self._repair.faults
+
+    @property
+    def repair_engine(self) -> RepairEngine:
+        """The engine tracking embeddings and running the repair ladder."""
+        return self._repair
 
     # -- arrivals -----------------------------------------------------------------
 
@@ -93,11 +120,17 @@ class OnlineSimulator:
         :meth:`release` is called with the same request id.
         """
         if self._ledger.is_active(request.request_id):
-            raise ConfigurationError(
-                f"request id {request.request_id} is already active"
+            raise LedgerError(
+                request.request_id,
+                "duplicate_request",
+                f"request id {request.request_id} is already active",
             )
         self._arrivals += 1
         view = self.state.to_network()
+        if self._repair.faults.any_dead:
+            # Degrade only under active faults, so the fault-free pipeline
+            # (and its perf goldens) stays bit-identical to the seed.
+            view = degrade_network(view, self._repair.faults)
         result = self.solver.embed(
             view, request.dag, request.source, request.dest, request.flow, rng=rng
         )
@@ -105,6 +138,7 @@ class OnlineSimulator:
             return result
 
         assert result.cost is not None
+        assert result.embedding is not None
         reservation = Reservation.from_counts(
             result.cost.alpha_vnf,
             result.cost.alpha_link,
@@ -112,6 +146,9 @@ class OnlineSimulator:
             cost=result.total_cost,
         )
         self._ledger.reserve(request.request_id, reservation)
+        self._repair.track(
+            request.request_id, result.embedding, request.flow, result.total_cost
+        )
         self._accepted += 1
         self._total_cost += result.total_cost
         return result
@@ -121,7 +158,29 @@ class OnlineSimulator:
     def release(self, request_id: int) -> None:
         """Return all resources held by an accepted request."""
         self._ledger.release(request_id)
+        self._repair.forget(request_id)
         self._departed += 1
+
+    # -- faults --------------------------------------------------------------------
+
+    def apply_fault(self, event: FaultEvent, rng: RngStream = None) -> list[RepairOutcome]:
+        """Fold one fault event in, repairing every affected embedding.
+
+        Failures immediately run the reroute → re-embed → evict ladder over
+        the affected requests; recoveries just restore visibility (a later
+        arrival sees the element again). Returns the repair outcomes.
+        """
+        outcomes = self._repair.apply_event(event, rng=rng)
+        for outcome in outcomes:
+            if outcome.action is RepairAction.REROUTED:
+                self._rerouted += 1
+                self._repair_cost_delta += outcome.cost_delta
+            elif outcome.action is RepairAction.RE_EMBEDDED:
+                self._reembedded += 1
+                self._repair_cost_delta += outcome.cost_delta
+            else:
+                self._evicted += 1
+        return outcomes
 
     # -- introspection ------------------------------------------------------------------
 
@@ -136,4 +195,8 @@ class OnlineSimulator:
             accepted=self._accepted,
             departed=self._departed,
             total_cost_accepted=self._total_cost,
+            evicted=self._evicted,
+            repairs_rerouted=self._rerouted,
+            repairs_reembedded=self._reembedded,
+            repair_cost_delta=self._repair_cost_delta,
         )

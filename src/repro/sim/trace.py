@@ -14,11 +14,13 @@ from typing import Iterator
 
 from ..config import FlowConfig, SfcConfig
 from ..exceptions import ConfigurationError
+from ..faults.model import FaultScript
+from ..faults.repair import RepairAction, RepairOutcome
 from ..sfc.generator import generate_dag_sfc
 from ..utils.rng import RngStream, as_generator
 from .online import OnlineSimulator, SfcRequest
 
-__all__ = ["TraceEvent", "ArrivalTrace", "generate_trace"]
+__all__ = ["TraceEvent", "ArrivalTrace", "generate_trace", "replay", "replay_with_faults"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -126,3 +128,53 @@ def replay(
             result = simulator.submit(ev.request, rng=int(gen.integers(2**31)))
             if result.success:
                 accepted.add(ev.request.request_id)
+
+
+def replay_with_faults(
+    trace: ArrivalTrace,
+    script: FaultScript,
+    simulator: OnlineSimulator,
+    *,
+    rng: RngStream = None,
+) -> list[RepairOutcome]:
+    """Replay a trace with fault events interleaved between the step phases.
+
+    Per step the order is: **departures** (as in :func:`replay`), then the
+    step's **fault events** (recoveries before failures — the script's
+    canonical order — so freed elements are visible to same-step repairs),
+    then **arrivals** against the possibly-degraded view. Evicted requests
+    are dropped from the departure schedule, so the ledger never sees a
+    release for a request the repair ladder already evicted. Returns every
+    repair outcome, in occurrence order.
+    """
+    gen = as_generator(rng)
+    departures = trace.departures_by_step()
+    faults_by_step = script.events_by_step()
+    accepted: set[int] = set()
+    arrivals_by_step: dict[int, list[TraceEvent]] = {}
+    for ev in trace:
+        arrivals_by_step.setdefault(ev.step, []).append(ev)
+    last = max(
+        trace.steps,
+        int(max(departures, default=0)),
+        int(max(faults_by_step, default=0)),
+    )
+    outcomes: list[RepairOutcome] = []
+    for step in range(last + 1):
+        for rid in departures.get(step, ()):
+            if rid in accepted:
+                simulator.release(rid)
+                accepted.discard(rid)
+        for fault in faults_by_step.get(step, ()):
+            step_outcomes = simulator.apply_fault(
+                fault, rng=int(gen.integers(2**31))
+            )
+            for outcome in step_outcomes:
+                if outcome.action is RepairAction.EVICTED:
+                    accepted.discard(outcome.request_id)
+            outcomes.extend(step_outcomes)
+        for ev in arrivals_by_step.get(step, ()):
+            result = simulator.submit(ev.request, rng=int(gen.integers(2**31)))
+            if result.success:
+                accepted.add(ev.request.request_id)
+    return outcomes

@@ -1,0 +1,260 @@
+"""Repair-oriented solving: local path rebuilds and pinned re-embedding.
+
+Two entry points back the graded recovery ladder of
+:mod:`repro.faults.repair`, both deliberately plain functions (they are
+*modes of using* solvers, not solvers — they never appear in the registry):
+
+* :func:`rebuild_paths` — the cheap rung. When a failure broke only
+  real-paths (every placement survived), each broken path is replaced by the
+  cheapest feasible detour on the degraded residual view. The detour search
+  honors the paper's accounting: within a layer the inter-layer paths form a
+  multicast, so links the layer already pays are free to reuse (the
+  ``min{..,1}`` of eq. 9), while inner-layer paths pay every traversal
+  (eq. 10). Surviving paths are never touched, so the repair cost delta is
+  exactly the broken paths' detour premium.
+
+* :func:`reembed` — the heavy rung. Runs any registered solver on the
+  degraded view, first with the surviving placements *pinned* (a VNF
+  category whose positions all survived is restricted to its current
+  nodes, biasing the solver toward a minimal-movement solution), then
+  unpinned as a fallback.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Collection, Mapping
+
+from ..config import FlowConfig
+from ..embedding.base import Embedder, EmbeddingResult
+from ..embedding.costing import CostBreakdown, compute_cost
+from ..embedding.feasibility import verify_embedding
+from ..embedding.mapping import Embedding
+from ..exceptions import EmbeddingError
+from ..network.cloud import CloudNetwork
+from ..network.graph import Graph
+from ..network.paths import Path
+from ..nfv.instances import DeploymentMap
+from ..sfc.dag import DagSfc
+from ..types import DUMMY_VNF, EdgeKey, NodeId, Position, VnfTypeId
+from ..utils.rng import RngStream
+
+__all__ = ["rebuild_paths", "reembed"]
+
+_EPS = 1e-9
+
+
+def _cheapest_detour(
+    graph: Graph,
+    source: NodeId,
+    target: NodeId,
+    free_edges: frozenset[EdgeKey],
+    usable: "Mapping[EdgeKey, bool] | None",
+    uses: Mapping[EdgeKey, int],
+    rate: float,
+) -> Path | None:
+    """Dijkstra with multicast-aware weights over the degraded view.
+
+    An edge in ``free_edges`` (the layer's already-paid multicast set) has
+    weight 0 and is always capacity-feasible; any other edge weighs its
+    price and must fit one more charged use at ``rate``. ``usable`` is an
+    optional per-edge veto (unused today, reserved for pinning filters).
+    """
+    if source == target:
+        return Path.trivial(source)
+    if not graph.has_node(source) or not graph.has_node(target):
+        return None
+    dist: dict[NodeId, float] = {}
+    pred: dict[NodeId, NodeId] = {}
+    tentative: dict[NodeId, float] = {source: 0.0}
+    heap: list[tuple[float, NodeId]] = [(0.0, source)]
+    inf = float("inf")
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in dist:
+            continue
+        dist[node] = d
+        if node == target:
+            break
+        for nb, link in graph.adjacency(node):
+            if nb in dist:
+                continue
+            key = link.key
+            if usable is not None and not usable.get(key, True):
+                continue
+            if key in free_edges:
+                weight = 0.0
+            else:
+                if (uses.get(key, 0) + 1) * rate > link.capacity + _EPS:
+                    continue
+                weight = link.price
+            nd = d + weight
+            if nd < tentative.get(nb, inf):
+                tentative[nb] = nd
+                pred[nb] = node
+                heapq.heappush(heap, (nd, nb))
+    if target not in dist:
+        return None
+    nodes = [target]
+    while nodes[-1] != source:
+        nodes.append(pred[nodes[-1]])
+    nodes.reverse()
+    return Path(nodes)
+
+
+def rebuild_paths(
+    view: CloudNetwork,
+    embedding: Embedding,
+    flow: FlowConfig,
+    *,
+    broken_inter: Collection[Position],
+    broken_inner: Collection[Position],
+) -> tuple[Embedding, CostBreakdown] | None:
+    """Replace broken real-paths with cheapest feasible detours, or None.
+
+    Precondition: every placement of ``embedding`` is alive on ``view`` (the
+    caller checked :attr:`~repro.faults.impact.RequestImpact.placements_intact`)
+    and the request's own reservation has already been released, so ``view``'s
+    residual capacities exclude it. Paths are rebuilt one at a time in sorted
+    key order against running eq. 8 charged-use bookkeeping, so two detours
+    of one repair can never jointly oversubscribe a link.
+    """
+    stretched = embedding.stretched()
+    rate = flow.rate
+    inter = dict(embedding.inter_paths)
+    inner = dict(embedding.inner_paths)
+    for pos in broken_inter:
+        inter.pop(pos, None)
+    for pos in broken_inner:
+        inner.pop(pos, None)
+
+    # Seed the charged-use bookkeeping from the surviving paths.
+    uses: dict[EdgeKey, int] = {}
+    for path in inner.values():
+        for e in path.edges():
+            uses[e] = uses.get(e, 0) + 1
+    layer_edges: dict[int, set[EdgeKey]] = {}
+    for pos, path in inter.items():
+        layer_edges.setdefault(pos.layer, set()).update(path.edge_set())
+    for edges in layer_edges.values():
+        for e in edges:
+            uses[e] = uses.get(e, 0) + 1
+
+    graph = view.graph
+    for pos in sorted(broken_inter):
+        src = embedding.node_of(stretched.end_position(pos.layer - 1))
+        dst = embedding.node_of(pos)
+        mset = layer_edges.setdefault(pos.layer, set())
+        path = _cheapest_detour(
+            graph, src, dst, frozenset(mset), None, uses, rate
+        )
+        if path is None:
+            return None
+        inter[pos] = path
+        for e in path.edge_set():
+            if e not in mset:
+                mset.add(e)
+                uses[e] = uses.get(e, 0) + 1
+
+    for pos in sorted(broken_inner):
+        src = embedding.node_of(pos)
+        dst = embedding.node_of(stretched.end_position(pos.layer))
+        path = _cheapest_detour(
+            graph, src, dst, frozenset(), None, uses, rate
+        )
+        if path is None:
+            return None
+        inner[pos] = path
+        for e in path.edges():
+            uses[e] = uses.get(e, 0) + 1
+
+    repaired = Embedding(
+        dag=embedding.dag,
+        source=embedding.source,
+        dest=embedding.dest,
+        placements=dict(embedding.placements),
+        inter_paths=inter,
+        inner_paths=inner,
+    )
+    try:
+        verify_embedding(view, repaired, flow)
+    except EmbeddingError:
+        return None
+    return repaired, compute_cost(view, repaired, flow)
+
+
+def _pin_view(
+    view: CloudNetwork, dag: DagSfc, pinned: Mapping[Position, NodeId]
+) -> CloudNetwork | None:
+    """Restrict fully-pinned VNF categories to their surviving nodes.
+
+    A category is *fully pinned* when every DAG position requiring it has a
+    surviving placement whose instance still exists on the view; such
+    categories keep only their pinned instances, steering the solver back to
+    the nodes the request already rents. Partially-pinned categories are
+    left untouched (the solver must re-place the dead positions freely).
+    Returns None when nothing ended up restricted — then pinning is a no-op
+    and the caller should skip the extra solve.
+    """
+    from ..sfc.stretch import StretchedSfc
+
+    stretched = StretchedSfc(dag)
+    positions_by_type: dict[VnfTypeId, list[Position]] = {}
+    for pos in dag.positions():
+        vnf = stretched.vnf_at(pos)
+        if vnf == DUMMY_VNF:
+            continue
+        positions_by_type.setdefault(vnf, []).append(pos)
+
+    allowed: dict[VnfTypeId, frozenset[NodeId]] = {}
+    for vnf, positions in positions_by_type.items():
+        nodes: set[NodeId] = set()
+        for pos in positions:
+            node = pinned.get(pos)
+            if node is None or not view.has_vnf(node, vnf):
+                break
+            nodes.add(node)
+        else:
+            allowed[vnf] = frozenset(nodes)
+    if not allowed:
+        return None
+
+    deployments = DeploymentMap()
+    restricted = False
+    for inst in view.deployments.all_instances():
+        keep = allowed.get(inst.vnf_type)
+        if keep is not None and inst.node not in keep:
+            restricted = True
+            continue
+        deployments.add(inst)
+    if not restricted:
+        return None
+    return CloudNetwork(view.graph, deployments)
+
+
+def reembed(
+    solver: Embedder,
+    view: CloudNetwork,
+    dag: DagSfc,
+    source: NodeId,
+    dest: NodeId,
+    flow: FlowConfig,
+    *,
+    pinned: Mapping[Position, NodeId] | None = None,
+    rng: RngStream = None,
+) -> EmbeddingResult:
+    """Solve on the degraded view, preferring the surviving placements.
+
+    With ``pinned`` placements the solver first sees a view where fully
+    surviving categories offer only their current nodes; if that fails (or
+    nothing was pinnable) it retries on the unrestricted view. Either way
+    the returned result was verified against ``view``'s residual capacities
+    by the shared referee.
+    """
+    if pinned:
+        pruned = _pin_view(view, dag, pinned)
+        if pruned is not None:
+            result = solver.embed(pruned, dag, source, dest, flow, rng)
+            if result.success:
+                return result
+    return solver.embed(view, dag, source, dest, flow, rng)

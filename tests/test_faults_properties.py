@@ -1,0 +1,113 @@
+"""Property-based tests: fail → repair → recover conserves capacity.
+
+The repair ladder's load-bearing invariant is bookkeeping-shaped, so it is
+tested the bookkeeping way: random substrates, random arrival traces and
+random MTBF/MTTR fault scripts replayed end to end, after which releasing
+every surviving request must leave the residual state exactly pristine —
+no leaked link rate, no leaked instance rate, regardless of how many
+reroutes, pinned re-embeds and evictions happened along the way. One
+hypothesis property drives the paper's four algorithms; a fixed-seed
+sweep extends the same check to every solver in the registry.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import NetworkConfig, SfcConfig
+from repro.exceptions import IlpUnavailableError
+from repro.faults.model import FaultSpec, FaultState, generate_fault_script
+from repro.network.generator import generate_network
+from repro.sim.online import OnlineSimulator
+from repro.sim.trace import generate_trace, replay_with_faults
+from repro.solvers import available_solvers, make_solver
+
+# Whole chaos replays per example: keep the example count modest.
+CHAOS = settings(
+    max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+PAPER_ALGORITHMS = ("RANV", "MINV", "BBE", "MBBE")
+
+
+def run_chaos_replay(algorithm: str, seed: int, intensity: float) -> OnlineSimulator:
+    """One full fault-injected replay on a small random instance."""
+    cfg = NetworkConfig(
+        size=14,
+        connectivity=3.0,
+        n_vnf_types=4,
+        deploy_ratio=0.6,
+        vnf_capacity=60.0,
+        link_capacity=60.0,
+    )
+    net = generate_network(cfg, rng=seed)
+    steps = 25
+    trace = generate_trace(
+        steps=steps,
+        n_nodes=cfg.size,
+        n_vnf_types=cfg.n_vnf_types,
+        sfc=SfcConfig(size=2),
+        mean_hold=8.0,
+        rng=seed + 1,
+    )
+    spec = FaultSpec(
+        horizon=steps,
+        node_mtbf=18.0 / intensity,
+        link_mtbf=12.0 / intensity,
+        instance_mtbf=15.0 / intensity,
+        node_mttr=3.0,
+        link_mttr=3.0,
+        instance_mttr=3.0,
+    )
+    script = generate_fault_script(spec, net, rng=seed + 2)
+    sim = OnlineSimulator(net, make_solver(algorithm))
+    replay_with_faults(trace, script, sim, rng=seed + 3)
+    return sim
+
+
+def assert_capacity_conserved(sim: OnlineSimulator) -> None:
+    """Releasing every survivor must zero out the residual bookkeeping."""
+    stats = sim.stats()
+    assert stats.active == len(list(sim.active_requests()))
+    assert stats.evicted + stats.departed + stats.active == stats.accepted
+    assert 0.0 <= stats.survival_ratio <= 1.0
+    for rid in list(sim.active_requests()):
+        sim.release(rid)
+    leaked_links = list(sim.state.used_links())
+    leaked_vnfs = list(sim.state.used_vnfs())
+    assert leaked_links == [], f"leaked link rate after chaos: {leaked_links}"
+    assert leaked_vnfs == [], f"leaked instance rate after chaos: {leaked_vnfs}"
+
+
+class TestRepairConservesCapacity:
+    @given(
+        seed=st.integers(0, 100_000),
+        algorithm=st.sampled_from(PAPER_ALGORITHMS),
+        intensity=st.sampled_from((0.5, 1.0, 2.0)),
+    )
+    @CHAOS
+    def test_random_fault_scripts_conserve_capacity(self, seed, algorithm, intensity):
+        sim = run_chaos_replay(algorithm, seed, intensity)
+        assert_capacity_conserved(sim)
+
+    @pytest.mark.parametrize("algorithm", available_solvers())
+    def test_every_registry_solver_conserves_capacity(self, algorithm):
+        try:
+            sim = run_chaos_replay(algorithm, seed=29, intensity=1.0)
+        except IlpUnavailableError:
+            pytest.skip(f"{algorithm} backend unavailable in this environment")
+        assert_capacity_conserved(sim)
+
+    @given(seed=st.integers(0, 100_000))
+    @CHAOS
+    def test_generated_scripts_always_end_pristine(self, seed):
+        # The generator's contract: every timeline closes with a recovery,
+        # so a fully-applied script leaves no element dead.
+        cfg = NetworkConfig(size=12, connectivity=3.0, n_vnf_types=4, deploy_ratio=0.5)
+        net = generate_network(cfg, rng=seed)
+        spec = FaultSpec(horizon=30, node_mtbf=9.0, link_mtbf=7.0, instance_mtbf=11.0)
+        script = generate_fault_script(spec, net, rng=seed)
+        state = FaultState()
+        for event in script:
+            state.apply(event)
+        assert not state.any_dead

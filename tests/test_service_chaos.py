@@ -1,0 +1,262 @@
+"""End-to-end chaos: the embedding service under substrate failures.
+
+Runs the real asyncio server in-process with a fault script (or ad-hoc
+injected events) and drives it with real clients. The central properties:
+
+* concurrent submits + scripted failures never corrupt the ledger — after
+  the dust settles every request is in exactly one terminal state and
+  releasing the survivors leaves the server empty;
+* repair outcomes reach the submitting connection as structured `notify`
+  pushes with the documented status vocabulary;
+* while degraded the server sheds with the retryable code ``degraded``,
+  and :class:`~repro.service.retry.ResilientClient` rides out transient
+  sheds and surfaces hard connection loss as typed
+  :class:`~repro.exceptions.ServiceUnavailable`.
+
+Plain ``asyncio.run`` per test — no asyncio pytest plugin is assumed.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.config import NetworkConfig, SfcConfig
+from repro.exceptions import ServiceUnavailable
+from repro.faults.model import (
+    FaultAction,
+    FaultEvent,
+    FaultSpec,
+    FaultTarget,
+    generate_fault_script,
+)
+from repro.network.generator import generate_network
+from repro.service import (
+    EmbeddingServer,
+    ResilientClient,
+    RetryPolicy,
+    ServiceClient,
+    ServiceConfig,
+)
+from repro.service.protocol import NOTIFY_STATUSES
+from repro.sfc.generator import generate_dag_sfc
+from repro.utils.rng import as_generator
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def chaos_network(seed: int = 17):
+    cfg = NetworkConfig(
+        size=30, connectivity=4.0, n_vnf_types=6, deploy_ratio=0.5,
+        vnf_capacity=100.0, link_capacity=100.0,
+    )
+    return generate_network(cfg, rng=seed)
+
+
+def make_workload(network, n: int, *, seed: int = 11):
+    """n submit tuples (rid, dag, src, dst, rate, solver_seed)."""
+    gen = as_generator(seed)
+    out = []
+    for rid in range(n):
+        dag = generate_dag_sfc(SfcConfig(size=3), 6, rng=gen)
+        src, dst = (int(v) for v in gen.choice(network.num_nodes, size=2, replace=False))
+        out.append((rid, dag, src, dst, 1.0, int(gen.integers(2**31))))
+    return out
+
+
+def drain_notifications(client: ServiceClient) -> list[dict]:
+    out = []
+    while not client.notifications.empty():
+        out.append(client.notifications.get_nowait())
+    return out
+
+
+class TestChaosEndToEnd:
+    def test_scripted_chaos_never_corrupts_the_ledger(self):
+        """≥30 concurrent in-flight submits under a live fault script."""
+        network = chaos_network()
+        spec = FaultSpec(
+            horizon=30, node_mtbf=25.0, link_mtbf=12.0, instance_mtbf=20.0,
+            node_mttr=4.0, link_mttr=4.0, instance_mttr=4.0,
+        )
+        script = generate_fault_script(spec, network, rng=23)
+        assert len(script) > 0
+        workload = make_workload(network, 36)
+        config = ServiceConfig(
+            batch_size=4, queue_limit=128, workers=0,
+            fault_script=script, chaos_tick=0.01,
+        )
+
+        async def drive():
+            async with EmbeddingServer(network, config) as server:
+                host, port = server.address
+                async with await ServiceClient.connect(host, port) as client:
+                    outcomes = await asyncio.gather(
+                        *(
+                            client.submit(rid, dag, src, dst, rate=rate, seed=s)
+                            for rid, dag, src, dst, rate, s in workload
+                        )
+                    )
+                    await server.wait_chaos_complete()
+                    # Let the dispatcher finish the final fault batch, then a
+                    # round-trip to flush any notify still in the socket.
+                    await asyncio.sleep(0.1)
+                    mid_stats = await client.stats()
+                    notes = drain_notifications(client)
+                    evicted = {
+                        n["request_id"] for n in notes if n["status"] == "evicted"
+                    }
+                    released = {}
+                    for outcome in outcomes:
+                        if outcome.accepted and outcome.request_id not in evicted:
+                            released[outcome.request_id] = await client.release(
+                                outcome.request_id
+                            )
+                    notes.extend(drain_notifications(client))
+                    final = await client.drain()
+            return outcomes, mid_stats, notes, evicted, released, final
+
+        outcomes, mid_stats, notes, evicted, released, final = run(drive())
+
+        accepted = {o.request_id for o in outcomes if o.accepted}
+        assert len(outcomes) == 36
+        assert len(accepted) >= 20, "workload must mostly be admitted"
+        assert mid_stats["counters"]["faults_injected"] > 0
+
+        # Notifications: documented vocabulary only, only for admitted
+        # requests, and eviction is terminal — nothing follows it.
+        assert notes, "the script must have damaged at least one embedding"
+        seen_after_evict: set[int] = set()
+        for note in notes:
+            assert note["status"] in NOTIFY_STATUSES
+            assert note["request_id"] in accepted
+            assert note["request_id"] not in seen_after_evict
+            if note["status"] == "evicted":
+                seen_after_evict.add(note["request_id"])
+        assert evicted == {
+            c for c in seen_after_evict
+        }, "eviction notifications must match the evicted set"
+
+        # Exactly one terminal state per accepted request: released by us
+        # (survivor) or evicted by the ladder — never both, never neither.
+        for rid in accepted:
+            if rid in evicted:
+                assert rid not in released or released[rid] is False
+            else:
+                assert released[rid] is True
+        counters = final["counters"]
+        assert counters["evictions"] == len(evicted)
+        assert final["active"] == 0, "drain must leave the ledger empty"
+        repairs = counters["repairs_rerouted"] + counters["repairs_reembedded"]
+        assert repairs + counters["evictions"] > 0
+
+        # Degradation telemetry made it to the stats surface.
+        assert "faults" in mid_stats
+        assert mid_stats["faults"]["tracked_embeddings"] >= 0
+
+    def test_degraded_admission_sheds_with_structured_code(self):
+        network = chaos_network(seed=3)
+        config = ServiceConfig(
+            batch_size=1, queue_limit=6, tick=0.2, workers=0,
+            degraded_queue_factor=0.34,
+        )
+        workload = make_workload(network, 8, seed=5)
+
+        async def drive():
+            async with EmbeddingServer(network, config) as server:
+                host, port = server.address
+                async with await ServiceClient.connect(host, port) as client:
+                    # Kill one link; wait until the dispatcher folded it in.
+                    server.inject_fault(
+                        FaultEvent(
+                            time=0,
+                            action=FaultAction.FAIL,
+                            target=FaultTarget.link(0, 1),
+                        )
+                    )
+                    for _ in range(100):
+                        stats = await client.stats()
+                        if stats["faults"]["degraded"]:
+                            break
+                        await asyncio.sleep(0.02)
+                    assert stats["faults"]["degraded"]
+                    outcomes = await asyncio.gather(
+                        *(
+                            client.submit(rid, dag, src, dst, rate=rate, seed=s)
+                            for rid, dag, src, dst, rate, s in workload
+                        )
+                    )
+                    shed = [o for o in outcomes if o.code == "degraded"]
+                    # Recovery lifts the tightened limit again.
+                    server.inject_fault(
+                        FaultEvent(
+                            time=0,
+                            action=FaultAction.RECOVER,
+                            target=FaultTarget.link(0, 1),
+                        )
+                    )
+                    for _ in range(100):
+                        stats = await client.stats()
+                        if not stats["faults"]["degraded"]:
+                            break
+                        await asyncio.sleep(0.02)
+                    assert not stats["faults"]["degraded"]
+                    final = await client.stats()
+            return outcomes, shed, final
+
+        outcomes, shed, final = run(drive())
+        # With the queue bound tightened to max(1, 6*0.34) = 2, the 8-wide
+        # concurrent burst must shed at least one submit as `degraded`.
+        assert shed, [o.code for o in outcomes]
+        assert all(o.reason for o in shed)
+        assert final["counters"]["shed_degraded"] == len(shed)
+
+    def test_resilient_client_rides_out_transient_sheds(self):
+        network = chaos_network(seed=7)
+        config = ServiceConfig(batch_size=1, queue_limit=1, tick=0.05, workers=0)
+        workload = make_workload(network, 6, seed=9)
+
+        async def drive():
+            async with EmbeddingServer(network, config) as server:
+                host, port = server.address
+                policy = RetryPolicy(attempts=10, base_delay=0.02, max_delay=0.2)
+                async with ResilientClient(host, port, policy=policy, rng=4) as rc:
+                    outcomes = await asyncio.gather(
+                        *(
+                            rc.submit(rid, dag, src, dst, rate=rate, seed=s)
+                            for rid, dag, src, dst, rate, s in workload
+                        )
+                    )
+                    retries = rc.retries
+                    await rc.drain()
+            return outcomes, retries
+
+        outcomes, retries = run(drive())
+        # queue_limit=1 guarantees the 6-wide burst collides; the retrying
+        # client must absorb every queue_full shed and land all submits.
+        assert retries > 0
+        assert all(o.accepted for o in outcomes), [
+            (o.request_id, o.code) for o in outcomes
+        ]
+
+    def test_connection_loss_surfaces_as_service_unavailable(self):
+        network = chaos_network(seed=13)
+
+        async def drive():
+            server = EmbeddingServer(network, ServiceConfig(workers=0))
+            host, port = await server.start()
+            client = await ServiceClient.connect(host, port)
+            await server.stop()
+            with pytest.raises(ServiceUnavailable):
+                await client.stats()
+            await client.close()
+            # The retrying client's reconnect budget is bounded: with the
+            # server gone it raises the typed error instead of spinning.
+            policy = RetryPolicy(attempts=2, base_delay=0.01, max_delay=0.02)
+            rc = ResilientClient(host, port, policy=policy, rng=1)
+            with pytest.raises(ServiceUnavailable):
+                await rc.stats()
+            await rc.close()
+
+        run(drive())

@@ -8,7 +8,7 @@ departures-before-arrivals convention at a shared step, request-id reuse
 import pytest
 
 from repro.config import FlowConfig, SfcConfig
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, LedgerError
 from repro.network.cloud import CloudNetwork
 from repro.sfc.builder import DagSfcBuilder
 from repro.sim.online import OnlineSimulator, SfcRequest
@@ -128,3 +128,20 @@ class TestReleaseSemantics:
         # The double release must not have corrupted the residual state.
         assert sim.state.link_used(0, 1) == 0.0
         assert sim.submit(request(1), rng=1).success
+
+    def test_ledger_errors_are_structured(self):
+        # The broad ConfigurationError the older tests catch is really a
+        # LedgerError carrying machine-readable fields — server paths turn
+        # these into typed rejections without parsing the message.
+        sim = OnlineSimulator(tight_network(), MbbeEmbedder())
+        with pytest.raises(LedgerError) as exc_info:
+            sim.release(99)
+        assert exc_info.value.request_id == 99
+        assert exc_info.value.code == "unknown_request"
+        assert isinstance(exc_info.value, ConfigurationError)
+
+        assert sim.submit(request(0), rng=1).success
+        with pytest.raises(LedgerError) as exc_info:
+            replay(ArrivalTrace(events=(event(0, 0, 5),), steps=6), sim, rng=0)
+        assert exc_info.value.request_id == 0
+        assert exc_info.value.code == "duplicate_request"
