@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -129,6 +129,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--link-capacity", type=float, default=4.0)
     serve.add_argument("--seed", type=int, default=1, help="network generator + service seed")
     serve.add_argument("--solver", type=str, default="MBBE")
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="independent substrate networks to serve (ids net0, net1, …)",
+    )
     serve.add_argument("--queue-limit", type=int, default=64)
     serve.add_argument("--batch-size", type=int, default=8)
     serve.add_argument("--tick", type=float, default=0.0, help="batch collection window (s)")
@@ -164,6 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos-tick", type=float, default=0.05, help="wall seconds per fault-script step"
     )
     serve.add_argument(
+        "--chaos-shard",
+        type=str,
+        default=None,
+        metavar="NETWORK_ID",
+        help="the shard --chaos targets (default: the default shard, net0)",
+    )
+    serve.add_argument(
         "--degraded-queue-factor",
         type=float,
         default=0.5,
@@ -181,6 +194,12 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--sfc-size", type=int, default=4)
     loadgen.add_argument("--rate", type=float, default=1.0)
     loadgen.add_argument("--seed", type=int, default=1)
+    loadgen.add_argument(
+        "--network-id",
+        type=str,
+        default=None,
+        help="address one shard of a sharded server (default: the default shard)",
+    )
     loadgen.add_argument("--mode", choices=("open", "closed"), default="open")
     loadgen.add_argument("--tick", type=float, default=0.02, help="seconds per trace step")
     loadgen.add_argument(
@@ -495,11 +514,15 @@ def _parse_chaos_spec(spec: str, network: "object", seed: int) -> "object":
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Generate the substrate, then serve until drained (Ctrl-C also stops)."""
+    """Generate the substrate(s), then serve until drained (Ctrl-C also stops)."""
     import asyncio
 
+    from .engine import ShardRouter
     from .service import EmbeddingServer, ServiceConfig, load_snapshot, make_policy
 
+    if args.shards < 1:
+        print("dag-sfc serve: --shards must be >= 1", file=sys.stderr)
+        return 2
     net_cfg = NetworkConfig(
         size=args.network_size,
         connectivity=args.connectivity,
@@ -508,10 +531,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         vnf_capacity=args.vnf_capacity,
         link_capacity=args.link_capacity,
     )
-    network = generate_network(net_cfg, rng=args.seed)
+    # Shard i's substrate derives from seed + i, so shard net0 of a sharded
+    # server is the same network a single-network `serve --seed S` builds.
+    networks = {
+        f"net{i}": generate_network(net_cfg, rng=args.seed + i)
+        for i in range(args.shards)
+    }
+    chaos_shard = args.chaos_shard
+    if chaos_shard is not None and chaos_shard not in networks:
+        print(
+            f"dag-sfc serve: --chaos-shard {chaos_shard!r} is not served "
+            f"(shards: {', '.join(networks)})",
+            file=sys.stderr,
+        )
+        return 2
     fault_script = None
     if args.chaos:
-        fault_script = _parse_chaos_spec(args.chaos, network, args.seed + 1)
+        chaos_network = networks[chaos_shard or next(iter(networks))]
+        fault_script = _parse_chaos_spec(args.chaos, chaos_network, args.seed + 1)
         print(f"chaos mode: {len(fault_script.events)} scripted fault events")
     config = ServiceConfig(
         host=args.host,
@@ -526,6 +563,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         snapshot_path=args.snapshot,
         fault_script=fault_script,
+        chaos_network_id=chaos_shard,
         chaos_tick=args.chaos_tick,
         degraded_queue_factor=args.degraded_queue_factor,
     )
@@ -535,22 +573,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         else {}
     )
     policy = make_policy(args.admission, **policy_kwargs)
-    ledger = counters = None
-    if args.resume:
-        if not args.snapshot:
-            print("dag-sfc serve: --resume requires --snapshot", file=sys.stderr)
-            return 2
-        ledger, counters = load_snapshot(args.snapshot, network)
-        print(f"resumed {len(ledger)} active reservations from {args.snapshot}")
+    server_kwargs: dict[str, Any] = {}
+    if args.resume and not args.snapshot:
+        print("dag-sfc serve: --resume requires --snapshot", file=sys.stderr)
+        return 2
+    if args.shards == 1:
+        # Single-network path, unchanged since protocol v1: the snapshot's
+        # counter dict carries the transport keys alongside the engine's.
+        (network,) = networks.values()
+        ledger = counters = None
+        if args.resume:
+            ledger, counters = load_snapshot(args.snapshot, network)
+            print(f"resumed {len(ledger)} active reservations from {args.snapshot}")
+        server_target: Any = network
+        server_kwargs = {
+            "ledger": ledger,
+            "counters": counters,
+            "n_vnf_types": args.n_vnf_types,
+        }
+    elif args.resume:
+        router, leftovers = ShardRouter.restore(
+            networks, args.solver, args.snapshot, seed=args.seed
+        )
+        print(
+            f"resumed {router.active_count()} active reservations across "
+            f"{len(router)} shards from {args.snapshot}"
+        )
+        server_target = router
+        server_kwargs = {"transport_counters": leftovers}
+    else:
+        server_target = networks
 
     async def _serve() -> None:
-        server = EmbeddingServer(
-            network, config, policy=policy, ledger=ledger, counters=counters,
-            n_vnf_types=args.n_vnf_types,
-        )
+        server = EmbeddingServer(server_target, config, policy=policy, **server_kwargs)
         host, port = await server.start()
+        shard_note = (
+            f"{args.shards} shards x {args.network_size} nodes"
+            if args.shards > 1
+            else f"{args.network_size} nodes"
+        )
         print(
-            f"serving {args.network_size} nodes on {host}:{port} "
+            f"serving {shard_note} on {host}:{port} "
             f"(solver {config.solver}, policy {policy.name}, "
             f"{'speculative' if config.speculative else 'strict'} dispatch, "
             f"workers {config.workers})",
@@ -579,10 +642,30 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     async def _run() -> int:
         client = await ServiceClient.connect(args.host, args.port)
         try:
+            # Trace dimensions come from the addressed shard's advertised
+            # identity (the hello's shard list); no --network-id means the
+            # server's top-level (default-shard) fields, as in protocol v1.
+            shard_info: dict[str, Any] = dict(client.hello)
+            if args.network_id is not None:
+                for entry in client.hello.get("shards", []):
+                    if entry.get("network_id") == args.network_id:
+                        shard_info = dict(entry)
+                        break
+                else:
+                    served = [
+                        str(e.get("network_id"))
+                        for e in client.hello.get("shards", [])
+                    ]
+                    print(
+                        f"dag-sfc loadgen: server does not serve network_id "
+                        f"{args.network_id!r} (shards: {', '.join(served) or 'none'})",
+                        file=sys.stderr,
+                    )
+                    return 2
             trace = generate_trace(
                 steps=args.steps,
-                n_nodes=int(client.hello["n_nodes"]),
-                n_vnf_types=max(1, int(client.hello["n_vnf_types"])),
+                n_nodes=int(shard_info["n_nodes"]),
+                n_vnf_types=max(1, int(shard_info["n_vnf_types"])),
                 sfc=SfcConfig(size=args.sfc_size),
                 arrival_probability=args.arrival_prob,
                 mean_hold=args.mean_hold,
@@ -600,6 +683,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 tick_s=args.tick,
                 max_in_flight=args.max_in_flight,
                 rng=args.seed + 1,
+                network_id=args.network_id,
             )
             print(report.format_table())
             if args.out:
@@ -615,6 +699,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                         "seed": args.seed,
                         "tick_s": args.tick,
                         "max_in_flight": args.max_in_flight,
+                        "network_id": args.network_id,
                         "server": dict(client.hello),
                     },
                 )

@@ -1,0 +1,61 @@
+"""The transport-agnostic embedding engine (one substrate, one state machine).
+
+This package is the single home of the admission → solve → commit → repair
+lifecycle that used to exist twice — synchronously in the offline simulator
+and interleaved with asyncio transport concerns in the embedding server.
+Both are thin drivers over it now:
+
+* :mod:`repro.engine.request` — :class:`EmbeddingRequest`, the one request
+  type the sim, the wire protocol, and the engine all share;
+* :mod:`repro.engine.core` — :class:`EmbeddingEngine` (ledger + fault state
+  + repair ladder + decision logic) and its :class:`Decision` verdicts;
+* :mod:`repro.engine.router` — :class:`ShardRouter`, mapping ``network_id``
+  → engine for multi-network sharding;
+* :mod:`repro.engine.state_store` — fingerprint-guarded snapshot/restore
+  (single and sharded document kinds);
+* :mod:`repro.engine.worker` — the pool-side solve with per-process solver
+  reuse, for transports that run solves off their event loop.
+
+Layering rule (enforced by reprolint's RPL601): the service transport
+imports solvers, the reservation ledger, and the repair machinery **only**
+through this package. See ``docs/architecture.md``.
+"""
+
+from ..faults.repair import RepairAction, RepairOutcome
+from ..network.reservations import Reservation, ReservationLedger
+from .core import ENGINE_COUNTER_KEYS, FLOAT_COUNTER_KEYS, Decision, EmbeddingEngine
+from .request import EmbeddingRequest
+from .router import DEFAULT_NETWORK_ID, ShardRouter, advertised_vnf_types
+from .state_store import (
+    SHARDED_SNAPSHOT_KIND,
+    SNAPSHOT_KIND,
+    load_sharded_snapshot,
+    load_snapshot,
+    network_fingerprint,
+    save_sharded_snapshot,
+    save_snapshot,
+)
+from .worker import solve_on_view
+
+__all__ = [
+    "ENGINE_COUNTER_KEYS",
+    "FLOAT_COUNTER_KEYS",
+    "Decision",
+    "EmbeddingEngine",
+    "EmbeddingRequest",
+    "DEFAULT_NETWORK_ID",
+    "ShardRouter",
+    "advertised_vnf_types",
+    "RepairAction",
+    "RepairOutcome",
+    "Reservation",
+    "ReservationLedger",
+    "SNAPSHOT_KIND",
+    "SHARDED_SNAPSHOT_KIND",
+    "network_fingerprint",
+    "load_snapshot",
+    "save_snapshot",
+    "load_sharded_snapshot",
+    "save_sharded_snapshot",
+    "solve_on_view",
+]

@@ -1,0 +1,456 @@
+"""The transport-agnostic embedding engine.
+
+One :class:`EmbeddingEngine` owns the *authoritative* state of one
+substrate network — the residual capacity (via the shared
+:class:`~repro.network.reservations.ReservationLedger`), the live
+:class:`~repro.faults.model.FaultState`, and the
+:class:`~repro.faults.repair.RepairEngine` that walks damaged requests down
+the reroute → re-embed → evict ladder — and exposes the full admission
+lifecycle as plain synchronous methods:
+
+* :meth:`view` — the residual network solves run on (degraded under
+  active faults; the projection is never built fault-free, keeping the
+  no-chaos pipeline bit-identical to a state machine without faults);
+* :meth:`solve` / :meth:`commit` — the two halves of one decision, split
+  so a transport can run solves elsewhere (worker pool, thread) and feed
+  the results back into the sole state mutator;
+* :meth:`submit` / :meth:`submit_batch` — synchronous compositions of the
+  two for in-process drivers (the offline simulator, tests), including the
+  strict vs speculative batch-view policy;
+* :meth:`release`, :meth:`apply_fault`, :meth:`stats`, :meth:`drain`,
+  :meth:`save_snapshot` / :meth:`restore` — departures, chaos, telemetry,
+  durability.
+
+Everything here is synchronous and transport-free by design: the asyncio
+server (:mod:`repro.service.server`) and the offline simulator
+(:mod:`repro.sim.online`) are both thin drivers over this one code path, so
+offline replay ≡ service decisions holds by construction instead of by
+hand-maintained duplication.
+
+The engine is **not** thread-safe; a transport must funnel all mutations
+through one writer (the service's dispatcher task already does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..embedding.base import Embedder, EmbeddingResult
+from ..exceptions import CapacityError, ConfigurationError, LedgerError
+from ..faults.model import FaultAction, FaultEvent, FaultState, degrade_network
+from ..faults.repair import RepairAction, RepairEngine, RepairOutcome
+from ..network.cloud import CloudNetwork
+from ..network.reservations import Reservation, ReservationLedger
+from ..network.state import ResidualState
+from ..solvers.registry import make_solver
+from ..utils.rng import RngStream, trial_seed
+from ..utils.stats import percentile
+from . import state_store
+from .request import EmbeddingRequest
+
+__all__ = [
+    "ENGINE_COUNTER_KEYS",
+    "FLOAT_COUNTER_KEYS",
+    "Decision",
+    "EmbeddingEngine",
+]
+
+#: Seed salt for engine-derived solver streams (callers may override per
+#: request); distinct from the runner's 0xA160 so service traffic never
+#: aliases experiment streams.
+_SERVICE_SEED_SALT = 0x5EC5
+
+#: Seed salt for the repair ladder's re-embed solves (one stream per fault
+#: event), distinct from both the runner's and the submit-path salts.
+_CHAOS_SEED_SALT = 0xFA17
+
+#: Counters the engine itself maintains (decision + fault lifecycle).
+#: Transport-level counters (``submitted``, ``shed_*``) live with the
+#: transport; :meth:`EmbeddingEngine.stats` reports only these.
+ENGINE_COUNTER_KEYS = (
+    "dispatched",
+    "accepted",
+    "rejected_no_solution",
+    "rejected_conflict",
+    "departed",
+    "faults_injected",
+    "recoveries",
+    "repairs_rerouted",
+    "repairs_reembedded",
+    "evictions",
+    "total_cost_accepted",
+    "repair_cost_delta",
+)
+
+#: counters that accumulate objective values rather than event counts.
+FLOAT_COUNTER_KEYS = frozenset({"total_cost_accepted", "repair_cost_delta"})
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The engine's verdict on one submitted request.
+
+    A transport formats this into its wire reply; the engine keeps it
+    protocol-free. ``decision_index`` is the engine-global decision sequence
+    number; ``commit_index`` is the order among accepted requests (``None``
+    when rejected).
+    """
+
+    request_id: int
+    msg_id: int
+    accepted: bool
+    decision_index: int
+    #: structured rejection code (``no_solution`` / ``capacity_conflict``).
+    code: str | None = None
+    reason: str | None = None
+    total_cost: float | None = None
+    vnf_cost: float | None = None
+    link_cost: float | None = None
+    runtime: float | None = None
+    commit_index: int | None = None
+
+
+class EmbeddingEngine:
+    """The synchronous admission/repair state machine of one substrate."""
+
+    def __init__(
+        self,
+        network: CloudNetwork,
+        solver: Embedder | str,
+        *,
+        seed: int = 0,
+        ledger: ReservationLedger | None = None,
+        counters: Mapping[str, float] | None = None,
+    ) -> None:
+        self.network = network
+        self.solver: Embedder = solver if isinstance(solver, Embedder) else make_solver(solver)
+        #: registry name for transports that ship solves to worker processes.
+        self.solver_name = self.solver.name
+        #: master seed for engine-derived solver streams.
+        self.seed = seed
+        if ledger is not None and ledger.state.network is not network:
+            raise ConfigurationError("restored ledger belongs to a different network")
+        self.ledger = ledger if ledger is not None else ReservationLedger(ResidualState(network))
+        # Event counts stay ints; only accumulated costs are floats.
+        self.counters: dict[str, float] = {key: 0 for key in ENGINE_COUNTER_KEYS}
+        for key in FLOAT_COUNTER_KEYS:
+            self.counters[key] = 0.0
+        if counters:
+            for key, value in counters.items():
+                if key in self.counters:
+                    self.counters[key] = (
+                        float(value) if key in FLOAT_COUNTER_KEYS else int(value)
+                    )
+        # The repair ladder re-embeds in-process (a transport's dispatcher is
+        # the sole writer, so repairs cannot overlap a pooled solve commit).
+        self._repair = RepairEngine(self.ledger, self.solver)
+        self._decision_counter = 0
+        self._fault_counter = 0
+        self._repair_times: list[float] = []
+        self._fingerprint: str | None = None
+
+    # -- identity -------------------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 of the substrate's canonical serialization (lazy, cached)."""
+        if self._fingerprint is None:
+            self._fingerprint = state_store.network_fingerprint(self.network)
+        return self._fingerprint
+
+    @property
+    def faults(self) -> FaultState:
+        """The live fault state (pristine unless :meth:`apply_fault` was used)."""
+        return self._repair.faults
+
+    @property
+    def repair_engine(self) -> RepairEngine:
+        """The engine tracking embeddings and running the repair ladder."""
+        return self._repair
+
+    @property
+    def degraded(self) -> bool:
+        """True while any substrate element is dead."""
+        return self._repair.faults.any_dead
+
+    def is_active(self, request_id: int) -> bool:
+        """True while ``request_id`` holds resources."""
+        return self.ledger.is_active(request_id)
+
+    def active_ids(self) -> Iterator[int]:
+        """Ids of requests currently holding resources."""
+        return self.ledger.active_ids()
+
+    def active_count(self) -> int:
+        """Number of requests currently holding resources."""
+        return len(self.ledger)
+
+    def repair_times(self) -> tuple[float, ...]:
+        """Wall seconds of every completed repair, in occurrence order."""
+        return tuple(self._repair_times)
+
+    # -- views and solves -----------------------------------------------------------
+
+    def view(self) -> CloudNetwork:
+        """The residual view solves run on, degraded under active faults.
+
+        Fault-free engines take the first branch only — the projection is
+        never built, keeping the no-chaos pipeline bit-identical to a
+        state machine without the fault subsystem.
+        """
+        network = self.ledger.state.to_network()
+        if self._repair.faults.any_dead:
+            network = degrade_network(network, self._repair.faults)
+        return network
+
+    def solve_seed(self, request: EmbeddingRequest) -> int:
+        """The solver seed for one request: its own, or engine-derived."""
+        if request.seed is not None:
+            return request.seed
+        return trial_seed(self.seed, request.arrival_index, salt=_SERVICE_SEED_SALT)
+
+    def solve(
+        self,
+        request: EmbeddingRequest,
+        *,
+        view: CloudNetwork | None = None,
+        rng: RngStream = None,
+    ) -> EmbeddingResult:
+        """Solve one request in-process (no state mutation).
+
+        ``rng`` is passed to the solver verbatim — in-process drivers own
+        their seeding discipline; transports that want the engine's derived
+        stream pass ``rng=self.solve_seed(request)``.
+        """
+        if view is None:
+            view = self.view()
+        return self.solver.embed(
+            view, request.dag, request.source, request.dest, request.flow, rng=rng
+        )
+
+    # -- decisions (sole state mutators) ----------------------------------------------
+
+    def commit(self, request: EmbeddingRequest, result: EmbeddingResult) -> Decision:
+        """Apply one solve outcome to the authoritative state (sync, atomic).
+
+        Re-validates capacity through the ledger's all-or-nothing reserve:
+        a speculative solve whose resources were taken by an earlier commit
+        comes back as a ``capacity_conflict`` rejection instead of corrupting
+        the residual state.
+        """
+        decision_index = self._decision_counter
+        self._decision_counter += 1
+        self.counters["dispatched"] += 1
+        if not result.success:
+            self.counters["rejected_no_solution"] += 1
+            return Decision(
+                request_id=request.request_id,
+                msg_id=request.msg_id,
+                accepted=False,
+                decision_index=decision_index,
+                code="no_solution",
+                reason=result.reason or "no feasible embedding",
+            )
+        assert result.cost is not None
+        reservation = Reservation.from_counts(
+            result.cost.alpha_vnf,
+            result.cost.alpha_link,
+            rate=request.flow.rate,
+            cost=result.total_cost,
+        )
+        try:
+            self.ledger.reserve(request.request_id, reservation)
+        except CapacityError as exc:
+            # Only reachable with stale views (speculative batches): an
+            # earlier commit consumed the capacity this solve assumed.
+            self.counters["rejected_conflict"] += 1
+            return Decision(
+                request_id=request.request_id,
+                msg_id=request.msg_id,
+                accepted=False,
+                decision_index=decision_index,
+                code="capacity_conflict",
+                reason=str(exc),
+            )
+        if result.embedding is not None:
+            # Remembered for the repair ladder; dropped again on release.
+            self._repair.track(
+                request.request_id, result.embedding, request.flow, result.total_cost
+            )
+        self.counters["accepted"] += 1
+        self.counters["total_cost_accepted"] += result.total_cost
+        return Decision(
+            request_id=request.request_id,
+            msg_id=request.msg_id,
+            accepted=True,
+            decision_index=decision_index,
+            total_cost=result.total_cost,
+            vnf_cost=result.cost.vnf_cost,
+            link_cost=result.cost.link_cost,
+            runtime=result.runtime,
+            commit_index=int(self.counters["accepted"]) - 1,
+        )
+
+    def submit(self, request: EmbeddingRequest, rng: RngStream = None) -> EmbeddingResult:
+        """Solve-and-commit one request on the current residual view.
+
+        Raises :class:`~repro.exceptions.LedgerError` for a duplicate id —
+        in-process drivers treat that as a caller bug; transports screen
+        duplicates before they reach the engine.
+        """
+        if self.ledger.is_active(request.request_id):
+            raise LedgerError(
+                request.request_id,
+                "duplicate_request",
+                f"request id {request.request_id} is already active",
+            )
+        result = self.solve(request, rng=rng)
+        self.commit(request, result)
+        return result
+
+    def submit_batch(
+        self,
+        requests: Sequence[EmbeddingRequest],
+        rng: RngStream = None,
+        *,
+        speculative: bool = False,
+    ) -> list[Decision]:
+        """Decide one micro-batch synchronously (the two dispatch modes).
+
+        * **strict** — each member solves against the residual view left by
+          the previous commit (bit-identical to submitting them one by one);
+        * **speculative** — every member solves against the batch-start
+          view, then commits in order with re-validation; losers of the
+          capacity race come back as ``capacity_conflict``.
+        """
+        if speculative and len(requests) > 1:
+            batch_view = self.view()
+            results = [self.solve(r, view=batch_view, rng=rng) for r in requests]
+            return [self.commit(r, res) for r, res in zip(requests, results)]
+        return [self.commit(r, self.solve(r, rng=rng)) for r in requests]
+
+    def release(self, request_id: int) -> None:
+        """Return all resources held by an accepted request.
+
+        Raises :class:`~repro.exceptions.ConfigurationError` when the id is
+        not active (transports translate that into a structured reply).
+        """
+        self.ledger.release(request_id)
+        self._repair.forget(request_id)
+        self.counters["departed"] += 1
+
+    # -- faults ---------------------------------------------------------------------
+
+    def apply_fault(
+        self,
+        event: FaultEvent,
+        rng: RngStream = None,
+        *,
+        auto_seed: bool = False,
+    ) -> list[RepairOutcome]:
+        """Fold one fault event in, repairing every affected embedding.
+
+        Failures immediately run the reroute → re-embed → evict ladder over
+        the affected requests; recoveries just restore visibility (a later
+        arrival sees the element again). With ``auto_seed`` the repair
+        solves draw from the engine's own chaos stream (one seed per
+        effective failure); otherwise ``rng`` is used verbatim.
+        """
+        changed = self._repair.faults.apply(event)
+        if event.action is FaultAction.RECOVER:
+            if changed:
+                self.counters["recoveries"] += 1
+            return []
+        if not changed:
+            return []
+        self.counters["faults_injected"] += 1
+        if auto_seed:
+            rng = trial_seed(self.seed, self._fault_counter, salt=_CHAOS_SEED_SALT)
+            self._fault_counter += 1
+        outcomes = self._repair.repair_affected(rng=rng)
+        for outcome in outcomes:
+            self._account_repair(outcome)
+        return outcomes
+
+    def _account_repair(self, outcome: RepairOutcome) -> None:
+        if outcome.action is RepairAction.REROUTED:
+            self.counters["repairs_rerouted"] += 1
+            self.counters["repair_cost_delta"] += outcome.cost_delta
+        elif outcome.action is RepairAction.RE_EMBEDDED:
+            self.counters["repairs_reembedded"] += 1
+            self.counters["repair_cost_delta"] += outcome.cost_delta
+        else:
+            self.counters["evictions"] += 1
+        self._repair_times.append(outcome.duration)
+
+    # -- telemetry and durability ------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """The engine-level stats body (counters + live gauges)."""
+        accepted = self.counters["accepted"]
+        dispatched = self.counters["dispatched"]
+        dead_nodes, dead_links, dead_instances = self._repair.faults.dead_sets()
+        times = sorted(self._repair_times)
+        return {
+            "counters": {key: self.counters[key] for key in ENGINE_COUNTER_KEYS},
+            "acceptance_ratio": accepted / dispatched if dispatched else 1.0,
+            "active": len(self.ledger),
+            "faults": {
+                "degraded": self.degraded,
+                "dead_nodes": len(dead_nodes),
+                "dead_links": len(dead_links),
+                "dead_instances": len(dead_instances),
+                "tracked_embeddings": self._repair.tracked_count(),
+                "repair_time_s": (
+                    {
+                        "p50": percentile(times, 0.50),
+                        "p95": percentile(times, 0.95),
+                        "max": times[-1],
+                    }
+                    if times
+                    else None
+                ),
+            },
+        }
+
+    def drain(self) -> dict[str, Any]:
+        """Final engine stats (the engine has no queue of its own to flush)."""
+        return self.stats()
+
+    def snapshot_doc(
+        self, *, extra_counters: Mapping[str, float] | None = None
+    ) -> dict[str, Any]:
+        """The versioned snapshot document (engine + transport counters)."""
+        counters: dict[str, float] = dict(extra_counters or {})
+        counters.update(self.counters)
+        return state_store.snapshot_to_dict(self.ledger, counters=counters)
+
+    def save_snapshot(
+        self, path: str, *, extra_counters: Mapping[str, float] | None = None
+    ) -> None:
+        """Atomically persist the snapshot document to ``path``."""
+        counters: dict[str, float] = dict(extra_counters or {})
+        counters.update(self.counters)
+        state_store.save_snapshot(path, self.ledger, counters=counters)
+
+    @classmethod
+    def restore(
+        cls,
+        network: CloudNetwork,
+        solver: Embedder | str,
+        path: str,
+        *,
+        seed: int = 0,
+    ) -> tuple["EmbeddingEngine", dict[str, float]]:
+        """Rebuild an engine from a snapshot written by :meth:`save_snapshot`.
+
+        Returns the engine plus the leftover (transport-level) counters the
+        snapshot carried, so a server can rehydrate its shed statistics.
+        """
+        ledger, counters = state_store.load_snapshot(path, network)
+        engine = cls(network, solver, seed=seed, ledger=ledger, counters=counters)
+        leftover = {
+            key: value for key, value in counters.items() if key not in engine.counters
+        }
+        return engine, leftover

@@ -1,0 +1,189 @@
+"""Routing requests across multiple independent substrate networks.
+
+A :class:`ShardRouter` maps a ``network_id`` to the
+:class:`~repro.engine.core.EmbeddingEngine` owning that substrate. Shards
+are fully independent — separate ledgers, fault states, and repair engines;
+the router only resolves ids, aggregates cross-shard telemetry, and
+serializes/restores the per-shard snapshots. The multi-cloud SFC placement
+literature (Bhamare et al.) treats the substrate exactly this way: a set of
+independently priced clouds, each embedding its own share of the request
+stream.
+
+Requests that carry no ``network_id`` land on the **default shard** (the
+first one registered), which keeps every single-network client and fixture
+working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from ..embedding.base import Embedder
+from ..exceptions import ConfigurationError
+from ..network.cloud import CloudNetwork
+from . import state_store
+from .core import EmbeddingEngine
+
+__all__ = ["DEFAULT_NETWORK_ID", "ShardRouter", "advertised_vnf_types"]
+
+#: the network id assigned when a single bare network is wrapped.
+DEFAULT_NETWORK_ID = "net0"
+
+
+def advertised_vnf_types(network: CloudNetwork) -> int:
+    """Catalog size advertised for one substrate (drives client trace
+    generation): the largest deployed regular VNF category."""
+    return max((t for t in network.deployments.deployed_types if t > 0), default=0)
+
+
+class ShardRouter:
+    """``network_id`` → engine, plus cross-shard aggregation helpers."""
+
+    def __init__(self, engines: Mapping[str, EmbeddingEngine]) -> None:
+        if not engines:
+            raise ConfigurationError("a shard router needs at least one engine")
+        for network_id in engines:
+            if not network_id or not isinstance(network_id, str):
+                raise ConfigurationError(
+                    f"network ids must be non-empty strings, got {network_id!r}"
+                )
+        self._engines = dict(engines)
+        #: the shard requests without a ``network_id`` are routed to.
+        self.default_id = next(iter(self._engines))
+
+    @classmethod
+    def from_networks(
+        cls,
+        networks: Mapping[str, CloudNetwork],
+        solver: Embedder | str,
+        *,
+        seed: int = 0,
+    ) -> "ShardRouter":
+        """Build one engine per network, all running the same solver."""
+        return cls(
+            {
+                network_id: EmbeddingEngine(network, solver, seed=seed)
+                for network_id, network in networks.items()
+            }
+        )
+
+    # -- resolution -----------------------------------------------------------------
+
+    def get(self, network_id: str | None = None) -> EmbeddingEngine:
+        """The engine for ``network_id`` (``None`` → the default shard)."""
+        if network_id is None:
+            return self._engines[self.default_id]
+        try:
+            return self._engines[network_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown network_id {network_id!r}; serving: "
+                f"{', '.join(self.network_ids)}"
+            ) from None
+
+    @property
+    def default(self) -> EmbeddingEngine:
+        """The default shard's engine."""
+        return self._engines[self.default_id]
+
+    @property
+    def network_ids(self) -> tuple[str, ...]:
+        """Every shard id, default first (registration order)."""
+        return tuple(self._engines)
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+    def __contains__(self, network_id: str) -> bool:
+        return network_id in self._engines
+
+    def items(self) -> Iterator[tuple[str, EmbeddingEngine]]:
+        """(network_id, engine) pairs in registration order."""
+        return iter(self._engines.items())
+
+    # -- aggregation ----------------------------------------------------------------
+
+    def fingerprints(self) -> dict[str, str]:
+        """network_id → substrate fingerprint, for hellos and snapshots."""
+        return {network_id: engine.fingerprint for network_id, engine in self.items()}
+
+    def active_count(self) -> int:
+        """Requests holding resources across every shard."""
+        return sum(engine.active_count() for engine in self._engines.values())
+
+    def repair_times(self) -> tuple[float, ...]:
+        """Every shard's repair durations, concatenated in shard order."""
+        times: list[float] = []
+        for engine in self._engines.values():
+            times.extend(engine.repair_times())
+        return tuple(times)
+
+    # -- durability -----------------------------------------------------------------
+
+    def save_snapshot(
+        self,
+        path: str,
+        *,
+        extra_counters: Mapping[str, Mapping[str, float]] | None = None,
+    ) -> None:
+        """Persist every shard's state to one document.
+
+        A single-shard router writes the plain ``service-state`` document
+        (bit-identical to the pre-sharding service); multiple shards write
+        the ``service-state-sharded`` kind. ``extra_counters`` carries
+        per-shard transport counters to merge into each sub-document.
+        """
+        extras = extra_counters or {}
+
+        def merged(network_id: str, engine: EmbeddingEngine) -> dict[str, float]:
+            counters: dict[str, float] = dict(extras.get(network_id, {}))
+            counters.update(engine.counters)
+            return counters
+
+        if len(self._engines) == 1:
+            engine = self._engines[self.default_id]
+            engine.save_snapshot(path, extra_counters=extras.get(self.default_id))
+            return
+        state_store.save_sharded_snapshot(
+            path,
+            {
+                network_id: (engine.ledger, merged(network_id, engine))
+                for network_id, engine in self.items()
+            },
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        networks: Mapping[str, CloudNetwork],
+        solver: Embedder | str,
+        path: str,
+        *,
+        seed: int = 0,
+    ) -> tuple["ShardRouter", dict[str, dict[str, float]]]:
+        """Rebuild a router from a snapshot written by :meth:`save_snapshot`.
+
+        Accepts both document kinds: a plain ``service-state`` snapshot
+        restores a single-shard router (the one configured network), a
+        sharded document restores every shard. Returns the router plus the
+        per-shard leftover (transport-level) counters.
+        """
+        if len(networks) == 1:
+            ((network_id, network),) = networks.items()
+            engine, leftover = EmbeddingEngine.restore(network, solver, path, seed=seed)
+            return cls({network_id: engine}), {network_id: leftover}
+        restored = state_store.load_sharded_snapshot(path, networks)
+        engines: dict[str, EmbeddingEngine] = {}
+        leftovers: dict[str, dict[str, float]] = {}
+        for network_id, network in networks.items():
+            ledger, counters = restored[network_id]
+            engine = EmbeddingEngine(
+                network, solver, seed=seed, ledger=ledger, counters=counters
+            )
+            engines[network_id] = engine
+            leftovers[network_id] = {
+                key: value
+                for key, value in counters.items()
+                if key not in engine.counters
+            }
+        return cls(engines), leftovers

@@ -1,0 +1,43 @@
+"""The solve function a transport dispatches to its worker pool.
+
+Runs in a :class:`concurrent.futures.ProcessPoolExecutor` worker (or, with
+``workers=0``, in a thread of the server process). Mirrors the experiment
+runner's per-worker solver reuse (:mod:`repro.sim.runner`): embedders are
+configuration-only, so one instance per process serves every request
+instead of being rebuilt per solve.
+
+Arguments cross the process boundary by pickle — the residual *view*
+network is shipped as the live object, not re-serialized through
+:mod:`repro.serialize`, because pickling preserves dict iteration order and
+therefore solver tie-breaking: a pooled solve returns bit-identical results
+to an in-process solve on the same view.
+"""
+
+from __future__ import annotations
+
+from ..config import FlowConfig
+from ..embedding.base import Embedder, EmbeddingResult
+from ..network.cloud import CloudNetwork
+from ..sfc.dag import DagSfc
+from ..solvers.registry import make_solver
+
+__all__ = ["solve_on_view"]
+
+#: Per-process solver cache (the PR-2 reuse trick): name -> instance.
+_SOLVERS: dict[str, Embedder] = {}
+
+
+def solve_on_view(
+    solver_name: str,
+    view: CloudNetwork,
+    dag: DagSfc,
+    source: int,
+    dest: int,
+    rate: float,
+    seed: int,
+) -> EmbeddingResult:
+    """Embed one request on a residual view with the named (cached) solver."""
+    solver = _SOLVERS.get(solver_name)
+    if solver is None:
+        solver = _SOLVERS.setdefault(solver_name, make_solver(solver_name))
+    return solver.embed(view, dag, source, dest, FlowConfig(rate=rate), rng=seed)

@@ -193,8 +193,13 @@ class ServiceClient:
         *,
         rate: float = 1.0,
         seed: int | None = None,
+        network_id: str | None = None,
     ) -> SubmitOutcome:
-        """Submit one embedding request; returns the structured outcome."""
+        """Submit one embedding request; returns the structured outcome.
+
+        ``network_id`` addresses one shard of a sharded server; omitted, the
+        request lands on the default shard.
+        """
         start = time.perf_counter()
         reply = await self._request(
             protocol.submit_message(
@@ -205,16 +210,19 @@ class ServiceClient:
                 dest=dest,
                 rate=rate,
                 seed=seed,
+                network_id=network_id,
             )
         )
         if reply.get("type") == "error":
             raise ProtocolError(str(reply.get("reason")))
         return SubmitOutcome.from_reply(reply, time.perf_counter() - start)
 
-    async def release(self, request_id: int) -> bool:
+    async def release(self, request_id: int, *, network_id: str | None = None) -> bool:
         """Release an accepted request; False when the id was not active."""
         reply = await self._request(
-            protocol.release_message(msg_id=self._msg_id(), request_id=request_id)
+            protocol.release_message(
+                msg_id=self._msg_id(), request_id=request_id, network_id=network_id
+            )
         )
         if reply.get("type") != "released":
             raise ProtocolError(f"unexpected release reply type {reply.get('type')!r}")

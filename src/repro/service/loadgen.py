@@ -27,30 +27,20 @@ from __future__ import annotations
 
 import asyncio
 import json
-import math
 import time
 from dataclasses import dataclass
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping
 
 from ..exceptions import ConfigurationError
 from ..sim.trace import ArrivalTrace, TraceEvent
 from ..utils.rng import RngStream, as_generator
+from ..utils.stats import percentile
 from .client import ServiceClient, SubmitOutcome
 
 __all__ = ["LoadReport", "run_load", "write_report", "percentile"]
 
 BENCH_FORMAT = "repro.dag-sfc/bench-service"
 BENCH_VERSION = 1
-
-
-def percentile(sorted_values: Sequence[float], q: float) -> float:
-    """The q-quantile (0..1) of an ascending sequence (nearest-rank)."""
-    if not sorted_values:
-        return float("nan")
-    if not (0.0 <= q <= 1.0):
-        raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
-    rank = min(len(sorted_values), max(1, math.ceil(q * len(sorted_values))))
-    return sorted_values[rank - 1]
 
 
 @dataclass(frozen=True)
@@ -143,12 +133,14 @@ async def run_load(
     max_in_flight: int = 8,
     release: bool = True,
     rng: RngStream = None,
+    network_id: str | None = None,
 ) -> LoadReport:
     """Drive one trace through a connected client and measure the run.
 
     Per-request solver seeds are drawn from ``rng`` in arrival order — the
     same discipline as :func:`repro.sim.trace.replay` — so a service run is
     comparable against an offline replay of the identical trace.
+    ``network_id`` pins the whole run to one shard of a sharded server.
     """
     if mode not in ("open", "closed"):
         raise ConfigurationError(f"mode must be 'open' or 'closed', got {mode!r}")
@@ -171,7 +163,7 @@ async def run_load(
         delay = hold_until - (time.perf_counter() - start)
         if delay > 0:
             await asyncio.sleep(delay)
-        if await client.release(event.request.request_id):
+        if await client.release(event.request.request_id, network_id=network_id):
             released += 1
 
     async def _drive(event: TraceEvent) -> None:
@@ -189,6 +181,7 @@ async def run_load(
                 event.request.dest,
                 rate=event.request.flow.rate,
                 seed=seeds[event.request.request_id],
+                network_id=network_id,
             )
         finally:
             if gate is not None:

@@ -31,15 +31,26 @@ submitted an accepted request whenever a substrate fault forces a repair:
 ``status`` is one of :data:`NOTIFY_STATUSES` plus the repair cost
 accounting, so a tenant learns its embedding was rerouted, re-embedded at a
 new cost, or evicted. See ``docs/fault_tolerance.md``.
+
+Sharding (version 2)
+--------------------
+
+A server may serve several independent substrate networks at once. The
+``hello`` then carries a ``shards`` list (one ``network_id`` + substrate
+identity per shard) and a ``default_network_id``; ``submit`` and ``release``
+may carry an optional ``network_id`` to address a specific shard. Messages
+without one land on the default shard, so single-network clients are
+unchanged. ``notify`` pushes name the shard that repaired the embedding.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
+from ..config import FlowConfig
+from ..engine import EmbeddingRequest
 from ..exceptions import ProtocolError
 from ..sfc.dag import DagSfc
 from ..serialize import dag_from_dict, dag_to_dict
@@ -59,6 +70,7 @@ __all__ = [
     "check_hello",
     "submit_message",
     "submit_from_message",
+    "network_id_of",
     "release_message",
     "stats_message",
     "snapshot_message",
@@ -67,7 +79,7 @@ __all__ = [
 ]
 
 PROTOCOL_FORMAT = "repro.dag-sfc/service"
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one wire line; a line longer than this is a protocol error
 #: (guards the server against unbounded buffering on a misbehaving peer).
@@ -82,6 +94,7 @@ REJECT_CODES = (
     "no_solution",  # the solver found no feasible embedding
     "capacity_conflict",  # speculative batch member lost its capacity race
     "degraded",  # admission tightened while substrate faults are active
+    "unknown_network",  # the named shard is not served here
 )
 
 #: Terminal repair states a ``notify`` push may carry
@@ -89,23 +102,10 @@ REJECT_CODES = (
 NOTIFY_STATUSES = ("rerouted", "re_embedded", "evicted")
 
 
-@dataclass(frozen=True)
-class SubmitIntent:
-    """A decoded ``submit``: everything the dispatcher needs to solve it.
-
-    ``seed`` feeds the solver's RNG stream so a service run can be replayed
-    offline bit-for-bit; clients that omit it get a server-derived seed.
-    """
-
-    request_id: int
-    dag: DagSfc
-    source: int
-    dest: int
-    rate: float = 1.0
-    seed: int | None = None
-    msg_id: int = 0
-    #: arrival order within the server (assigned at enqueue time).
-    arrival_index: int = field(default=0, compare=False)
+#: A decoded ``submit`` IS the engine's request type — the sim, the wire
+#: protocol, and the engine share one dataclass (kept under the historical
+#: protocol-side name).
+SubmitIntent = EmbeddingRequest
 
 
 # -- framing ---------------------------------------------------------------------
@@ -150,10 +150,21 @@ async def write_message(writer: asyncio.StreamWriter, message: Mapping[str, Any]
 
 
 def hello_message(
-    *, solver: str, n_nodes: int, n_vnf_types: int, network_fingerprint: str
+    *,
+    solver: str,
+    n_nodes: int,
+    n_vnf_types: int,
+    network_fingerprint: str,
+    shards: Sequence[Mapping[str, Any]] | None = None,
+    default_network_id: str | None = None,
 ) -> dict[str, Any]:
-    """The server's connection banner: protocol + substrate identity."""
-    return {
+    """The server's connection banner: protocol + substrate identity.
+
+    The top-level substrate fields always describe the *default* shard so
+    single-network clients need not understand sharding; a sharded server
+    additionally lists every shard's identity under ``shards``.
+    """
+    message: dict[str, Any] = {
         "type": "hello",
         "format": PROTOCOL_FORMAT,
         "version": PROTOCOL_VERSION,
@@ -162,6 +173,11 @@ def hello_message(
         "n_vnf_types": n_vnf_types,
         "network_fingerprint": network_fingerprint,
     }
+    if shards is not None:
+        message["shards"] = [dict(shard) for shard in shards]
+    if default_network_id is not None:
+        message["default_network_id"] = default_network_id
+    return message
 
 
 def check_hello(message: Mapping[str, Any]) -> None:
@@ -189,8 +205,9 @@ def submit_message(
     dest: int,
     rate: float = 1.0,
     seed: int | None = None,
+    network_id: str | None = None,
 ) -> dict[str, Any]:
-    """Build a ``submit`` line."""
+    """Build a ``submit`` line (``network_id`` omitted → default shard)."""
     message: dict[str, Any] = {
         "type": "submit",
         "msg_id": msg_id,
@@ -202,6 +219,8 @@ def submit_message(
     }
     if seed is not None:
         message["seed"] = seed
+    if network_id is not None:
+        message["network_id"] = network_id
     return message
 
 
@@ -225,15 +244,36 @@ def submit_from_message(message: Mapping[str, Any]) -> SubmitIntent:
         dag=dag,
         source=source,
         dest=dest,
-        rate=rate,
+        flow=FlowConfig(rate=rate),
         seed=None if seed is None else int(seed),
         msg_id=msg_id,
     )
 
 
-def release_message(*, msg_id: int, request_id: int) -> dict[str, Any]:
-    """Build a ``release`` line."""
-    return {"type": "release", "msg_id": msg_id, "request_id": request_id}
+def network_id_of(message: Mapping[str, Any]) -> str | None:
+    """The shard a message addresses (``None`` → the default shard)."""
+    network_id = message.get("network_id")
+    if network_id is None:
+        return None
+    if not isinstance(network_id, str) or not network_id:
+        raise ProtocolError(
+            f"network_id must be a non-empty string, got {network_id!r}"
+        )
+    return network_id
+
+
+def release_message(
+    *, msg_id: int, request_id: int, network_id: str | None = None
+) -> dict[str, Any]:
+    """Build a ``release`` line (``network_id`` omitted → default shard)."""
+    message: dict[str, Any] = {
+        "type": "release",
+        "msg_id": msg_id,
+        "request_id": request_id,
+    }
+    if network_id is not None:
+        message["network_id"] = network_id
+    return message
 
 
 def stats_message(*, msg_id: int) -> dict[str, Any]:
@@ -261,13 +301,14 @@ def notify_message(
     detail: str,
     old_cost: float,
     new_cost: float,
+    network_id: str | None = None,
 ) -> dict[str, Any]:
     """Build an unsolicited repair ``notify`` push (``msg_id`` 0 by design)."""
     if status not in NOTIFY_STATUSES:
         raise ProtocolError(
             f"notify status must be one of {NOTIFY_STATUSES}, got {status!r}"
         )
-    return {
+    message: dict[str, Any] = {
         "type": "notify",
         "msg_id": 0,
         "request_id": request_id,
@@ -276,3 +317,6 @@ def notify_message(
         "old_cost": old_cost,
         "new_cost": new_cost,
     }
+    if network_id is not None:
+        message["network_id"] = network_id
+    return message

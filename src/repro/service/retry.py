@@ -163,6 +163,7 @@ class ResilientClient:
         *,
         rate: float = 1.0,
         seed: int | None = None,
+        network_id: str | None = None,
     ) -> SubmitOutcome:
         """Submit with retries; returns the final outcome.
 
@@ -179,7 +180,13 @@ class ResilientClient:
                 client = await self._ensure_client()
                 outcome = await asyncio.wait_for(
                     client.submit(
-                        request_id, dag, source, dest, rate=rate, seed=seed
+                        request_id,
+                        dag,
+                        source,
+                        dest,
+                        rate=rate,
+                        seed=seed,
+                        network_id=network_id,
                     ),
                     timeout=self.policy.timeout,
                 )
@@ -206,14 +213,15 @@ class ResilientClient:
             f"{last_exc}"
         ) from last_exc
 
-    async def release(self, request_id: int) -> bool:
+    async def release(self, request_id: int, *, network_id: str | None = None) -> bool:
         """Release with transport-level retries."""
         last_exc: Exception | None = None
         for attempt in range(1, self.policy.attempts + 1):
             try:
                 client = await self._ensure_client()
                 return await asyncio.wait_for(
-                    client.release(request_id), timeout=self.policy.timeout
+                    client.release(request_id, network_id=network_id),
+                    timeout=self.policy.timeout,
                 )
             except (ServiceUnavailable, asyncio.TimeoutError) as exc:
                 last_exc = exc

@@ -1,31 +1,34 @@
-"""The asyncio embedding server: shared residual capacity behind a socket.
+"""The asyncio embedding server: engine state machines behind a socket.
 
-One :class:`EmbeddingServer` owns the *authoritative*
-:class:`~repro.network.state.ResidualState` for its substrate network (via
-the shared :class:`~repro.network.reservations.ReservationLedger`) and
-serves the JSON-lines protocol of :mod:`repro.service.protocol` over TCP.
+One :class:`EmbeddingServer` is a pure *transport*: it owns sockets, queues,
+and backpressure, while every embedding decision lives in the
+transport-agnostic :class:`~repro.engine.core.EmbeddingEngine` — one per
+served substrate network, resolved through a
+:class:`~repro.engine.router.ShardRouter`. The server holds **no** solver,
+ledger, or repair logic of its own; the offline
+:class:`~repro.sim.online.OnlineSimulator` drives the very same engine, so
+offline replay ≡ strict service decisions holds by construction.
 
-Architecture (single-writer, explicit backpressure)::
+Architecture (single-writer per shard, explicit backpressure)::
 
-    connections ──screen──▶ bounded queue ──▶ dispatcher ──▶ worker pool
-        ▲                                        │ commit (sole writer)
-        └──────────── replies (by msg_id) ◀──────┘
+    connections ──screen──▶ shard queue ──▶ shard dispatcher ──▶ worker pool
+        ▲                                       │ engine.commit (sole writer)
+        └──────────── replies (by msg_id) ◀─────┘
 
 * Every connection handler only *screens* (draining / duplicate /
   admission-policy / queue bound) and enqueues; structured rejections are
   produced instead of blocking or crashing when the bounded queue is full.
-* One dispatcher task is the sole mutator of the ledger. Per tick it pulls
-  a **micro-batch** (up to ``batch_size`` submits, after an optional
-  ``tick``-long collection window), lets the admission policy order it,
-  and decides each member. Releases bypass the submit bound and are applied
-  before the batch — the departures-before-arrivals convention of
-  :func:`repro.sim.trace.replay`.
+* One dispatcher task per shard is the sole mutator of that shard's engine.
+  Per tick it pulls a **micro-batch** (up to ``batch_size`` submits, after
+  an optional ``tick``-long collection window), lets the admission policy
+  order it, and feeds each member through ``engine.commit``. Releases
+  bypass the submit bound and are applied before the batch — the
+  departures-before-arrivals convention of :func:`repro.sim.trace.replay`.
 * Solves run off the event loop: in a ``ProcessPoolExecutor`` reusing one
-  solver instance per worker process (``workers >= 1``; the
-  :mod:`repro.sim.runner` reuse trick, see :mod:`repro.service.worker`) or
-  inline in a thread (``workers = 0``).
+  solver instance per worker process (``workers >= 1``, see
+  :mod:`repro.engine.worker`) or inline in a thread (``workers = 0``).
 
-Two dispatch modes:
+Two dispatch modes (the engine's strict/speculative split):
 
 * **strict** (default): batch members are solved *sequentially*, each
   against the residual view left by the previous commit. Acceptance
@@ -38,52 +41,55 @@ Two dispatch modes:
   commit is rejected with the structured code ``capacity_conflict``.
   Higher throughput, slightly stale views — the classic serving trade-off.
 
+Sharding: the server may serve several independent substrates at once
+(protocol v2); ``submit``/``release`` carry an optional ``network_id``,
+messages without one land on the default shard. Shards are fully isolated —
+separate queues, dispatchers, engines, and admission state, so a fault (or
+a drained queue) on one shard never degrades another.
+
 Chaos mode (``fault_script``): a pump task feeds the script's timed
-fail/recover events into the same queue the dispatcher drains, so fault
-handling inherits the single-writer discipline for free — repairs (the
-reroute → re-embed → evict ladder of :mod:`repro.faults.repair`) mutate the
-ledger only from the dispatcher, between a cycle's releases and its
-submits. While any element is dead, solves run on the *degraded* residual
-view, admission tightens (``degraded`` sheds beyond a reduced queue bound),
-and every repair outcome is pushed to the submitting connection as a
-``notify`` line. Fault-free servers never touch any of this — the
-bit-identical replay property above is untouched.
+fail/recover events into one shard's queue (``chaos_network_id``, default
+shard by default), so fault handling inherits that shard's single-writer
+discipline for free — repairs (the reroute → re-embed → evict ladder) run
+inside ``engine.apply_fault`` between a cycle's releases and its submits.
+While a shard's substrate has dead elements, its solves run on the
+*degraded* residual view, its admission tightens (``degraded`` sheds beyond
+a reduced queue bound), and every repair outcome is pushed to the
+submitting connection as a ``notify`` line. Fault-free shards never touch
+any of this — the bit-identical replay property above is untouched.
 """
 
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import functools
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
-from ..config import FlowConfig
 from ..embedding.base import EmbeddingResult
-from ..exceptions import CapacityError, ConfigurationError
-from ..faults.model import FaultAction, FaultEvent, FaultScript, degrade_network
-from ..faults.repair import RepairAction, RepairEngine, RepairOutcome
+from ..engine import (
+    DEFAULT_NETWORK_ID,
+    ENGINE_COUNTER_KEYS,
+    Decision,
+    EmbeddingEngine,
+    RepairAction,
+    RepairOutcome,
+    ReservationLedger,
+    ShardRouter,
+    advertised_vnf_types,
+    solve_on_view,
+)
+from ..exceptions import ConfigurationError
+from ..faults.model import FaultEvent, FaultScript
 from ..network.cloud import CloudNetwork
-from ..network.reservations import Reservation, ReservationLedger
-from ..network.state import ResidualState
-from ..solvers.registry import make_solver
-from ..utils.rng import trial_seed
-from . import protocol, state_store
+from ..utils.stats import percentile
+from . import protocol
 from .admission import AdmissionPolicy, make_policy
-from .loadgen import percentile
 from .protocol import MAX_LINE_BYTES, SubmitIntent
-from .worker import solve_on_view
 
 __all__ = ["ServiceConfig", "EmbeddingServer"]
-
-#: Seed salt for server-derived solver streams (clients may override per
-#: request); distinct from the runner's 0xA160 so service traffic never
-#: aliases experiment streams.
-_SERVICE_SEED_SALT = 0x5EC5
-
-#: Seed salt for the repair ladder's re-embed solves (one stream per fault
-#: event), distinct from both the runner's and the submit-path salts.
-_CHAOS_SEED_SALT = 0xFA17
 
 
 @dataclass(frozen=True)
@@ -93,11 +99,12 @@ class ServiceConfig:
     host: str = "127.0.0.1"
     port: int = 0  # 0 = ephemeral (bound port reported by start())
     solver: str = "MBBE"
-    #: bound on queued-but-undecided submits; beyond it, reject queue_full.
+    #: bound on queued-but-undecided submits *per shard*; beyond it, reject
+    #: queue_full.
     queue_limit: int = 64
     #: max submits decided per dispatch tick (the micro-batch).
     batch_size: int = 8
-    #: seconds the dispatcher lingers collecting a batch after the first
+    #: seconds a dispatcher lingers collecting a batch after the first
     #: submit arrives; 0 = dispatch whatever is queued right now.
     tick: float = 0.0
     #: worker processes for solves; 0 = solve inline in a thread.
@@ -109,11 +116,13 @@ class ServiceConfig:
     seed: int = 0
     #: snapshot written here on drain and on `snapshot` requests.
     snapshot_path: str | None = None
-    #: timed fail/recover events pumped into the dispatcher (chaos mode).
+    #: timed fail/recover events pumped into one shard's dispatcher.
     fault_script: FaultScript | None = None
+    #: the shard the fault script targets (None = the default shard).
+    chaos_network_id: str | None = None
     #: wall seconds per fault-script step.
     chaos_tick: float = 0.05
-    #: while degraded, the effective submit-queue bound shrinks to
+    #: while a shard is degraded, its effective submit-queue bound shrinks to
     #: ``max(1, int(queue_limit * degraded_queue_factor))``; excess sheds
     #: with the structured code ``degraded``.
     degraded_queue_factor: float = 0.5
@@ -154,112 +163,165 @@ class _PendingRelease:
 
 @dataclass
 class _PendingDrain:
-    msg_id: int
-    shutdown: bool
-    reply: "asyncio.Future[dict[str, Any]]" = field(compare=False)
+    """A per-shard drain barrier: resolves once this shard's queue is flushed."""
+
+    reply: "asyncio.Future[None]" = field(compare=False)
 
 
 @dataclass
 class _PendingFault:
-    """A fault event queued for the dispatcher (no reply — nobody waits)."""
+    """A fault event queued for one shard's dispatcher (no reply — nobody waits)."""
 
     event: FaultEvent
 
 
-_COUNTER_KEYS = (
+#: Counters the transport maintains per shard; the engine owns the rest
+#: (:data:`~repro.engine.core.ENGINE_COUNTER_KEYS`).
+_TRANSPORT_COUNTER_KEYS = (
     "submitted",
     "shed_queue_full",
     "shed_admission",
     "shed_duplicate",
     "shed_draining",
     "shed_degraded",
-    "dispatched",
-    "accepted",
-    "rejected_no_solution",
-    "rejected_conflict",
-    "departed",
-    "faults_injected",
-    "recoveries",
-    "repairs_rerouted",
-    "repairs_reembedded",
-    "evictions",
-    "total_cost_accepted",
-    "repair_cost_delta",
 )
 
-#: counters that accumulate objective values rather than event counts.
-_FLOAT_COUNTER_KEYS = frozenset({"total_cost_accepted", "repair_cost_delta"})
+#: The full per-shard counter vocabulary, in the historical wire order.
+_COUNTER_KEYS = _TRANSPORT_COUNTER_KEYS + ENGINE_COUNTER_KEYS
+
+
+class _Shard:
+    """One served substrate: its engine plus this transport's bookkeeping."""
+
+    def __init__(self, network_id: str, engine: EmbeddingEngine) -> None:
+        self.network_id = network_id
+        self.engine = engine
+        self.n_vnf_types = advertised_vnf_types(engine.network)
+        self.queue: asyncio.Queue[
+            _PendingSubmit | _PendingRelease | _PendingDrain | _PendingFault
+        ] = asyncio.Queue()
+        self.queued_submits = 0
+        self.pending_ids: set[int] = set()
+        self.arrival_counter = 0
+        self.counters: dict[str, float] = {key: 0 for key in _TRANSPORT_COUNTER_KEYS}
+        self.notify_routes: dict[int, tuple[asyncio.StreamWriter, asyncio.Lock]] = {}
+        self.dispatch_task: asyncio.Task[None] | None = None
+
+    def restore_counters(self, counters: Mapping[str, float]) -> None:
+        """Rehydrate the transport counters from a snapshot's leftovers."""
+        for key, value in counters.items():
+            if key in self.counters:
+                self.counters[key] = int(value)
+
+    def wire_counters(self) -> dict[str, float]:
+        """Transport + engine counters merged, in the historical key order."""
+        merged = {**self.counters, **self.engine.counters}
+        return {key: merged[key] for key in _COUNTER_KEYS}
 
 
 class EmbeddingServer:
-    """A long-running embedding service over one substrate network."""
+    """A long-running embedding service over one or more substrate networks."""
 
     def __init__(
         self,
-        network: CloudNetwork,
+        network: CloudNetwork | Mapping[str, CloudNetwork] | ShardRouter,
         config: ServiceConfig | None = None,
         *,
         policy: AdmissionPolicy | None = None,
         ledger: ReservationLedger | None = None,
         counters: dict[str, float] | None = None,
         n_vnf_types: int | None = None,
+        transport_counters: Mapping[str, Mapping[str, float]] | None = None,
     ) -> None:
-        self.network = network
         self.config = config if config is not None else ServiceConfig()
-        #: catalog size advertised in the hello (drives client trace
-        #: generation); defaults to the largest deployed regular category.
-        self.n_vnf_types = (
-            n_vnf_types
-            if n_vnf_types is not None
-            else max(
-                (t for t in network.deployments.deployed_types if t > 0), default=0
+        if isinstance(network, ShardRouter):
+            if ledger is not None or counters is not None:
+                raise ConfigurationError(
+                    "a pre-built ShardRouter carries its own state; restore "
+                    "through ShardRouter.restore instead of ledger=/counters="
+                )
+            self.router = network
+        elif isinstance(network, Mapping):
+            if ledger is not None or counters is not None:
+                raise ConfigurationError(
+                    "multi-network restore goes through ShardRouter.restore"
+                )
+            self.router = ShardRouter.from_networks(
+                network, self.config.solver, seed=self.config.seed
             )
-        )
+        else:
+            engine = EmbeddingEngine(
+                network,
+                self.config.solver,
+                seed=self.config.seed,
+                ledger=ledger,
+                counters=counters,
+            )
+            self.router = ShardRouter({DEFAULT_NETWORK_ID: engine})
+        #: the default shard's substrate (single-network callers' view).
+        self.network = self.router.default.network
         self.policy = policy if policy is not None else make_policy(self.config.admission)
-        if ledger is not None and ledger.state.network is not network:
-            raise ConfigurationError("restored ledger belongs to a different network")
-        self.ledger = ledger if ledger is not None else ReservationLedger(ResidualState(network))
-        # Event counts stay ints; only accumulated costs are floats.
-        self.counters: dict[str, float] = {key: 0 for key in _COUNTER_KEYS}
-        for key in _FLOAT_COUNTER_KEYS:
-            self.counters[key] = 0.0
+        self._shards: dict[str, _Shard] = {
+            network_id: _Shard(network_id, engine)
+            for network_id, engine in self.router.items()
+        }
+        #: catalog size advertised in the hello for the default shard (drives
+        #: client trace generation); per-shard sizes ride in the shard list.
+        if n_vnf_types is not None:
+            self._default_shard().n_vnf_types = n_vnf_types
         if counters:
-            for key, value in counters.items():
-                if key in self.counters:
-                    self.counters[key] = (
-                        float(value) if key in _FLOAT_COUNTER_KEYS else int(value)
-                    )
-        self._fingerprint = state_store.network_fingerprint(network)
-        self._queue: asyncio.Queue[
-            _PendingSubmit | _PendingRelease | _PendingDrain | _PendingFault
-        ] = asyncio.Queue()
-        self._queued_submits = 0
-        self._pending_ids: set[int] = set()
-        self._arrival_counter = 0
-        self._decision_counter = 0
+            # Single-network restore: the snapshot's counter dict carries the
+            # transport keys too (the engine filtered out its own).
+            self._default_shard().restore_counters(counters)
+        if transport_counters:
+            for network_id, shard_counters in transport_counters.items():
+                self._shard(network_id).restore_counters(shard_counters)
+        if (
+            self.config.fault_script is not None
+            and self.config.chaos_network_id is not None
+            and self.config.chaos_network_id not in self._shards
+        ):
+            raise ConfigurationError(
+                f"chaos_network_id {self.config.chaos_network_id!r} is not a "
+                f"served shard ({', '.join(self._shards)})"
+            )
         self._draining = False
         self._stop_event = asyncio.Event()
         self._conn_tasks: set[asyncio.Task[None]] = set()
         self._server: asyncio.Server | None = None
         self._address: tuple[str, int] | None = None
-        self._dispatch_task: asyncio.Task[None] | None = None
         self._executor: ProcessPoolExecutor | None = None
-        # Fault-time machinery. The repair ladder re-embeds in-process (the
-        # dispatcher is the sole ledger writer, so repairs cannot overlap a
-        # worker-pool solve commit), hence its own solver instance.
-        self._repair = RepairEngine(self.ledger, make_solver(self.config.solver))
-        self._fault_counter = 0
-        self._repair_times: list[float] = []
-        self._notify_routes: dict[int, tuple[asyncio.StreamWriter, asyncio.Lock]] = {}
         self._chaos_task: asyncio.Task[None] | None = None
         self._chaos_done = asyncio.Event()
         if self.config.fault_script is None:
             self._chaos_done.set()
 
+    # -- shard resolution -------------------------------------------------------------
+
+    def _default_shard(self) -> _Shard:
+        return self._shards[self.router.default_id]
+
+    def _shard(self, network_id: str | None) -> _Shard:
+        """The shard a message addresses; raises on unknown ids."""
+        if network_id is None:
+            return self._default_shard()
+        try:
+            return self._shards[network_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown network_id {network_id!r}; serving: "
+                f"{', '.join(self._shards)}"
+            ) from None
+
+    @property
+    def n_vnf_types(self) -> int:
+        """Catalog size advertised for the default shard."""
+        return self._default_shard().n_vnf_types
+
     # -- lifecycle ------------------------------------------------------------------
 
     async def start(self) -> tuple[str, int]:
-        """Bind the socket and start the dispatcher; returns (host, port)."""
+        """Bind the socket and start the dispatchers; returns (host, port)."""
         if self._server is not None:
             raise ConfigurationError("server is already started")
         if self.config.workers > 0:
@@ -270,10 +332,12 @@ class EmbeddingServer:
             port=self.config.port,
             limit=MAX_LINE_BYTES,
         )
-        self._dispatch_task = asyncio.create_task(self._dispatch_loop())
+        for shard in self._shards.values():
+            shard.dispatch_task = asyncio.create_task(self._dispatch_loop(shard))
         if self.config.fault_script is not None:
+            chaos_shard = self._shard(self.config.chaos_network_id)
             self._chaos_task = asyncio.create_task(
-                self._chaos_pump(self.config.fault_script)
+                self._chaos_pump(self.config.fault_script, chaos_shard)
             )
         sock = self._server.sockets[0].getsockname()
         self._address = (str(sock[0]), int(sock[1]))
@@ -289,7 +353,7 @@ class EmbeddingServer:
         self._stop_event.set()
 
     async def stop(self) -> None:
-        """Stop accepting connections and tear the dispatcher down."""
+        """Stop accepting connections and tear the dispatchers down."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -308,22 +372,30 @@ class EmbeddingServer:
             except asyncio.CancelledError:
                 pass
             self._chaos_task = None
-        if self._dispatch_task is not None:
-            self._dispatch_task.cancel()
-            try:
-                await self._dispatch_task
-            except asyncio.CancelledError:
-                pass
-            self._dispatch_task = None
-        # Fail anything still queued so connection handlers can't wait forever.
+        for shard in self._shards.values():
+            if shard.dispatch_task is not None:
+                shard.dispatch_task.cancel()
+                try:
+                    await shard.dispatch_task
+                except asyncio.CancelledError:
+                    pass
+                shard.dispatch_task = None
+            self._flush_queue(shard)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self._stop_event.set()
+
+    def _flush_queue(self, shard: _Shard) -> None:
+        """Fail anything still queued so connection handlers can't wait forever."""
         while True:
             try:
-                item = self._queue.get_nowait()
+                item = shard.queue.get_nowait()
             except asyncio.QueueEmpty:
                 break
             if isinstance(item, _PendingSubmit):
-                self._queued_submits -= 1
-                self._pending_ids.discard(item.intent.request_id)
+                shard.queued_submits -= 1
+                shard.pending_ids.discard(item.intent.request_id)
                 item.reply.set_result(
                     self._reject(
                         item.intent.msg_id,
@@ -343,12 +415,8 @@ class EmbeddingServer:
                     }
                 )
             elif isinstance(item, _PendingDrain):
-                item.reply.set_result(self._do_drain(item))
+                item.reply.set_result(None)
             # _PendingFault items have no waiter: dropped with the server.
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
-        self._stop_event.set()
 
     async def __aenter__(self) -> "EmbeddingServer":
         await self.start()
@@ -367,14 +435,19 @@ class EmbeddingServer:
         return self._address
 
     @property
+    def ledger(self) -> ReservationLedger:
+        """The default shard's authoritative ledger (single-network callers)."""
+        return self.router.default.ledger
+
+    @property
     def queue_depth(self) -> int:
-        """Submits queued but not yet decided."""
-        return self._queued_submits
+        """Submits queued but not yet decided, across every shard."""
+        return sum(shard.queued_submits for shard in self._shards.values())
 
     @property
     def degraded(self) -> bool:
-        """True while any substrate element is dead."""
-        return self._repair.faults.any_dead
+        """True while any shard's substrate has a dead element."""
+        return any(engine.degraded for _, engine in self.router.items())
 
     @property
     def chaos_complete(self) -> bool:
@@ -385,36 +458,60 @@ class EmbeddingServer:
         """Block until every scripted fault event has been enqueued."""
         await self._chaos_done.wait()
 
-    def inject_fault(self, event: FaultEvent) -> None:
-        """Queue one ad-hoc fault event (tests and operator tooling)."""
-        self._queue.put_nowait(_PendingFault(event=event))
+    def inject_fault(self, event: FaultEvent, network_id: str | None = None) -> None:
+        """Queue one ad-hoc fault event on a shard (tests and operator tooling)."""
+        self._shard(network_id).queue.put_nowait(_PendingFault(event=event))
 
     def repair_times(self) -> tuple[float, ...]:
-        """Wall seconds of every completed repair, in occurrence order."""
-        return tuple(self._repair_times)
+        """Wall seconds of every completed repair, across shards in shard order."""
+        return self.router.repair_times()
+
+    def _shard_payload(self, shard: _Shard) -> dict[str, Any]:
+        """One shard's stats body (its engine's gauges + transport counters)."""
+        engine_stats = shard.engine.stats()
+        return {
+            "network_id": shard.network_id,
+            "counters": shard.wire_counters(),
+            "acceptance_ratio": engine_stats["acceptance_ratio"],
+            "active": engine_stats["active"],
+            "queue_depth": shard.queued_submits,
+            "faults": engine_stats["faults"],
+        }
 
     def stats_payload(self) -> dict[str, Any]:
-        """The body of a ``stats`` reply (counters + live gauges)."""
-        accepted = self.counters["accepted"]
-        dispatched = self.counters["dispatched"]
-        dead_nodes, dead_links, dead_instances = self._repair.faults.dead_sets()
-        times = sorted(self._repair_times)
+        """The body of a ``stats`` reply: cross-shard aggregate + per-shard split."""
+        shards = {
+            network_id: self._shard_payload(shard)
+            for network_id, shard in self._shards.items()
+        }
+        merged: dict[str, float] = {key: 0 for key in _COUNTER_KEYS}
+        dead_nodes = dead_links = dead_instances = tracked = 0
+        for payload in shards.values():
+            for key in _COUNTER_KEYS:
+                merged[key] += payload["counters"][key]
+            dead_nodes += payload["faults"]["dead_nodes"]
+            dead_links += payload["faults"]["dead_links"]
+            dead_instances += payload["faults"]["dead_instances"]
+            tracked += payload["faults"]["tracked_embeddings"]
+        times = sorted(self.router.repair_times())
+        accepted = merged["accepted"]
+        dispatched = merged["dispatched"]
         return {
             "solver": self.config.solver,
             "policy": self.policy.name,
             "speculative": self.config.speculative,
-            "counters": {key: self.counters[key] for key in _COUNTER_KEYS},
+            "counters": merged,
             "acceptance_ratio": accepted / dispatched if dispatched else 1.0,
-            "active": len(self.ledger),
+            "active": self.router.active_count(),
             "queue_depth": self.queue_depth,
             "draining": self._draining,
             "faults": {
                 "degraded": self.degraded,
                 "chaos_complete": self.chaos_complete,
-                "dead_nodes": len(dead_nodes),
-                "dead_links": len(dead_links),
-                "dead_instances": len(dead_instances),
-                "tracked_embeddings": self._repair.tracked_count(),
+                "dead_nodes": dead_nodes,
+                "dead_links": dead_links,
+                "dead_instances": dead_instances,
+                "tracked_embeddings": tracked,
                 "repair_time_s": (
                     {
                         "p50": percentile(times, 0.50),
@@ -425,9 +522,30 @@ class EmbeddingServer:
                     else None
                 ),
             },
+            "network_ids": list(self._shards),
+            "shards": shards,
         }
 
     # -- connection handling ------------------------------------------------------------
+
+    def _hello(self) -> dict[str, Any]:
+        default = self._default_shard()
+        return protocol.hello_message(
+            solver=self.config.solver,
+            n_nodes=default.engine.network.num_nodes,
+            n_vnf_types=default.n_vnf_types,
+            network_fingerprint=default.engine.fingerprint,
+            shards=[
+                {
+                    "network_id": shard.network_id,
+                    "n_nodes": shard.engine.network.num_nodes,
+                    "n_vnf_types": shard.n_vnf_types,
+                    "network_fingerprint": shard.engine.fingerprint,
+                }
+                for shard in self._shards.values()
+            ],
+            default_network_id=self.router.default_id,
+        )
 
     async def _on_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -439,15 +557,7 @@ class EmbeddingServer:
         lock = asyncio.Lock()
         tasks: set[asyncio.Task[None]] = set()
         try:
-            await protocol.write_message(
-                writer,
-                protocol.hello_message(
-                    solver=self.config.solver,
-                    n_nodes=self.network.num_nodes,
-                    n_vnf_types=self.n_vnf_types,
-                    network_fingerprint=self._fingerprint,
-                ),
-            )
+            await protocol.write_message(writer, self._hello())
             while True:
                 try:
                     message = await protocol.read_message(reader)
@@ -539,14 +649,21 @@ class EmbeddingServer:
         lock: asyncio.Lock,
     ) -> dict[str, Any]:
         intent = protocol.submit_from_message(message)
-        self.counters["submitted"] += 1
+        try:
+            shard = self._shard(protocol.network_id_of(message))
+        except ConfigurationError as exc:
+            # Not counted against any shard: the message never reached one.
+            return self._reject(
+                intent.msg_id, intent.request_id, "unknown_network", str(exc)
+            )
+        shard.counters["submitted"] += 1
         if self._draining:
-            self.counters["shed_draining"] += 1
+            shard.counters["shed_draining"] += 1
             return self._reject(
                 intent.msg_id, intent.request_id, "draining", "server is draining"
             )
-        if self.ledger.is_active(intent.request_id) or intent.request_id in self._pending_ids:
-            self.counters["shed_duplicate"] += 1
+        if shard.engine.is_active(intent.request_id) or intent.request_id in shard.pending_ids:
+            shard.counters["shed_duplicate"] += 1
             return self._reject(
                 intent.msg_id,
                 intent.request_id,
@@ -554,54 +671,45 @@ class EmbeddingServer:
                 f"request id {intent.request_id} is already active or queued",
             )
         refusal = self.policy.screen(
-            intent, queue_depth=self._queued_submits, queue_limit=self.config.queue_limit
+            intent, queue_depth=shard.queued_submits, queue_limit=self.config.queue_limit
         )
         if refusal is not None:
-            self.counters["shed_admission"] += 1
+            shard.counters["shed_admission"] += 1
             return self._reject(intent.msg_id, intent.request_id, "admission", refusal)
-        if self.degraded:
-            # Active faults: solver time is being spent on repairs, so shed
-            # earlier (and with a retryable, self-describing code).
+        if shard.engine.degraded:
+            # Active faults on this shard: solver time is being spent on
+            # repairs, so shed earlier (with a retryable, self-describing code).
             limit = max(
                 1, int(self.config.queue_limit * self.config.degraded_queue_factor)
             )
-            if self._queued_submits >= limit:
-                self.counters["shed_degraded"] += 1
+            if shard.queued_submits >= limit:
+                shard.counters["shed_degraded"] += 1
                 return self._reject(
                     intent.msg_id,
                     intent.request_id,
                     "degraded",
                     "admission tightened under active faults "
-                    f"(queue {self._queued_submits}/{limit})",
+                    f"(queue {shard.queued_submits}/{limit})",
                 )
-        if self._queued_submits >= self.config.queue_limit:
-            self.counters["shed_queue_full"] += 1
+        if shard.queued_submits >= self.config.queue_limit:
+            shard.counters["shed_queue_full"] += 1
             return self._reject(
                 intent.msg_id,
                 intent.request_id,
                 "queue_full",
                 f"submit queue is at its limit ({self.config.queue_limit})",
             )
-        intent = SubmitIntent(
-            request_id=intent.request_id,
-            dag=intent.dag,
-            source=intent.source,
-            dest=intent.dest,
-            rate=intent.rate,
-            seed=intent.seed,
-            msg_id=intent.msg_id,
-            arrival_index=self._arrival_counter,
-        )
-        self._arrival_counter += 1
-        self._queued_submits += 1
-        self._pending_ids.add(intent.request_id)
+        intent = dataclasses.replace(intent, arrival_index=shard.arrival_counter)
+        shard.arrival_counter += 1
+        shard.queued_submits += 1
+        shard.pending_ids.add(intent.request_id)
         pending = _PendingSubmit(
             intent=intent,
             reply=asyncio.get_running_loop().create_future(),
             writer=writer,
             lock=lock,
         )
-        self._queue.put_nowait(pending)
+        shard.queue.put_nowait(pending)
         return await pending.reply
 
     async def _handle_release(self, message: dict[str, Any]) -> dict[str, Any]:
@@ -610,12 +718,22 @@ class EmbeddingServer:
             request_id = int(message["request_id"])
         except (KeyError, TypeError, ValueError) as exc:
             raise protocol.ProtocolError(f"malformed release: {exc}") from None
+        try:
+            shard = self._shard(protocol.network_id_of(message))
+        except ConfigurationError as exc:
+            return {
+                "type": "released",
+                "msg_id": msg_id,
+                "request_id": request_id,
+                "ok": False,
+                "reason": str(exc),
+            }
         pending = _PendingRelease(
             msg_id=msg_id,
             request_id=request_id,
             reply=asyncio.get_running_loop().create_future(),
         )
-        self._queue.put_nowait(pending)
+        shard.queue.put_nowait(pending)
         return await pending.reply
 
     def _handle_snapshot(self, msg_id: int) -> dict[str, Any]:
@@ -625,31 +743,53 @@ class EmbeddingServer:
                 "msg_id": msg_id,
                 "reason": "server was started without a snapshot path",
             }
-        state_store.save_snapshot(
-            self.config.snapshot_path, self.ledger, counters=self.counters
-        )
+        self._save_snapshot(self.config.snapshot_path)
         return {
             "type": "snapshotted",
             "msg_id": msg_id,
             "path": self.config.snapshot_path,
-            "active": len(self.ledger),
+            "active": self.router.active_count(),
         }
+
+    def _save_snapshot(self, path: str) -> None:
+        self.router.save_snapshot(
+            path,
+            extra_counters={
+                network_id: shard.counters
+                for network_id, shard in self._shards.items()
+            },
+        )
 
     async def _handle_drain(self, message: dict[str, Any]) -> dict[str, Any]:
         msg_id = int(message.get("msg_id", 0) or 0)
         shutdown = bool(message.get("shutdown", False))
         self._draining = True
-        pending = _PendingDrain(
-            msg_id=msg_id, shutdown=shutdown, reply=asyncio.get_running_loop().create_future()
-        )
-        self._queue.put_nowait(pending)
-        return await pending.reply
+        # One barrier per shard: the reply reflects every item that was
+        # queued anywhere before the drain arrived.
+        loop = asyncio.get_running_loop()
+        barriers: list[asyncio.Future[None]] = []
+        for shard in self._shards.values():
+            barrier: asyncio.Future[None] = loop.create_future()
+            shard.queue.put_nowait(_PendingDrain(reply=barrier))
+            barriers.append(barrier)
+        await asyncio.gather(*barriers)
+        reply: dict[str, Any] = {
+            "type": "drained",
+            "msg_id": msg_id,
+            **self.stats_payload(),
+        }
+        if self.config.snapshot_path:
+            self._save_snapshot(self.config.snapshot_path)
+            reply["snapshot_path"] = self.config.snapshot_path
+        if shutdown:
+            reply["_shutdown"] = True
+        return reply
 
-    # -- dispatcher (sole ledger writer) -------------------------------------------------
+    # -- dispatcher (sole writer of its shard's engine) ----------------------------------
 
-    async def _dispatch_loop(self) -> None:
+    async def _dispatch_loop(self, shard: _Shard) -> None:
         while True:
-            first = await self._queue.get()
+            first = await shard.queue.get()
             if self.config.tick > 0 and isinstance(first, _PendingSubmit):
                 await asyncio.sleep(self.config.tick)
             batch: list[_PendingSubmit] = []
@@ -671,7 +811,7 @@ class EmbeddingServer:
                 if len(batch) >= self.config.batch_size:
                     break
                 try:
-                    item = self._queue.get_nowait()
+                    item = shard.queue.get_nowait()
                 except asyncio.QueueEmpty:
                     item = None
 
@@ -679,20 +819,20 @@ class EmbeddingServer:
             # sim.trace.replay_with_faults, so a service run under a script
             # is comparable to its offline replay.
             for release in releases:
-                release.reply.set_result(self._do_release(release))
+                release.reply.set_result(self._do_release(shard, release))
 
             for fault in faults:
-                await self._apply_fault(fault.event)
+                await self._apply_fault(shard, fault.event)
 
             if batch:
-                await self._decide_batch(batch)
+                await self._decide_batch(shard, batch)
 
             for drain in drains:
-                drain.reply.set_result(self._do_drain(drain))
+                drain.reply.set_result(None)
 
-    def _do_release(self, release: _PendingRelease) -> dict[str, Any]:
+    def _do_release(self, shard: _Shard, release: _PendingRelease) -> dict[str, Any]:
         try:
-            self.ledger.release(release.request_id)
+            shard.engine.release(release.request_id)
         except ConfigurationError as exc:
             return {
                 "type": "released",
@@ -701,9 +841,7 @@ class EmbeddingServer:
                 "ok": False,
                 "reason": str(exc),
             }
-        self._repair.forget(release.request_id)
-        self._notify_routes.pop(release.request_id, None)
-        self.counters["departed"] += 1
+        shard.notify_routes.pop(release.request_id, None)
         return {
             "type": "released",
             "msg_id": release.msg_id,
@@ -711,25 +849,10 @@ class EmbeddingServer:
             "ok": True,
         }
 
-    def _do_drain(self, drain: _PendingDrain) -> dict[str, Any]:
-        reply: dict[str, Any] = {
-            "type": "drained",
-            "msg_id": drain.msg_id,
-            **self.stats_payload(),
-        }
-        if self.config.snapshot_path:
-            state_store.save_snapshot(
-                self.config.snapshot_path, self.ledger, counters=self.counters
-            )
-            reply["snapshot_path"] = self.config.snapshot_path
-        if drain.shutdown:
-            reply["_shutdown"] = True
-        return reply
+    # -- fault path (dispatcher-only, like every other engine mutation) ------------------
 
-    # -- fault path (dispatcher-only, like every other ledger mutation) ------------------
-
-    async def _chaos_pump(self, script: FaultScript) -> None:
-        """Feed the script's events into the queue on the chaos clock."""
+    async def _chaos_pump(self, script: FaultScript, shard: _Shard) -> None:
+        """Feed the script's events into one shard's queue on the chaos clock."""
         by_step = script.events_by_step()
         previous = 0
         for step in sorted(by_step):
@@ -738,38 +861,19 @@ class EmbeddingServer:
             if delay > 0:
                 await asyncio.sleep(delay)
             for event in by_step[step]:
-                self._queue.put_nowait(_PendingFault(event=event))
+                shard.queue.put_nowait(_PendingFault(event=event))
         self._chaos_done.set()
 
-    async def _apply_fault(self, event: FaultEvent) -> None:
-        """Fold one fault event in; failures repair every touched request."""
-        changed = self._repair.faults.apply(event)
-        if event.action is FaultAction.RECOVER:
-            if changed:
-                self.counters["recoveries"] += 1
-            return
-        if not changed:
-            return
-        self.counters["faults_injected"] += 1
-        seed = trial_seed(self.config.seed, self._fault_counter, salt=_CHAOS_SEED_SALT)
-        self._fault_counter += 1
-        for outcome in self._repair.repair_affected(rng=seed):
-            await self._notify_repair(outcome)
+    async def _apply_fault(self, shard: _Shard, event: FaultEvent) -> None:
+        """Fold one fault event into a shard's engine and push the repairs."""
+        for outcome in shard.engine.apply_fault(event, auto_seed=True):
+            await self._notify_repair(shard, outcome)
 
-    async def _notify_repair(self, outcome: RepairOutcome) -> None:
-        """Account one repair outcome and push it to the submitting peer."""
-        if outcome.action is RepairAction.REROUTED:
-            self.counters["repairs_rerouted"] += 1
-            self.counters["repair_cost_delta"] += outcome.cost_delta
-        elif outcome.action is RepairAction.RE_EMBEDDED:
-            self.counters["repairs_reembedded"] += 1
-            self.counters["repair_cost_delta"] += outcome.cost_delta
-        else:
-            self.counters["evictions"] += 1
-        self._repair_times.append(outcome.duration)
-        route = self._notify_routes.get(outcome.request_id)
+    async def _notify_repair(self, shard: _Shard, outcome: RepairOutcome) -> None:
+        """Push one repair outcome to the submitting peer (engine did the books)."""
+        route = shard.notify_routes.get(outcome.request_id)
         if outcome.action is RepairAction.EVICTED:
-            self._notify_routes.pop(outcome.request_id, None)
+            shard.notify_routes.pop(outcome.request_id, None)
         if route is not None:
             writer, lock = route
             await self._write_locked(
@@ -781,24 +885,36 @@ class EmbeddingServer:
                     detail=outcome.detail,
                     old_cost=outcome.old_cost,
                     new_cost=outcome.new_cost,
+                    network_id=shard.network_id,
                 ),
             )
 
     # -- decisions ----------------------------------------------------------------------
 
-    def _current_view(self) -> CloudNetwork:
-        """The residual view solves run on, degraded under active faults.
+    def _decision_reply(self, decision: Decision) -> dict[str, Any]:
+        """Format one engine verdict as its wire reply."""
+        if decision.accepted:
+            return {
+                "type": "accepted",
+                "msg_id": decision.msg_id,
+                "request_id": decision.request_id,
+                "total_cost": decision.total_cost,
+                "vnf_cost": decision.vnf_cost,
+                "link_cost": decision.link_cost,
+                "runtime": decision.runtime,
+                "decision_index": decision.decision_index,
+                "commit_index": decision.commit_index,
+            }
+        reply = self._reject(
+            decision.msg_id,
+            decision.request_id,
+            decision.code or "no_solution",
+            decision.reason or "no feasible embedding",
+        )
+        reply["decision_index"] = decision.decision_index
+        return reply
 
-        Fault-free servers take the first branch only — the projection is
-        never built, keeping the no-chaos pipeline bit-identical to a
-        server without this subsystem.
-        """
-        view = self.ledger.state.to_network()
-        if self._repair.faults.any_dead:
-            view = degrade_network(view, self._repair.faults)
-        return view
-
-    async def _decide_batch(self, batch: list[_PendingSubmit]) -> None:
+    async def _decide_batch(self, shard: _Shard, batch: list[_PendingSubmit]) -> None:
         by_arrival = {p.intent.arrival_index: p for p in batch}
         ordered = self.policy.order([p.intent for p in batch])
         if len(ordered) != len(batch) or {
@@ -808,9 +924,9 @@ class EmbeddingServer:
                 f"admission policy {self.policy.name!r} must permute the batch"
             )
         if self.config.speculative and len(ordered) > 1:
-            view = self._current_view()
+            view = shard.engine.view()
             results = await asyncio.gather(
-                *(self._run_solver(intent, view) for intent in ordered)
+                *(self._run_solver(shard, intent, view) for intent in ordered)
             )
         else:
             results = None
@@ -819,24 +935,22 @@ class EmbeddingServer:
             if results is not None:
                 result = results[position]
             else:
-                result = await self._run_solver(intent, self._current_view())
-            reply = self._commit(intent, result)
+                result = await self._run_solver(shard, intent, shard.engine.view())
+            decision = shard.engine.commit(intent, result)
             if (
-                reply.get("type") == "accepted"
+                decision.accepted
                 and pending.writer is not None
                 and pending.lock is not None
             ):
-                self._notify_routes[intent.request_id] = (pending.writer, pending.lock)
-            self._queued_submits -= 1
-            self._pending_ids.discard(intent.request_id)
-            pending.reply.set_result(reply)
+                shard.notify_routes[intent.request_id] = (pending.writer, pending.lock)
+            shard.queued_submits -= 1
+            shard.pending_ids.discard(intent.request_id)
+            pending.reply.set_result(self._decision_reply(decision))
 
-    async def _run_solver(self, intent: SubmitIntent, view: CloudNetwork) -> EmbeddingResult:
-        seed = (
-            intent.seed
-            if intent.seed is not None
-            else trial_seed(self.config.seed, intent.arrival_index, salt=_SERVICE_SEED_SALT)
-        )
+    async def _run_solver(
+        self, shard: _Shard, intent: SubmitIntent, view: CloudNetwork
+    ) -> EmbeddingResult:
+        seed = shard.engine.solve_seed(intent)
         call = functools.partial(
             solve_on_view,
             self.config.solver,
@@ -850,58 +964,3 @@ class EmbeddingServer:
         if self._executor is not None:
             return await asyncio.get_running_loop().run_in_executor(self._executor, call)
         return await asyncio.to_thread(call)
-
-    def _commit(self, intent: SubmitIntent, result: EmbeddingResult) -> dict[str, Any]:
-        """Apply one solve outcome to the authoritative state (sync, atomic)."""
-        decision_index = self._decision_counter
-        self._decision_counter += 1
-        self.counters["dispatched"] += 1
-        if not result.success:
-            self.counters["rejected_no_solution"] += 1
-            reply = self._reject(
-                intent.msg_id,
-                intent.request_id,
-                "no_solution",
-                result.reason or "no feasible embedding",
-            )
-            reply["decision_index"] = decision_index
-            return reply
-        assert result.cost is not None
-        reservation = Reservation.from_counts(
-            result.cost.alpha_vnf,
-            result.cost.alpha_link,
-            rate=intent.rate,
-            cost=result.total_cost,
-        )
-        try:
-            self.ledger.reserve(intent.request_id, reservation)
-        except CapacityError as exc:
-            # Only reachable in speculative mode: an earlier in-batch commit
-            # consumed the capacity this stale-view solve assumed.
-            self.counters["rejected_conflict"] += 1
-            reply = self._reject(
-                intent.msg_id, intent.request_id, "capacity_conflict", str(exc)
-            )
-            reply["decision_index"] = decision_index
-            return reply
-        if result.embedding is not None:
-            # Remembered for the repair ladder; dropped again on release.
-            self._repair.track(
-                intent.request_id,
-                result.embedding,
-                FlowConfig(rate=intent.rate),
-                result.total_cost,
-            )
-        self.counters["accepted"] += 1
-        self.counters["total_cost_accepted"] += result.total_cost
-        return {
-            "type": "accepted",
-            "msg_id": intent.msg_id,
-            "request_id": intent.request_id,
-            "total_cost": result.total_cost,
-            "vnf_cost": result.cost.vnf_cost,
-            "link_cost": result.cost.link_cost,
-            "runtime": result.runtime,
-            "decision_index": decision_index,
-            "commit_index": int(self.counters["accepted"]) - 1,
-        }

@@ -1,160 +1,37 @@
-"""Durable snapshots of the service's authoritative residual state.
+"""Durable service snapshots — moved to :mod:`repro.engine.state_store`.
 
-A snapshot is the minimal record needed to resume serving mid-trace after a
-crash or planned restart: every active reservation (absolute amounts, the
-same records the :class:`~repro.network.reservations.ReservationLedger`
-keeps in memory) plus the acceptance counters. The substrate network itself
-is *not* embedded — it is deterministic from its generator seed or archived
-separately via :mod:`repro.serialize` — but a SHA-256 fingerprint of its
-canonical serialization is stored and checked on restore, so a snapshot can
-never be silently replayed against the wrong network.
-
-Restore rebuilds the ledger by re-reserving each record through the normal
-capacity-checked API; a corrupt snapshot that over-commits any resource
-therefore fails loudly instead of resuming in an impossible state.
-
-The on-disk document is versioned like every other artifact in
-:mod:`repro.serialize` (``format`` / ``version`` / ``kind`` headers).
+The snapshot machinery belongs to the transport-agnostic engine layer now
+(the :class:`~repro.engine.core.EmbeddingEngine` and
+:class:`~repro.engine.router.ShardRouter` persist themselves); this module
+re-exports the public surface so existing imports keep working.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-from typing import Any, Mapping
-
-from ..exceptions import CapacityError, SnapshotError
-from ..network.cloud import CloudNetwork
-from ..network.reservations import Reservation, ReservationLedger
-from ..network.state import ResidualState
-from ..serialize import network_to_dict
+from ..engine.state_store import (
+    SHARDED_SNAPSHOT_KIND,
+    SNAPSHOT_KIND,
+    ledger_from_dict,
+    load_sharded_snapshot,
+    load_snapshot,
+    network_fingerprint,
+    save_sharded_snapshot,
+    save_snapshot,
+    sharded_from_dict,
+    sharded_snapshot_to_dict,
+    snapshot_to_dict,
+)
 
 __all__ = [
     "SNAPSHOT_KIND",
+    "SHARDED_SNAPSHOT_KIND",
     "network_fingerprint",
     "snapshot_to_dict",
     "ledger_from_dict",
     "save_snapshot",
     "load_snapshot",
+    "sharded_snapshot_to_dict",
+    "sharded_from_dict",
+    "save_sharded_snapshot",
+    "load_sharded_snapshot",
 ]
-
-_FORMAT = "repro.dag-sfc"
-_VERSION = 1
-SNAPSHOT_KIND = "service-state"
-
-
-def network_fingerprint(network: CloudNetwork) -> str:
-    """SHA-256 of the canonical network serialization (restore guard)."""
-    canonical = json.dumps(network_to_dict(network), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode()).hexdigest()
-
-
-def snapshot_to_dict(
-    ledger: ReservationLedger,
-    *,
-    counters: Mapping[str, float],
-) -> dict[str, Any]:
-    """Serialize the ledger + counters into a versioned snapshot document."""
-    return {
-        "format": _FORMAT,
-        "version": _VERSION,
-        "kind": SNAPSHOT_KIND,
-        "network_fingerprint": network_fingerprint(ledger.state.network),
-        "counters": dict(counters),
-        "reservations": [
-            {
-                "request_id": request_id,
-                "cost": reservation.cost,
-                "vnf": [
-                    [node, vnf_type, amount]
-                    for (node, vnf_type), amount in sorted(reservation.vnf.items())
-                ],
-                "links": [
-                    [u, v, amount]
-                    for (u, v), amount in sorted(reservation.links.items())
-                ],
-            }
-            for request_id, reservation in ledger.reservations()
-        ],
-    }
-
-
-def _check_header(data: Mapping[str, Any]) -> None:
-    if data.get("format") != _FORMAT or data.get("kind") != SNAPSHOT_KIND:
-        raise SnapshotError(f"not a {_FORMAT} {SNAPSHOT_KIND} document")
-    if data.get("version") != _VERSION:
-        raise SnapshotError(
-            f"unsupported snapshot version {data.get('version')!r} (expected {_VERSION})"
-        )
-
-
-def ledger_from_dict(
-    data: Mapping[str, Any], network: CloudNetwork
-) -> tuple[ReservationLedger, dict[str, float]]:
-    """Rebuild a ledger (and counters) from a snapshot document.
-
-    Every reservation is re-claimed through the capacity-checked reserve
-    path, so an over-committed or mismatched snapshot raises
-    :class:`SnapshotError` instead of producing an invalid residual state.
-    """
-    _check_header(data)
-    fingerprint = network_fingerprint(network)
-    if data.get("network_fingerprint") != fingerprint:
-        raise SnapshotError(
-            "snapshot was taken against a different network "
-            f"(fingerprint {str(data.get('network_fingerprint'))[:12]}… "
-            f"!= {fingerprint[:12]}…)"
-        )
-    ledger = ReservationLedger(ResidualState(network))
-    try:
-        for record in data["reservations"]:
-            reservation = Reservation(
-                vnf={
-                    (int(node), int(vnf_type)): float(amount)
-                    for node, vnf_type, amount in record["vnf"]
-                },
-                links={
-                    (int(u), int(v)): float(amount)
-                    for u, v, amount in record["links"]
-                },
-                cost=float(record["cost"]),
-            )
-            ledger.reserve(int(record["request_id"]), reservation)
-    except CapacityError as exc:
-        raise SnapshotError(f"snapshot over-commits the network: {exc}") from exc
-    except (KeyError, TypeError, ValueError) as exc:
-        raise SnapshotError(f"malformed snapshot reservation record: {exc}") from None
-    counters = {str(k): float(v) for k, v in dict(data.get("counters", {})).items()}
-    return ledger, counters
-
-
-def save_snapshot(
-    path: str,
-    ledger: ReservationLedger,
-    *,
-    counters: Mapping[str, float],
-) -> None:
-    """Atomically write a snapshot document to ``path`` (write + rename)."""
-    doc = snapshot_to_dict(ledger, counters=counters)
-    tmp = f"{path}.tmp"
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, indent=1, sort_keys=True)
-        fh.write("\n")
-    os.replace(tmp, path)
-
-
-def load_snapshot(
-    path: str, network: CloudNetwork
-) -> tuple[ReservationLedger, dict[str, float]]:
-    """Load a snapshot written by :func:`save_snapshot` and rebuild the ledger."""
-    try:
-        with open(path, encoding="utf-8") as fh:
-            doc = json.load(fh)
-    except OSError as exc:
-        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from None
-    except json.JSONDecodeError as exc:
-        raise SnapshotError(f"snapshot {path} is not valid JSON: {exc}") from None
-    if not isinstance(doc, dict):
-        raise SnapshotError(f"snapshot {path} must be a JSON object")
-    return ledger_from_dict(doc, network)

@@ -1,43 +1,12 @@
-"""The solve function dispatched to the service's worker pool.
+"""The pooled solve — moved to :mod:`repro.engine.worker`.
 
-Runs in a :class:`concurrent.futures.ProcessPoolExecutor` worker (or, with
-``workers=0``, in a thread of the server process). Mirrors the experiment
-runner's per-worker solver reuse (:mod:`repro.sim.runner`): embedders are
-configuration-only, so one instance per process serves every request
-instead of being rebuilt per solve.
-
-Arguments cross the process boundary by pickle — the residual *view*
-network is shipped as the live object, not re-serialized through
-:mod:`repro.serialize`, because pickling preserves dict iteration order and
-therefore solver tie-breaking: a pooled solve returns bit-identical results
-to an in-process solve on the same view.
+The per-process solver-reuse solve belongs to the engine layer (any
+transport that ships solves off its event loop needs it); this module
+re-exports it so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from ..config import FlowConfig
-from ..embedding.base import Embedder, EmbeddingResult
-from ..network.cloud import CloudNetwork
-from ..sfc.dag import DagSfc
-from ..solvers.registry import make_solver
+from ..engine.worker import solve_on_view
 
 __all__ = ["solve_on_view"]
-
-#: Per-process solver cache (the PR-2 reuse trick): name -> instance.
-_SOLVERS: dict[str, Embedder] = {}
-
-
-def solve_on_view(
-    solver_name: str,
-    view: CloudNetwork,
-    dag: DagSfc,
-    source: int,
-    dest: int,
-    rate: float,
-    seed: int,
-) -> EmbeddingResult:
-    """Embed one request on a residual view with the named (cached) solver."""
-    solver = _SOLVERS.get(solver_name)
-    if solver is None:
-        solver = _SOLVERS.setdefault(solver_name, make_solver(solver_name))
-    return solver.embed(view, dag, source, dest, FlowConfig(rate=rate), rng=seed)

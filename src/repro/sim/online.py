@@ -2,7 +2,10 @@
 
 The paper embeds one flow into a fresh network; a provider actually faces a
 *stream* of requests competing for the same instances and links. This
-module generalizes the single-shot model without touching any solver:
+module is the synchronous driver over the shared
+:class:`~repro.engine.core.EmbeddingEngine` — the same state machine the
+embedding service runs behind its asyncio transport, so an offline replay
+and a strict-mode service run decide identically by construction:
 
 * the network's remaining capacity lives in a
   :class:`~repro.network.state.ResidualState`;
@@ -19,33 +22,22 @@ also packs the network better than MINV/RANV, accepting more requests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
-from ..config import FlowConfig
 from ..embedding.base import Embedder, EmbeddingResult
-from ..exceptions import LedgerError
-from ..faults.model import FaultEvent, FaultState, degrade_network
-from ..faults.repair import RepairAction, RepairEngine, RepairOutcome
+from ..engine.core import EmbeddingEngine
+from ..engine.request import EmbeddingRequest
+from ..faults.model import FaultEvent, FaultState
+from ..faults.repair import RepairEngine, RepairOutcome
 from ..network.cloud import CloudNetwork
-from ..network.reservations import Reservation, ReservationLedger
 from ..network.state import ResidualState
-from ..sfc.dag import DagSfc
-from ..types import NodeId
 from ..utils.rng import RngStream
 
 __all__ = ["SfcRequest", "OnlineStats", "OnlineSimulator"]
 
-
-@dataclass(frozen=True)
-class SfcRequest:
-    """One tenant request: a DAG-SFC between two endpoints at a given rate."""
-
-    request_id: int
-    dag: DagSfc
-    source: NodeId
-    dest: NodeId
-    flow: FlowConfig = field(default_factory=FlowConfig)
+#: The one shared request type (kept under its historical sim-side name).
+SfcRequest = EmbeddingRequest
 
 
 @dataclass(frozen=True)
@@ -81,35 +73,31 @@ class OnlineStats:
 class OnlineSimulator:
     """Admits/releases SFC requests against one shared cloud network.
 
-    Reservation bookkeeping lives in the shared
-    :class:`~repro.network.reservations.ReservationLedger`, the same
-    implementation the embedding service's authoritative state uses.
+    A thin synchronous wrapper over :class:`~repro.engine.core.EmbeddingEngine`
+    — the authoritative state (ledger, fault state, repair ladder) and every
+    decision live in the engine; this class only adapts its counters to the
+    historical :class:`OnlineStats` surface.
     """
 
     def __init__(self, network: CloudNetwork, solver: Embedder) -> None:
+        self.engine = EmbeddingEngine(network, solver)
         self.network = network
         self.solver = solver
-        self.state = ResidualState(network)
-        self._ledger = ReservationLedger(self.state)
-        self._repair = RepairEngine(self._ledger, solver)
-        self._arrivals = 0
-        self._accepted = 0
-        self._departed = 0
-        self._total_cost = 0.0
-        self._evicted = 0
-        self._rerouted = 0
-        self._reembedded = 0
-        self._repair_cost_delta = 0.0
+
+    @property
+    def state(self) -> ResidualState:
+        """The authoritative residual capacity (owned by the engine's ledger)."""
+        return self.engine.ledger.state
 
     @property
     def faults(self) -> FaultState:
         """The live fault state (pristine unless :meth:`apply_fault` was used)."""
-        return self._repair.faults
+        return self.engine.faults
 
     @property
     def repair_engine(self) -> RepairEngine:
         """The engine tracking embeddings and running the repair ladder."""
-        return self._repair
+        return self.engine.repair_engine
 
     # -- arrivals -----------------------------------------------------------------
 
@@ -119,47 +107,13 @@ class OnlineSimulator:
         On success the embedding's resources are reserved until
         :meth:`release` is called with the same request id.
         """
-        if self._ledger.is_active(request.request_id):
-            raise LedgerError(
-                request.request_id,
-                "duplicate_request",
-                f"request id {request.request_id} is already active",
-            )
-        self._arrivals += 1
-        view = self.state.to_network()
-        if self._repair.faults.any_dead:
-            # Degrade only under active faults, so the fault-free pipeline
-            # (and its perf goldens) stays bit-identical to the seed.
-            view = degrade_network(view, self._repair.faults)
-        result = self.solver.embed(
-            view, request.dag, request.source, request.dest, request.flow, rng=rng
-        )
-        if not result.success:
-            return result
-
-        assert result.cost is not None
-        assert result.embedding is not None
-        reservation = Reservation.from_counts(
-            result.cost.alpha_vnf,
-            result.cost.alpha_link,
-            rate=request.flow.rate,
-            cost=result.total_cost,
-        )
-        self._ledger.reserve(request.request_id, reservation)
-        self._repair.track(
-            request.request_id, result.embedding, request.flow, result.total_cost
-        )
-        self._accepted += 1
-        self._total_cost += result.total_cost
-        return result
+        return self.engine.submit(request, rng=rng)
 
     # -- departures -----------------------------------------------------------------
 
     def release(self, request_id: int) -> None:
         """Return all resources held by an accepted request."""
-        self._ledger.release(request_id)
-        self._repair.forget(request_id)
-        self._departed += 1
+        self.engine.release(request_id)
 
     # -- faults --------------------------------------------------------------------
 
@@ -170,33 +124,24 @@ class OnlineSimulator:
         the affected requests; recoveries just restore visibility (a later
         arrival sees the element again). Returns the repair outcomes.
         """
-        outcomes = self._repair.apply_event(event, rng=rng)
-        for outcome in outcomes:
-            if outcome.action is RepairAction.REROUTED:
-                self._rerouted += 1
-                self._repair_cost_delta += outcome.cost_delta
-            elif outcome.action is RepairAction.RE_EMBEDDED:
-                self._reembedded += 1
-                self._repair_cost_delta += outcome.cost_delta
-            else:
-                self._evicted += 1
-        return outcomes
+        return self.engine.apply_fault(event, rng=rng)
 
     # -- introspection ------------------------------------------------------------------
 
     def active_requests(self) -> Iterator[int]:
         """Ids of requests currently holding resources."""
-        return self._ledger.active_ids()
+        return self.engine.active_ids()
 
     def stats(self) -> OnlineStats:
         """Acceptance statistics so far."""
+        counters = self.engine.counters
         return OnlineStats(
-            arrivals=self._arrivals,
-            accepted=self._accepted,
-            departed=self._departed,
-            total_cost_accepted=self._total_cost,
-            evicted=self._evicted,
-            repairs_rerouted=self._rerouted,
-            repairs_reembedded=self._reembedded,
-            repair_cost_delta=self._repair_cost_delta,
+            arrivals=int(counters["dispatched"]),
+            accepted=int(counters["accepted"]),
+            departed=int(counters["departed"]),
+            total_cost_accepted=counters["total_cost_accepted"],
+            evicted=int(counters["evictions"]),
+            repairs_rerouted=int(counters["repairs_rerouted"]),
+            repairs_reembedded=int(counters["repairs_reembedded"]),
+            repair_cost_delta=counters["repair_cost_delta"],
         )

@@ -1,0 +1,9 @@
+"""RPL601 fixture: transport code importing domain machinery directly."""
+
+from repro.solvers.registry import make_solver
+from ..network.reservations import ReservationLedger
+from repro.faults import repair
+
+
+def build() -> tuple[object, object, object]:
+    return make_solver, ReservationLedger, repair

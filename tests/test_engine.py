@@ -1,0 +1,294 @@
+"""The transport-agnostic embedding engine: lifecycle, faults, durability.
+
+Unit tests drive :class:`~repro.engine.core.EmbeddingEngine` directly — no
+sockets, no event loop — and the golden test closes the refactor's central
+loop: one trace pushed through the offline
+:class:`~repro.sim.online.OnlineSimulator` and through a strict single-shard
+:class:`~repro.service.EmbeddingServer` must produce identical decisions,
+identical costs, and an identical ledger document, because both are thin
+drivers over the same engine.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.config import FlowConfig, NetworkConfig, SfcConfig
+from repro.engine import (
+    DEFAULT_NETWORK_ID,
+    ENGINE_COUNTER_KEYS,
+    EmbeddingEngine,
+    EmbeddingRequest,
+    ShardRouter,
+    advertised_vnf_types,
+    state_store,
+)
+from repro.exceptions import ConfigurationError, LedgerError
+from repro.faults.model import FaultAction, FaultEvent, FaultTarget
+from repro.network.cloud import CloudNetwork
+from repro.network.generator import generate_network
+from repro.service import EmbeddingServer, ServiceClient, ServiceConfig
+from repro.sfc.builder import DagSfcBuilder
+from repro.sfc.generator import generate_dag_sfc
+from repro.sim.online import OnlineSimulator
+from repro.solvers.registry import make_solver
+from repro.utils.rng import as_generator, trial_seed
+
+from .conftest import build_line_graph
+
+
+def engine_network(seed: int = 17) -> CloudNetwork:
+    cfg = NetworkConfig(
+        size=40, connectivity=4.0, n_vnf_types=6, deploy_ratio=0.5,
+        vnf_capacity=4.0, link_capacity=4.0,
+    )
+    return generate_network(cfg, rng=seed)
+
+
+def tight_network() -> CloudNetwork:
+    """0-1-2 line where one unit-rate request saturates everything."""
+    net = CloudNetwork(build_line_graph(3, price=1.0, capacity=1.0))
+    net.deploy(1, 1, price=5.0, capacity=1.0)
+    return net
+
+
+def line_request(rid: int, *, rate: float = 1.0, seed: int | None = None) -> EmbeddingRequest:
+    dag = DagSfcBuilder().single(1).build()
+    return EmbeddingRequest(
+        request_id=rid, dag=dag, source=0, dest=2, flow=FlowConfig(rate=rate), seed=seed
+    )
+
+
+def make_requests(network: CloudNetwork, n: int, *, seed: int = 11) -> list[EmbeddingRequest]:
+    gen = as_generator(seed)
+    out = []
+    for rid in range(n):
+        dag = generate_dag_sfc(SfcConfig(size=3), 6, rng=gen)
+        src, dst = (int(v) for v in gen.choice(network.num_nodes, size=2, replace=False))
+        out.append(
+            EmbeddingRequest(
+                request_id=rid, dag=dag, source=src, dest=dst,
+                flow=FlowConfig(rate=1.0), seed=int(gen.integers(2**31)),
+                arrival_index=rid,
+            )
+        )
+    return out
+
+
+class TestEngineLifecycle:
+    def test_submit_commit_release_roundtrip(self):
+        engine = EmbeddingEngine(tight_network(), "MBBE")
+        result = engine.submit(line_request(1), rng=0)
+        assert result.success
+        assert engine.is_active(1)
+        assert engine.active_count() == 1
+        assert engine.counters["accepted"] == 1
+        assert engine.counters["dispatched"] == 1
+        assert engine.counters["total_cost_accepted"] == result.total_cost
+        engine.release(1)
+        assert not engine.is_active(1)
+        assert engine.counters["departed"] == 1
+        # Released capacity is reusable: the same request embeds again.
+        assert engine.submit(line_request(2), rng=0).success
+
+    def test_duplicate_submit_raises(self):
+        engine = EmbeddingEngine(tight_network(), "MBBE")
+        assert engine.submit(line_request(1), rng=0).success
+        with pytest.raises(LedgerError, match="already active"):
+            engine.submit(line_request(1), rng=0)
+
+    def test_release_unknown_raises(self):
+        engine = EmbeddingEngine(tight_network(), "MBBE")
+        with pytest.raises(ConfigurationError):
+            engine.release(99)
+
+    def test_no_solution_decision(self):
+        engine = EmbeddingEngine(tight_network(), "MBBE")
+        assert engine.submit(line_request(1), rng=0).success
+        # The line is saturated: the next request has no feasible embedding.
+        decision = engine.commit(line_request(2), engine.solve(line_request(2), rng=0))
+        assert not decision.accepted
+        assert decision.code == "no_solution"
+        assert decision.decision_index == 1
+        assert engine.counters["rejected_no_solution"] == 1
+
+    def test_decision_indices_are_engine_global(self):
+        engine = EmbeddingEngine(engine_network(), "MBBE")
+        requests = make_requests(engine.network, 6)
+        decisions = engine.submit_batch(requests)
+        assert [d.decision_index for d in decisions] == list(range(6))
+        accepted = [d for d in decisions if d.accepted]
+        assert [d.commit_index for d in accepted] == list(range(len(accepted)))
+
+    def test_strict_batch_equals_sequential_submits(self):
+        network = engine_network()
+        requests = make_requests(network, 12)
+        batch_engine = EmbeddingEngine(network, make_solver("MBBE"))
+        one_by_one = EmbeddingEngine(network, make_solver("MBBE"))
+        decisions = batch_engine.submit_batch(requests, rng=7)
+        for request in requests:
+            one_by_one.submit(request, rng=7)
+        assert len(decisions) == len(requests)
+        assert batch_engine.counters == one_by_one.counters
+        assert state_store.snapshot_to_dict(
+            batch_engine.ledger, counters={}
+        ) == state_store.snapshot_to_dict(one_by_one.ledger, counters={})
+
+    def test_speculative_batch_reports_capacity_conflict(self):
+        engine = EmbeddingEngine(tight_network(), "MBBE")
+        requests = [line_request(1, seed=0), line_request(2, seed=0)]
+        decisions = engine.submit_batch(requests, rng=0, speculative=True)
+        assert [d.accepted for d in decisions] == [True, False]
+        assert decisions[1].code == "capacity_conflict"
+        assert engine.counters["rejected_conflict"] == 1
+
+    def test_solve_seed_prefers_request_seed(self):
+        engine = EmbeddingEngine(tight_network(), "MBBE", seed=123)
+        assert engine.solve_seed(line_request(1, seed=77)) == 77
+        request = EmbeddingRequest(
+            request_id=2, dag=DagSfcBuilder().single(1).build(),
+            source=0, dest=2, arrival_index=9,
+        )
+        assert engine.solve_seed(request) == trial_seed(123, 9, salt=0x5EC5)
+
+
+class TestEngineFaults:
+    def test_fault_degrades_and_recovery_restores(self):
+        engine = EmbeddingEngine(tight_network(), "MBBE")
+        assert engine.submit(line_request(1), rng=0).success
+        outcomes = engine.apply_fault(
+            FaultEvent(time=0, action=FaultAction.FAIL, target=FaultTarget.link(0, 1)),
+            auto_seed=True,
+        )
+        assert engine.degraded
+        assert engine.counters["faults_injected"] == 1
+        # The only path is dead and nothing else fits: the request is repaired
+        # or evicted, but the ladder definitely ran over it.
+        assert len(outcomes) == 1
+        assert outcomes[0].request_id == 1
+        engine.apply_fault(
+            FaultEvent(time=1, action=FaultAction.RECOVER, target=FaultTarget.link(0, 1))
+        )
+        assert not engine.degraded
+        assert engine.counters["recoveries"] == 1
+
+    def test_duplicate_fail_is_a_noop(self):
+        engine = EmbeddingEngine(tight_network(), "MBBE")
+        event = FaultEvent(time=0, action=FaultAction.FAIL, target=FaultTarget.node(0))
+        engine.apply_fault(event, auto_seed=True)
+        engine.apply_fault(event, auto_seed=True)
+        assert engine.counters["faults_injected"] == 1
+
+    def test_stats_reports_fault_gauges(self):
+        engine = EmbeddingEngine(tight_network(), "MBBE")
+        engine.apply_fault(
+            FaultEvent(time=0, action=FaultAction.FAIL, target=FaultTarget.node(0)),
+            auto_seed=True,
+        )
+        stats = engine.stats()
+        assert stats["faults"]["degraded"] is True
+        assert stats["faults"]["dead_nodes"] == 1
+        assert set(stats["counters"]) == set(ENGINE_COUNTER_KEYS)
+
+
+class TestEngineDurability:
+    def test_snapshot_restore_roundtrip(self, tmp_path):
+        network = engine_network()
+        engine = EmbeddingEngine(network, "MBBE", seed=5)
+        for request in make_requests(network, 8):
+            engine.submit(request, rng=request.seed)
+        path = str(tmp_path / "engine.json")
+        engine.save_snapshot(path, extra_counters={"submitted": 8})
+        restored, leftover = EmbeddingEngine.restore(network, "MBBE", path, seed=5)
+        assert leftover == {"submitted": 8}
+        assert restored.counters == engine.counters
+        assert state_store.snapshot_to_dict(
+            restored.ledger, counters={}
+        ) == state_store.snapshot_to_dict(engine.ledger, counters={})
+
+    def test_restore_rejects_foreign_ledger(self):
+        network = engine_network()
+        other = EmbeddingEngine(engine_network(seed=99), "MBBE")
+        with pytest.raises(ConfigurationError, match="different network"):
+            EmbeddingEngine(network, "MBBE", ledger=other.ledger)
+
+
+class TestShardRouter:
+    def test_default_and_unknown_resolution(self):
+        router = ShardRouter.from_networks(
+            {"a": engine_network(1), "b": engine_network(2)}, "MBBE"
+        )
+        assert router.default_id == "a"
+        assert router.get() is router.get("a")
+        assert "b" in router and len(router) == 2
+        with pytest.raises(ConfigurationError, match="unknown network_id"):
+            router.get("zap")
+
+    def test_single_shard_snapshot_is_plain_v1(self, tmp_path):
+        network = engine_network()
+        router = ShardRouter({DEFAULT_NETWORK_ID: EmbeddingEngine(network, "MBBE")})
+        path = str(tmp_path / "snap.json")
+        router.save_snapshot(path)
+        # A plain service-state document: the pre-sharding loader reads it.
+        ledger, _ = state_store.load_snapshot(path, network)
+        assert len(ledger) == 0
+
+    def test_advertised_vnf_types_ignores_endpoints(self):
+        network = tight_network()
+        assert advertised_vnf_types(network) == 1
+
+
+# -- the golden equivalence gate ------------------------------------------------------
+
+
+class TestGoldenEquivalence:
+    def test_sim_and_strict_service_share_one_state_machine(self):
+        """One trace, two drivers, identical decisions / costs / ledger."""
+        network = engine_network()
+        requests = make_requests(network, 30)
+        released = [r.request_id for r in requests[::3]]
+        config = ServiceConfig(batch_size=1, queue_limit=64, workers=0)
+
+        async def drive():
+            async with EmbeddingServer(network, config) as server:
+                host, port = server.address
+                async with await ServiceClient.connect(host, port) as client:
+                    outcomes = []
+                    for request in requests:
+                        outcomes.append(
+                            await client.submit(
+                                request.request_id, request.dag, request.source,
+                                request.dest, rate=request.rate, seed=request.seed,
+                            )
+                        )
+                    releases = {
+                        rid: await client.release(rid) for rid in released
+                    }
+                doc = state_store.snapshot_to_dict(server.ledger, counters={})
+            return outcomes, releases, doc
+
+        outcomes, releases, service_doc = asyncio.run(drive())
+        # Sequential awaits pin the decision order to the submission order.
+        assert [o.decision_index for o in outcomes] == list(range(len(requests)))
+
+        sim = OnlineSimulator(network, make_solver(config.solver))
+        for request, outcome in zip(requests, outcomes):
+            result = sim.submit(request, rng=request.seed)
+            assert result.success == outcome.accepted
+            if result.success:
+                assert result.total_cost == outcome.total_cost
+        for rid in released:
+            if releases[rid]:
+                sim.release(rid)
+            else:
+                assert not sim.engine.is_active(rid)
+        sim_doc = state_store.snapshot_to_dict(sim.engine.ledger, counters={})
+        assert sim_doc == service_doc
+
+        stats = sim.stats()
+        accepted = [o for o in outcomes if o.accepted]
+        assert accepted, "workload must accept at least one request"
+        assert stats.accepted == len(accepted)
+        assert stats.total_cost_accepted == pytest.approx(
+            sum(o.total_cost for o in accepted)
+        )

@@ -39,6 +39,7 @@ EXPECTED: dict[str, list[str]] = {
     "fail_rpl003_syntax_error.py": ["RPL003"],
     "fail_rpl004_unused_suppression.py": ["RPL004"],
     "solvers/fail_rpl202_unbalanced_reserve.py": ["RPL202"],
+    "service/fail_rpl601_direct_imports.py": ["RPL601", "RPL601", "RPL601"],
     "regpack": ["RPL301", "RPL301"],
     # clean fixtures:
     "pass_rng_discipline.py": [],
@@ -48,6 +49,7 @@ EXPECTED: dict[str, list[str]] = {
     "pass_tolerance_helper.py": [],
     "cli.py": [],
     "solvers/pass_rpl202_guarded.py": [],
+    "service/pass_rpl601_via_engine.py": [],
     "regpack/solvers/pass_abstract_skipped.py": [],
 }
 

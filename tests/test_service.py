@@ -111,7 +111,8 @@ class TestProtocol:
             protocol.decode_message(protocol.encode_message(message))
         )
         assert intent == SubmitIntent(
-            request_id=42, dag=dag, source=0, dest=2, rate=1.5, seed=9, msg_id=7
+            request_id=42, dag=dag, source=0, dest=2,
+            flow=FlowConfig(rate=1.5), seed=9, msg_id=7,
         )
 
     def test_submit_validation(self):
@@ -135,7 +136,7 @@ class TestProtocol:
 def intent(rid: int, *, rate: float = 1.0, arrival_index: int = 0) -> SubmitIntent:
     return SubmitIntent(
         request_id=rid, dag=single_vnf_dag(), source=0, dest=2,
-        rate=rate, arrival_index=arrival_index,
+        flow=FlowConfig(rate=rate), arrival_index=arrival_index,
     )
 
 

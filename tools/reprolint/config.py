@@ -50,6 +50,18 @@ class LintConfig:
     cost_name_fragments: tuple[str, ...] = ("cost", "price", "objective", "total")
     #: exact identifiers also treated as cost-like.
     cost_exact_names: tuple[str, ...] = ("total",)
+    #: directory names holding transport-layer service code (RPL601).
+    service_dir_names: tuple[str, ...] = ("service",)
+    #: the package transport code must route domain imports through.
+    engine_package: str = "engine"
+    #: ``repro``-relative module prefixes the service may import only via
+    #: the engine package's re-exports.
+    service_forbidden_imports: tuple[str, ...] = (
+        "solvers",
+        "network.reservations",
+        "network.state",
+        "faults.repair",
+    )
 
 
 DEFAULT_CONFIG = LintConfig()

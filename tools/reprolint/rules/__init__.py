@@ -2,4 +2,4 @@
 
 from __future__ import annotations
 
-from . import counts, defaults, floats, registry_conformance, rng, state  # noqa: F401
+from . import counts, defaults, floats, layers, registry_conformance, rng, state  # noqa: F401

@@ -1,0 +1,84 @@
+"""Layer boundaries (RPL6xx).
+
+The service package is a *transport*: sockets, queues, backpressure. Every
+embedding decision — solvers, the reservation ledger, residual state, the
+repair ladder — belongs to the engine layer, and transport code must reach
+it only through ``repro.engine``'s re-exports. A direct import would let
+solve/commit/repair logic creep back into the transport, silently forking
+the one code path the offline simulator and the server are meant to share.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, rule
+
+
+def _module_key(module: str | None, level: int) -> str | None:
+    """The imported module path relative to the ``repro`` package.
+
+    Absolute imports are stripped of the leading ``repro.``; relative
+    imports (``from ..solvers.x import y``) already carry the package-local
+    tail in ``module``. Anything outside ``repro`` returns ``None``.
+    """
+    if module is None:
+        return None
+    if level > 0:
+        return module
+    if module == "repro":
+        return ""
+    if module.startswith("repro."):
+        return module[len("repro.") :]
+    return None
+
+
+def _forbidden(key: str, prefixes: tuple[str, ...]) -> str | None:
+    for prefix in prefixes:
+        if key == prefix or key.startswith(prefix + "."):
+            return prefix
+    return None
+
+
+@rule(
+    "RPL601",
+    "service-layer-boundary",
+    "transport code (the service package) must import solver/ledger/repair "
+    "machinery via repro.engine, never directly",
+)
+def check_service_layer_boundary(ctx: FileContext) -> None:
+    if not ctx.in_dir(ctx.config.service_dir_names):
+        return
+    engine = ctx.config.engine_package
+    prefixes = ctx.config.service_forbidden_imports
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            candidates = [(_module_key(alias.name, 0), node) for alias in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            key = _module_key(node.module, node.level)
+            if key is None and node.level == 0:
+                continue
+            base = key or ""
+            candidates = [(base, node)]
+            # `from ..network import reservations` names the forbidden module
+            # in the alias, not the module path; check the joined form too.
+            for alias in node.names:
+                joined = f"{base}.{alias.name}" if base else alias.name
+                candidates.append((joined, node))
+        else:
+            continue
+        for key, at in candidates:
+            if key is None:
+                continue
+            if key == engine or key.startswith(engine + "."):
+                continue
+            hit = _forbidden(key, prefixes)
+            if hit is not None:
+                ctx.report(
+                    "RPL601",
+                    at,
+                    f"service code imports `{key}` directly; the transport "
+                    f"layer must go through the `{engine}` package "
+                    f"(re-exports cover `{hit}`)",
+                )
+                break
