@@ -246,7 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "paths", nargs="*", default=[], help="files/directories to check (default: src/repro)"
     )
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--format", choices=("text", "json", "github"), default="text")
     lint.add_argument("--select", type=str, default=None, help="comma-separated rule codes")
     lint.add_argument("--list-rules", action="store_true", help="print the rule catalog")
     return parser
@@ -687,7 +687,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             )
             print(report.format_table())
             if args.out:
-                write_report(
+                await asyncio.to_thread(
+                    write_report,
                     args.out,
                     report,
                     params={

@@ -175,6 +175,20 @@ class _PendingFault:
     event: FaultEvent
 
 
+@dataclass
+class _PendingHold:
+    """Parks one shard's dispatcher between batches.
+
+    ``reached`` resolves once the dispatcher is idle at the hold; it then
+    stays parked until ``release`` is set. Snapshots quiesce every shard
+    this way so the engines cannot change under the snapshot thread while
+    the event loop stays responsive.
+    """
+
+    reached: "asyncio.Future[None]" = field(compare=False)
+    release: "asyncio.Event" = field(compare=False)
+
+
 #: Counters the transport maintains per shard; the engine owns the rest
 #: (:data:`~repro.engine.core.ENGINE_COUNTER_KEYS`).
 _TRANSPORT_COUNTER_KEYS = (
@@ -198,7 +212,7 @@ class _Shard:
         self.engine = engine
         self.n_vnf_types = advertised_vnf_types(engine.network)
         self.queue: asyncio.Queue[
-            _PendingSubmit | _PendingRelease | _PendingDrain | _PendingFault
+            _PendingSubmit | _PendingRelease | _PendingDrain | _PendingFault | _PendingHold
         ] = asyncio.Queue()
         self.queued_submits = 0
         self.pending_ids: set[int] = set()
@@ -416,6 +430,9 @@ class EmbeddingServer:
                 )
             elif isinstance(item, _PendingDrain):
                 item.reply.set_result(None)
+            elif isinstance(item, _PendingHold):
+                if not item.reached.done():
+                    item.reached.set_result(None)
             # _PendingFault items have no waiter: dropped with the server.
 
     async def __aenter__(self) -> "EmbeddingServer":
@@ -613,7 +630,7 @@ class EmbeddingServer:
             elif mtype == "stats":
                 reply = {"type": "stats", "msg_id": msg_id, **self.stats_payload()}
             elif mtype == "snapshot":
-                reply = self._handle_snapshot(msg_id)
+                reply = await self._handle_snapshot(msg_id)
             elif mtype == "drain":
                 reply = await self._handle_drain(message)
             else:
@@ -736,14 +753,14 @@ class EmbeddingServer:
         shard.queue.put_nowait(pending)
         return await pending.reply
 
-    def _handle_snapshot(self, msg_id: int) -> dict[str, Any]:
+    async def _handle_snapshot(self, msg_id: int) -> dict[str, Any]:
         if not self.config.snapshot_path:
             return {
                 "type": "error",
                 "msg_id": msg_id,
                 "reason": "server was started without a snapshot path",
             }
-        self._save_snapshot(self.config.snapshot_path)
+        await self._snapshot_quiesced(self.config.snapshot_path)
         return {
             "type": "snapshotted",
             "msg_id": msg_id,
@@ -759,6 +776,27 @@ class EmbeddingServer:
                 for network_id, shard in self._shards.items()
             },
         )
+
+    async def _snapshot_quiesced(self, path: str) -> None:
+        """Write a snapshot off the event loop with every dispatcher parked.
+
+        Each shard's dispatcher stops at a hold barrier, so no engine can
+        change while the snapshot thread reads it — the consistency the old
+        synchronous (loop-stalling) write provided for free — yet other
+        connections keep submitting; their work just queues behind the hold.
+        """
+        loop = asyncio.get_running_loop()
+        release = asyncio.Event()
+        reached: list[asyncio.Future[None]] = []
+        for shard in self._shards.values():
+            barrier: asyncio.Future[None] = loop.create_future()
+            shard.queue.put_nowait(_PendingHold(reached=barrier, release=release))
+            reached.append(barrier)
+        await asyncio.gather(*reached)
+        try:
+            await asyncio.to_thread(self._save_snapshot, path)
+        finally:
+            release.set()
 
     async def _handle_drain(self, message: dict[str, Any]) -> dict[str, Any]:
         msg_id = int(message.get("msg_id", 0) or 0)
@@ -779,7 +817,10 @@ class EmbeddingServer:
             **self.stats_payload(),
         }
         if self.config.snapshot_path:
-            self._save_snapshot(self.config.snapshot_path)
+            # Quiesced even though the queues just drained: the chaos pump
+            # can enqueue faults at any time, and a dispatcher applying one
+            # mid-write would tear the snapshot.
+            await self._snapshot_quiesced(self.config.snapshot_path)
             reply["snapshot_path"] = self.config.snapshot_path
         if shutdown:
             reply["_shutdown"] = True
@@ -796,8 +837,14 @@ class EmbeddingServer:
             releases: list[_PendingRelease] = []
             drains: list[_PendingDrain] = []
             faults: list[_PendingFault] = []
+            holds: list[_PendingHold] = []
             item: (
-                _PendingSubmit | _PendingRelease | _PendingDrain | _PendingFault | None
+                _PendingSubmit
+                | _PendingRelease
+                | _PendingDrain
+                | _PendingFault
+                | _PendingHold
+                | None
             ) = first
             while item is not None:
                 if isinstance(item, _PendingSubmit):
@@ -806,6 +853,8 @@ class EmbeddingServer:
                     releases.append(item)
                 elif isinstance(item, _PendingFault):
                     faults.append(item)
+                elif isinstance(item, _PendingHold):
+                    holds.append(item)
                 else:
                     drains.append(item)
                 if len(batch) >= self.config.batch_size:
@@ -829,6 +878,13 @@ class EmbeddingServer:
 
             for drain in drains:
                 drain.reply.set_result(None)
+
+            # Holds park this dispatcher last, with the batch fully applied,
+            # so the snapshot thread sees a settled engine.
+            for hold in holds:
+                if not hold.reached.done():
+                    hold.reached.set_result(None)
+                await hold.release.wait()
 
     def _do_release(self, shard: _Shard, release: _PendingRelease) -> dict[str, Any]:
         try:
@@ -865,8 +921,16 @@ class EmbeddingServer:
         self._chaos_done.set()
 
     async def _apply_fault(self, shard: _Shard, event: FaultEvent) -> None:
-        """Fold one fault event into a shard's engine and push the repairs."""
-        for outcome in shard.engine.apply_fault(event, auto_seed=True):
+        """Fold one fault event into a shard's engine and push the repairs.
+
+        The repair ladder runs solver embeds, so the whole fold happens off
+        the event loop. Still single-writer: this dispatcher awaits the
+        thread before touching the engine again, and nothing else mutates it.
+        """
+        outcomes = await asyncio.to_thread(
+            shard.engine.apply_fault, event, auto_seed=True
+        )
+        for outcome in outcomes:
             await self._notify_repair(shard, outcome)
 
     async def _notify_repair(self, shard: _Shard, outcome: RepairOutcome) -> None:

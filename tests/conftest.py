@@ -1,6 +1,16 @@
-"""Shared fixtures: small deterministic networks and DAG-SFCs."""
+"""Shared fixtures: small deterministic networks and DAG-SFCs.
+
+Also arms the runtime async sanitizer (:mod:`repro.utils.sanitizer`) for the
+service-tier e2e suites: their ``asyncio.run`` is replaced by an instrumented
+runner, and any event-loop stall or cross-task shared-state mutation fails
+the test at teardown. Set ``REPRO_SANITIZER=0`` to switch it off.
+"""
 
 from __future__ import annotations
+
+import asyncio
+import os
+from typing import Iterator
 
 import pytest
 
@@ -11,6 +21,44 @@ from repro.network.graph import Graph
 from repro.sfc.builder import DagSfcBuilder
 from repro.sfc.dag import DagSfc
 from repro.types import MERGER_VNF
+from repro.utils.sanitizer import LoopSanitizer
+
+#: e2e suites that drive the asyncio service; every static RPL7xx claim is
+#: cross-checked dynamically while they run.
+SANITIZED_TEST_FILES = (
+    "test_service.py",
+    "test_service_chaos.py",
+    "test_sharding.py",
+)
+
+
+@pytest.fixture(autouse=True)
+def async_sanitizer(
+    request: pytest.FixtureRequest, monkeypatch: pytest.MonkeyPatch
+) -> Iterator[LoopSanitizer | None]:
+    """Instrument ``asyncio.run`` for the service e2e suites.
+
+    Yields the active :class:`LoopSanitizer` (or None where not armed) and
+    raises at teardown if it recorded a stall or a cross-task mutation, so a
+    regression that blocks the loop fails even when the test's assertions
+    still pass.
+    """
+    if request.node.path.name not in SANITIZED_TEST_FILES:
+        yield None
+        return
+    if os.environ.get("REPRO_SANITIZER", "1") == "0":
+        yield None
+        return
+    sanitizer = LoopSanitizer()
+    real_run = asyncio.run
+
+    def instrumented_run(coro, **kwargs):  # type: ignore[no-untyped-def]
+        return sanitizer.run(coro, runner=real_run)
+
+    monkeypatch.setattr(asyncio, "run", instrumented_run)
+    yield sanitizer
+    monkeypatch.undo()
+    sanitizer.check()
 
 
 def build_line_graph(n: int, *, price: float = 1.0, capacity: float = 100.0) -> Graph:

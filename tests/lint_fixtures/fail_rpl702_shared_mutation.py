@@ -1,0 +1,14 @@
+"""RPL702: shared-state mutation in an awaiting coroutine, outside the dispatcher."""
+
+import asyncio
+from typing import Any
+
+
+class Handler:
+    def __init__(self, engine: Any) -> None:
+        self.engine = engine
+
+    async def handle(self, request_id: int) -> None:
+        self.engine.submit(request_id)  # RPL702: mutates shared engine state
+        await asyncio.sleep(0)  # ...while another task can interleave here
+        self.engine.last_served = request_id  # RPL702: write through shared state

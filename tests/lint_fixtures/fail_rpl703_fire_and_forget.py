@@ -1,0 +1,12 @@
+"""RPL703: a dropped create_task handle can be garbage-collected mid-flight."""
+
+import asyncio
+
+
+async def work() -> None:
+    await asyncio.sleep(0)
+
+
+async def leaky() -> None:
+    asyncio.create_task(work())  # RPL703: nobody awaits, stores, or watches it
+    await asyncio.sleep(0)

@@ -1,0 +1,18 @@
+"""RPL704: leaked acquires and sync locks held across awaits."""
+
+import asyncio
+import threading
+
+
+class Worker:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._async_lock = asyncio.Lock()
+
+    async def leaky_acquire(self) -> None:
+        await self._async_lock.acquire()  # RPL704: no try/finally release
+        self._async_lock.release()  # an exception above would leak the lock
+
+    async def held_across_await(self) -> None:
+        with self._lock:
+            await asyncio.sleep(0)  # RPL704: sync lock held across a suspension

@@ -1,0 +1,20 @@
+"""RPL705: an await between mark() and rollback() invalidates the mark token."""
+
+import asyncio
+from typing import Any
+
+
+class Ledger:
+    def __init__(self, state: Any) -> None:
+        self.state = state
+
+    async def reserve_with_io(self, request_id: int, amount: float) -> None:
+        mark = self.state.mark()
+        try:
+            await self.audit(request_id)  # RPL705: interleaving can mutate state
+            self.state.reserve_vnf(request_id, amount)
+        except ValueError:
+            self.state.rollback(mark)
+
+    async def audit(self, request_id: int) -> None:
+        await asyncio.sleep(0)

@@ -1,0 +1,21 @@
+"""RPL701 counterpart: blocking work shipped through an executor hop is fine."""
+
+import asyncio
+import time
+
+
+def slow_helper() -> None:
+    time.sleep(0.1)
+
+
+def sync_caller() -> None:
+    slow_helper()  # sync-to-sync blocking is not an event-loop concern
+
+
+async def offloaded() -> None:
+    await asyncio.to_thread(slow_helper)  # executor hop: args are exempt
+    await asyncio.to_thread(time.sleep, 0.1)
+
+
+async def via_executor(loop: asyncio.AbstractEventLoop) -> None:
+    await loop.run_in_executor(None, slow_helper)

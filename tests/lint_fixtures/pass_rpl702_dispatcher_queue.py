@@ -1,0 +1,19 @@
+"""RPL702 counterpart: handlers enqueue; only the (sync-called) owner mutates."""
+
+import asyncio
+from typing import Any
+
+
+class Handler:
+    def __init__(self, engine: Any, queue: "asyncio.Queue[int]") -> None:
+        self.engine = engine
+        self.queue = queue
+
+    async def handle(self, request_id: int) -> None:
+        # the coroutine never touches the engine: it hands the work to the
+        # single-writer dispatcher through the queue.
+        await self.queue.put(request_id)
+
+    def apply(self, request_id: int) -> None:
+        # called by the dispatcher between awaits; sync code is exempt.
+        self.engine.submit(request_id)

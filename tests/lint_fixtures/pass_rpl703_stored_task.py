@@ -1,0 +1,16 @@
+"""RPL703 counterpart: stored / gathered / callback-watched tasks are fine."""
+
+import asyncio
+
+
+async def work() -> None:
+    await asyncio.sleep(0)
+
+
+async def supervised() -> None:
+    task = asyncio.create_task(work())  # stored, then awaited
+    background = [asyncio.create_task(work())]  # stored in a container
+    background.append(asyncio.create_task(work()))
+    watched = asyncio.create_task(work())
+    watched.add_done_callback(lambda t: t.exception())
+    await asyncio.gather(task, watched, *background)

@@ -1,0 +1,26 @@
+"""RPL704 counterpart: context-managed or try/finally-guarded locks."""
+
+import asyncio
+import threading
+
+
+class Worker:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._async_lock = asyncio.Lock()
+
+    async def guarded_acquire(self) -> None:
+        await self._async_lock.acquire()
+        try:
+            await asyncio.sleep(0)
+        finally:
+            self._async_lock.release()
+
+    async def context_managed(self) -> None:
+        # an *asyncio* lock held across an await is the intended usage.
+        async with self._async_lock:
+            await asyncio.sleep(0)
+
+    def sync_critical_section(self) -> None:
+        with self._lock:
+            pass  # no await inside: the sync lock never outlives a callback

@@ -1,0 +1,20 @@
+"""RPL705 counterpart: the mark/rollback window stays synchronous."""
+
+import asyncio
+from typing import Any
+
+
+class Ledger:
+    def __init__(self, state: Any) -> None:
+        self.state = state
+
+    async def reserve_then_io(self, request_id: int, amount: float) -> None:
+        mark = self.state.mark()
+        try:
+            self.state.reserve_vnf(request_id, amount)
+        except ValueError:
+            self.state.rollback(mark)
+        await self.audit(request_id)  # only after the window is closed
+
+    async def audit(self, request_id: int) -> None:
+        await asyncio.sleep(0)

@@ -1,0 +1,265 @@
+"""The interprocedural call-graph layer: resolution, coloring, reachability.
+
+The graph must be *conservative*: unresolved or ambiguous calls drop edges
+(never crash, never invent a false positive), cycles terminate, awaited
+calls bind to async definitions only, and executor-hop arguments are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from tools.reprolint.callgraph import MAX_NAME_CANDIDATES, CallGraph, build_callgraph
+from tools.reprolint.config import DEFAULT_CONFIG
+from tools.reprolint.engine import FileContext, ProjectContext, run_paths
+
+
+def graph_of(tmp_path: Path, *sources: str) -> tuple[CallGraph, ProjectContext]:
+    contexts = []
+    sink: list = []
+    for i, source in enumerate(sources):
+        path = tmp_path / f"mod{i}.py"
+        path.write_text(source, encoding="utf-8")
+        contexts.append(
+            FileContext(path, ast.parse(source), source, DEFAULT_CONFIG, sink)
+        )
+    project = ProjectContext(contexts, DEFAULT_CONFIG)
+    return project.callgraph, project
+
+
+def blocking_roots(graph: CallGraph) -> dict[str, int]:
+    """async local name -> number of blocking-reachable findings."""
+    out: dict[str, int] = {}
+    for root in graph.async_roots():
+        local = root.qualname.partition("::")[2]
+        out[local] = len(graph.blocking_reachable(root.qualname))
+    return out
+
+
+class TestResolution:
+    def test_bare_call_binds_lexically(self, tmp_path: Path) -> None:
+        graph, _ = graph_of(
+            tmp_path,
+            "import time\n"
+            "def helper():\n"
+            "    time.sleep(1)\n"
+            "async def outer():\n"
+            "    def helper():\n"
+            "        pass\n"
+            "    helper()\n"
+            "    await other()\n"
+            "async def other():\n"
+            "    pass\n",
+        )
+        # outer's call binds to the *nested* helper, not the blocking one
+        assert blocking_roots(graph)["outer"] == 0
+
+    def test_unresolved_call_drops_edge_without_crashing(self, tmp_path: Path) -> None:
+        graph, _ = graph_of(
+            tmp_path,
+            "async def handler(plugin):\n"
+            "    plugin.execute()\n"  # no definition anywhere: dynamic dispatch
+            "    unknown_function()\n"
+            "    await noop()\n"
+            "async def noop():\n"
+            "    pass\n",
+        )
+        assert blocking_roots(graph)["handler"] == 0
+
+    def test_ambiguous_name_beyond_cap_is_dynamic_dispatch(self, tmp_path: Path) -> None:
+        # MAX_NAME_CANDIDATES + 1 same-named methods, one of them blocking:
+        # the name is treated as dynamic dispatch and produces no edges.
+        classes = []
+        for i in range(MAX_NAME_CANDIDATES + 1):
+            body = "time.sleep(1)" if i == 0 else "pass"
+            classes.append(f"class C{i}:\n    def execute(self):\n        {body}\n")
+        graph, _ = graph_of(
+            tmp_path,
+            "import time\n"
+            + "\n".join(classes)
+            + "async def handler(obj):\n"
+            "    obj.execute()\n"
+            "    await noop()\n"
+            "async def noop():\n"
+            "    pass\n",
+        )
+        assert blocking_roots(graph)["handler"] == 0
+
+    def test_bounded_attr_fanout_still_resolves(self, tmp_path: Path) -> None:
+        graph, _ = graph_of(
+            tmp_path,
+            "import time\n"
+            "class A:\n"
+            "    def execute(self):\n"
+            "        time.sleep(1)\n"
+            "class B:\n"
+            "    def execute(self):\n"
+            "        pass\n"
+            "async def handler(obj):\n"
+            "    obj.execute()\n",
+        )
+        # two candidates (<= cap): conservative over-approximation reaches A
+        assert blocking_roots(graph)["handler"] == 1
+
+    def test_self_call_binds_to_own_class_first(self, tmp_path: Path) -> None:
+        graph, _ = graph_of(
+            tmp_path,
+            "import time\n"
+            "class Other:\n"
+            "    def work(self):\n"
+            "        time.sleep(1)\n"
+            "class Server:\n"
+            "    def work(self):\n"
+            "        pass\n"
+            "    async def handle(self):\n"
+            "        self.work()\n",
+        )
+        assert blocking_roots(graph)["Server.handle"] == 0
+
+    def test_awaited_call_resolves_async_only(self, tmp_path: Path) -> None:
+        graph, _ = graph_of(
+            tmp_path,
+            "import time\n"
+            "class Engine:\n"
+            "    def submit(self, x):\n"
+            "        time.sleep(1)\n"
+            "class Client:\n"
+            "    async def submit(self, x):\n"
+            "        pass\n"
+            "async def caller(client):\n"
+            "    await client.submit(1)\n",
+        )
+        # `await x.submit()` cannot be the sync Engine.submit
+        assert blocking_roots(graph)["caller"] == 0
+
+    def test_awaitable_wrapper_args_resolve_async_only(self, tmp_path: Path) -> None:
+        graph, _ = graph_of(
+            tmp_path,
+            "import asyncio\n"
+            "import time\n"
+            "class Engine:\n"
+            "    def submit(self, x):\n"
+            "        time.sleep(1)\n"
+            "class Client:\n"
+            "    async def submit(self, x):\n"
+            "        pass\n"
+            "async def caller(client):\n"
+            "    await asyncio.wait_for(client.submit(1), timeout=5)\n",
+        )
+        assert blocking_roots(graph)["caller"] == 0
+
+
+class TestReachability:
+    def test_cycles_terminate(self, tmp_path: Path) -> None:
+        graph, _ = graph_of(
+            tmp_path,
+            "import time\n"
+            "def ping(n):\n"
+            "    pong(n)\n"
+            "def pong(n):\n"
+            "    ping(n)\n"
+            "    time.sleep(1)\n"
+            "async def entry():\n"
+            "    ping(0)\n",
+        )
+        hits = {
+            local: count for local, count in blocking_roots(graph).items()
+        }
+        assert hits["entry"] == 1  # found through the cycle, exactly once
+
+    def test_self_recursion_terminates(self, tmp_path: Path) -> None:
+        graph, _ = graph_of(
+            tmp_path,
+            "def rec(n):\n"
+            "    rec(n - 1)\n"
+            "async def entry():\n"
+            "    rec(3)\n",
+        )
+        assert blocking_roots(graph)["entry"] == 0
+
+    def test_async_callees_are_not_traversed(self, tmp_path: Path) -> None:
+        graph, _ = graph_of(
+            tmp_path,
+            "import time\n"
+            "async def inner():\n"
+            "    time.sleep(1)\n"
+            "async def outer():\n"
+            "    await inner()\n",
+        )
+        hits = blocking_roots(graph)
+        # inner is blamed as its own root; outer is clean
+        assert hits == {"inner": 1, "outer": 0}
+
+    def test_executor_hop_arguments_are_exempt(self, tmp_path: Path) -> None:
+        graph, _ = graph_of(
+            tmp_path,
+            "import asyncio\n"
+            "import functools\n"
+            "import time\n"
+            "def slow():\n"
+            "    time.sleep(1)\n"
+            "async def offloads(loop):\n"
+            "    await asyncio.to_thread(slow)\n"
+            "    await loop.run_in_executor(None, functools.partial(slow))\n",
+        )
+        assert blocking_roots(graph)["offloads"] == 0
+
+    def test_transitive_hit_anchors_at_entry_call(self, tmp_path: Path) -> None:
+        graph, _ = graph_of(
+            tmp_path,
+            "import time\n"
+            "def a():\n"
+            "    b()\n"
+            "def b():\n"
+            "    time.sleep(1)\n"  # line 5
+            "async def entry():\n"
+            "    a()\n",  # line 7
+        )
+        root = next(r for r in graph.async_roots())
+        (hit,) = graph.blocking_reachable(root.qualname)
+        assert hit.line == 7  # diagnostic anchors at the call in the root
+        assert hit.site.line == 5  # the primitive's own location is kept
+        assert [q.partition("::")[2] for q in hit.chain] == ["entry", "a", "b"]
+
+    def test_cross_file_resolution(self, tmp_path: Path) -> None:
+        graph, _ = graph_of(
+            tmp_path,
+            "import time\n"
+            "def unique_blocking_helper():\n"
+            "    time.sleep(1)\n",
+            "async def entry():\n"
+            "    unique_blocking_helper()\n",
+        )
+        assert blocking_roots(graph)["entry"] == 1
+
+
+class TestEngineIntegration:
+    def test_callgraph_is_lazy_and_cached(self, tmp_path: Path) -> None:
+        _, project = graph_of(tmp_path, "async def f():\n    pass\n")
+        assert project.callgraph is project.callgraph
+
+    def test_lambda_bodies_are_not_scanned(self, tmp_path: Path) -> None:
+        graph, _ = graph_of(
+            tmp_path,
+            "import time\n"
+            "async def entry(xs):\n"
+            "    f = lambda: time.sleep(1)\n"
+            "    await noop()\n"
+            "async def noop():\n"
+            "    pass\n",
+        )
+        # a lambda runs when called, not where written; under-approximate
+        assert blocking_roots(graph)["entry"] == 0
+
+    def test_syntax_error_files_do_not_reach_the_graph(self, tmp_path: Path) -> None:
+        good = tmp_path / "good.py"
+        good.write_text(
+            "import time\nasync def f():\n    time.sleep(1)\n", encoding="utf-8"
+        )
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n", encoding="utf-8")
+        diagnostics, files_checked = run_paths([tmp_path])
+        assert files_checked == 2
+        codes = sorted(d.code for d in diagnostics)
+        assert codes == ["RPL003", "RPL701"]

@@ -41,6 +41,11 @@ EXPECTED: dict[str, list[str]] = {
     "solvers/fail_rpl202_unbalanced_reserve.py": ["RPL202"],
     "service/fail_rpl601_direct_imports.py": ["RPL601", "RPL601", "RPL601"],
     "regpack": ["RPL301", "RPL301"],
+    "fail_rpl701_blocking_in_async.py": ["RPL701", "RPL701"],
+    "fail_rpl702_shared_mutation.py": ["RPL702", "RPL702"],
+    "fail_rpl703_fire_and_forget.py": ["RPL703"],
+    "fail_rpl704_lock_discipline.py": ["RPL704", "RPL704"],
+    "fail_rpl705_await_in_window.py": ["RPL705"],
     # clean fixtures:
     "pass_rng_discipline.py": [],
     "pass_counts_cow.py": [],
@@ -51,6 +56,11 @@ EXPECTED: dict[str, list[str]] = {
     "solvers/pass_rpl202_guarded.py": [],
     "service/pass_rpl601_via_engine.py": [],
     "regpack/solvers/pass_abstract_skipped.py": [],
+    "pass_rpl701_executor_hop.py": [],
+    "pass_rpl702_dispatcher_queue.py": [],
+    "pass_rpl703_stored_task.py": [],
+    "pass_rpl704_lock_discipline.py": [],
+    "pass_rpl705_window_closed.py": [],
 }
 
 
@@ -154,12 +164,70 @@ def test_json_output_schema(capsys: pytest.CaptureFixture[str]) -> None:
     assert set(first) == {"path", "line", "col", "code", "message"}
 
 
+def test_github_output_annotations(capsys: pytest.CaptureFixture[str]) -> None:
+    target = FIXTURES / "fail_rpl701_blocking_in_async.py"
+    assert reprolint_main([str(target), "--format", "github"]) == 1
+    lines = capsys.readouterr().out.strip().splitlines()
+    errors = [ln for ln in lines if ln.startswith("::error ")]
+    assert len(errors) == len(EXPECTED["fail_rpl701_blocking_in_async.py"])
+    first = errors[0]
+    assert "file=" in first and "line=" in first and "col=" in first
+    assert "title=reprolint RPL701" in first
+    # the annotated path must be usable by Actions (the path as given)
+    assert "fail_rpl701_blocking_in_async.py" in first
+    assert lines[-1].startswith("::notice title=reprolint::")
+
+
+def test_github_output_clean_run(capsys: pytest.CaptureFixture[str]) -> None:
+    assert reprolint_main([str(FIXTURES / "cli.py"), "--format", "github"]) == 0
+    out = capsys.readouterr().out
+    assert "::error" not in out
+    assert "::notice title=reprolint::clean" in out
+
+
+def test_github_output_escapes_message_newlines() -> None:
+    from tools.reprolint.diagnostics import Diagnostic, format_github
+
+    diag = Diagnostic(path="a.py", line=1, col=0, code="RPL999", message="two\nlines: 50%")
+    out = format_github([diag], 1)
+    first = out.splitlines()[0]
+    assert "\n" not in first or out.count("::error") == 1
+    assert "two%0Alines" in first and "50%25" in first
+
+
 def test_select_restricts_rules() -> None:
     target = FIXTURES / "fail_rpl104_legacy_numpy.py"
     diagnostics, _ = run_paths([target], select=["RPL101"])
     assert diagnostics == []
     diagnostics, _ = run_paths([target], select=["RPL104"])
     assert {d.code for d in diagnostics} == {"RPL104"}
+
+
+def test_select_skips_the_unused_suppression_audit(tmp_path: Path) -> None:
+    """RPL004 only audits full runs: under --select a suppression for an
+    unselected rule is *expected* to silence nothing."""
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "import random  # reprolint: disable=RPL101 -- needed here\n",
+        encoding="utf-8",
+    )
+    # full run: the suppression is used, no RPL004 either
+    diagnostics, _ = run_paths([mod])
+    assert diagnostics == []
+    # selected run that never raises RPL101: the suppression silences
+    # nothing, but the audit must not fire (it needs the full pack to know)
+    diagnostics, _ = run_paths([mod], select=["RPL401"])
+    assert diagnostics == []
+
+
+def test_full_run_still_audits_unused_suppressions(tmp_path: Path) -> None:
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "x = 1  # reprolint: disable=RPL101 -- stale leftover\n",
+        encoding="utf-8",
+    )
+    diagnostics, _ = run_paths([mod])
+    assert [d.code for d in diagnostics] == ["RPL004"]
 
 
 def test_unknown_select_is_a_usage_error(capsys: pytest.CaptureFixture[str]) -> None:

@@ -547,3 +547,129 @@ class TestServerEndToEnd:
             ServiceConfig(tick=-0.1)
         with pytest.raises(ConfigurationError):
             ServiceConfig(workers=-1)
+
+
+# -- event-loop offload regressions -----------------------------------------------
+
+
+class TestAsyncOffload:
+    """Snapshot writes and fault repairs must not run on the event loop.
+
+    These guard the RPL701 fixes: each test makes the offloaded operation
+    artificially slow and asserts a heartbeat coroutine keeps ticking, which
+    fails immediately if the call ever moves back onto the loop. (The suite
+    also runs under the runtime sanitizer, which enforces the same property
+    at its default threshold.)
+    """
+
+    @staticmethod
+    async def _heartbeat(stop: "asyncio.Event", interval: float = 0.02) -> float:
+        """Worst observed delay beyond the expected sleep, in seconds."""
+        loop = asyncio.get_running_loop()
+        worst = 0.0
+        last = loop.time()
+        while not stop.is_set():
+            await asyncio.sleep(interval)
+            now = loop.time()
+            worst = max(worst, now - last - interval)
+            last = now
+        return worst
+
+    def test_snapshot_write_keeps_the_loop_responsive(self, tmp_path, monkeypatch):
+        import time
+
+        network = service_network()
+        snap = str(tmp_path / "state.json")
+        config = ServiceConfig(workers=0, snapshot_path=snap)
+
+        async def drive() -> float:
+            async with EmbeddingServer(network, config) as server:
+                real_save = server.router.save_snapshot
+
+                def slow_save(path, **kwargs):
+                    time.sleep(0.4)  # exaggerate the disk write
+                    return real_save(path, **kwargs)
+
+                monkeypatch.setattr(server.router, "save_snapshot", slow_save)
+                host, port = server.address
+                async with await ServiceClient.connect(host, port) as client:
+                    stop = asyncio.Event()
+                    beat = asyncio.create_task(self._heartbeat(stop))
+                    reply = await client.snapshot()
+                    stop.set()
+                    worst = await beat
+                assert reply["type"] == "snapshotted"
+            return worst
+
+        worst = run(drive())
+        assert worst < 0.25, (
+            f"loop was unresponsive for {worst:.3f}s during snapshot; "
+            "the write must happen in a worker thread"
+        )
+
+    def test_snapshot_under_load_is_consistent_and_nonblocking(self, tmp_path):
+        """Snapshot taken mid-stream parks dispatchers, not the loop."""
+        network = service_network()
+        workload = make_workload(network, 12)
+        snap = str(tmp_path / "state.json")
+        config = ServiceConfig(workers=0, batch_size=3, snapshot_path=snap)
+
+        async def drive():
+            async with EmbeddingServer(network, config) as server:
+                host, port = server.address
+                async with await ServiceClient.connect(host, port) as client:
+                    submits = [
+                        asyncio.create_task(
+                            client.submit(rid, dag, src, dst, rate=rate, seed=s)
+                        )
+                        for rid, dag, src, dst, rate, s in workload
+                    ]
+                    reply = await client.snapshot()
+                    outcomes = await asyncio.gather(*submits)
+                assert reply["type"] == "snapshotted"
+            return outcomes
+
+        outcomes = run(drive())
+        # every submit got a decision despite the concurrent snapshot...
+        assert len(outcomes) == len(workload)
+        # ...and the snapshot file is loadable against the same substrate
+        # (a torn write would fail the fingerprint/capacity validation).
+        ledger, _counters = state_store.load_snapshot(snap, network)
+        assert set(ledger.active_ids()) <= {rid for rid, *_ in workload}
+
+    def test_fault_repair_keeps_the_loop_responsive(self, monkeypatch):
+        import time
+
+        from repro.engine import EmbeddingEngine
+        from repro.faults.model import FaultAction, FaultEvent, FaultTarget
+
+        network = service_network()
+        config = ServiceConfig(workers=0)
+        real_apply = EmbeddingEngine.apply_fault
+
+        def slow_apply(engine, event, rng=None, *, auto_seed=False):
+            time.sleep(0.4)  # exaggerate the repair-ladder solve
+            return real_apply(engine, event, rng, auto_seed=auto_seed)
+
+        monkeypatch.setattr(EmbeddingEngine, "apply_fault", slow_apply)
+
+        async def drive() -> float:
+            async with EmbeddingServer(network, config) as server:
+                stop = asyncio.Event()
+                beat = asyncio.create_task(self._heartbeat(stop))
+                server.inject_fault(
+                    FaultEvent(
+                        time=0,
+                        action=FaultAction.FAIL,
+                        target=FaultTarget.node(0),
+                    )
+                )
+                await asyncio.sleep(0.55)  # let the fault fold in
+                stop.set()
+                return await beat
+
+        worst = run(drive())
+        assert worst < 0.25, (
+            f"loop was unresponsive for {worst:.3f}s during fault repair; "
+            "engine.apply_fault must run in a worker thread"
+        )

@@ -1,0 +1,427 @@
+"""Interprocedural call graph over the linted file set.
+
+The async-safety pack (RPL7xx) needs *whole-program* answers — "does this
+``async def`` transitively reach ``time.sleep``?" — that no per-file walk
+can give. This module builds a conservative call graph over every module of
+one lint invocation:
+
+* every function and method becomes a node, colored **async** or **sync**;
+* call sites are resolved **by name**: a bare call binds to the lexically
+  enclosing scope chain (nested defs, then module level), a ``self.x()`` /
+  ``cls.x()`` call binds to the enclosing class's method, and any other
+  attribute call binds to *all* same-named definitions in the analyzed set
+  (capped — a name with too many candidates is treated as dynamic dispatch);
+* calls that resolve to nothing (builtins, third-party code, overly common
+  names) produce **no** edge: the graph under-approximates, so an unresolved
+  call can never manufacture a false positive, only a false negative;
+* arguments of executor hops (``asyncio.to_thread``, ``run_in_executor``)
+  are skipped entirely — work shipped off the event loop is, by
+  construction, allowed to block.
+
+Reachability queries walk **sync** edges only: an ``async def`` callee runs
+as its own callback on the loop and is analyzed (and reported) as its own
+root, so blame always lands on the coroutine whose callback would stall.
+
+Soundness notes (also in docs/static_analysis.md): name-based resolution
+cannot see through dynamic dispatch, monkeypatching, or callables passed as
+values, and a blocking call hidden behind an unresolvable name is missed.
+The runtime sanitizer (:mod:`repro.utils.sanitizer`) is the dynamic
+cross-check for exactly that gap.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from .config import LintConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from .engine import FileContext
+
+__all__ = [
+    "BlockingSite",
+    "CallGraph",
+    "CallSite",
+    "FunctionInfo",
+    "ReachableBlocking",
+    "build_callgraph",
+]
+
+#: An attribute-call name with more candidates than this is treated as
+#: dynamic dispatch and dropped (no edges) instead of exploding the graph.
+MAX_NAME_CANDIDATES = 8
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    #: bare callee name (``f`` for ``f()``, ``g`` for ``a.b.g()``).
+    name: str
+    #: ``"bare"`` (``f()``), ``"self"`` (``self.f()`` / ``cls.f()``), or
+    #: ``"attr"`` (any other ``<expr>.f()``).
+    kind: str
+    line: int
+    col: int
+    #: True when the call itself is awaited (``await f()``).
+    awaited: bool
+
+
+@dataclass(frozen=True)
+class BlockingSite:
+    """A call to a known blocking primitive."""
+
+    #: what was called, as matched (``time.sleep``, ``open``, ``.embed()``).
+    primitive: str
+    line: int
+    col: int
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method node of the graph."""
+
+    #: ``path::Class.method`` / ``path::outer.inner`` — unique per file.
+    qualname: str
+    name: str
+    #: display path of the defining file.
+    path: str
+    line: int
+    is_async: bool
+    #: enclosing class name, if any.
+    cls: str | None
+    calls: list[CallSite] = field(default_factory=list)
+    blocking: list[BlockingSite] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ReachableBlocking:
+    """One blocking primitive reachable from an async root."""
+
+    root: str
+    #: qualnames from the root to the function containing the primitive
+    #: (just ``[root]`` for a direct hit).
+    chain: tuple[str, ...]
+    site: BlockingSite
+    #: the line/col *in the root's file* to anchor the diagnostic at: the
+    #: blocking site itself for direct hits, else the entering call site.
+    line: int
+    col: int
+
+
+def _call_name(func: ast.expr) -> tuple[str, str] | None:
+    """(bare name, kind) of a call target, or None for indirect calls."""
+    if isinstance(func, ast.Name):
+        return func.id, "bare"
+    if isinstance(func, ast.Attribute):
+        if isinstance(func.value, ast.Name) and func.value.id in ("self", "cls"):
+            return func.attr, "self"
+        return func.attr, "attr"
+    return None
+
+
+def _dotted(func: ast.expr) -> str | None:
+    """``a.b.c`` for an attribute chain of plain names, else None."""
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _FunctionCollector(ast.NodeVisitor):
+    """Collect every function of one module with its calls and blocking sites."""
+
+    def __init__(self, ctx: "FileContext", config: LintConfig, sink: list[FunctionInfo]):
+        self.ctx = ctx
+        self.config = config
+        self.sink = sink
+        #: lexical scope stack of (kind, name) with kind in {"class", "func"}.
+        self._scope: list[tuple[str, str]] = []
+        #: the FunctionInfo currently being filled (innermost function).
+        self._current: FunctionInfo | None = None
+        #: import aliases: local name -> dotted module path.
+        self.aliases: dict[str, str] = {}
+
+    # -- scope bookkeeping -----------------------------------------------------
+
+    def _qualname(self, name: str) -> str:
+        tail = ".".join(n for _, n in self._scope)
+        local = f"{tail}.{name}" if tail else name
+        return f"{self.ctx.display}::{local}"
+
+    def _enclosing_class(self) -> str | None:
+        for kind, name in reversed(self._scope):
+            if kind == "class":
+                return name
+            return None  # a nested def severs the self-binding
+        return None
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None:
+            return
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._scope.append(("class", node.name))
+        previous, self._current = self._current, None
+        for stmt in node.body:
+            self.visit(stmt)
+        self._current = previous
+        self._scope.pop()
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        info = FunctionInfo(
+            qualname=self._qualname(node.name),
+            name=node.name,
+            path=self.ctx.display,
+            line=node.lineno,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            cls=self._enclosing_class(),
+        )
+        self.sink.append(info)
+        self._scope.append(("func", node.name))
+        previous, self._current = self._current, info
+        for stmt in node.body:
+            self.visit(stmt)
+        self._current = previous
+        self._scope.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        # A lambda body runs when *called*, not where written; without a
+        # name it cannot be linked, so its body is not scanned (conservative
+        # under-approximation, same as any unresolved callable).
+        return
+
+    # -- calls -----------------------------------------------------------------
+
+    def _is_executor_hop(self, node: ast.Call) -> bool:
+        named = _call_name(node.func)
+        return named is not None and named[0] in self.config.executor_wrappers
+
+    def _resolved_prefix(self, func: ast.expr) -> str | None:
+        """The dotted call target with its leading alias expanded."""
+        dotted = _dotted(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        base = self.aliases.get(head, head)
+        return f"{base}.{rest}" if rest else base
+
+    def _blocking_primitive(self, node: ast.Call) -> str | None:
+        named = _call_name(node.func)
+        dotted = self._resolved_prefix(node.func)
+        if dotted is not None:
+            if dotted in self.config.blocking_calls:
+                return dotted
+            for prefix in self.config.blocking_call_prefixes:
+                if dotted.startswith(prefix):
+                    return dotted
+        if isinstance(node.func, ast.Name) and node.func.id in self.config.blocking_calls:
+            return node.func.id
+        if (
+            named is not None
+            and named[1] in ("self", "attr")
+            and named[0] in self.config.blocking_method_names
+        ):
+            return f".{named[0]}()"
+        return None
+
+    def visit_Await(self, node: ast.Await) -> None:
+        if isinstance(node.value, ast.Call):
+            self._visit_call(node.value, awaited=True)
+        else:
+            self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._visit_call(node, awaited=False)
+
+    def _visit_call(self, node: ast.Call, *, awaited: bool) -> None:
+        if self._current is not None:
+            primitive = self._blocking_primitive(node)
+            if primitive is not None:
+                self._current.blocking.append(
+                    BlockingSite(primitive=primitive, line=node.lineno, col=node.col_offset)
+                )
+            named = _call_name(node.func)
+            if named is not None:
+                self._current.calls.append(
+                    CallSite(
+                        name=named[0],
+                        kind=named[1],
+                        line=node.lineno,
+                        col=node.col_offset,
+                        awaited=awaited,
+                    )
+                )
+        # Never descend into the arguments of an executor hop: callables and
+        # partials shipped there run off the event loop.
+        if self._is_executor_hop(node):
+            self.visit(node.func)
+            return
+        named = _call_name(node.func)
+        if named is not None and named[0] in self.config.awaitable_wrappers:
+            # Arguments of wait_for/gather/... must be awaitables, so a call
+            # written there binds to async definitions only.
+            self.visit(node.func)
+            for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+                if isinstance(arg, ast.Call):
+                    self._visit_call(arg, awaited=True)
+                else:
+                    self.visit(arg)
+            return
+        self.generic_visit(node)
+
+
+class CallGraph:
+    """Name-resolved call graph with async coloring and blocking queries."""
+
+    def __init__(self, functions: list[FunctionInfo], config: LintConfig) -> None:
+        self.config = config
+        #: qualname -> node.
+        self.functions: dict[str, FunctionInfo] = {fn.qualname: fn for fn in functions}
+        # name indexes for resolution
+        self._by_name: dict[str, list[FunctionInfo]] = {}
+        self._methods: dict[tuple[str, str], list[FunctionInfo]] = {}
+        for fn in functions:
+            self._by_name.setdefault(fn.name, []).append(fn)
+            if fn.cls is not None:
+                self._methods.setdefault((fn.path, f"{fn.cls}.{fn.name}"), []).append(fn)
+        self._edges: dict[str, list[tuple[CallSite, str]]] = {}
+
+    # -- resolution ------------------------------------------------------------
+
+    def _scope_chain(self, caller: FunctionInfo, name: str) -> FunctionInfo | None:
+        """A same-file definition visible from the caller's lexical scope."""
+        _, _, local = caller.qualname.partition("::")
+        parts = local.split(".")
+        for depth in range(len(parts), -1, -1):
+            prefix = ".".join(parts[:depth])
+            candidate = f"{prefix}.{name}" if prefix else name
+            hit = self.functions.get(f"{caller.path}::{candidate}")
+            if hit is not None and hit.cls is None:
+                return hit
+        return None
+
+    def resolve(self, caller: FunctionInfo, site: CallSite) -> list[FunctionInfo]:
+        """Callee candidates of one call site (empty = unresolved).
+
+        An awaited site keeps only async candidates: ``await x.submit(...)``
+        cannot bind to a plain sync ``submit``, so same-name sync definitions
+        are resolution noise, not edges.
+        """
+        candidates = self._resolve_raw(caller, site)
+        if site.awaited:
+            candidates = [fn for fn in candidates if fn.is_async]
+        return candidates
+
+    def _resolve_raw(self, caller: FunctionInfo, site: CallSite) -> list[FunctionInfo]:
+        if site.kind == "bare":
+            local = self._scope_chain(caller, site.name)
+            if local is not None:
+                return [local]
+            free = [fn for fn in self._by_name.get(site.name, ()) if fn.cls is None]
+            return free if len(free) == 1 else []
+        if site.kind == "self" and caller.cls is not None:
+            own = self._methods.get((caller.path, f"{caller.cls}.{site.name}"))
+            if own:
+                return list(own)
+        # attr (or an unmatched self.x): any same-named definition, capped.
+        candidates = self._by_name.get(site.name, [])
+        if 0 < len(candidates) <= MAX_NAME_CANDIDATES:
+            return list(candidates)
+        return []
+
+    def callees(self, qualname: str) -> list[tuple[CallSite, str]]:
+        """Resolved (site, callee qualname) edges out of one function (cached)."""
+        cached = self._edges.get(qualname)
+        if cached is None:
+            caller = self.functions[qualname]
+            cached = [
+                (site, callee.qualname)
+                for site in caller.calls
+                for callee in self.resolve(caller, site)
+            ]
+            self._edges[qualname] = cached
+        return cached
+
+    def is_async(self, qualname: str) -> bool:
+        return self.functions[qualname].is_async
+
+    def async_roots(self) -> Iterator[FunctionInfo]:
+        """Every ``async def`` in the analyzed set."""
+        for fn in self.functions.values():
+            if fn.is_async:
+                yield fn
+
+    # -- reachability ----------------------------------------------------------
+
+    def blocking_reachable(self, root: str) -> list[ReachableBlocking]:
+        """Blocking primitives reachable from ``root`` through sync calls.
+
+        Direct hits anchor at the blocking call itself; transitive hits
+        anchor at the call site (in the root) that enters the chain. Cycles
+        are cut with a visited set, so recursive helpers terminate.
+        """
+        start = self.functions[root]
+        found: list[ReachableBlocking] = []
+        for site in start.blocking:
+            found.append(
+                ReachableBlocking(
+                    root=root, chain=(root,), site=site, line=site.line, col=site.col
+                )
+            )
+        seen: set[str] = {root}
+        # (function, chain so far, anchoring call site in the root)
+        stack: list[tuple[str, tuple[str, ...], CallSite]] = []
+        for site, callee in self.callees(root):
+            if self.is_async(callee):
+                continue  # analyzed as its own root
+            if callee not in seen:
+                seen.add(callee)
+                stack.append((callee, (root, callee), site))
+        while stack:
+            qualname, chain, entry = stack.pop()
+            fn = self.functions[qualname]
+            for blocked in fn.blocking:
+                found.append(
+                    ReachableBlocking(
+                        root=root,
+                        chain=chain,
+                        site=blocked,
+                        line=entry.line,
+                        col=entry.col,
+                    )
+                )
+            for _, callee in self.callees(qualname):
+                if callee not in seen and not self.is_async(callee):
+                    seen.add(callee)
+                    stack.append((callee, chain + (callee,), entry))
+        found.sort(key=lambda r: (r.line, r.col, r.site.primitive))
+        return found
+
+
+def build_callgraph(files: Iterable["FileContext"], config: LintConfig) -> CallGraph:
+    """Index every function of the analyzed modules into one graph."""
+    functions: list[FunctionInfo] = []
+    for ctx in files:
+        collector = _FunctionCollector(ctx, config, functions)
+        collector.visit(ctx.tree)
+    return CallGraph(functions, config)

@@ -12,7 +12,7 @@ import sys
 from typing import Sequence
 
 from .config import DEFAULT_CONFIG
-from .diagnostics import format_json, format_text
+from .diagnostics import format_github, format_json, format_text
 from .engine import META_RULES, all_rules, run_paths
 
 __all__ = ["build_parser", "main"]
@@ -35,9 +35,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (default: text)",
+        help=(
+            "output format (default: text); `github` emits Actions "
+            "::error annotations that render inline on PRs"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -91,6 +94,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
     if args.format == "json":
         _emit(json.dumps(format_json(diagnostics, files_checked), indent=2))
+    elif args.format == "github":
+        _emit(format_github(diagnostics, files_checked))
     else:
         _emit(format_text(diagnostics, files_checked))
     return 1 if diagnostics else 0

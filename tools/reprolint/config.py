@@ -63,5 +63,81 @@ class LintConfig:
         "faults.repair",
     )
 
+    # -- async-safety pack (RPL7xx) -------------------------------------------
+
+    #: exact dotted calls considered blocking on an event loop (after import
+    #: aliases are expanded, so ``from time import sleep; sleep()`` matches).
+    blocking_calls: tuple[str, ...] = (
+        "time.sleep",
+        "os.fsync",
+        "os.fdatasync",
+        "open",
+        "io.open",
+    )
+    #: dotted-call prefixes considered blocking wholesale.
+    blocking_call_prefixes: tuple[str, ...] = (
+        "socket.",
+        "subprocess.",
+        "shutil.",
+        "urllib.request.",
+    )
+    #: method names whose *direct* invocation blocks (solver entry points and
+    #: snapshot IO); matched on ``self.x()`` / ``obj.x()`` attribute calls.
+    blocking_method_names: tuple[str, ...] = (
+        "embed",
+        "save_snapshot",
+        "save_sharded_snapshot",
+    )
+    #: callables whose arguments run off the event loop; their argument
+    #: subtrees are exempt from blocking analysis (the executor hop).
+    executor_wrappers: tuple[str, ...] = (
+        "to_thread",
+        "run_in_executor",
+        "run_sync",
+    )
+    #: awaitable combinators: a call passed as their argument must produce a
+    #: coroutine/future, so it resolves to async definitions only (same as a
+    #: directly awaited call).
+    awaitable_wrappers: tuple[str, ...] = (
+        "wait_for",
+        "gather",
+        "shield",
+        "wait",
+        "ensure_future",
+        "create_task",
+    )
+    #: module suffixes allowed to mutate shared engine/ledger/fault state
+    #: across awaits (the single-writer dispatcher and the engine itself).
+    dispatcher_module_suffixes: tuple[str, ...] = (
+        "service/server.py",
+        "engine/core.py",
+    )
+    #: attribute names identifying shared mutable state guarded by the
+    #: single-writer contract (RPL702 flags ``self.<attr>... = / .mutate()``
+    #: in a coroutine that also awaits, outside dispatcher modules).
+    shared_state_attrs: tuple[str, ...] = (
+        "engine",
+        "ledger",
+        "fault_state",
+        "reservations",
+        "residual",
+    )
+    #: mutating method names on shared state objects (RPL702).
+    shared_mutator_methods: tuple[str, ...] = (
+        "reserve",
+        "release",
+        "commit",
+        "apply_fault",
+        "apply",
+        "submit",
+        "submit_batch",
+        "rollback",
+        "restore",
+    )
+    #: class names whose mark()/rollback() windows must not contain awaits.
+    ledger_class_names: tuple[str, ...] = ("ReservationLedger",)
+    #: identifier fragments that mark a receiver lock-like for RPL704.
+    lock_name_fragments: tuple[str, ...] = ("lock", "mutex", "sem")
+
 
 DEFAULT_CONFIG = LintConfig()

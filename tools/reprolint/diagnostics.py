@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-__all__ = ["Diagnostic", "format_text", "format_json"]
+__all__ = ["Diagnostic", "format_text", "format_json", "format_github"]
 
 
 @dataclass(frozen=True, order=True)
@@ -53,3 +53,50 @@ def format_json(diagnostics: list[Diagnostic], files_checked: int) -> dict[str, 
         "files_checked": files_checked,
         "findings": [d.to_json() for d in sorted(diagnostics)],
     }
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command property value (title/file)."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+        .replace(":", "%3A")
+        .replace(",", "%2C")
+    )
+
+
+def _escape_data(value: str) -> str:
+    """Escape a workflow-command message body."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def format_github(diagnostics: list[Diagnostic], files_checked: int) -> str:
+    """GitHub Actions annotations: findings render inline on the PR diff.
+
+    One ``::error`` workflow command per finding; GitHub anchors it to the
+    file/line of the checked-out source. Columns are 1-based in the UI, so
+    the 0-based lint column is shifted. A trailing notice summarizes the run
+    (it shows on the workflow summary page, not the diff).
+    """
+    lines = [
+        "::error file={file},line={line},col={col},title=reprolint {code}::{msg}".format(
+            file=_escape_property(d.path),
+            line=d.line,
+            col=d.col + 1,
+            code=d.code,
+            msg=_escape_data(d.message),
+        )
+        for d in sorted(diagnostics)
+    ]
+    noun = "file" if files_checked == 1 else "files"
+    if diagnostics:
+        lines.append(
+            f"::notice title=reprolint::{len(diagnostics)} finding(s) "
+            f"in {files_checked} {noun}"
+        )
+    else:
+        lines.append(
+            f"::notice title=reprolint::clean ({files_checked} {noun} checked)"
+        )
+    return "\n".join(lines)

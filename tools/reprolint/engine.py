@@ -16,11 +16,14 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterable, Protocol
+from typing import TYPE_CHECKING, Callable, Iterable, Protocol
 
 from .config import DEFAULT_CONFIG, LintConfig
 from .diagnostics import Diagnostic
 from .suppressions import collect_suppressions
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .callgraph import CallGraph
 
 __all__ = [
     "FileContext",
@@ -105,6 +108,20 @@ class ProjectContext:
     def __init__(self, files: list[FileContext], config: LintConfig) -> None:
         self.files = files
         self.config = config
+        self._callgraph: "CallGraph | None" = None
+
+    @property
+    def callgraph(self) -> "CallGraph":
+        """Whole-program call graph over the analyzed files (built lazily).
+
+        Shared by every project rule of one invocation, so the RPL7xx pack
+        pays the indexing cost once no matter how many rules query it.
+        """
+        if self._callgraph is None:
+            from .callgraph import build_callgraph
+
+            self._callgraph = build_callgraph(self.files, self.config)
+        return self._callgraph
 
 
 class Rule(Protocol):

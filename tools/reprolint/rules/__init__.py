@@ -2,4 +2,13 @@
 
 from __future__ import annotations
 
-from . import counts, defaults, floats, layers, registry_conformance, rng, state  # noqa: F401
+from . import (  # noqa: F401
+    asyncsafety,
+    counts,
+    defaults,
+    floats,
+    layers,
+    registry_conformance,
+    rng,
+    state,
+)
