@@ -21,7 +21,7 @@ from repro.service import (
     load_snapshot,
 )
 from repro.service.loadgen import run_load
-from repro.service.state_store import snapshot_to_dict
+from repro.engine.state_store import snapshot_to_dict
 from repro.sim.trace import generate_trace
 
 SEED = 23

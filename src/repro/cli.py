@@ -157,6 +157,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore reservations and counters from --snapshot before serving",
     )
     serve.add_argument(
+        "--wal",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=(
+            "write-ahead log directory (one log per shard): every commit is "
+            "fsynced before it is acknowledged, and --resume replays the logs "
+            "past the snapshot (the snapshot itself becomes optional)"
+        ),
+    )
+    serve.add_argument(
+        "--standby",
+        action="store_true",
+        help=(
+            "keep a warm standby per shard tailing its log (requires --wal); "
+            "swap it in with the protocol's promote verb"
+        ),
+    )
+    serve.add_argument(
+        "--standby-poll",
+        type=float,
+        default=0.05,
+        help="seconds between standby catch-up polls",
+    )
+    serve.add_argument(
         "--chaos",
         type=str,
         default=None,
@@ -195,6 +220,15 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--rate", type=float, default=1.0)
     loadgen.add_argument("--seed", type=int, default=1)
     loadgen.add_argument(
+        "--first-id",
+        type=int,
+        default=0,
+        help=(
+            "first request id of the trace; offset it when driving a resumed "
+            "server whose id space is already partly claimed (--resume --wal)"
+        ),
+    )
+    loadgen.add_argument(
         "--network-id",
         type=str,
         default=None,
@@ -224,12 +258,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a scripted fault-injection scenario end to end (see docs/fault_tolerance.md)",
     )
     chaos.add_argument(
+        "--mode",
+        choices=("scenario", "durability"),
+        default="scenario",
+        help=(
+            "scenario: scripted fault injection; durability: kill -9 the real "
+            "service mid-stream and measure WAL recovery + standby promotion"
+        ),
+    )
+    chaos.add_argument(
         "--scenario", type=str, default="smoke", help="registered scenario name"
     )
     chaos.add_argument("--solver", type=str, default="MBBE")
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument(
-        "--out", type=str, default=None, help="write BENCH_faults.json here"
+        "--out",
+        type=str,
+        default=None,
+        help="write BENCH_faults.json (or BENCH_durability.json) here",
     )
     chaos.add_argument(
         "--require-repairs",
@@ -566,6 +612,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         chaos_network_id=chaos_shard,
         chaos_tick=args.chaos_tick,
         degraded_queue_factor=args.degraded_queue_factor,
+        wal_dir=args.wal,
+        standby=args.standby,
+        standby_poll=args.standby_poll,
     )
     policy_kwargs = (
         {"max_rate": args.max_rate}
@@ -574,10 +623,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     policy = make_policy(args.admission, **policy_kwargs)
     server_kwargs: dict[str, Any] = {}
-    if args.resume and not args.snapshot:
-        print("dag-sfc serve: --resume requires --snapshot", file=sys.stderr)
+    if args.standby and not args.wal:
+        print("dag-sfc serve: --standby requires --wal", file=sys.stderr)
         return 2
-    if args.shards == 1:
+    if args.resume and not args.snapshot and not args.wal:
+        print("dag-sfc serve: --resume requires --snapshot (or --wal)", file=sys.stderr)
+        return 2
+    if args.wal and args.resume:
+        # Snapshot + per-shard log replay (the snapshot may be absent or
+        # stale: the logs carry everything acknowledged past it).
+        router, leftovers = ShardRouter.restore(
+            networks, args.solver, args.snapshot, seed=args.seed, wal_dir=args.wal
+        )
+        print(
+            f"resumed {router.active_count()} active reservations across "
+            f"{len(router)} shard(s) from "
+            f"{args.snapshot or '(no snapshot)'} + wal {args.wal}"
+        )
+        server_target: Any = router
+        server_kwargs = {"transport_counters": leftovers}
+        if args.shards == 1:
+            server_kwargs["n_vnf_types"] = args.n_vnf_types
+    elif args.shards == 1:
         # Single-network path, unchanged since protocol v1: the snapshot's
         # counter dict carries the transport keys alongside the engine's.
         (network,) = networks.values()
@@ -585,7 +652,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.resume:
             ledger, counters = load_snapshot(args.snapshot, network)
             print(f"resumed {len(ledger)} active reservations from {args.snapshot}")
-        server_target: Any = network
+        server_target = network
         server_kwargs = {
             "ledger": ledger,
             "counters": counters,
@@ -612,11 +679,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             if args.shards > 1
             else f"{args.network_size} nodes"
         )
+        wal_note = ""
+        if config.wal_dir:
+            wal_note = f", wal {config.wal_dir}"
+            if config.standby:
+                wal_note += " +standby"
         print(
             f"serving {shard_note} on {host}:{port} "
             f"(solver {config.solver}, policy {policy.name}, "
             f"{'speculative' if config.speculative else 'strict'} dispatch, "
-            f"workers {config.workers})",
+            f"workers {config.workers}{wal_note})",
             flush=True,
         )
         try:
@@ -670,6 +742,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 arrival_probability=args.arrival_prob,
                 mean_hold=args.mean_hold,
                 rate=args.rate,
+                first_id=args.first_id,
                 rng=args.seed,
             )
             print(
@@ -720,6 +793,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """Run one chaos scenario in-process and (optionally) gate on repairs."""
+    if args.mode == "durability":
+        return _cmd_chaos_durability(args)
     from .faults.chaos import (
         available_scenarios,
         run_chaos,
@@ -742,6 +817,31 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         if not report.clean_drain:
             print("chaos: dirty drain — capacity was not conserved", file=sys.stderr)
             return 1
+    return 0
+
+
+def _cmd_chaos_durability(args: argparse.Namespace) -> int:
+    """Process-kill durability bench: WAL recovery + warm-standby promotion."""
+    from .wal.bench import (
+        format_durability_table,
+        run_durability_bench,
+        write_durability_report,
+    )
+
+    # `durability` kills the real service with SIGKILL, so the scenario
+    # default solver/seed still apply; a seed of 0 is fine here too.
+    report = run_durability_bench(solver=args.solver, seed=args.seed or 1)
+    print(format_durability_table(report))
+    out = args.out or "BENCH_durability.json"
+    write_durability_report(out, report)
+    print(f"report written to {out}")
+    if not report["ok"]:
+        print(
+            "chaos durability: acknowledged state was lost or the promoted "
+            "standby diverged",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -23,6 +23,8 @@ through this package. See ``docs/architecture.md``.
 
 from ..faults.repair import RepairAction, RepairOutcome
 from ..network.reservations import Reservation, ReservationLedger
+from ..wal.log import WalRecord, WalWriter, read_wal, shard_wal_path
+from ..wal.standby import StandbyEngine
 from .core import ENGINE_COUNTER_KEYS, FLOAT_COUNTER_KEYS, Decision, EmbeddingEngine
 from .request import EmbeddingRequest
 from .router import DEFAULT_NETWORK_ID, ShardRouter, advertised_vnf_types
@@ -58,4 +60,9 @@ __all__ = [
     "load_sharded_snapshot",
     "save_sharded_snapshot",
     "solve_on_view",
+    "StandbyEngine",
+    "WalRecord",
+    "WalWriter",
+    "read_wal",
+    "shard_wal_path",
 ]

@@ -33,11 +33,12 @@ through one writer (the service's dispatcher task already does).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Iterator, Mapping, Sequence
 
 from ..embedding.base import Embedder, EmbeddingResult
-from ..exceptions import CapacityError, ConfigurationError, LedgerError
+from ..exceptions import CapacityError, ConfigurationError, LedgerError, WalError
 from ..faults.model import FaultAction, FaultEvent, FaultState, degrade_network
 from ..faults.repair import RepairAction, RepairEngine, RepairOutcome
 from ..network.cloud import CloudNetwork
@@ -46,6 +47,8 @@ from ..network.state import ResidualState
 from ..solvers.registry import make_solver
 from ..utils.rng import RngStream, trial_seed
 from ..utils.stats import percentile
+from ..wal import records as wal_records
+from ..wal.log import WalRecord, WalWriter, read_wal
 from . import state_store
 from .request import EmbeddingRequest
 
@@ -145,10 +148,15 @@ class EmbeddingEngine:
         # The repair ladder re-embeds in-process (a transport's dispatcher is
         # the sole writer, so repairs cannot overlap a pooled solve commit).
         self._repair = RepairEngine(self.ledger, self.solver)
-        self._decision_counter = 0
+        # decision_index and dispatched advance in lockstep, so a restored
+        # engine continues the decision sequence instead of restarting it.
+        self._decision_counter = int(self.counters["dispatched"])
         self._fault_counter = 0
         self._repair_times: list[float] = []
         self._fingerprint: str | None = None
+        self._wal: WalWriter | None = None
+        #: last WAL sequence number this engine's state reflects.
+        self._applied_wal_seq = 0
 
     # -- identity -------------------------------------------------------------------
 
@@ -244,7 +252,7 @@ class EmbeddingEngine:
         self.counters["dispatched"] += 1
         if not result.success:
             self.counters["rejected_no_solution"] += 1
-            return Decision(
+            decision = Decision(
                 request_id=request.request_id,
                 msg_id=request.msg_id,
                 accepted=False,
@@ -252,6 +260,8 @@ class EmbeddingEngine:
                 code="no_solution",
                 reason=result.reason or "no feasible embedding",
             )
+            self._log_commit(request, decision, None, None)
+            return decision
         assert result.cost is not None
         reservation = Reservation.from_counts(
             result.cost.alpha_vnf,
@@ -265,7 +275,7 @@ class EmbeddingEngine:
             # Only reachable with stale views (speculative batches): an
             # earlier commit consumed the capacity this solve assumed.
             self.counters["rejected_conflict"] += 1
-            return Decision(
+            decision = Decision(
                 request_id=request.request_id,
                 msg_id=request.msg_id,
                 accepted=False,
@@ -273,6 +283,8 @@ class EmbeddingEngine:
                 code="capacity_conflict",
                 reason=str(exc),
             )
+            self._log_commit(request, decision, None, None)
+            return decision
         if result.embedding is not None:
             # Remembered for the repair ladder; dropped again on release.
             self._repair.track(
@@ -280,7 +292,7 @@ class EmbeddingEngine:
             )
         self.counters["accepted"] += 1
         self.counters["total_cost_accepted"] += result.total_cost
-        return Decision(
+        decision = Decision(
             request_id=request.request_id,
             msg_id=request.msg_id,
             accepted=True,
@@ -291,6 +303,8 @@ class EmbeddingEngine:
             runtime=result.runtime,
             commit_index=int(self.counters["accepted"]) - 1,
         )
+        self._log_commit(request, decision, reservation, result.embedding)
+        return decision
 
     def submit(self, request: EmbeddingRequest, rng: RngStream = None) -> EmbeddingResult:
         """Solve-and-commit one request on the current residual view.
@@ -339,6 +353,8 @@ class EmbeddingEngine:
         self.ledger.release(request_id)
         self._repair.forget(request_id)
         self.counters["departed"] += 1
+        if self._wal is not None:
+            self._wal_append(wal_records.RELEASE, wal_records.release_payload(request_id))
 
     # -- faults ---------------------------------------------------------------------
 
@@ -361,6 +377,11 @@ class EmbeddingEngine:
         if event.action is FaultAction.RECOVER:
             if changed:
                 self.counters["recoveries"] += 1
+                if self._wal is not None:
+                    self._wal_append(
+                        wal_records.FAULT,
+                        wal_records.fault_payload(event, auto_seed=False),
+                    )
             return []
         if not changed:
             return []
@@ -368,10 +389,276 @@ class EmbeddingEngine:
         if auto_seed:
             rng = trial_seed(self.seed, self._fault_counter, salt=_CHAOS_SEED_SALT)
             self._fault_counter += 1
+        if self._wal is not None:
+            # Only *effective* events are logged (no-op events mutate nothing),
+            # with the auto_seed flag so replay advances the chaos stream too.
+            self._wal_append(
+                wal_records.FAULT, wal_records.fault_payload(event, auto_seed=auto_seed)
+            )
         outcomes = self._repair.repair_affected(rng=rng)
         for outcome in outcomes:
             self._account_repair(outcome)
+            self._log_repair(outcome)
         return outcomes
+
+    # -- write-ahead log --------------------------------------------------------------
+
+    @property
+    def wal(self) -> WalWriter | None:
+        """The attached write-ahead log writer, if any."""
+        return self._wal
+
+    @property
+    def wal_applied_seq(self) -> int:
+        """Last WAL sequence number this engine's state reflects."""
+        return self._applied_wal_seq
+
+    def ledger_fingerprint(self) -> str:
+        """SHA-256 of the canonical ledger state (the recovery oracle)."""
+        return wal_records.ledger_fingerprint(self.ledger)
+
+    def attach_wal(self, writer: WalWriter) -> None:
+        """Start logging lifecycle events through ``writer``.
+
+        The writer must describe *this* engine (header fingerprint) and be
+        positioned exactly at the state the engine already reflects — a
+        fresh log for a fresh engine, or a resumed log whose records were
+        replayed into this engine (``restore`` with ``wal_path``).
+        """
+        if self._wal is not None:
+            raise ConfigurationError("engine already has a WAL attached")
+        wal_records.check_header(writer.header, network_fingerprint=self.fingerprint)
+        if writer.seq != self._applied_wal_seq:
+            raise WalError(
+                f"WAL {writer.path!r} is at seq {writer.seq} but the engine "
+                f"reflects seq {self._applied_wal_seq}; restore with its "
+                "wal_path (serve --resume --wal) before attaching"
+            )
+        self._wal = writer
+
+    def attach_wal_file(
+        self, path: str, *, network_id: str | None = None
+    ) -> WalWriter:
+        """Create-or-resume the log at ``path`` and attach it (blocking IO)."""
+        header = None
+        if not os.path.exists(path) or os.path.getsize(path) == 0:
+            header = wal_records.header_payload(
+                network_fingerprint=self.fingerprint,
+                solver=self.solver_name,
+                seed=self.seed,
+                network_id=network_id,
+            )
+        writer = WalWriter(path, header=header)
+        try:
+            self.attach_wal(writer)
+        except Exception:
+            writer.close()
+            raise
+        return writer
+
+    def detach_wal(self) -> None:
+        """Stop logging; syncs and closes the writer (blocking IO)."""
+        if self._wal is not None:
+            self._wal.sync()
+            self._wal.close()
+            self._wal = None
+
+    def abandon_wal(self) -> None:
+        """Drop the writer without syncing (this engine lost a fail-over).
+
+        The promoted successor owns the log now; any unsynced buffer here
+        was never acknowledged and is discarded, not flushed.
+        """
+        if self._wal is not None:
+            self._wal.abandon()
+            self._wal = None
+
+    def wal_position(self) -> dict[str, Any] | None:
+        """The durable log position (``{"seq", "chain"}``), syncing first.
+
+        Snapshots embed this so restore replays only the suffix; syncing
+        here guarantees a snapshot never claims a position whose records
+        are not yet on disk.
+        """
+        if self._wal is None:
+            return None
+        self._wal.sync()
+        return {"seq": self._wal.seq, "chain": self._wal.chain}
+
+    def note_wal_position(self, seq: int) -> None:
+        """Declare the log position this engine's state already reflects."""
+        self._applied_wal_seq = max(self._applied_wal_seq, int(seq))
+
+    def _wal_append(self, record_type: str, payload: dict[str, Any]) -> None:
+        assert self._wal is not None
+        self._applied_wal_seq = self._wal.append_record(record_type, payload)
+
+    def _log_commit(
+        self,
+        request: EmbeddingRequest,
+        decision: Decision,
+        reservation: Reservation | None,
+        embedding: Any,
+    ) -> None:
+        if self._wal is None:
+            return
+        self._wal_append(
+            wal_records.COMMIT,
+            wal_records.commit_payload(
+                request_id=decision.request_id,
+                msg_id=decision.msg_id,
+                accepted=decision.accepted,
+                decision_index=decision.decision_index,
+                code=decision.code,
+                reason=decision.reason,
+                total_cost=decision.total_cost,
+                vnf_cost=decision.vnf_cost,
+                link_cost=decision.link_cost,
+                commit_index=decision.commit_index,
+                flow=request.flow,
+                reservation=reservation,
+                embedding=embedding,
+            ),
+        )
+
+    def _log_repair(self, outcome: RepairOutcome) -> None:
+        if self._wal is None:
+            return
+        reservation = embedding = flow = None
+        if outcome.survived:
+            reservation = self.ledger.reservation(outcome.request_id)
+            tracked = self._repair.tracked(outcome.request_id)
+            if tracked is not None:
+                embedding = tracked.embedding
+                flow = tracked.flow
+        self._wal_append(
+            wal_records.REPAIR,
+            wal_records.repair_payload(
+                outcome, reservation=reservation, embedding=embedding, flow=flow
+            ),
+        )
+
+    def apply_wal_record(self, record: WalRecord) -> None:
+        """Re-apply one logged state transition (deterministic replay).
+
+        Raises :class:`~repro.exceptions.WalError` when the record cannot
+        be applied to the current state — the log and the starting state
+        (snapshot) do not belong together.
+        """
+        payload = record.payload
+        if record.type == wal_records.HEADER:
+            wal_records.check_header(payload, network_fingerprint=self.fingerprint)
+        elif record.type == wal_records.COMMIT:
+            self._replay_commit(payload, record.seq)
+        elif record.type == wal_records.RELEASE:
+            self._replay_release(payload, record.seq)
+        elif record.type == wal_records.FAULT:
+            self._replay_fault(payload, record.seq)
+        elif record.type == wal_records.REPAIR:
+            self._replay_repair(payload, record.seq)
+        else:
+            raise WalError(f"unknown WAL record type {record.type!r} at seq {record.seq}")
+        self._applied_wal_seq = record.seq
+
+    def _replay_commit(self, payload: Mapping[str, Any], seq: int) -> None:
+        self._decision_counter = int(payload["decision_index"]) + 1
+        self.counters["dispatched"] += 1
+        if not payload["accepted"]:
+            if payload.get("code") == "capacity_conflict":
+                self.counters["rejected_conflict"] += 1
+            else:
+                self.counters["rejected_no_solution"] += 1
+            return
+        if payload["reservation"] is None:
+            raise WalError(f"accepted commit at seq {seq} carries no reservation")
+        request_id = int(payload["request_id"])
+        reservation = wal_records.reservation_from_payload(payload["reservation"])
+        try:
+            self.ledger.reserve(request_id, reservation)
+        except (CapacityError, LedgerError) as exc:
+            raise WalError(f"replaying commit at seq {seq} diverged: {exc}") from exc
+        if payload["embedding"] is not None:
+            self._repair.track(
+                request_id,
+                wal_records.embedding_from_payload(payload["embedding"]),
+                wal_records.flow_from_payload(payload["flow"]),
+                float(payload["total_cost"]),
+            )
+        self.counters["accepted"] += 1
+        self.counters["total_cost_accepted"] += float(payload["total_cost"])
+
+    def _replay_release(self, payload: Mapping[str, Any], seq: int) -> None:
+        request_id = int(payload["request_id"])
+        try:
+            self.ledger.release(request_id)
+        except LedgerError as exc:
+            raise WalError(f"replaying release at seq {seq} diverged: {exc}") from exc
+        self._repair.forget(request_id)
+        self.counters["departed"] += 1
+
+    def _replay_fault(self, payload: Mapping[str, Any], seq: int) -> None:
+        event = wal_records.fault_event_from_payload(payload)
+        changed = self._repair.faults.apply(event)
+        if not changed:
+            raise WalError(f"fault record at seq {seq} had no effect on replay")
+        if event.action is FaultAction.RECOVER:
+            self.counters["recoveries"] += 1
+            return
+        self.counters["faults_injected"] += 1
+        if bool(payload.get("auto_seed")):
+            self._fault_counter += 1
+
+    def _replay_repair(self, payload: Mapping[str, Any], seq: int) -> None:
+        outcome = wal_records.repair_outcome_from_payload(payload)
+        try:
+            self.ledger.release(outcome.request_id)
+        except LedgerError as exc:
+            raise WalError(f"replaying repair at seq {seq} diverged: {exc}") from exc
+        self._repair.forget(outcome.request_id)
+        if payload["reservation"] is not None:
+            reservation = wal_records.reservation_from_payload(payload["reservation"])
+            try:
+                self.ledger.reserve(outcome.request_id, reservation)
+            except (CapacityError, LedgerError) as exc:
+                raise WalError(
+                    f"replaying repair at seq {seq} diverged: {exc}"
+                ) from exc
+            if payload["embedding"] is not None and payload["flow"] is not None:
+                self._repair.track(
+                    outcome.request_id,
+                    wal_records.embedding_from_payload(payload["embedding"]),
+                    wal_records.flow_from_payload(payload["flow"]),
+                    outcome.new_cost,
+                )
+        self._account_repair(outcome)
+
+    def replay_wal(self, path: str, *, after_seq: int = 0) -> int:
+        """Replay every record past ``after_seq`` from the log at ``path``.
+
+        Returns the number of records applied. The log's header is always
+        identity-checked; a torn tail is tolerated (those records were
+        never acknowledged).
+        """
+        scan = read_wal(path)
+        if not scan.records:
+            return 0
+        wal_records.check_header(
+            scan.records[0].payload, network_fingerprint=self.fingerprint
+        )
+        last_seq = scan.records[-1].seq
+        if last_seq < after_seq:
+            raise WalError(
+                f"snapshot reflects WAL seq {after_seq} but {path!r} ends at "
+                f"{last_seq}"
+            )
+        applied = 0
+        for record in scan.records[1:]:
+            if record.seq <= after_seq:
+                continue
+            self.apply_wal_record(record)
+            applied += 1
+        self._applied_wal_seq = max(self._applied_wal_seq, last_seq)
+        return applied
 
     def _account_repair(self, outcome: RepairOutcome) -> None:
         if outcome.action is RepairAction.REROUTED:
@@ -424,32 +711,65 @@ class EmbeddingEngine:
         """The versioned snapshot document (engine + transport counters)."""
         counters: dict[str, float] = dict(extra_counters or {})
         counters.update(self.counters)
-        return state_store.snapshot_to_dict(self.ledger, counters=counters)
+        return state_store.snapshot_to_dict(
+            self.ledger, counters=counters, wal=self.wal_position()
+        )
 
     def save_snapshot(
         self, path: str, *, extra_counters: Mapping[str, float] | None = None
     ) -> None:
-        """Atomically persist the snapshot document to ``path``."""
+        """Atomically persist the snapshot document to ``path``.
+
+        With a WAL attached the document embeds the (synced) log position,
+        so a later restore replays only records past the snapshot.
+        """
         counters: dict[str, float] = dict(extra_counters or {})
         counters.update(self.counters)
-        state_store.save_snapshot(path, self.ledger, counters=counters)
+        state_store.save_snapshot(
+            path, self.ledger, counters=counters, wal=self.wal_position()
+        )
 
     @classmethod
     def restore(
         cls,
         network: CloudNetwork,
         solver: Embedder | str,
-        path: str,
+        path: str | None,
         *,
         seed: int = 0,
+        wal_path: str | None = None,
     ) -> tuple["EmbeddingEngine", dict[str, float]]:
-        """Rebuild an engine from a snapshot written by :meth:`save_snapshot`.
+        """Rebuild an engine from a snapshot and/or a write-ahead log.
+
+        Recovery = latest snapshot + deterministic log replay: the snapshot
+        (if any) seeds the state and names the log position it reflects;
+        every log record past that position is then re-applied. ``path``
+        may be None (or name a not-yet-written file when ``wal_path`` is
+        given) for WAL-only recovery from a fresh engine.
 
         Returns the engine plus the leftover (transport-level) counters the
         snapshot carried, so a server can rehydrate its shed statistics.
         """
-        ledger, counters = state_store.load_snapshot(path, network)
-        engine = cls(network, solver, seed=seed, ledger=ledger, counters=counters)
+        counters: dict[str, float] = {}
+        after_seq = 0
+        have_snapshot = path is not None and (
+            wal_path is None or os.path.exists(path)
+        )
+        if have_snapshot:
+            assert path is not None
+            doc = state_store.read_document(path)
+            ledger, counters = state_store.ledger_from_dict(doc, network)
+            after_seq = state_store.wal_position_of(doc)
+            engine = cls(network, solver, seed=seed, ledger=ledger, counters=counters)
+        else:
+            engine = cls(network, solver, seed=seed)
+        engine.note_wal_position(after_seq)
+        if (
+            wal_path is not None
+            and os.path.exists(wal_path)
+            and os.path.getsize(wal_path) > 0
+        ):
+            engine.replay_wal(wal_path, after_seq=after_seq)
         leftover = {
             key: value for key, value in counters.items() if key not in engine.counters
         }

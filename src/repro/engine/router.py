@@ -16,11 +16,14 @@ working unchanged.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping
+import os
+from typing import Any, Iterator, Mapping
 
 from ..embedding.base import Embedder
 from ..exceptions import ConfigurationError
 from ..network.cloud import CloudNetwork
+from ..wal.log import shard_wal_path
+from ..wal.standby import StandbyEngine
 from . import state_store
 from .core import EmbeddingEngine
 
@@ -50,6 +53,7 @@ class ShardRouter:
         self._engines = dict(engines)
         #: the shard requests without a ``network_id`` are routed to.
         self.default_id = next(iter(self._engines))
+        self._standbys: dict[str, StandbyEngine] = {}
 
     @classmethod
     def from_networks(
@@ -118,6 +122,52 @@ class ShardRouter:
             times.extend(engine.repair_times())
         return tuple(times)
 
+    # -- warm standby / promotion ----------------------------------------------------
+
+    def attach_standby(self, network_id: str, standby: StandbyEngine) -> None:
+        """Register a WAL-tailing standby as ``network_id``'s fail-over."""
+        if network_id not in self._engines:
+            raise ConfigurationError(
+                f"cannot attach a standby for unknown network_id {network_id!r}"
+            )
+        self._standbys[network_id] = standby
+
+    def has_standby(self, network_id: str) -> bool:
+        return network_id in self._standbys
+
+    def get_standby(self, network_id: str) -> StandbyEngine | None:
+        return self._standbys.get(network_id)
+
+    @property
+    def standby_ids(self) -> tuple[str, ...]:
+        return tuple(self._standbys)
+
+    def promote(self, network_id: str) -> EmbeddingEngine:
+        """Swap a dead primary for its standby (blocking file IO).
+
+        Detaches the old primary's writer (it may be gone already — a dead
+        process holds no lock we could check), promotes the standby into a
+        fully caught-up engine writing to the same log, and rebinds the
+        shard. Returns the new primary.
+        """
+        if network_id not in self._engines:
+            raise ConfigurationError(
+                f"unknown network_id {network_id!r}; serving: "
+                f"{', '.join(self.network_ids)}"
+            )
+        standby = self._standbys.pop(network_id, None)
+        if standby is None:
+            raise ConfigurationError(
+                f"shard {network_id!r} has no standby attached"
+            )
+        # Abandon, never sync: the dead primary's unsynced buffer holds
+        # decisions that were never acknowledged, and the standby is about
+        # to resume the log file itself.
+        self._engines[network_id].abandon_wal()
+        engine = standby.promote()
+        self._engines[network_id] = engine
+        return engine
+
     # -- durability -----------------------------------------------------------------
 
     def save_snapshot(
@@ -144,12 +194,18 @@ class ShardRouter:
             engine = self._engines[self.default_id]
             engine.save_snapshot(path, extra_counters=extras.get(self.default_id))
             return
+        positions: dict[str, Mapping[str, Any]] = {}
+        for network_id, engine in self.items():
+            position = engine.wal_position()
+            if position is not None:
+                positions[network_id] = position
         state_store.save_sharded_snapshot(
             path,
             {
                 network_id: (engine.ledger, merged(network_id, engine))
                 for network_id, engine in self.items()
             },
+            wal=positions or None,
         )
 
     @classmethod
@@ -157,33 +213,72 @@ class ShardRouter:
         cls,
         networks: Mapping[str, CloudNetwork],
         solver: Embedder | str,
-        path: str,
+        path: str | None,
         *,
         seed: int = 0,
+        wal_dir: str | None = None,
     ) -> tuple["ShardRouter", dict[str, dict[str, float]]]:
-        """Rebuild a router from a snapshot written by :meth:`save_snapshot`.
+        """Rebuild a router from a snapshot and/or per-shard write-ahead logs.
 
         Accepts both document kinds: a plain ``service-state`` snapshot
         restores a single-shard router (the one configured network), a
-        sharded document restores every shard. Returns the router plus the
-        per-shard leftover (transport-level) counters.
+        sharded document restores every shard. With ``wal_dir`` each shard
+        additionally replays its own log past the snapshot's position
+        (``path`` may be None, or name a not-yet-written file, for WAL-only
+        recovery). Returns the router plus the per-shard leftover
+        (transport-level) counters.
         """
+
+        def wal_path_for(network_id: str) -> str | None:
+            if wal_dir is None:
+                return None
+            candidate = shard_wal_path(wal_dir, network_id)
+            return candidate if os.path.exists(candidate) else None
+
         if len(networks) == 1:
+            # The engine-level restore handles every absent-file combination
+            # itself, so the wal path is passed through unguarded (a fresh
+            # `serve --resume --wal` has neither a snapshot nor a log yet).
             ((network_id, network),) = networks.items()
-            engine, leftover = EmbeddingEngine.restore(network, solver, path, seed=seed)
+            engine, leftover = EmbeddingEngine.restore(
+                network,
+                solver,
+                path,
+                seed=seed,
+                wal_path=(
+                    shard_wal_path(wal_dir, network_id) if wal_dir is not None else None
+                ),
+            )
             return cls({network_id: engine}), {network_id: leftover}
-        restored = state_store.load_sharded_snapshot(path, networks)
+        have_snapshot = path is not None and (wal_dir is None or os.path.exists(path))
         engines: dict[str, EmbeddingEngine] = {}
         leftovers: dict[str, dict[str, float]] = {}
-        for network_id, network in networks.items():
-            ledger, counters = restored[network_id]
-            engine = EmbeddingEngine(
-                network, solver, seed=seed, ledger=ledger, counters=counters
-            )
-            engines[network_id] = engine
-            leftovers[network_id] = {
-                key: value
-                for key, value in counters.items()
-                if key not in engine.counters
-            }
+        if have_snapshot:
+            assert path is not None
+            doc = state_store.read_document(path)
+            restored = state_store.sharded_from_dict(doc, networks)
+            shard_docs = doc.get("shards", {})
+            for network_id, network in networks.items():
+                ledger, counters = restored[network_id]
+                engine = EmbeddingEngine(
+                    network, solver, seed=seed, ledger=ledger, counters=counters
+                )
+                engine.note_wal_position(
+                    state_store.wal_position_of(shard_docs.get(network_id, {}))
+                )
+                engines[network_id] = engine
+                leftovers[network_id] = {
+                    key: value
+                    for key, value in counters.items()
+                    if key not in engine.counters
+                }
+        else:
+            for network_id, network in networks.items():
+                engines[network_id] = EmbeddingEngine(network, solver, seed=seed)
+                leftovers[network_id] = {}
+        if wal_dir is not None:
+            for network_id, engine in engines.items():
+                wal_path = wal_path_for(network_id)
+                if wal_path is not None:
+                    engine.replay_wal(wal_path, after_seq=engine.wal_applied_seq)
         return cls(engines), leftovers

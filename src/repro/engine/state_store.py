@@ -47,6 +47,10 @@ __all__ = [
     "sharded_from_dict",
     "save_sharded_snapshot",
     "load_sharded_snapshot",
+    "read_document",
+    "reservation_to_record",
+    "reservation_from_record",
+    "wal_position_of",
 ]
 
 _FORMAT = "repro.dag-sfc"
@@ -61,34 +65,68 @@ def network_fingerprint(network: CloudNetwork) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
+def reservation_to_record(request_id: int, reservation: Reservation) -> dict[str, Any]:
+    """One reservation in canonical snapshot/WAL form (sorted list triples)."""
+    return {
+        "request_id": request_id,
+        "cost": reservation.cost,
+        "vnf": [
+            [node, vnf_type, amount]
+            for (node, vnf_type), amount in sorted(reservation.vnf.items())
+        ],
+        "links": [
+            [u, v, amount] for (u, v), amount in sorted(reservation.links.items())
+        ],
+    }
+
+
+def reservation_from_record(record: Mapping[str, Any]) -> Reservation:
+    """Rebuild a :class:`Reservation` from its canonical record form."""
+    return Reservation(
+        vnf={
+            (int(node), int(vnf_type)): float(amount)
+            for node, vnf_type, amount in record["vnf"]
+        },
+        links={(int(u), int(v)): float(amount) for u, v, amount in record["links"]},
+        cost=float(record["cost"]),
+    )
+
+
 def snapshot_to_dict(
     ledger: ReservationLedger,
     *,
     counters: Mapping[str, float],
+    wal: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Serialize the ledger + counters into a versioned snapshot document."""
-    return {
+    """Serialize the ledger + counters into a versioned snapshot document.
+
+    ``wal`` is the optional write-ahead-log position this state reflects
+    (``{"seq": ..., "chain": ...}``); restore replays only records past it.
+    The key is omitted entirely when no WAL is attached, keeping WAL-off
+    documents byte-identical to pre-WAL snapshots.
+    """
+    doc = {
         "format": _FORMAT,
         "version": _VERSION,
         "kind": SNAPSHOT_KIND,
         "network_fingerprint": network_fingerprint(ledger.state.network),
         "counters": dict(counters),
         "reservations": [
-            {
-                "request_id": request_id,
-                "cost": reservation.cost,
-                "vnf": [
-                    [node, vnf_type, amount]
-                    for (node, vnf_type), amount in sorted(reservation.vnf.items())
-                ],
-                "links": [
-                    [u, v, amount]
-                    for (u, v), amount in sorted(reservation.links.items())
-                ],
-            }
+            reservation_to_record(request_id, reservation)
             for request_id, reservation in ledger.reservations()
         ],
     }
+    if wal is not None:
+        doc["wal"] = dict(wal)
+    return doc
+
+
+def wal_position_of(doc: Mapping[str, Any]) -> int:
+    """The WAL sequence number a snapshot document already reflects (0 = none)."""
+    position = doc.get("wal")
+    if not isinstance(position, Mapping):
+        return 0
+    return int(position.get("seq", 0))
 
 
 def _check_header(data: Mapping[str, Any], kind: str) -> None:
@@ -120,18 +158,7 @@ def ledger_from_dict(
     ledger = ReservationLedger(ResidualState(network))
     try:
         for record in data["reservations"]:
-            reservation = Reservation(
-                vnf={
-                    (int(node), int(vnf_type)): float(amount)
-                    for node, vnf_type, amount in record["vnf"]
-                },
-                links={
-                    (int(u), int(v)): float(amount)
-                    for u, v, amount in record["links"]
-                },
-                cost=float(record["cost"]),
-            )
-            ledger.reserve(int(record["request_id"]), reservation)
+            ledger.reserve(int(record["request_id"]), reservation_from_record(record))
     except CapacityError as exc:
         raise SnapshotError(f"snapshot over-commits the network: {exc}") from exc
     except (KeyError, TypeError, ValueError) as exc:
@@ -145,16 +172,17 @@ def save_snapshot(
     ledger: ReservationLedger,
     *,
     counters: Mapping[str, float],
+    wal: Mapping[str, Any] | None = None,
 ) -> None:
     """Atomically write a snapshot document to ``path`` (write + rename)."""
-    _atomic_write(path, snapshot_to_dict(ledger, counters=counters))
+    _atomic_write(path, snapshot_to_dict(ledger, counters=counters, wal=wal))
 
 
 def load_snapshot(
     path: str, network: CloudNetwork
 ) -> tuple[ReservationLedger, dict[str, float]]:
     """Load a snapshot written by :func:`save_snapshot` and rebuild the ledger."""
-    return ledger_from_dict(_read_document(path), network)
+    return ledger_from_dict(read_document(path), network)
 
 
 # -- sharded (multi-network) snapshots ------------------------------------------------
@@ -162,14 +190,23 @@ def load_snapshot(
 
 def sharded_snapshot_to_dict(
     shards: Mapping[str, tuple[ReservationLedger, Mapping[str, float]]],
+    *,
+    wal: Mapping[str, Mapping[str, Any]] | None = None,
 ) -> dict[str, Any]:
-    """Serialize one ``service-state`` sub-document per ``network_id``."""
+    """Serialize one ``service-state`` sub-document per ``network_id``.
+
+    ``wal`` optionally maps network ids to per-shard WAL positions; shards
+    absent from the mapping get no position (their logs replay in full).
+    """
+    positions = wal or {}
     return {
         "format": _FORMAT,
         "version": _VERSION,
         "kind": SHARDED_SNAPSHOT_KIND,
         "shards": {
-            network_id: snapshot_to_dict(ledger, counters=counters)
+            network_id: snapshot_to_dict(
+                ledger, counters=counters, wal=positions.get(network_id)
+            )
             for network_id, (ledger, counters) in sorted(shards.items())
         },
     }
@@ -202,30 +239,49 @@ def sharded_from_dict(
 def save_sharded_snapshot(
     path: str,
     shards: Mapping[str, tuple[ReservationLedger, Mapping[str, float]]],
+    *,
+    wal: Mapping[str, Mapping[str, Any]] | None = None,
 ) -> None:
     """Atomically write a sharded snapshot document to ``path``."""
-    _atomic_write(path, sharded_snapshot_to_dict(shards))
+    _atomic_write(path, sharded_snapshot_to_dict(shards, wal=wal))
 
 
 def load_sharded_snapshot(
     path: str, networks: Mapping[str, CloudNetwork]
 ) -> dict[str, tuple[ReservationLedger, dict[str, float]]]:
     """Load a sharded snapshot and rebuild every shard's ledger."""
-    return sharded_from_dict(_read_document(path), networks)
+    return sharded_from_dict(read_document(path), networks)
 
 
 # -- shared I/O -----------------------------------------------------------------------
 
 
 def _atomic_write(path: str, doc: Mapping[str, Any]) -> None:
+    # Durable rename: fsync the temp file before the replace (so the data is
+    # on disk before the name points at it) and fsync the parent directory
+    # after (so the rename itself survives a crash). Directory fds are not
+    # available everywhere; the directory sync is best-effort.
     tmp = f"{path}.tmp"
     with open(tmp, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=1, sort_keys=True)
         fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
     os.replace(tmp, path)
+    parent = os.path.dirname(os.path.abspath(path))
+    try:
+        fd = os.open(parent, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
-def _read_document(path: str) -> dict[str, Any]:
+def read_document(path: str) -> dict[str, Any]:
     try:
         with open(path, encoding="utf-8") as fh:
             doc = json.load(fh)

@@ -31,6 +31,7 @@ __all__ = [
     "ProtocolError",
     "SnapshotError",
     "ServiceUnavailable",
+    "WalError",
 ]
 
 
@@ -181,4 +182,15 @@ class ServiceUnavailable(ServiceError):
     The typed signal the client retry layer acts on: raised for connection
     resets, unexpected EOF, and refused reconnects — never for structured
     rejections (those come back as :class:`~repro.service.client.SubmitOutcome`).
+    """
+
+
+class WalError(ServiceError):
+    """A write-ahead log is corrupt, inconsistent, or replayed against the
+    wrong state.
+
+    Raised for broken fingerprint chains and mid-log corruption (a torn
+    *tail* is tolerated and truncated instead), for header/identity
+    mismatches, and when replaying a record diverges from the engine state
+    it claims to describe.
     """

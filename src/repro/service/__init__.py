@@ -40,9 +40,9 @@ from .protocol import (
     REJECT_CODES,
     SubmitIntent,
 )
+from ..engine.state_store import load_snapshot, network_fingerprint, save_snapshot
 from .retry import ResilientClient, RetryPolicy
 from .server import EmbeddingServer, ServiceConfig
-from .state_store import load_snapshot, network_fingerprint, save_snapshot
 
 __all__ = [
     "AdmissionPolicy",

@@ -242,6 +242,17 @@ class ServiceClient:
             raise ServiceError(str(reply.get("reason")))
         return reply
 
+    async def promote(self, *, network_id: str | None = None) -> dict[str, Any]:
+        """Promote a shard's warm standby to primary; returns the promote reply."""
+        reply = await self._request(
+            protocol.promote_message(msg_id=self._msg_id(), network_id=network_id)
+        )
+        if reply.get("type") == "error":
+            raise ServiceError(str(reply.get("reason")))
+        if reply.get("type") != "promoted":
+            raise ProtocolError(f"unexpected promote reply type {reply.get('type')!r}")
+        return reply
+
     async def drain(self, *, shutdown: bool = False) -> dict[str, Any]:
         """Drain the server (optionally shutting it down); returns final stats."""
         reply = await self._request(

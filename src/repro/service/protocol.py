@@ -75,6 +75,7 @@ __all__ = [
     "stats_message",
     "snapshot_message",
     "drain_message",
+    "promote_message",
     "notify_message",
 ]
 
@@ -289,6 +290,15 @@ def snapshot_message(*, msg_id: int) -> dict[str, Any]:
 def drain_message(*, msg_id: int, shutdown: bool = False) -> dict[str, Any]:
     """Build a ``drain`` line (``shutdown=True`` stops the server after)."""
     return {"type": "drain", "msg_id": msg_id, "shutdown": shutdown}
+
+
+def promote_message(*, msg_id: int, network_id: str | None = None) -> dict[str, Any]:
+    """Build a ``promote`` line: swap a shard's primary for its warm standby
+    (``network_id`` omitted → default shard)."""
+    message: dict[str, Any] = {"type": "promote", "msg_id": msg_id}
+    if network_id is not None:
+        message["network_id"] = network_id
+    return message
 
 
 # -- server → client pushes ---------------------------------------------------------

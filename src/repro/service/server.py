@@ -64,6 +64,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import functools
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Mapping
@@ -78,10 +79,12 @@ from ..engine import (
     RepairOutcome,
     ReservationLedger,
     ShardRouter,
+    StandbyEngine,
     advertised_vnf_types,
+    shard_wal_path,
     solve_on_view,
 )
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, WalError
 from ..faults.model import FaultEvent, FaultScript
 from ..network.cloud import CloudNetwork
 from ..utils.stats import percentile
@@ -126,6 +129,15 @@ class ServiceConfig:
     #: ``max(1, int(queue_limit * degraded_queue_factor))``; excess sheds
     #: with the structured code ``degraded``.
     degraded_queue_factor: float = 0.5
+    #: directory holding one write-ahead log per shard (None = WAL off).
+    #: With a WAL, every commit/release/fault is fsynced *before* its reply
+    #: is sent, so an acknowledged decision survives a process kill.
+    wal_dir: str | None = None
+    #: keep a warm standby per shard, tailing that shard's log, promotable
+    #: via the ``promote`` verb. Requires ``wal_dir``.
+    standby: bool = False
+    #: seconds between standby catch-up polls.
+    standby_poll: float = 0.05
 
     def __post_init__(self) -> None:
         if self.queue_limit < 1:
@@ -142,6 +154,12 @@ class ServiceConfig:
             raise ConfigurationError(
                 "degraded_queue_factor must be in (0, 1], got "
                 f"{self.degraded_queue_factor}"
+            )
+        if self.standby and not self.wal_dir:
+            raise ConfigurationError("standby=True requires wal_dir")
+        if self.standby_poll <= 0:
+            raise ConfigurationError(
+                f"standby_poll must be > 0, got {self.standby_poll}"
             )
 
 
@@ -189,6 +207,14 @@ class _PendingHold:
     release: "asyncio.Event" = field(compare=False)
 
 
+@dataclass
+class _PendingPromote:
+    """A standby-promotion request for one shard (operator fail-over drill)."""
+
+    msg_id: int
+    reply: "asyncio.Future[dict[str, Any]]" = field(compare=False)
+
+
 #: Counters the transport maintains per shard; the engine owns the rest
 #: (:data:`~repro.engine.core.ENGINE_COUNTER_KEYS`).
 _TRANSPORT_COUNTER_KEYS = (
@@ -212,7 +238,12 @@ class _Shard:
         self.engine = engine
         self.n_vnf_types = advertised_vnf_types(engine.network)
         self.queue: asyncio.Queue[
-            _PendingSubmit | _PendingRelease | _PendingDrain | _PendingFault | _PendingHold
+            _PendingSubmit
+            | _PendingRelease
+            | _PendingDrain
+            | _PendingFault
+            | _PendingHold
+            | _PendingPromote
         ] = asyncio.Queue()
         self.queued_submits = 0
         self.pending_ids: set[int] = set()
@@ -220,6 +251,8 @@ class _Shard:
         self.counters: dict[str, float] = {key: 0 for key in _TRANSPORT_COUNTER_KEYS}
         self.notify_routes: dict[int, tuple[asyncio.StreamWriter, asyncio.Lock]] = {}
         self.dispatch_task: asyncio.Task[None] | None = None
+        self.standby: StandbyEngine | None = None
+        self.standby_task: asyncio.Task[None] | None = None
 
     def restore_counters(self, counters: Mapping[str, float]) -> None:
         """Rehydrate the transport counters from a snapshot's leftovers."""
@@ -340,6 +373,9 @@ class EmbeddingServer:
             raise ConfigurationError("server is already started")
         if self.config.workers > 0:
             self._executor = ProcessPoolExecutor(max_workers=self.config.workers)
+        if self.config.wal_dir is not None:
+            # Blocking file IO (open/fsync per shard log) stays off the loop.
+            await asyncio.to_thread(self._setup_wal)
         self._server = await asyncio.start_server(
             self._on_connection,
             host=self.config.host,
@@ -348,6 +384,8 @@ class EmbeddingServer:
         )
         for shard in self._shards.values():
             shard.dispatch_task = asyncio.create_task(self._dispatch_loop(shard))
+            if shard.standby is not None:
+                shard.standby_task = asyncio.create_task(self._standby_loop(shard))
         if self.config.fault_script is not None:
             chaos_shard = self._shard(self.config.chaos_network_id)
             self._chaos_task = asyncio.create_task(
@@ -387,6 +425,13 @@ class EmbeddingServer:
                 pass
             self._chaos_task = None
         for shard in self._shards.values():
+            if shard.standby_task is not None:
+                shard.standby_task.cancel()
+                try:
+                    await shard.standby_task
+                except asyncio.CancelledError:
+                    pass
+                shard.standby_task = None
             if shard.dispatch_task is not None:
                 shard.dispatch_task.cancel()
                 try:
@@ -395,6 +440,10 @@ class EmbeddingServer:
                     pass
                 shard.dispatch_task = None
             self._flush_queue(shard)
+        if self.config.wal_dir is not None:
+            # Sync + close every shard log off the loop; anything never
+            # acknowledged may land in a torn tail, which recovery truncates.
+            await asyncio.to_thread(self._close_wals)
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
@@ -433,7 +482,70 @@ class EmbeddingServer:
             elif isinstance(item, _PendingHold):
                 if not item.reached.done():
                     item.reached.set_result(None)
+            elif isinstance(item, _PendingPromote):
+                item.reply.set_result(
+                    {
+                        "type": "error",
+                        "msg_id": item.msg_id,
+                        "reason": "server stopped before the promotion ran",
+                    }
+                )
             # _PendingFault items have no waiter: dropped with the server.
+
+    # -- durability (write-ahead logs + warm standbys) ---------------------------------
+
+    def _setup_wal(self) -> None:
+        """Attach one log per shard; optionally seed the warm standbys.
+
+        Runs in a worker thread before the dispatchers start (so the
+        open/fsync of each log header never blocks the loop, and no engine
+        is concurrently mutated). Appends only buffer in memory:
+        the dispatcher owns the fsync cadence, batching one sync per decision
+        cycle and acknowledging only after it.
+        """
+        wal_dir = self.config.wal_dir
+        assert wal_dir is not None
+        os.makedirs(wal_dir, exist_ok=True)
+        snapshot = self.config.snapshot_path
+        if not (snapshot and os.path.exists(snapshot)):
+            snapshot = None
+        for network_id, shard in self._shards.items():
+            path = shard_wal_path(wal_dir, network_id)
+            shard.engine.attach_wal_file(path, network_id=network_id)
+            if not self.config.standby:
+                continue
+            standby = StandbyEngine(
+                shard.engine.network,
+                self.config.solver,
+                path,
+                seed=self.config.seed,
+                snapshot_path=snapshot,
+                snapshot_network_id=network_id if snapshot else None,
+            )
+            standby.poll()
+            if standby.ledger_fingerprint() != shard.engine.ledger_fingerprint():
+                raise ConfigurationError(
+                    f"standby for shard {network_id!r} diverges from its primary "
+                    "at startup; resume the server from the same snapshot the "
+                    "standby reads (serve --resume --wal --standby)"
+                )
+            self.router.attach_standby(network_id, standby)
+            shard.standby = standby
+
+    def _close_wals(self) -> None:
+        """Detach (sync + close) every shard's writer; thread-side."""
+        for _, engine in self.router.items():
+            engine.detach_wal()
+
+    async def _standby_loop(self, shard: _Shard) -> None:
+        """Keep one shard's standby caught up on the primary's log."""
+        standby = shard.standby
+        assert standby is not None
+        while True:
+            await asyncio.sleep(self.config.standby_poll)
+            if standby.promoted:
+                return
+            await asyncio.to_thread(standby.poll)
 
     async def __aenter__(self) -> "EmbeddingServer":
         await self.start()
@@ -486,6 +598,7 @@ class EmbeddingServer:
     def _shard_payload(self, shard: _Shard) -> dict[str, Any]:
         """One shard's stats body (its engine's gauges + transport counters)."""
         engine_stats = shard.engine.stats()
+        wal = shard.engine.wal
         return {
             "network_id": shard.network_id,
             "counters": shard.wire_counters(),
@@ -493,6 +606,17 @@ class EmbeddingServer:
             "active": engine_stats["active"],
             "queue_depth": shard.queued_submits,
             "faults": engine_stats["faults"],
+            "ledger_fingerprint": shard.engine.ledger_fingerprint(),
+            "wal": (
+                {"seq": wal.seq, "pending": wal.pending_count}
+                if wal is not None
+                else None
+            ),
+            "standby": (
+                {"applied_seq": shard.standby.applied_seq}
+                if shard.standby is not None
+                else None
+            ),
         }
 
     def stats_payload(self) -> dict[str, Any]:
@@ -633,6 +757,8 @@ class EmbeddingServer:
                 reply = await self._handle_snapshot(msg_id)
             elif mtype == "drain":
                 reply = await self._handle_drain(message)
+            elif mtype == "promote":
+                reply = await self._handle_promote(message)
             else:
                 reply = {
                     "type": "error",
@@ -838,12 +964,14 @@ class EmbeddingServer:
             drains: list[_PendingDrain] = []
             faults: list[_PendingFault] = []
             holds: list[_PendingHold] = []
+            promotes: list[_PendingPromote] = []
             item: (
                 _PendingSubmit
                 | _PendingRelease
                 | _PendingDrain
                 | _PendingFault
                 | _PendingHold
+                | _PendingPromote
                 | None
             ) = first
             while item is not None:
@@ -855,6 +983,8 @@ class EmbeddingServer:
                     faults.append(item)
                 elif isinstance(item, _PendingHold):
                     holds.append(item)
+                elif isinstance(item, _PendingPromote):
+                    promotes.append(item)
                 else:
                     drains.append(item)
                 if len(batch) >= self.config.batch_size:
@@ -864,17 +994,32 @@ class EmbeddingServer:
                 except asyncio.QueueEmpty:
                     item = None
 
+            # Replies whose engine effect is in this cycle's WAL batch; they
+            # resolve only after the fsync below, so an acknowledged commit
+            # or release is durable by construction (ack-after-fsync).
+            deferred: list[tuple[asyncio.Future[dict[str, Any]], dict[str, Any]]] = []
+
             # Departures, then faults, then arrivals — the phase order of
             # sim.trace.replay_with_faults, so a service run under a script
             # is comparable to its offline replay.
             for release in releases:
-                release.reply.set_result(self._do_release(shard, release))
+                deferred.append((release.reply, self._do_release(shard, release)))
 
             for fault in faults:
                 await self._apply_fault(shard, fault.event)
 
             if batch:
-                await self._decide_batch(shard, batch)
+                await self._decide_batch(shard, batch, deferred)
+
+            wal = shard.engine.wal
+            if wal is not None and wal.pending_count:
+                await asyncio.to_thread(wal.sync)
+            for future, reply in deferred:
+                if not future.done():
+                    future.set_result(reply)
+
+            for promote in promotes:
+                await self._do_promote(shard, promote)
 
             for drain in drains:
                 drain.reply.set_result(None)
@@ -904,6 +1049,63 @@ class EmbeddingServer:
             "request_id": release.request_id,
             "ok": True,
         }
+
+    # -- promotion (dispatcher-only, like every other engine swap) -----------------------
+
+    async def _handle_promote(self, message: dict[str, Any]) -> dict[str, Any]:
+        msg_id = int(message.get("msg_id", 0) or 0)
+        try:
+            shard = self._shard(protocol.network_id_of(message))
+        except ConfigurationError as exc:
+            return {"type": "error", "msg_id": msg_id, "reason": str(exc)}
+        if shard.standby is None:
+            return {
+                "type": "error",
+                "msg_id": msg_id,
+                "reason": f"shard {shard.network_id!r} has no standby attached",
+            }
+        pending = _PendingPromote(
+            msg_id=msg_id, reply=asyncio.get_running_loop().create_future()
+        )
+        shard.queue.put_nowait(pending)
+        return await pending.reply
+
+    async def _do_promote(self, shard: _Shard, pending: _PendingPromote) -> None:
+        """Swap the shard's engine for its caught-up standby (fail-over drill).
+
+        Runs inside the dispatcher between batches, so the swap can never
+        race a decision: the old primary's writer is detached (final sync),
+        the standby folds in the last records and resumes the same log, and
+        the shard serves its next batch from the promoted engine.
+        """
+        if shard.standby_task is not None:
+            shard.standby_task.cancel()
+            try:
+                await shard.standby_task
+            except asyncio.CancelledError:
+                pass
+            shard.standby_task = None
+        try:
+            engine = await asyncio.to_thread(
+                self.router.promote, shard.network_id
+            )
+        except (ConfigurationError, WalError) as exc:
+            pending.reply.set_result(
+                {"type": "error", "msg_id": pending.msg_id, "reason": str(exc)}
+            )
+            return
+        shard.engine = engine
+        shard.standby = None
+        pending.reply.set_result(
+            {
+                "type": "promoted",
+                "msg_id": pending.msg_id,
+                "network_id": shard.network_id,
+                "applied_seq": engine.wal_applied_seq,
+                "ledger_fingerprint": engine.ledger_fingerprint(),
+                "active": engine.active_count(),
+            }
+        )
 
     # -- fault path (dispatcher-only, like every other engine mutation) ------------------
 
@@ -978,7 +1180,12 @@ class EmbeddingServer:
         reply["decision_index"] = decision.decision_index
         return reply
 
-    async def _decide_batch(self, shard: _Shard, batch: list[_PendingSubmit]) -> None:
+    async def _decide_batch(
+        self,
+        shard: _Shard,
+        batch: list[_PendingSubmit],
+        deferred: list[tuple["asyncio.Future[dict[str, Any]]", dict[str, Any]]],
+    ) -> None:
         by_arrival = {p.intent.arrival_index: p for p in batch}
         ordered = self.policy.order([p.intent for p in batch])
         if len(ordered) != len(batch) or {
@@ -1009,7 +1216,7 @@ class EmbeddingServer:
                 shard.notify_routes[intent.request_id] = (pending.writer, pending.lock)
             shard.queued_submits -= 1
             shard.pending_ids.discard(intent.request_id)
-            pending.reply.set_result(self._decision_reply(decision))
+            deferred.append((pending.reply, self._decision_reply(decision)))
 
     async def _run_solver(
         self, shard: _Shard, intent: SubmitIntent, view: CloudNetwork

@@ -4,11 +4,24 @@ The snapshot machinery belongs to the transport-agnostic engine layer now
 (the :class:`~repro.engine.core.EmbeddingEngine` and
 :class:`~repro.engine.router.ShardRouter` persist themselves); this module
 re-exports the public surface so existing imports keep working.
+
+.. deprecated::
+    Import from :mod:`repro.engine.state_store` instead; this shim will be
+    removed once nothing in the wild imports the old path.
 """
 
 from __future__ import annotations
 
-from ..engine.state_store import (
+import warnings
+
+warnings.warn(
+    "repro.service.state_store is deprecated; import repro.engine.state_store "
+    "instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from ..engine.state_store import (  # noqa: E402
     SHARDED_SNAPSHOT_KIND,
     SNAPSHOT_KIND,
     ledger_from_dict,

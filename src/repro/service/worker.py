@@ -3,10 +3,22 @@
 The per-process solver-reuse solve belongs to the engine layer (any
 transport that ships solves off its event loop needs it); this module
 re-exports it so existing imports keep working.
+
+.. deprecated::
+    Import from :mod:`repro.engine.worker` instead; this shim will be
+    removed once nothing in the wild imports the old path.
 """
 
 from __future__ import annotations
 
-from ..engine.worker import solve_on_view
+import warnings
+
+warnings.warn(
+    "repro.service.worker is deprecated; import repro.engine.worker instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from ..engine.worker import solve_on_view  # noqa: E402
 
 __all__ = ["solve_on_view"]

@@ -70,6 +70,7 @@ def generate_trace(
     arrival_probability: float = 0.5,
     mean_hold: float = 50.0,
     rate: float = 1.0,
+    first_id: int = 0,
     rng: RngStream = None,
 ) -> ArrivalTrace:
     """Draw one discrete-time arrival trace.
@@ -77,6 +78,9 @@ def generate_trace(
     Per step one arrival occurs with ``arrival_probability``; its holding
     time is ``1 + Geometric(1/mean_hold)`` steps; endpoints are a random
     distinct node pair; the DAG-SFC follows the paper's generator.
+    Request ids count up from ``first_id`` — offset it when driving a
+    resumed server whose id space is already partly claimed (ids are
+    per-shard and duplicates are rejected, see docs/serving.md).
     """
     if steps < 1:
         raise ConfigurationError(f"steps must be >= 1, got {steps}")
@@ -88,8 +92,10 @@ def generate_trace(
         raise ConfigurationError("mean_hold must be >= 1")
     gen = as_generator(rng)
 
+    if first_id < 0:
+        raise ConfigurationError(f"first_id must be >= 0, got {first_id}")
     events: list[TraceEvent] = []
-    next_id = 0
+    next_id = first_id
     for step in range(steps):
         if gen.random() >= arrival_probability:
             continue

@@ -1,0 +1,286 @@
+"""Record vocabulary of the engine write-ahead log.
+
+The log captures the engine's *state transitions*, not its inputs: a commit
+record carries the reservation and embedding the decision produced, a repair
+record carries the repair's effect (the replacement reservation/embedding or
+the eviction), so replay re-applies effects deterministically without
+re-running solvers. Five record types exist:
+
+``header``
+    Record 0. The log's identity — substrate fingerprint, solver name,
+    engine seed — checked before any replay so a log can never be applied
+    to the wrong engine.
+``commit``
+    One :class:`~repro.engine.core.Decision` (accepted *or* rejected;
+    rejections are logged too so the decision counter replays exactly).
+``release``
+    One departure.
+``fault``
+    One *effective* fault event (events that changed no element's liveness
+    mutate nothing and are not logged). Carries the ``auto_seed`` flag so
+    replay advances the chaos seed stream identically.
+``repair``
+    The outcome of one repair-ladder walk triggered by the preceding fault
+    record (reroute / re-embed with the new reservation, or eviction).
+
+Payload codecs reuse the canonical snapshot shapes from
+:mod:`repro.engine.state_store` and :mod:`repro.serialize`, so a ledger
+fingerprint computed from replayed state matches one computed from live
+state byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+from ..config import FlowConfig
+from ..embedding.mapping import Embedding
+from ..engine.state_store import (
+    network_fingerprint,
+    reservation_from_record,
+    reservation_to_record,
+)
+from ..exceptions import WalError
+from ..faults.model import FaultAction, FaultEvent, FaultKind, FaultTarget
+from ..faults.repair import RepairAction, RepairOutcome
+from ..network.cloud import CloudNetwork
+from ..network.reservations import Reservation, ReservationLedger
+from ..serialize import embedding_from_dict, embedding_to_dict
+
+__all__ = [
+    "WAL_FORMAT",
+    "WAL_KIND",
+    "WAL_VERSION",
+    "HEADER",
+    "COMMIT",
+    "RELEASE",
+    "FAULT",
+    "REPAIR",
+    "RECORD_TYPES",
+    "header_payload",
+    "check_header",
+    "commit_payload",
+    "release_payload",
+    "fault_payload",
+    "fault_event_from_payload",
+    "repair_payload",
+    "repair_outcome_from_payload",
+    "reservation_from_payload",
+    "flow_payload",
+    "flow_from_payload",
+    "embedding_from_payload",
+    "ledger_fingerprint",
+]
+
+WAL_FORMAT = "repro.dag-sfc"
+WAL_KIND = "engine-wal"
+WAL_VERSION = 1
+
+HEADER = "header"
+COMMIT = "commit"
+RELEASE = "release"
+FAULT = "fault"
+REPAIR = "repair"
+RECORD_TYPES = (HEADER, COMMIT, RELEASE, FAULT, REPAIR)
+
+
+# -- header ---------------------------------------------------------------------------
+
+
+def header_payload(
+    *,
+    network_fingerprint: str,
+    solver: str,
+    seed: int,
+    network_id: str | None = None,
+) -> dict[str, Any]:
+    """The identity payload of record 0."""
+    return {
+        "format": WAL_FORMAT,
+        "kind": WAL_KIND,
+        "version": WAL_VERSION,
+        "network_fingerprint": network_fingerprint,
+        "solver": solver,
+        "seed": int(seed),
+        "network_id": network_id,
+    }
+
+
+def check_header(
+    payload: Mapping[str, Any], *, network_fingerprint: str | None = None
+) -> None:
+    """Validate a header payload (format/kind/version, optional substrate)."""
+    if payload.get("format") != WAL_FORMAT or payload.get("kind") != WAL_KIND:
+        raise WalError(f"not a {WAL_FORMAT} {WAL_KIND} log")
+    if payload.get("version") != WAL_VERSION:
+        raise WalError(
+            f"unsupported WAL version {payload.get('version')!r} "
+            f"(expected {WAL_VERSION})"
+        )
+    if network_fingerprint is not None:
+        have = payload.get("network_fingerprint")
+        if have != network_fingerprint:
+            raise WalError(
+                "WAL was written against a different network "
+                f"(fingerprint {str(have)[:12]}… != {network_fingerprint[:12]}…)"
+            )
+
+
+# -- lifecycle payloads ---------------------------------------------------------------
+
+
+def commit_payload(
+    *,
+    request_id: int,
+    msg_id: int,
+    accepted: bool,
+    decision_index: int,
+    code: str | None,
+    reason: str | None,
+    total_cost: float | None,
+    vnf_cost: float | None,
+    link_cost: float | None,
+    commit_index: int | None,
+    flow: FlowConfig,
+    reservation: Reservation | None,
+    embedding: Embedding | None,
+) -> dict[str, Any]:
+    """One decision's effect (wall-clock runtime is deliberately excluded)."""
+    return {
+        "request_id": int(request_id),
+        "msg_id": int(msg_id),
+        "accepted": bool(accepted),
+        "decision_index": int(decision_index),
+        "code": code,
+        "reason": reason,
+        "total_cost": total_cost,
+        "vnf_cost": vnf_cost,
+        "link_cost": link_cost,
+        "commit_index": commit_index,
+        "flow": flow_payload(flow),
+        "reservation": (
+            reservation_to_record(request_id, reservation)
+            if reservation is not None
+            else None
+        ),
+        "embedding": embedding_to_dict(embedding) if embedding is not None else None,
+    }
+
+
+def release_payload(request_id: int) -> dict[str, Any]:
+    return {"request_id": int(request_id)}
+
+
+def fault_payload(event: FaultEvent, *, auto_seed: bool) -> dict[str, Any]:
+    """One effective fault event, in the fault-script wire vocabulary."""
+    return {
+        "time": event.time,
+        "action": event.action.value,
+        "target": event.target.kind.value,
+        "ids": list(event.target.ids),
+        "auto_seed": bool(auto_seed),
+    }
+
+
+def fault_event_from_payload(payload: Mapping[str, Any]) -> FaultEvent:
+    try:
+        return FaultEvent(
+            time=float(payload["time"]),
+            action=FaultAction(payload["action"]),
+            target=FaultTarget(
+                FaultKind(payload["target"]),
+                tuple(int(i) for i in payload["ids"]),
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WalError(f"malformed fault record payload: {exc}") from None
+
+
+def repair_payload(
+    outcome: RepairOutcome,
+    *,
+    reservation: Reservation | None,
+    embedding: Embedding | None,
+    flow: FlowConfig | None,
+) -> dict[str, Any]:
+    """One repair's effect: the replacement state for survivors, or eviction."""
+    return {
+        "request_id": int(outcome.request_id),
+        "action": outcome.action.value,
+        "old_cost": float(outcome.old_cost),
+        "new_cost": float(outcome.new_cost),
+        "attempts": list(outcome.attempts),
+        "detail": outcome.detail,
+        "duration": float(outcome.duration),
+        "flow": flow_payload(flow) if flow is not None else None,
+        "reservation": (
+            reservation_to_record(outcome.request_id, reservation)
+            if reservation is not None
+            else None
+        ),
+        "embedding": embedding_to_dict(embedding) if embedding is not None else None,
+    }
+
+
+def repair_outcome_from_payload(payload: Mapping[str, Any]) -> RepairOutcome:
+    try:
+        return RepairOutcome(
+            request_id=int(payload["request_id"]),
+            action=RepairAction(payload["action"]),
+            old_cost=float(payload["old_cost"]),
+            new_cost=float(payload["new_cost"]),
+            attempts=tuple(str(a) for a in payload["attempts"]),
+            detail=str(payload["detail"]),
+            duration=float(payload["duration"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WalError(f"malformed repair record payload: {exc}") from None
+
+
+def reservation_from_payload(payload: Mapping[str, Any]) -> Reservation:
+    try:
+        return reservation_from_record(payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WalError(f"malformed reservation in WAL record: {exc}") from None
+
+
+def embedding_from_payload(payload: Mapping[str, Any]) -> Embedding:
+    return embedding_from_dict(dict(payload))
+
+
+def flow_payload(flow: FlowConfig) -> dict[str, Any]:
+    return {"size": flow.size, "rate": flow.rate}
+
+
+def flow_from_payload(payload: Mapping[str, Any]) -> FlowConfig:
+    try:
+        return FlowConfig(size=float(payload["size"]), rate=float(payload["rate"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WalError(f"malformed flow in WAL record: {exc}") from None
+
+
+# -- state fingerprint ----------------------------------------------------------------
+
+
+def ledger_fingerprint(ledger: ReservationLedger) -> str:
+    """SHA-256 over the canonical ledger state (substrate + reservations).
+
+    The recovery correctness oracle: a replayed engine must reproduce the
+    exact fingerprint of the engine whose log it consumed.
+    """
+    doc = {
+        "network": network_fingerprint(ledger.state.network),
+        "reservations": [
+            reservation_to_record(request_id, reservation)
+            for request_id, reservation in ledger.reservations()
+        ],
+    }
+    canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def network_fingerprint_of(network: CloudNetwork) -> str:
+    """Convenience re-export so WAL callers need one import."""
+    return network_fingerprint(network)

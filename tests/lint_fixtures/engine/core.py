@@ -1,0 +1,6 @@
+"""RPL212 pass fixture: the engine core is the sanctioned journal writer."""
+
+
+def commit(engine, decision):
+    if engine.wal is not None:
+        engine.wal.append_record("commit", {"request_id": decision.request_id})

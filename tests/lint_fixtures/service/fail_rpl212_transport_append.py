@@ -1,0 +1,9 @@
+"""RPL212 fixture: transport code appending WAL records directly (two hits)."""
+
+
+def handle_submit(server, decision):
+    server.wal.append_record("commit", {"request_id": decision.request_id})
+
+
+def handle_release(writer, request_id):
+    writer.append_record("release", {"request_id": request_id})

@@ -40,6 +40,7 @@ EXPECTED: dict[str, list[str]] = {
     "fail_rpl004_unused_suppression.py": ["RPL004"],
     "solvers/fail_rpl202_unbalanced_reserve.py": ["RPL202"],
     "service/fail_rpl601_direct_imports.py": ["RPL601", "RPL601", "RPL601"],
+    "service/fail_rpl212_transport_append.py": ["RPL212", "RPL212"],
     "regpack": ["RPL301", "RPL301"],
     "fail_rpl701_blocking_in_async.py": ["RPL701", "RPL701"],
     "fail_rpl702_shared_mutation.py": ["RPL702", "RPL702"],
@@ -55,6 +56,7 @@ EXPECTED: dict[str, list[str]] = {
     "cli.py": [],
     "solvers/pass_rpl202_guarded.py": [],
     "service/pass_rpl601_via_engine.py": [],
+    "engine/core.py": [],
     "regpack/solvers/pass_abstract_skipped.py": [],
     "pass_rpl701_executor_hop.py": [],
     "pass_rpl702_dispatcher_queue.py": [],

@@ -35,7 +35,8 @@ from repro.service import (
     make_policy,
     register_policy,
 )
-from repro.service import protocol, state_store
+from repro.engine import state_store
+from repro.service import protocol
 from repro.service.admission import (
     AdmissionPolicy,
     CheapestFirstAdmission,

@@ -1,0 +1,604 @@
+"""The durability subsystem: WAL codec, crash recovery, standby promotion.
+
+Three layers of guarantees, tested bottom-up:
+
+* the log itself — fingerprint-chained records, torn-tail tolerance,
+  sync-before-close discipline (an unsynced record was never promised, a
+  synced one must survive);
+* recovery — ``EmbeddingEngine.restore`` = latest snapshot + deterministic
+  log replay, asserted to reproduce the *exact* ledger fingerprint of the
+  engine that wrote the log (the hypothesis property checks every prefix);
+* fail-over — a :class:`StandbyEngine` tailing the primary's log promotes
+  into an engine whose next batch of decisions is identical to what a
+  never-crashed primary would have produced.
+"""
+
+import asyncio
+import importlib
+import json
+import sys
+import warnings
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import FlowConfig, NetworkConfig, SfcConfig
+from repro.engine import (
+    DEFAULT_NETWORK_ID,
+    EmbeddingEngine,
+    EmbeddingRequest,
+    ShardRouter,
+    StandbyEngine,
+    WalWriter,
+    read_wal,
+    shard_wal_path,
+    state_store,
+)
+from repro.exceptions import ConfigurationError, ServiceError, WalError
+from repro.faults.model import FaultAction, FaultEvent, FaultTarget
+from repro.network.cloud import CloudNetwork
+from repro.network.generator import generate_network
+from repro.service import EmbeddingServer, ServiceClient, ServiceConfig
+from repro.sfc.builder import DagSfcBuilder
+from repro.sfc.generator import generate_dag_sfc
+from repro.utils.rng import as_generator
+from repro.wal.log import WalTail, chain_hash
+from repro.wal.records import ledger_fingerprint
+
+from .conftest import build_line_graph
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def engine_network(seed: int = 17) -> CloudNetwork:
+    cfg = NetworkConfig(
+        size=40, connectivity=4.0, n_vnf_types=6, deploy_ratio=0.5,
+        vnf_capacity=4.0, link_capacity=4.0,
+    )
+    return generate_network(cfg, rng=seed)
+
+
+def tight_network() -> CloudNetwork:
+    """0-1-2 line where one unit-rate request saturates everything."""
+    net = CloudNetwork(build_line_graph(3, price=1.0, capacity=1.0))
+    net.deploy(1, 1, price=5.0, capacity=1.0)
+    return net
+
+
+def make_requests(network: CloudNetwork, n: int, *, seed: int = 11) -> list[EmbeddingRequest]:
+    gen = as_generator(seed)
+    out = []
+    for rid in range(n):
+        dag = generate_dag_sfc(SfcConfig(size=3), 6, rng=gen)
+        src, dst = (int(v) for v in gen.choice(network.num_nodes, size=2, replace=False))
+        out.append(
+            EmbeddingRequest(
+                request_id=rid, dag=dag, source=src, dest=dst,
+                flow=FlowConfig(rate=1.0), seed=int(gen.integers(2**31)),
+                arrival_index=rid,
+            )
+        )
+    return out
+
+
+def line_request(rid: int, *, rate: float = 1.0, seed: int | None = None) -> EmbeddingRequest:
+    dag = DagSfcBuilder().single(1).build()
+    return EmbeddingRequest(
+        request_id=rid, dag=dag, source=0, dest=2, flow=FlowConfig(rate=rate), seed=seed
+    )
+
+
+def wal_engine(network: CloudNetwork, path, *, seed: int = 5) -> EmbeddingEngine:
+    engine = EmbeddingEngine(network, "MBBE", seed=seed)
+    engine.attach_wal_file(str(path))
+    return engine
+
+
+class TestWalLog:
+    def test_roundtrip_with_verified_chain(self, tmp_path):
+        path = str(tmp_path / "shard.wal")
+        writer = WalWriter(path, header={"kind": "test-header", "version": 1})
+        writer.append_record("commit", {"request_id": 1, "cost": 2.5})
+        writer.append_record("release", {"request_id": 1})
+        assert writer.pending_count == 2
+        writer.sync()
+        assert writer.pending_count == 0
+        writer.close()
+
+        scan = read_wal(path)
+        assert not scan.torn
+        assert [r.type for r in scan.records] == ["header", "commit", "release"]
+        assert [r.seq for r in scan.records] == [0, 1, 2]
+        # The chain is a running fingerprint over the canonical bodies.
+        prev = ""
+        for record in scan.records:
+            assert record.chain == chain_hash(prev, record.body_json())
+            prev = record.chain
+
+    def test_append_is_buffered_until_sync(self, tmp_path):
+        path = str(tmp_path / "shard.wal")
+        writer = WalWriter(path, header={"kind": "test-header"})
+        writer.append_record("commit", {"request_id": 7})
+        # Nothing past the header reaches disk before an explicit sync().
+        assert read_wal(path).last_seq == 0
+        writer.sync()
+        assert read_wal(path).last_seq == 1
+        writer.close()
+
+    def test_close_refuses_to_drop_pending_records(self, tmp_path):
+        writer = WalWriter(str(tmp_path / "shard.wal"), header={"kind": "test-header"})
+        writer.append_record("commit", {"request_id": 1})
+        with pytest.raises(WalError, match="sync"):
+            writer.close()
+        writer.sync()
+        writer.close()
+        with pytest.raises(WalError, match="closed"):
+            writer.append_record("commit", {"request_id": 2})
+
+    def test_torn_tail_is_tolerated_and_truncated_on_resume(self, tmp_path):
+        path = str(tmp_path / "shard.wal")
+        writer = WalWriter(path, header={"kind": "test-header"})
+        writer.append_record("commit", {"request_id": 1})
+        writer.sync()
+        writer.close()
+        with open(path, "ab") as fh:
+            fh.write(b'{"chain":"feed', )  # a crash mid-write leaves half a line
+
+        scan = read_wal(path)
+        assert scan.torn
+        assert scan.last_seq == 1
+
+        # Resuming a writer truncates the torn tail and continues the chain.
+        resumed = WalWriter(path)
+        assert resumed.seq == 1
+        resumed.append_record("release", {"request_id": 1})
+        resumed.sync()
+        resumed.close()
+        scan = read_wal(path)
+        assert not scan.torn
+        assert [r.type for r in scan.records] == ["header", "commit", "release"]
+
+    def test_corruption_before_the_tail_raises(self, tmp_path):
+        path = str(tmp_path / "shard.wal")
+        writer = WalWriter(path, header={"kind": "test-header"})
+        writer.append_record("commit", {"request_id": 1})
+        writer.append_record("release", {"request_id": 1})
+        writer.sync()
+        writer.close()
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        lines[1] = b'{"garbage": true}\n'
+        with open(path, "wb") as fh:
+            fh.writelines(lines)
+        with pytest.raises(WalError, match="seq 1"):
+            read_wal(path)
+
+    def test_tampered_chain_raises(self, tmp_path):
+        path = str(tmp_path / "shard.wal")
+        writer = WalWriter(path, header={"kind": "test-header"})
+        writer.append_record("commit", {"request_id": 1, "cost": 3.0})
+        writer.sync()
+        writer.close()
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        doc = json.loads(lines[1])
+        doc["payload"]["cost"] = 30.0  # rewrite history, keep the old chain
+        lines[1] = (json.dumps(doc, sort_keys=True).encode() + b"\n")
+        lines[1:] = [lines[1]]
+        with open(path, "wb") as fh:
+            fh.writelines(lines)
+        with pytest.raises(WalError):
+            read_wal(path, allow_torn_tail=False)
+
+    def test_tail_consumes_incrementally(self, tmp_path):
+        path = str(tmp_path / "shard.wal")
+        writer = WalWriter(path, header={"kind": "test-header"})
+        tail = WalTail(path)
+        assert [r.type for r in tail.poll()] == ["header"]
+        writer.append_record("commit", {"request_id": 1})
+        assert tail.poll() == []  # unsynced records are invisible
+        writer.sync()
+        batch = tail.poll()
+        assert [r.seq for r in batch] == [1]
+        assert tail.poll() == []
+        writer.append_record("release", {"request_id": 1})
+        writer.sync()
+        writer.close()
+        assert [r.seq for r in tail.poll()] == [2]
+
+
+class TestEngineRecovery:
+    def drive(self, engine: EmbeddingEngine, requests, *, release=(), fault=False):
+        for request in requests:
+            engine.submit(request, rng=request.seed)
+        for rid in release:
+            if engine.is_active(rid):
+                engine.release(rid)
+        if fault:
+            engine.apply_fault(
+                FaultEvent(time=0, action=FaultAction.FAIL, target=FaultTarget.node(3)),
+                auto_seed=True,
+            )
+
+    def test_wal_only_restore_reproduces_the_fingerprint(self, tmp_path):
+        network = engine_network()
+        path = tmp_path / "shard.wal"
+        engine = wal_engine(network, path)
+        self.drive(engine, make_requests(network, 10), release=(0, 3), fault=True)
+        engine.detach_wal()
+
+        restored, leftover = EmbeddingEngine.restore(
+            network, "MBBE", None, seed=5, wal_path=str(path)
+        )
+        assert leftover == {}
+        assert restored.ledger_fingerprint() == engine.ledger_fingerprint()
+        assert restored.counters == engine.counters
+        assert restored.active_count() == engine.active_count()
+        assert restored.wal_applied_seq == read_wal(str(path)).last_seq
+
+    def test_snapshot_plus_wal_suffix_restore(self, tmp_path):
+        network = engine_network()
+        path = tmp_path / "shard.wal"
+        snap = tmp_path / "snap.json"
+        engine = wal_engine(network, path)
+        requests = make_requests(network, 12)
+        self.drive(engine, requests[:6])
+        engine.save_snapshot(str(snap))  # embeds the synced wal position
+        self.drive(engine, requests[6:], release=(1,), fault=True)
+        engine.detach_wal()
+
+        restored, _ = EmbeddingEngine.restore(
+            network, "MBBE", str(snap), seed=5, wal_path=str(path)
+        )
+        assert restored.ledger_fingerprint() == engine.ledger_fingerprint()
+        assert restored.counters == engine.counters
+
+    def test_restored_engine_continues_decision_identically(self, tmp_path):
+        network = engine_network()
+        path = tmp_path / "shard.wal"
+        requests = make_requests(network, 16)
+        engine = wal_engine(network, path)
+        twin = EmbeddingEngine(network, "MBBE", seed=5)
+        self.drive(engine, requests[:8], release=(2,))
+        self.drive(twin, requests[:8], release=(2,))
+        engine.detach_wal()
+
+        restored, _ = EmbeddingEngine.restore(
+            network, "MBBE", None, seed=5, wal_path=str(path)
+        )
+        for request in requests[8:]:
+            ours = restored.submit(request, rng=request.seed)
+            theirs = twin.submit(request, rng=request.seed)
+            assert ours.success == theirs.success
+            assert ours.total_cost == pytest.approx(theirs.total_cost)
+        assert restored.ledger_fingerprint() == twin.ledger_fingerprint()
+
+    def test_attach_rejects_position_mismatch(self, tmp_path):
+        network = engine_network()
+        path = tmp_path / "shard.wal"
+        engine = wal_engine(network, path)
+        self.drive(engine, make_requests(network, 3))
+        engine.detach_wal()
+        # A fresh engine reflects seq 0; the log is further along.
+        fresh = EmbeddingEngine(network, "MBBE", seed=5)
+        with pytest.raises(WalError, match="restore"):
+            fresh.attach_wal_file(str(path))
+
+    def test_attach_rejects_foreign_network(self, tmp_path):
+        path = tmp_path / "shard.wal"
+        engine = wal_engine(engine_network(), path)
+        engine.detach_wal()
+        other = EmbeddingEngine(engine_network(seed=99), "MBBE", seed=5)
+        with pytest.raises((WalError, ConfigurationError)):
+            other.attach_wal_file(str(path))
+
+    def test_golden_engine_state_is_identical_without_wal(self, tmp_path):
+        """WAL on vs off changes no decision, no counter, no ledger byte."""
+        network = engine_network()
+        requests = make_requests(network, 10)
+        plain = EmbeddingEngine(network, "MBBE", seed=5)
+        logged = wal_engine(network, tmp_path / "shard.wal")
+        for request in requests:
+            a = plain.submit(request, rng=request.seed)
+            b = logged.submit(request, rng=request.seed)
+            assert (a.success, a.total_cost) == (b.success, b.total_cost)
+        logged.detach_wal()
+        assert plain.counters == logged.counters
+        assert state_store.snapshot_to_dict(
+            plain.ledger, counters={}
+        ) == state_store.snapshot_to_dict(logged.ledger, counters={})
+
+
+# One bounded event alphabet for the prefix property: submit ids are drawn
+# small so releases/faults actually interact with live reservations.
+_EVENTS = st.lists(
+    st.one_of(
+        st.tuples(st.just("submit"), st.integers(0, 11)),
+        st.tuples(st.just("release"), st.integers(0, 11)),
+        st.tuples(st.just("fault"), st.integers(0, 4)),
+        st.tuples(st.just("recover"), st.integers(0, 4)),
+    ),
+    max_size=14,
+)
+
+
+class TestReplayPrefixProperty:
+    """Satellite 3: every prefix of the log restores the exact state."""
+
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(events=_EVENTS, cut=st.integers(0, 14))
+    def test_any_prefix_replay_matches_a_from_scratch_engine(
+        self, tmp_path_factory, events, cut
+    ):
+        tmp_path = tmp_path_factory.mktemp("wal-prefix")
+        network = engine_network(seed=23)
+        requests = {rid: request for rid, request in enumerate(make_requests(network, 12))}
+        path = str(tmp_path / "shard.wal")
+        logged = wal_engine(network, path, seed=9)
+        shadow = EmbeddingEngine(network, "MBBE", seed=9)
+        cut = min(cut, len(events))
+
+        def apply(engine: EmbeddingEngine, event) -> None:
+            kind, arg = event
+            if kind == "submit":
+                if not engine.is_active(arg):
+                    engine.submit(requests[arg], rng=requests[arg].seed)
+            elif kind == "release":
+                if engine.is_active(arg):
+                    engine.release(arg)
+            else:
+                action = FaultAction.FAIL if kind == "fault" else FaultAction.RECOVER
+                engine.apply_fault(
+                    FaultEvent(time=0, action=action, target=FaultTarget.node(arg)),
+                    auto_seed=True,
+                )
+
+        for event in events[:cut]:
+            apply(logged, event)
+            apply(shadow, event)
+        logged.wal.sync()
+        cut_seq = logged.wal.seq
+        prefix_fingerprint = logged.ledger_fingerprint()
+        for event in events[cut:]:
+            apply(logged, event)
+        logged.detach_wal()
+
+        # Replaying the *whole* log reproduces the final state...
+        full, _ = EmbeddingEngine.restore(network, "MBBE", None, seed=9, wal_path=path)
+        assert full.ledger_fingerprint() == logged.ledger_fingerprint()
+        assert full.counters == logged.counters
+
+        # ...and replaying exactly the records written by the cut reproduces
+        # the prefix state the shadow engine reached running the same events.
+        scan = read_wal(path)
+        partial = EmbeddingEngine(network, "MBBE", seed=9)
+        for record in scan.records[1:]:
+            if record.seq > cut_seq:
+                break
+            partial.apply_wal_record(record)
+        assert partial.ledger_fingerprint() == prefix_fingerprint
+        assert shadow.ledger_fingerprint() == prefix_fingerprint
+
+
+class TestStandbyPromotion:
+    def test_standby_tails_and_promotes_decision_identically(self, tmp_path):
+        network = engine_network()
+        path = str(tmp_path / "shard.wal")
+        requests = make_requests(network, 18)
+        primary = wal_engine(network, path)
+        twin = EmbeddingEngine(network, "MBBE", seed=5)
+
+        standby = StandbyEngine(network, "MBBE", path, seed=5)
+        for request in requests[:9]:
+            primary.submit(request, rng=request.seed)
+            twin.submit(request, rng=request.seed)
+        for rid in (0, 4):
+            if primary.is_active(rid):
+                primary.release(rid)
+                twin.release(rid)
+        event = FaultEvent(time=0, action=FaultAction.FAIL, target=FaultTarget.node(7))
+        primary.apply_fault(event, auto_seed=True)
+        twin.apply_fault(event, auto_seed=True)
+        primary.wal.sync()
+        standby.poll()
+        assert standby.ledger_fingerprint() == primary.ledger_fingerprint()
+
+        # The primary "dies": nobody calls detach, the standby takes over the
+        # same log file and must continue exactly like the never-crashed twin.
+        primary.wal.close()
+        promoted = standby.promote()
+        assert promoted.wal is not None
+        for request in requests[9:]:
+            ours = promoted.submit(request, rng=request.seed)
+            theirs = twin.submit(request, rng=request.seed)
+            assert ours.success == theirs.success
+            assert ours.total_cost == pytest.approx(theirs.total_cost)
+        assert promoted.ledger_fingerprint() == twin.ledger_fingerprint()
+        assert promoted.counters == twin.counters
+        promoted.detach_wal()
+
+        # The promoted engine's log is itself recoverable end to end.
+        restored, _ = EmbeddingEngine.restore(network, "MBBE", None, seed=5, wal_path=path)
+        assert restored.ledger_fingerprint() == twin.ledger_fingerprint()
+
+    def test_standby_rejects_double_promotion_and_post_promote_poll(self, tmp_path):
+        network = tight_network()
+        path = str(tmp_path / "shard.wal")
+        primary = wal_engine(network, path)
+        standby = StandbyEngine(network, "MBBE", path, seed=5)
+        primary.submit(line_request(1), rng=0)
+        primary.detach_wal()
+        standby.promote(attach_writer=False)
+        with pytest.raises(WalError, match="promoted"):
+            standby.promote()
+        with pytest.raises(WalError, match="promoted"):
+            standby.poll()
+
+    def test_router_promote_swaps_the_shard(self, tmp_path):
+        network = tight_network()
+        path = str(tmp_path / "net0.wal")
+        router = ShardRouter({"net0": EmbeddingEngine(network, "MBBE", seed=5)})
+        router.get("net0").attach_wal_file(path, network_id="net0")
+        standby = StandbyEngine(network, "MBBE", path, seed=5)
+        router.attach_standby("net0", standby)
+        assert router.has_standby("net0")
+        router.get("net0").submit(line_request(1), rng=0)
+        router.get("net0").wal.sync()
+
+        promoted = router.promote("net0")
+        assert router.get("net0") is promoted
+        assert not router.has_standby("net0")
+        assert promoted.is_active(1)
+        assert promoted.wal is not None
+        promoted.detach_wal()
+
+    def test_router_promote_without_standby_raises(self):
+        router = ShardRouter({"net0": EmbeddingEngine(tight_network(), "MBBE")})
+        with pytest.raises(ConfigurationError, match="standby"):
+            router.promote("net0")
+
+
+def make_workload(network, n: int, *, seed: int = 11):
+    gen = as_generator(seed)
+    out = []
+    for rid in range(n):
+        dag = generate_dag_sfc(SfcConfig(size=3), 6, rng=gen)
+        src, dst = (int(v) for v in gen.choice(network.num_nodes, size=2, replace=False))
+        out.append((rid, dag, src, dst, 1.0, int(gen.integers(2**31))))
+    return out
+
+
+class TestServiceDurability:
+    def test_served_decisions_are_recoverable_from_the_wal(self, tmp_path):
+        network = engine_network()
+        workload = make_workload(network, 20)
+        wal_dir = str(tmp_path / "wal")
+        config = ServiceConfig(batch_size=4, workers=0, wal_dir=wal_dir)
+
+        async def drive():
+            async with EmbeddingServer(network, config) as server:
+                host, port = server.address
+                async with await ServiceClient.connect(host, port) as client:
+                    outcomes = await asyncio.gather(
+                        *(
+                            client.submit(rid, dag, src, dst, rate=rate, seed=s)
+                            for rid, dag, src, dst, rate, s in workload
+                        )
+                    )
+                    accepted = [o.request_id for o in outcomes if o.accepted]
+                    await client.release(accepted[0])
+                    stats = await client.stats()
+                fingerprint = server.router.default.ledger_fingerprint()
+            return outcomes, stats, fingerprint, accepted
+
+        outcomes, stats, fingerprint, accepted = run(drive())
+        assert accepted
+        shard_stats = stats["shards"][DEFAULT_NETWORK_ID]
+        assert shard_stats["ledger_fingerprint"] == fingerprint
+        assert shard_stats["wal"] is not None
+
+        # Offline recovery from the log alone reproduces the served state:
+        # every acknowledged accept is active, the released one is not.
+        path = shard_wal_path(wal_dir, DEFAULT_NETWORK_ID)
+        restored, _ = EmbeddingEngine.restore(
+            network, config.solver, None, seed=config.seed, wal_path=path
+        )
+        assert restored.ledger_fingerprint() == fingerprint
+        assert not restored.is_active(accepted[0])
+        for rid in accepted[1:]:
+            assert restored.is_active(rid)
+
+    def test_client_promote_fails_over_mid_session(self, tmp_path):
+        network = engine_network()
+        workload = make_workload(network, 24)
+        wal_dir = str(tmp_path / "wal")
+        config = ServiceConfig(
+            batch_size=4, workers=0, wal_dir=wal_dir, standby=True, standby_poll=0.01
+        )
+
+        async def drive():
+            async with EmbeddingServer(network, config) as server:
+                host, port = server.address
+                async with await ServiceClient.connect(host, port) as client:
+                    first = await asyncio.gather(
+                        *(
+                            client.submit(rid, dag, src, dst, rate=rate, seed=s)
+                            for rid, dag, src, dst, rate, s in workload[:12]
+                        )
+                    )
+                    reply = await client.promote()
+                    second = await asyncio.gather(
+                        *(
+                            client.submit(rid, dag, src, dst, rate=rate, seed=s)
+                            for rid, dag, src, dst, rate, s in workload[12:]
+                        )
+                    )
+                    stats = await client.stats()
+            return first, reply, second, stats
+
+        first, reply, second, stats = run(drive())
+        assert reply["type"] == "promoted"
+        assert reply["active"] == sum(1 for o in first if o.accepted)
+        decisions = {o.request_id: o for o in [*first, *second]}
+
+        # The whole session — across the fail-over — must match one offline
+        # engine fed the same requests in the server's decision order.
+        offline = EmbeddingEngine(network, config.solver, seed=config.seed)
+        by_rid = {w[0]: w for w in workload}
+        for outcome in sorted(decisions.values(), key=lambda o: o.decision_index):
+            rid, dag, src, dst, rate, seed = by_rid[outcome.request_id]
+            request = EmbeddingRequest(
+                request_id=rid, dag=dag, source=src, dest=dst,
+                flow=FlowConfig(rate=rate), seed=seed,
+            )
+            result = offline.submit(request, rng=seed)
+            assert result.success == outcome.accepted
+            if result.success:
+                assert result.total_cost == pytest.approx(outcome.total_cost)
+        shard_stats = stats["shards"][DEFAULT_NETWORK_ID]
+        assert shard_stats["ledger_fingerprint"] == ledger_fingerprint(offline.ledger)
+        assert shard_stats["standby"] is None
+
+    def test_promote_without_standby_is_a_structured_error(self, tmp_path):
+        network = tight_network()
+        config = ServiceConfig(workers=0, wal_dir=str(tmp_path / "wal"))
+
+        async def drive():
+            async with EmbeddingServer(network, config) as server:
+                host, port = server.address
+                async with await ServiceClient.connect(host, port) as client:
+                    with pytest.raises(ServiceError, match="standby"):
+                        await client.promote()
+
+        run(drive())
+
+    def test_config_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="wal_dir"):
+            ServiceConfig(standby=True)
+        with pytest.raises(ConfigurationError, match="standby_poll"):
+            ServiceConfig(wal_dir=str(tmp_path), standby=True, standby_poll=0.0)
+
+
+class TestDeprecationShims:
+    """Satellite: the old service-layer module paths warn but keep working."""
+
+    @pytest.mark.parametrize(
+        "name", ["repro.service.state_store", "repro.service.worker"]
+    )
+    def test_old_import_paths_warn(self, name):
+        sys.modules.pop(name, None)
+        with pytest.warns(DeprecationWarning, match="repro.engine"):
+            module = importlib.import_module(name)
+        canonical = importlib.import_module(name.replace(".service.", ".engine."))
+        for attr in module.__all__:
+            assert getattr(module, attr) is getattr(canonical, attr)
+
+    def test_new_import_path_is_quiet(self):
+        sys.modules.pop("repro.engine.state_store", None)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            importlib.reload(importlib.import_module("repro.engine.state_store"))

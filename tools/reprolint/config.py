@@ -62,6 +62,14 @@ class LintConfig:
         "network.state",
         "faults.repair",
     )
+    #: method names that append write-ahead-log records (RPL212 confines
+    #: their call sites to the engine and the WAL package itself).
+    wal_append_methods: tuple[str, ...] = ("append_record",)
+    #: module suffixes sanctioned to append WAL records (the engine core —
+    #: commit/release/fault logging lives there).
+    wal_module_suffixes: tuple[str, ...] = ("engine/core.py",)
+    #: directory names whose modules own the log format (the WAL package).
+    wal_dir_names: tuple[str, ...] = ("wal",)
 
     # -- async-safety pack (RPL7xx) -------------------------------------------
 

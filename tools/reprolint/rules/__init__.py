@@ -11,4 +11,5 @@ from . import (  # noqa: F401
     registry_conformance,
     rng,
     state,
+    wal,
 )

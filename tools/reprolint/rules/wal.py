@@ -1,0 +1,50 @@
+"""Write-ahead-log discipline (RPL212).
+
+The WAL is the engine's private journal: every record is the effect of one
+engine lifecycle transition (commit / release / fault / repair), appended by
+the engine method that performed it. A transport or tool appending records
+directly would fork the journal from the state machine it is supposed to
+mirror — replay would no longer reconstruct the engine, silently breaking
+crash recovery and standby promotion. Outside the engine core and the WAL
+package itself, calling an append method is a lint error; go through the
+engine's commit/release/apply_fault surface instead.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, rule
+
+
+def _is_wal_owner(ctx: FileContext) -> bool:
+    return ctx.has_suffix(ctx.config.wal_module_suffixes) or ctx.in_dir(
+        ctx.config.wal_dir_names
+    )
+
+
+@rule(
+    "RPL212",
+    "wal-append-outside-engine",
+    "WAL records may only be appended by the engine's commit/release/fault "
+    "methods (or the WAL package itself); transport code must never write "
+    "the journal directly",
+)
+def check_wal_append_outside_engine(ctx: FileContext) -> None:
+    if _is_wal_owner(ctx):
+        return
+    methods = frozenset(ctx.config.wal_append_methods)
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in methods
+        ):
+            ctx.report(
+                "RPL212",
+                node,
+                f"`{ast.unparse(node.func)}(...)` appends a WAL record outside "
+                "the engine core; the journal must stay a faithful trace of "
+                "engine transitions — call engine.commit/release/apply_fault "
+                "and let the engine log the effect",
+            )
