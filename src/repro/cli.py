@@ -207,6 +207,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.5,
         help="queue-bound multiplier while substrate faults are active",
     )
+    serve.add_argument(
+        "--rebalance",
+        action="store_true",
+        help=(
+            "run the background rebalancer: periodically migrate the "
+            "worst-value embeddings to cheaper placements through guarded, "
+            "transactional moves (see docs/rebalancing.md)"
+        ),
+    )
+    serve.add_argument(
+        "--rebalance-interval",
+        type=float,
+        default=1.0,
+        help="seconds between rebalance cycles",
+    )
+    serve.add_argument(
+        "--rebalance-max-moves",
+        type=int,
+        default=4,
+        help="migration budget per rebalance cycle",
+    )
+    serve.add_argument(
+        "--rebalance-candidates",
+        type=int,
+        default=16,
+        help="worst-value embeddings examined per cycle",
+    )
+    serve.add_argument(
+        "--rebalance-min-gain",
+        type=float,
+        default=0.01,
+        help="minimum relative cost gain for a move to be worth making",
+    )
+    serve.add_argument(
+        "--rebalance-cooldown",
+        type=int,
+        default=3,
+        help="cycles an examined request is left alone before re-planning",
+    )
 
     loadgen = sub.add_parser(
         "loadgen", help="drive a running service with a reproducible arrival trace"
@@ -235,6 +274,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="address one shard of a sharded server (default: the default shard)",
     )
     loadgen.add_argument("--mode", choices=("open", "closed"), default="open")
+    loadgen.add_argument(
+        "--churn",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help=(
+            "release this seeded fraction of accepted requests early (at half "
+            "their holding time) — reproducible mid-run departures that "
+            "fragment the substrate"
+        ),
+    )
     loadgen.add_argument("--tick", type=float, default=0.02, help="seconds per trace step")
     loadgen.add_argument(
         "--max-in-flight", type=int, default=8, help="closed-loop concurrency bound"
@@ -259,11 +309,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--mode",
-        choices=("scenario", "durability"),
+        choices=("scenario", "durability", "rebalance"),
         default="scenario",
         help=(
             "scenario: scripted fault injection; durability: kill -9 the real "
-            "service mid-stream and measure WAL recovery + standby promotion"
+            "service mid-stream and measure WAL recovery + standby promotion; "
+            "rebalance: churny live traffic with the background rebalancer on, "
+            "kill -9 mid-migration, recovery + cost-recovered assertions"
         ),
     )
     chaos.add_argument(
@@ -615,6 +667,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         wal_dir=args.wal,
         standby=args.standby,
         standby_poll=args.standby_poll,
+        rebalance=args.rebalance,
+        rebalance_interval=args.rebalance_interval,
+        rebalance_max_moves=args.rebalance_max_moves,
+        rebalance_candidates=args.rebalance_candidates,
+        rebalance_min_gain=args.rebalance_min_gain,
+        rebalance_cooldown=args.rebalance_cooldown,
     )
     policy_kwargs = (
         {"max_rate": args.max_rate}
@@ -684,6 +742,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             wal_note = f", wal {config.wal_dir}"
             if config.standby:
                 wal_note += " +standby"
+        if config.rebalance:
+            wal_note += f", rebalance every {config.rebalance_interval:g}s"
         print(
             f"serving {shard_note} on {host}:{port} "
             f"(solver {config.solver}, policy {policy.name}, "
@@ -755,6 +815,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 mode=args.mode,
                 tick_s=args.tick,
                 max_in_flight=args.max_in_flight,
+                churn=args.churn,
                 rng=args.seed + 1,
                 network_id=args.network_id,
             )
@@ -773,6 +834,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                         "seed": args.seed,
                         "tick_s": args.tick,
                         "max_in_flight": args.max_in_flight,
+                        "churn": args.churn,
                         "network_id": args.network_id,
                         "server": dict(client.hello),
                     },
@@ -795,6 +857,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     """Run one chaos scenario in-process and (optionally) gate on repairs."""
     if args.mode == "durability":
         return _cmd_chaos_durability(args)
+    if args.mode == "rebalance":
+        return _cmd_chaos_rebalance(args)
     from .faults.chaos import (
         available_scenarios,
         run_chaos,
@@ -839,6 +903,29 @@ def _cmd_chaos_durability(args: argparse.Namespace) -> int:
         print(
             "chaos durability: acknowledged state was lost or the promoted "
             "standby diverged",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_chaos_rebalance(args: argparse.Namespace) -> int:
+    """Live-migration bench: churny traffic, kill -9 mid-move, recovery gates."""
+    from .engine.rebalance_bench import (
+        format_rebalance_table,
+        run_rebalance_bench,
+        write_rebalance_report,
+    )
+
+    report = run_rebalance_bench(solver=args.solver, seed=args.seed or 1)
+    print(format_rebalance_table(report))
+    out = args.out or "BENCH_rebalance.json"
+    write_rebalance_report(out, report)
+    print(f"report written to {out}")
+    if not report["ok"]:
+        print(
+            "chaos rebalance: a migration lost or duplicated reservations, "
+            "recovery diverged, or no cost was recovered",
             file=sys.stderr,
         )
         return 1

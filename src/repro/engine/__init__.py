@@ -11,6 +11,9 @@ Both are thin drivers over it now:
   + repair ladder + decision logic) and its :class:`Decision` verdicts;
 * :mod:`repro.engine.router` — :class:`ShardRouter`, mapping ``network_id``
   → engine for multi-network sharding;
+* :mod:`repro.engine.rebalance` — :class:`Rebalancer`, the background
+  defrag loop planning pinned re-embeds and applying them through the
+  engine's atomic :meth:`~repro.engine.core.EmbeddingEngine.migrate`;
 * :mod:`repro.engine.state_store` — fingerprint-guarded snapshot/restore
   (single and sharded document kinds);
 * :mod:`repro.engine.worker` — the pool-side solve with per-process solver
@@ -25,7 +28,21 @@ from ..faults.repair import RepairAction, RepairOutcome
 from ..network.reservations import Reservation, ReservationLedger
 from ..wal.log import WalRecord, WalWriter, read_wal, shard_wal_path
 from ..wal.standby import StandbyEngine
-from .core import ENGINE_COUNTER_KEYS, FLOAT_COUNTER_KEYS, Decision, EmbeddingEngine
+from .core import (
+    ENGINE_COUNTER_KEYS,
+    FLOAT_COUNTER_KEYS,
+    REBALANCE_COUNTER_KEYS,
+    Decision,
+    EmbeddingEngine,
+    Migration,
+)
+from .rebalance import (
+    PlannedMove,
+    RebalanceConfig,
+    RebalanceReport,
+    Rebalancer,
+    fragmentation_index,
+)
 from .request import EmbeddingRequest
 from .router import DEFAULT_NETWORK_ID, ShardRouter, advertised_vnf_types
 from .state_store import (
@@ -42,9 +59,16 @@ from .worker import solve_on_view
 __all__ = [
     "ENGINE_COUNTER_KEYS",
     "FLOAT_COUNTER_KEYS",
+    "REBALANCE_COUNTER_KEYS",
     "Decision",
+    "Migration",
     "EmbeddingEngine",
     "EmbeddingRequest",
+    "PlannedMove",
+    "RebalanceConfig",
+    "RebalanceReport",
+    "Rebalancer",
+    "fragmentation_index",
     "DEFAULT_NETWORK_ID",
     "ShardRouter",
     "advertised_vnf_types",

@@ -19,7 +19,10 @@ lifecycle as plain synchronous methods:
   strict vs speculative batch-view policy;
 * :meth:`release`, :meth:`apply_fault`, :meth:`stats`, :meth:`drain`,
   :meth:`save_snapshot` / :meth:`restore` — departures, chaos, telemetry,
-  durability.
+  durability;
+* :meth:`migrate` — the rebalancer's atomic apply: release-old +
+  reserve-new as one ledger effect with apply-time re-validation, rolled
+  back cleanly on conflict and logged as one ``migrate`` WAL record.
 
 Everything here is synchronous and transport-free by design: the asyncio
 server (:mod:`repro.service.server`) and the offline simulator
@@ -55,7 +58,9 @@ from .request import EmbeddingRequest
 __all__ = [
     "ENGINE_COUNTER_KEYS",
     "FLOAT_COUNTER_KEYS",
+    "REBALANCE_COUNTER_KEYS",
     "Decision",
+    "Migration",
     "EmbeddingEngine",
 ]
 
@@ -89,6 +94,16 @@ ENGINE_COUNTER_KEYS = (
 #: counters that accumulate objective values rather than event counts.
 FLOAT_COUNTER_KEYS = frozenset({"total_cost_accepted", "repair_cost_delta"})
 
+#: Counters of the migrate transaction, kept in a block of their own so the
+#: historical wire/snapshot counter order (and every golden gated on it)
+#: stays byte-identical while the rebalancer is off. ``cost_recovered`` is
+#: a float (accumulated objective), the other two are event counts.
+REBALANCE_COUNTER_KEYS = (
+    "migrations_applied",
+    "migrations_conflicted",
+    "cost_recovered",
+)
+
 
 @dataclass(frozen=True)
 class Decision:
@@ -112,6 +127,29 @@ class Decision:
     link_cost: float | None = None
     runtime: float | None = None
     commit_index: int | None = None
+
+
+@dataclass(frozen=True)
+class Migration:
+    """The engine's verdict on one attempted rebalancer move.
+
+    ``applied`` mirrors :class:`Decision.accepted`: the move either took
+    effect atomically or the ledger is exactly as it was before the call.
+    """
+
+    request_id: int
+    applied: bool
+    old_cost: float
+    new_cost: float
+    #: structured failure code (``departed`` / ``no_solution`` /
+    #: ``capacity_conflict``) when the move was not applied.
+    code: str | None = None
+    reason: str | None = None
+
+    @property
+    def gain(self) -> float:
+        """Objective cost recovered by the move (0.0 unless applied)."""
+        return self.old_cost - self.new_cost if self.applied else 0.0
 
 
 class EmbeddingEngine:
@@ -152,6 +190,12 @@ class EmbeddingEngine:
         # engine continues the decision sequence instead of restarting it.
         self._decision_counter = int(self.counters["dispatched"])
         self._fault_counter = 0
+        # Migrate-transaction counters live outside ``counters`` so the
+        # historical snapshot/wire counter order stays byte-identical.
+        self.rebalance_counters: dict[str, float] = {
+            key: 0 for key in REBALANCE_COUNTER_KEYS
+        }
+        self.rebalance_counters["cost_recovered"] = 0.0
         self._repair_times: list[float] = []
         self._fingerprint: str | None = None
         self._wal: WalWriter | None = None
@@ -356,6 +400,89 @@ class EmbeddingEngine:
         if self._wal is not None:
             self._wal_append(wal_records.RELEASE, wal_records.release_payload(request_id))
 
+    def migrate(self, request_id: int, result: EmbeddingResult) -> Migration:
+        """Atomically swap an active request onto a re-planned embedding.
+
+        The rebalancer plans moves against a point-in-time residual view;
+        by apply time the substrate may have changed, so this transaction
+        re-validates through the ledger's all-or-nothing reserve:
+        release-old + reserve-new happen as one effect, and a capacity
+        conflict re-reserves the just-freed old reservation (guaranteed to
+        fit) and reports ``capacity_conflict`` — the ledger is never left
+        between states. Applied moves log one fingerprint-chained
+        ``migrate`` WAL record; rolled-back conflicts mutate nothing and
+        log nothing.
+        """
+        if not self.ledger.is_active(request_id):
+            # The request departed between plan and apply.
+            return Migration(
+                request_id=request_id,
+                applied=False,
+                old_cost=0.0,
+                new_cost=0.0,
+                code="departed",
+                reason=f"request {request_id} no longer holds resources",
+            )
+        tracked = self._repair.tracked(request_id)
+        if (
+            not result.success
+            or result.cost is None
+            or result.embedding is None
+            or tracked is None
+        ):
+            return Migration(
+                request_id=request_id,
+                applied=False,
+                old_cost=tracked.cost if tracked is not None else 0.0,
+                new_cost=0.0,
+                code="no_solution",
+                reason=result.reason or "planned move carries no embedding",
+            )
+        old = self.ledger.release(request_id)
+        replacement = Reservation.from_counts(
+            result.cost.alpha_vnf,
+            result.cost.alpha_link,
+            rate=tracked.flow.rate,
+            cost=result.total_cost,
+        )
+        try:
+            self.ledger.reserve(request_id, replacement)
+        except CapacityError as exc:
+            # Conflict with state committed since the plan's view: restore
+            # the old reservation — it just vacated these exact resources,
+            # so re-reserving it cannot fail.
+            self.ledger.reserve(request_id, old)
+            self.rebalance_counters["migrations_conflicted"] += 1
+            return Migration(
+                request_id=request_id,
+                applied=False,
+                old_cost=old.cost,
+                new_cost=result.total_cost,
+                code="capacity_conflict",
+                reason=str(exc),
+            )
+        self._repair.track(request_id, result.embedding, tracked.flow, result.total_cost)
+        self.rebalance_counters["migrations_applied"] += 1
+        self.rebalance_counters["cost_recovered"] += old.cost - result.total_cost
+        if self._wal is not None:
+            self._wal_append(
+                wal_records.MIGRATE,
+                wal_records.migrate_payload(
+                    request_id=request_id,
+                    old_cost=old.cost,
+                    new_cost=result.total_cost,
+                    flow=tracked.flow,
+                    reservation=replacement,
+                    embedding=result.embedding,
+                ),
+            )
+        return Migration(
+            request_id=request_id,
+            applied=True,
+            old_cost=old.cost,
+            new_cost=result.total_cost,
+        )
+
     # -- faults ---------------------------------------------------------------------
 
     def apply_fault(
@@ -556,6 +683,8 @@ class EmbeddingEngine:
             self._replay_fault(payload, record.seq)
         elif record.type == wal_records.REPAIR:
             self._replay_repair(payload, record.seq)
+        elif record.type == wal_records.MIGRATE:
+            self._replay_migrate(payload, record.seq)
         else:
             raise WalError(f"unknown WAL record type {record.type!r} at seq {record.seq}")
         self._applied_wal_seq = record.seq
@@ -632,6 +761,33 @@ class EmbeddingEngine:
                 )
         self._account_repair(outcome)
 
+    def _replay_migrate(self, payload: Mapping[str, Any], seq: int) -> None:
+        # Only *applied* moves are logged, so replay is unconditional:
+        # atomic release-old + reserve-new on the same id, like live apply.
+        try:
+            request_id = int(payload["request_id"])
+            old_cost = float(payload["old_cost"])
+            new_cost = float(payload["new_cost"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WalError(f"malformed migrate record at seq {seq}: {exc}") from None
+        try:
+            self.ledger.release(request_id)
+        except LedgerError as exc:
+            raise WalError(f"replaying migrate at seq {seq} diverged: {exc}") from exc
+        reservation = wal_records.reservation_from_payload(payload["reservation"])
+        try:
+            self.ledger.reserve(request_id, reservation)
+        except (CapacityError, LedgerError) as exc:
+            raise WalError(f"replaying migrate at seq {seq} diverged: {exc}") from exc
+        self._repair.track(
+            request_id,
+            wal_records.embedding_from_payload(payload["embedding"]),
+            wal_records.flow_from_payload(payload["flow"]),
+            new_cost,
+        )
+        self.rebalance_counters["migrations_applied"] += 1
+        self.rebalance_counters["cost_recovered"] += old_cost - new_cost
+
     def replay_wal(self, path: str, *, after_seq: int = 0) -> int:
         """Replay every record past ``after_seq`` from the log at ``path``.
 
@@ -683,6 +839,9 @@ class EmbeddingEngine:
             "counters": {key: self.counters[key] for key in ENGINE_COUNTER_KEYS},
             "acceptance_ratio": accepted / dispatched if dispatched else 1.0,
             "active": len(self.ledger),
+            "rebalance": {
+                key: self.rebalance_counters[key] for key in REBALANCE_COUNTER_KEYS
+            },
             "faults": {
                 "degraded": self.degraded,
                 "dead_nodes": len(dead_nodes),

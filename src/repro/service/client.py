@@ -253,6 +253,24 @@ class ServiceClient:
             raise ProtocolError(f"unexpected promote reply type {reply.get('type')!r}")
         return reply
 
+    async def rebalance(
+        self, *, network_id: str | None = None, inspect: bool = False
+    ) -> dict[str, Any]:
+        """Run one guarded rebalance cycle on a shard (``inspect=True`` only
+        reports the shard's rebalance totals); returns the cycle reply."""
+        reply = await self._request(
+            protocol.rebalance_message(
+                msg_id=self._msg_id(), network_id=network_id, inspect=inspect
+            )
+        )
+        if reply.get("type") == "error":
+            raise ServiceError(str(reply.get("reason")))
+        if reply.get("type") != "rebalanced":
+            raise ProtocolError(
+                f"unexpected rebalance reply type {reply.get('type')!r}"
+            )
+        return reply
+
     async def drain(self, *, shutdown: bool = False) -> dict[str, Any]:
         """Drain the server (optionally shutting it down); returns final stats."""
         reply = await self._request(

@@ -17,7 +17,11 @@ Two driving disciplines:
 
 In both modes an accepted request holds its resources for its trace
 holding time (``departure_step − step`` ticks) and is then released, so
-the server sees genuine churn on its shared residual capacity.
+the server sees genuine churn on its shared residual capacity. A
+``churn`` fraction releases that share of accepted requests *early* (at
+half their holding time), drawn from the same seeded stream as the
+solver seeds — the reproducible mid-run departures that fragment the
+substrate and give the background rebalancer something to recover.
 
 Results serialize to a versioned ``BENCH_service.json`` document beside
 the solver-core benchmark's ``BENCH_solver_core.json``.
@@ -52,6 +56,8 @@ class LoadReport:
     accepted: int
     rejected: int
     released: int
+    #: accepted requests selected for early (churn) release.
+    churned: int
     rejects_by_code: Mapping[str, int]
     duration_s: float
     total_cost_accepted: float
@@ -87,6 +93,7 @@ class LoadReport:
             "accepted": self.accepted,
             "rejected": self.rejected,
             "released": self.released,
+            "churned": self.churned,
             "rejects_by_code": dict(sorted(self.rejects_by_code.items())),
             "acceptance_ratio": round(self.acceptance_ratio, 6),
             "throughput_rps": round(self.throughput_rps, 3),
@@ -110,6 +117,8 @@ class LoadReport:
             f"  accepted {self.accepted} ({self.acceptance_ratio:.1%}), "
             f"rejected {self.rejected}, released {self.released}",
         ]
+        if self.churned:
+            lines.append(f"  churned (released early): {self.churned}")
         if self.rejects_by_code:
             pairs = ", ".join(f"{k}={v}" for k, v in sorted(self.rejects_by_code.items()))
             lines.append(f"  rejections by code: {pairs}")
@@ -132,6 +141,7 @@ async def run_load(
     tick_s: float = 0.02,
     max_in_flight: int = 8,
     release: bool = True,
+    churn: float = 0.0,
     rng: RngStream = None,
     network_id: str | None = None,
 ) -> LoadReport:
@@ -141,6 +151,11 @@ async def run_load(
     same discipline as :func:`repro.sim.trace.replay` — so a service run is
     comparable against an offline replay of the identical trace.
     ``network_id`` pins the whole run to one shard of a sharded server.
+
+    ``churn`` selects that seeded fraction of accepted requests for *early*
+    release at half their holding time; churned requests depart even under
+    ``release=False`` (which then models a run where only the churned share
+    ever leaves).
     """
     if mode not in ("open", "closed"):
         raise ConfigurationError(f"mode must be 'open' or 'closed', got {mode!r}")
@@ -148,18 +163,27 @@ async def run_load(
         raise ConfigurationError(f"tick_s must be >= 0, got {tick_s}")
     if max_in_flight < 1:
         raise ConfigurationError(f"max_in_flight must be >= 1, got {max_in_flight}")
+    if not 0.0 <= churn <= 1.0:
+        raise ConfigurationError(f"churn must be in [0, 1], got {churn}")
     gen = as_generator(rng)
     seeds = {ev.request.request_id: int(gen.integers(2**31)) for ev in trace}
+    # Churn membership is drawn after every seed, in arrival order, so a
+    # churn-free run consumes exactly the historical seed stream.
+    churn_draws = (
+        {ev.request.request_id: float(gen.random()) for ev in trace} if churn > 0 else {}
+    )
 
     outcomes: list[SubmitOutcome] = []
     release_tasks: list[asyncio.Task[None]] = []
     released = 0
+    churned = 0
     gate = asyncio.Semaphore(max_in_flight) if mode == "closed" else None
     start = time.perf_counter()
 
-    async def _hold_then_release(event: TraceEvent) -> None:
+    async def _hold_then_release(event: TraceEvent, *, early: bool) -> None:
         nonlocal released
-        hold_until = event.departure_step * tick_s
+        hold = (event.departure_step - event.step) * tick_s
+        hold_until = event.step * tick_s + (hold * 0.5 if early else hold)
         delay = hold_until - (time.perf_counter() - start)
         if delay > 0:
             await asyncio.sleep(delay)
@@ -167,6 +191,7 @@ async def run_load(
             released += 1
 
     async def _drive(event: TraceEvent) -> None:
+        nonlocal churned
         if gate is None:
             delay = event.step * tick_s - (time.perf_counter() - start)
             if delay > 0:
@@ -187,8 +212,14 @@ async def run_load(
             if gate is not None:
                 gate.release()
         outcomes.append(outcome)
-        if outcome.accepted and release:
-            release_tasks.append(asyncio.create_task(_hold_then_release(event)))
+        if outcome.accepted:
+            early = churn_draws.get(event.request.request_id, 1.0) < churn
+            if early:
+                churned += 1
+            if release or early:
+                release_tasks.append(
+                    asyncio.create_task(_hold_then_release(event, early=early))
+                )
 
     await asyncio.gather(*(_drive(ev) for ev in trace))
     duration = time.perf_counter() - start
@@ -206,6 +237,7 @@ async def run_load(
         accepted=accepted,
         rejected=len(outcomes) - accepted,
         released=released,
+        churned=churned,
         rejects_by_code=rejects,
         duration_s=duration,
         total_cost_accepted=sum(o.total_cost or 0.0 for o in outcomes if o.accepted),

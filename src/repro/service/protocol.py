@@ -18,10 +18,14 @@ Verbs
 * ``release`` — return the resources of an accepted request (departure);
 * ``stats`` — acceptance counters, queue depth, residual summary;
 * ``snapshot`` — persist the authoritative state to disk;
-* ``drain`` — stop admitting, flush the queue, optionally shut down.
+* ``drain`` — stop admitting, flush the queue, optionally shut down;
+* ``promote`` — swap one shard's primary for its caught-up warm standby;
+* ``rebalance`` — trigger one guarded defrag cycle on a shard (or, with
+  ``inspect``, just report its rebalance totals).
 
 Replies are ``accepted`` / ``rejected`` (submit), ``released``, ``stats``,
-``snapshotted``, ``drained`` — or ``error`` for malformed input. Rejections
+``snapshotted``, ``drained``, ``promoted``, ``rebalanced`` — or ``error``
+for malformed input. Rejections
 are *structured*: a machine-readable ``code`` (:data:`REJECT_CODES`) plus a
 human-readable ``reason``.
 
@@ -76,6 +80,7 @@ __all__ = [
     "snapshot_message",
     "drain_message",
     "promote_message",
+    "rebalance_message",
     "notify_message",
 ]
 
@@ -298,6 +303,20 @@ def promote_message(*, msg_id: int, network_id: str | None = None) -> dict[str, 
     message: dict[str, Any] = {"type": "promote", "msg_id": msg_id}
     if network_id is not None:
         message["network_id"] = network_id
+    return message
+
+
+def rebalance_message(
+    *, msg_id: int, network_id: str | None = None, inspect: bool = False
+) -> dict[str, Any]:
+    """Build a ``rebalance`` line: run one guarded defrag cycle on a shard
+    (``network_id`` omitted → default shard). With ``inspect=True`` no cycle
+    runs; the reply just carries the shard's rebalance totals."""
+    message: dict[str, Any] = {"type": "rebalance", "msg_id": msg_id}
+    if network_id is not None:
+        message["network_id"] = network_id
+    if inspect:
+        message["inspect"] = True
     return message
 
 

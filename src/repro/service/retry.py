@@ -253,6 +253,59 @@ class ResilientClient:
             f"stats failed after {self.policy.attempts} attempts: {last_exc}"
         ) from last_exc
 
+    async def promote(self, *, network_id: str | None = None) -> dict[str, Any]:
+        """Promote with transport-level retries.
+
+        Safe to replay: promotion is idempotent at the server (a shard with
+        no configured standby rejects with a typed error, and a repeated
+        promote after a success simply promotes the next standby state or
+        errors) — the retry never leaves the ledger half-swapped.
+        """
+        last_exc: Exception | None = None
+        for attempt in range(1, self.policy.attempts + 1):
+            try:
+                client = await self._ensure_client()
+                return await asyncio.wait_for(
+                    client.promote(network_id=network_id),
+                    timeout=self.policy.timeout,
+                )
+            except (ServiceUnavailable, asyncio.TimeoutError) as exc:
+                last_exc = exc
+                await self._drop_client()
+                if attempt < self.policy.attempts:
+                    self.retries += 1
+                    await self._backoff(attempt)
+        raise ServiceUnavailable(
+            f"promote failed after {self.policy.attempts} attempts: {last_exc}"
+        ) from last_exc
+
+    async def rebalance(
+        self, *, network_id: str | None = None, inspect: bool = False
+    ) -> dict[str, Any]:
+        """Rebalance with transport-level retries.
+
+        Safe to replay: every cycle re-validates against live capacity at
+        apply time, so a duplicated trigger at worst runs one extra guarded
+        cycle whose moves are gated by the same min-gain threshold.
+        """
+        last_exc: Exception | None = None
+        for attempt in range(1, self.policy.attempts + 1):
+            try:
+                client = await self._ensure_client()
+                return await asyncio.wait_for(
+                    client.rebalance(network_id=network_id, inspect=inspect),
+                    timeout=self.policy.timeout,
+                )
+            except (ServiceUnavailable, asyncio.TimeoutError) as exc:
+                last_exc = exc
+                await self._drop_client()
+                if attempt < self.policy.attempts:
+                    self.retries += 1
+                    await self._backoff(attempt)
+        raise ServiceUnavailable(
+            f"rebalance failed after {self.policy.attempts} attempts: {last_exc}"
+        ) from last_exc
+
     async def drain(self, *, shutdown: bool = False) -> dict[str, Any]:
         """Drain (no retries — a drain must not be replayed blindly)."""
         client = await self._ensure_client()

@@ -57,6 +57,17 @@ While a shard's substrate has dead elements, its solves run on the
 a reduced queue bound), and every repair outcome is pushed to the
 submitting connection as a ``notify`` line. Fault-free shards never touch
 any of this — the bit-identical replay property above is untouched.
+
+Rebalance mode (``rebalance=True``): a pump task ticks one
+:class:`~repro.engine.rebalance.Rebalancer` cycle per shard onto each
+dispatcher queue every ``rebalance_interval`` seconds, so guarded live
+migrations inherit the single-writer discipline exactly like faults do.
+Cycles run between micro-batches, before the cycle's fsync (applied moves
+ride the same WAL sync), and pause automatically whenever the shard is
+degraded or the cycle folded fault events in — repair always preempts
+defrag. The ``rebalance`` verb triggers/inspects cycles on demand; with
+``rebalance=False`` (the default) no cycle ever runs and the decision path
+stays bit-identical. See ``docs/rebalancing.md``.
 """
 
 from __future__ import annotations
@@ -75,6 +86,8 @@ from ..engine import (
     ENGINE_COUNTER_KEYS,
     Decision,
     EmbeddingEngine,
+    RebalanceConfig,
+    Rebalancer,
     RepairAction,
     RepairOutcome,
     ReservationLedger,
@@ -138,6 +151,19 @@ class ServiceConfig:
     standby: bool = False
     #: seconds between standby catch-up polls.
     standby_poll: float = 0.05
+    #: run background rebalance cycles (guarded live migration) per shard.
+    #: Off by default: the fault-free decision path stays bit-identical.
+    rebalance: bool = False
+    #: seconds between background rebalance cycles.
+    rebalance_interval: float = 1.0
+    #: per-cycle migration budget (see RebalanceConfig.max_moves).
+    rebalance_max_moves: int = 4
+    #: worst-value candidates examined per cycle.
+    rebalance_candidates: int = 16
+    #: minimum gain, as a fraction of committed cost, for a move to apply.
+    rebalance_min_gain: float = 0.01
+    #: cycles an examined request sits out before reconsideration.
+    rebalance_cooldown: int = 3
 
     def __post_init__(self) -> None:
         if self.queue_limit < 1:
@@ -161,6 +187,23 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"standby_poll must be > 0, got {self.standby_poll}"
             )
+        if self.rebalance_interval <= 0:
+            raise ConfigurationError(
+                f"rebalance_interval must be > 0, got {self.rebalance_interval}"
+            )
+        try:
+            self.rebalance_config()
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from None
+
+    def rebalance_config(self) -> RebalanceConfig:
+        """The per-shard rebalancer knobs this service config implies."""
+        return RebalanceConfig(
+            max_moves=self.rebalance_max_moves,
+            candidates=self.rebalance_candidates,
+            min_gain=self.rebalance_min_gain,
+            cooldown=self.rebalance_cooldown,
+        )
 
 
 @dataclass
@@ -215,6 +258,20 @@ class _PendingPromote:
     reply: "asyncio.Future[dict[str, Any]]" = field(compare=False)
 
 
+@dataclass
+class _PendingRebalance:
+    """One rebalance cycle queued for a shard's dispatcher.
+
+    Timer-driven cycles carry no reply (nobody waits); the ``rebalance``
+    protocol verb attaches a future and gets the cycle report back.
+    """
+
+    msg_id: int = 0
+    reply: "asyncio.Future[dict[str, Any]] | None" = field(
+        default=None, compare=False
+    )
+
+
 #: Counters the transport maintains per shard; the engine owns the rest
 #: (:data:`~repro.engine.core.ENGINE_COUNTER_KEYS`).
 _TRANSPORT_COUNTER_KEYS = (
@@ -233,9 +290,16 @@ _COUNTER_KEYS = _TRANSPORT_COUNTER_KEYS + ENGINE_COUNTER_KEYS
 class _Shard:
     """One served substrate: its engine plus this transport's bookkeeping."""
 
-    def __init__(self, network_id: str, engine: EmbeddingEngine) -> None:
+    def __init__(
+        self,
+        network_id: str,
+        engine: EmbeddingEngine,
+        *,
+        rebalance: RebalanceConfig | None = None,
+    ) -> None:
         self.network_id = network_id
         self.engine = engine
+        self._rebalance_config = rebalance
         self.n_vnf_types = advertised_vnf_types(engine.network)
         self.queue: asyncio.Queue[
             _PendingSubmit
@@ -244,6 +308,7 @@ class _Shard:
             | _PendingFault
             | _PendingHold
             | _PendingPromote
+            | _PendingRebalance
         ] = asyncio.Queue()
         self.queued_submits = 0
         self.pending_ids: set[int] = set()
@@ -253,6 +318,15 @@ class _Shard:
         self.dispatch_task: asyncio.Task[None] | None = None
         self.standby: StandbyEngine | None = None
         self.standby_task: asyncio.Task[None] | None = None
+        #: the defrag loop over this shard's engine; cycles run only when
+        #: enqueued (timer pump or the ``rebalance`` verb), so an idle
+        #: rebalancer leaves the decision path untouched.
+        self.rebalancer = Rebalancer(engine, rebalance)
+
+    def swap_engine(self, engine: EmbeddingEngine) -> None:
+        """Point the shard at a promoted engine (rebalancer follows along)."""
+        self.engine = engine
+        self.rebalancer = Rebalancer(engine, self._rebalance_config)
 
     def restore_counters(self, counters: Mapping[str, float]) -> None:
         """Rehydrate the transport counters from a snapshot's leftovers."""
@@ -309,7 +383,9 @@ class EmbeddingServer:
         self.network = self.router.default.network
         self.policy = policy if policy is not None else make_policy(self.config.admission)
         self._shards: dict[str, _Shard] = {
-            network_id: _Shard(network_id, engine)
+            network_id: _Shard(
+                network_id, engine, rebalance=self.config.rebalance_config()
+            )
             for network_id, engine in self.router.items()
         }
         #: catalog size advertised in the hello for the default shard (drives
@@ -342,6 +418,7 @@ class EmbeddingServer:
         self._chaos_done = asyncio.Event()
         if self.config.fault_script is None:
             self._chaos_done.set()
+        self._rebalance_task: asyncio.Task[None] | None = None
 
     # -- shard resolution -------------------------------------------------------------
 
@@ -391,6 +468,8 @@ class EmbeddingServer:
             self._chaos_task = asyncio.create_task(
                 self._chaos_pump(self.config.fault_script, chaos_shard)
             )
+        if self.config.rebalance:
+            self._rebalance_task = asyncio.create_task(self._rebalance_pump())
         sock = self._server.sockets[0].getsockname()
         self._address = (str(sock[0]), int(sock[1]))
         return self._address
@@ -424,6 +503,13 @@ class EmbeddingServer:
             except asyncio.CancelledError:
                 pass
             self._chaos_task = None
+        if self._rebalance_task is not None:
+            self._rebalance_task.cancel()
+            try:
+                await self._rebalance_task
+            except asyncio.CancelledError:
+                pass
+            self._rebalance_task = None
         for shard in self._shards.values():
             if shard.standby_task is not None:
                 shard.standby_task.cancel()
@@ -490,6 +576,15 @@ class EmbeddingServer:
                         "reason": "server stopped before the promotion ran",
                     }
                 )
+            elif isinstance(item, _PendingRebalance):
+                if item.reply is not None:
+                    item.reply.set_result(
+                        {
+                            "type": "error",
+                            "msg_id": item.msg_id,
+                            "reason": "server stopped before the rebalance cycle ran",
+                        }
+                    )
             # _PendingFault items have no waiter: dropped with the server.
 
     # -- durability (write-ahead logs + warm standbys) ---------------------------------
@@ -617,6 +712,7 @@ class EmbeddingServer:
                 if shard.standby is not None
                 else None
             ),
+            "rebalance": shard.rebalancer.stats(),
         }
 
     def stats_payload(self) -> dict[str, Any]:
@@ -759,6 +855,8 @@ class EmbeddingServer:
                 reply = await self._handle_drain(message)
             elif mtype == "promote":
                 reply = await self._handle_promote(message)
+            elif mtype == "rebalance":
+                reply = await self._handle_rebalance(message)
             else:
                 reply = {
                     "type": "error",
@@ -965,6 +1063,7 @@ class EmbeddingServer:
             faults: list[_PendingFault] = []
             holds: list[_PendingHold] = []
             promotes: list[_PendingPromote] = []
+            rebalances: list[_PendingRebalance] = []
             item: (
                 _PendingSubmit
                 | _PendingRelease
@@ -972,6 +1071,7 @@ class EmbeddingServer:
                 | _PendingFault
                 | _PendingHold
                 | _PendingPromote
+                | _PendingRebalance
                 | None
             ) = first
             while item is not None:
@@ -985,6 +1085,8 @@ class EmbeddingServer:
                     holds.append(item)
                 elif isinstance(item, _PendingPromote):
                     promotes.append(item)
+                elif isinstance(item, _PendingRebalance):
+                    rebalances.append(item)
                 else:
                     drains.append(item)
                 if len(batch) >= self.config.batch_size:
@@ -1010,6 +1112,14 @@ class EmbeddingServer:
 
             if batch:
                 await self._decide_batch(shard, batch, deferred)
+
+            # Rebalance cycles run between micro-batches, before this
+            # cycle's fsync so applied migrations ride the same sync, and
+            # only when no fault work preempted them this cycle.
+            for rebalance in rebalances:
+                await self._do_rebalance(
+                    shard, rebalance, deferred, had_faults=bool(faults)
+                )
 
             wal = shard.engine.wal
             if wal is not None and wal.pending_count:
@@ -1094,7 +1204,7 @@ class EmbeddingServer:
                 {"type": "error", "msg_id": pending.msg_id, "reason": str(exc)}
             )
             return
-        shard.engine = engine
+        shard.swap_engine(engine)
         shard.standby = None
         pending.reply.set_result(
             {
@@ -1106,6 +1216,70 @@ class EmbeddingServer:
                 "active": engine.active_count(),
             }
         )
+
+    # -- rebalancing (dispatcher-only, like every other engine mutation) -----------------
+
+    async def _rebalance_pump(self) -> None:
+        """Tick one rebalance cycle per shard onto every dispatcher queue."""
+        while True:
+            await asyncio.sleep(self.config.rebalance_interval)
+            if self._draining:
+                continue
+            for shard in self._shards.values():
+                shard.queue.put_nowait(_PendingRebalance())
+
+    async def _handle_rebalance(self, message: dict[str, Any]) -> dict[str, Any]:
+        msg_id = int(message.get("msg_id", 0) or 0)
+        try:
+            shard = self._shard(protocol.network_id_of(message))
+        except ConfigurationError as exc:
+            return {"type": "error", "msg_id": msg_id, "reason": str(exc)}
+        if bool(message.get("inspect", False)):
+            # Inspection never enqueues a cycle: report the shard's totals.
+            return {
+                "type": "rebalanced",
+                "msg_id": msg_id,
+                "network_id": shard.network_id,
+                "cycle": None,
+                "rebalance": shard.rebalancer.stats(),
+            }
+        pending = _PendingRebalance(
+            msg_id=msg_id, reply=asyncio.get_running_loop().create_future()
+        )
+        shard.queue.put_nowait(pending)
+        return await pending.reply
+
+    async def _do_rebalance(
+        self,
+        shard: _Shard,
+        pending: _PendingRebalance,
+        deferred: list[tuple["asyncio.Future[dict[str, Any]]", dict[str, Any]]],
+        *,
+        had_faults: bool,
+    ) -> None:
+        """Run one guarded cycle off-loop (still single-writer: awaited here).
+
+        ``had_faults`` marks a cycle that just folded fault events in —
+        repair work preempts defrag, so the cycle reports itself paused.
+        The reply (if a client asked) is deferred past the WAL sync below,
+        like any other effect acknowledged this cycle.
+        """
+        report = await asyncio.to_thread(
+            shard.rebalancer.run_cycle, repair_in_flight=had_faults
+        )
+        if pending.reply is not None:
+            deferred.append(
+                (
+                    pending.reply,
+                    {
+                        "type": "rebalanced",
+                        "msg_id": pending.msg_id,
+                        "network_id": shard.network_id,
+                        "cycle": report.to_dict(),
+                        "rebalance": shard.rebalancer.stats(),
+                    },
+                )
+            )
 
     # -- fault path (dispatcher-only, like every other engine mutation) ------------------
 

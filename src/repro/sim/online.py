@@ -27,6 +27,7 @@ from typing import Iterator
 
 from ..embedding.base import Embedder, EmbeddingResult
 from ..engine.core import EmbeddingEngine
+from ..engine.rebalance import RebalanceConfig, RebalanceReport, Rebalancer
 from ..engine.request import EmbeddingRequest
 from ..faults.model import FaultEvent, FaultState
 from ..faults.repair import RepairEngine, RepairOutcome
@@ -83,6 +84,7 @@ class OnlineSimulator:
         self.engine = EmbeddingEngine(network, solver)
         self.network = network
         self.solver = solver
+        self._rebalancer: Rebalancer | None = None
 
     @property
     def state(self) -> ResidualState:
@@ -125,6 +127,28 @@ class OnlineSimulator:
         arrival sees the element again). Returns the repair outcomes.
         """
         return self.engine.apply_fault(event, rng=rng)
+
+    # -- rebalancing ----------------------------------------------------------------
+
+    def run_rebalance_cycle(
+        self,
+        config: RebalanceConfig | None = None,
+        *,
+        repair_in_flight: bool = False,
+    ) -> RebalanceReport:
+        """Run one guarded rebalance cycle against the live ledger.
+
+        The simulator owns one :class:`~repro.engine.rebalance.Rebalancer`
+        built on first use (``config`` applies then and is ignored on later
+        calls), so cooldown state carries across cycles exactly as it does
+        in the service. An offline replay that interleaves the same
+        arrivals, departures, and cycle points as a strict-mode service run
+        therefore plans and applies the identical migrations — the
+        decision-identity property ``tests/test_rebalance.py`` checks.
+        """
+        if self._rebalancer is None:
+            self._rebalancer = Rebalancer(self.engine, config)
+        return self._rebalancer.run_cycle(repair_in_flight=repair_in_flight)
 
     # -- introspection ------------------------------------------------------------------
 

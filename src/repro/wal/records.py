@@ -4,7 +4,7 @@ The log captures the engine's *state transitions*, not its inputs: a commit
 record carries the reservation and embedding the decision produced, a repair
 record carries the repair's effect (the replacement reservation/embedding or
 the eviction), so replay re-applies effects deterministically without
-re-running solvers. Five record types exist:
+re-running solvers. Six record types exist:
 
 ``header``
     Record 0. The log's identity — substrate fingerprint, solver name,
@@ -22,6 +22,11 @@ re-running solvers. Five record types exist:
 ``repair``
     The outcome of one repair-ladder walk triggered by the preceding fault
     record (reroute / re-embed with the new reservation, or eviction).
+``migrate``
+    One applied rebalancer move: the replacement reservation/embedding that
+    atomically supersedes the request's previous reservation. Only *applied*
+    moves are logged — conflicts rolled back at apply time mutate nothing
+    and leave no record.
 
 Payload codecs reuse the canonical snapshot shapes from
 :mod:`repro.engine.state_store` and :mod:`repro.serialize`, so a ledger
@@ -58,6 +63,7 @@ __all__ = [
     "RELEASE",
     "FAULT",
     "REPAIR",
+    "MIGRATE",
     "RECORD_TYPES",
     "header_payload",
     "check_header",
@@ -67,6 +73,7 @@ __all__ = [
     "fault_event_from_payload",
     "repair_payload",
     "repair_outcome_from_payload",
+    "migrate_payload",
     "reservation_from_payload",
     "flow_payload",
     "flow_from_payload",
@@ -83,7 +90,8 @@ COMMIT = "commit"
 RELEASE = "release"
 FAULT = "fault"
 REPAIR = "repair"
-RECORD_TYPES = (HEADER, COMMIT, RELEASE, FAULT, REPAIR)
+MIGRATE = "migrate"
+RECORD_TYPES = (HEADER, COMMIT, RELEASE, FAULT, REPAIR, MIGRATE)
 
 
 # -- header ---------------------------------------------------------------------------
@@ -237,6 +245,31 @@ def repair_outcome_from_payload(payload: Mapping[str, Any]) -> RepairOutcome:
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise WalError(f"malformed repair record payload: {exc}") from None
+
+
+def migrate_payload(
+    *,
+    request_id: int,
+    old_cost: float,
+    new_cost: float,
+    flow: FlowConfig,
+    reservation: Reservation,
+    embedding: Embedding,
+) -> dict[str, Any]:
+    """One applied rebalancer move: the replacement reservation/embedding.
+
+    Replay treats this as an atomic release-old + reserve-new on the same
+    request id — there is never a window where the request is absent from a
+    replayed ledger.
+    """
+    return {
+        "request_id": int(request_id),
+        "old_cost": float(old_cost),
+        "new_cost": float(new_cost),
+        "flow": flow_payload(flow),
+        "reservation": reservation_to_record(request_id, reservation),
+        "embedding": embedding_to_dict(embedding),
+    }
 
 
 def reservation_from_payload(payload: Mapping[str, Any]) -> Reservation:

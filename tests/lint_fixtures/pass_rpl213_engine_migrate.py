@@ -1,0 +1,17 @@
+"""RPL213 pass fixture: migration goes through the engine's transaction.
+
+Release-only and reserve-only call sites are fine too — only the pair in
+one function is a hand-rolled migration.
+"""
+
+
+def move_embedding(engine, request_id, result):
+    return engine.migrate(request_id, result)
+
+
+def depart(engine_ledger, request_id):
+    return engine_ledger.release(request_id)
+
+
+def admit(engine_ledger, request_id, reservation):
+    engine_ledger.reserve(request_id, reservation)

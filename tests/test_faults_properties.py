@@ -14,13 +14,16 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.config import NetworkConfig, SfcConfig
+from repro.config import FlowConfig, NetworkConfig, SfcConfig
+from repro.engine import RebalanceConfig
 from repro.exceptions import IlpUnavailableError
 from repro.faults.model import FaultSpec, FaultState, generate_fault_script
 from repro.network.generator import generate_network
-from repro.sim.online import OnlineSimulator
+from repro.sfc.generator import generate_dag_sfc
+from repro.sim.online import OnlineSimulator, SfcRequest
 from repro.sim.trace import generate_trace, replay_with_faults
 from repro.solvers import available_solvers, make_solver
+from repro.utils.rng import as_generator
 
 # Whole chaos replays per example: keep the example count modest.
 CHAOS = settings(
@@ -111,3 +114,65 @@ class TestRepairConservesCapacity:
         for event in script:
             state.apply(event)
         assert not state.any_dead
+
+
+class TestMigrationConservesCapacity:
+    """Satellite 3: commit/release/migrate interleavings conserve capacity.
+
+    Rebalance cycles interleave with arrivals and departures in arbitrary
+    orders; since every applied migration is a release-old + reserve-new
+    transaction on the same ledger, releasing the survivors afterwards must
+    still zero out the residual bookkeeping — no leaked rate on either the
+    vacated or the newly reserved elements, conflicts included.
+    """
+
+    #: eager enough that migrations actually fire on the tight substrate.
+    _REBALANCE = RebalanceConfig(max_moves=2, candidates=4, min_gain=0.001, cooldown=0)
+
+    @staticmethod
+    def _tight_instance(seed: int) -> tuple[OnlineSimulator, dict[int, SfcRequest]]:
+        cfg = NetworkConfig(
+            size=14,
+            connectivity=3.0,
+            n_vnf_types=4,
+            deploy_ratio=0.6,
+            vnf_capacity=2.0,
+            link_capacity=2.0,
+        )
+        net = generate_network(cfg, rng=seed)
+        gen = as_generator(seed + 1)
+        requests = {}
+        for rid in range(10):
+            dag = generate_dag_sfc(SfcConfig(size=2), cfg.n_vnf_types, rng=gen)
+            src, dst = (int(v) for v in gen.choice(cfg.size, size=2, replace=False))
+            requests[rid] = SfcRequest(
+                request_id=rid, dag=dag, source=src, dest=dst,
+                flow=FlowConfig(rate=1.0), seed=int(gen.integers(2**31)),
+                arrival_index=rid,
+            )
+        return OnlineSimulator(net, make_solver("MBBE")), requests
+
+    @given(
+        seed=st.integers(0, 100_000),
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("submit"), st.integers(0, 9)),
+                st.tuples(st.just("release"), st.integers(0, 9)),
+                st.tuples(st.just("rebalance"), st.just(0)),
+            ),
+            max_size=20,
+        ),
+    )
+    @CHAOS
+    def test_migrate_interleavings_conserve_capacity(self, seed, ops):
+        sim, requests = self._tight_instance(seed)
+        for kind, arg in ops:
+            if kind == "submit":
+                if not sim.engine.is_active(arg):
+                    sim.submit(requests[arg], rng=requests[arg].seed)
+            elif kind == "release":
+                if sim.engine.is_active(arg):
+                    sim.release(arg)
+            else:
+                sim.run_rebalance_cycle(self._REBALANCE)
+        assert_capacity_conserved(sim)

@@ -41,6 +41,8 @@ EXPECTED: dict[str, list[str]] = {
     "solvers/fail_rpl202_unbalanced_reserve.py": ["RPL202"],
     "service/fail_rpl601_direct_imports.py": ["RPL601", "RPL601", "RPL601"],
     "service/fail_rpl212_transport_append.py": ["RPL212", "RPL212"],
+    "service/fail_rpl213_manual_migration.py": ["RPL213", "RPL213"],
+    "pass_rpl213_engine_migrate.py": [],
     "regpack": ["RPL301", "RPL301"],
     "fail_rpl701_blocking_in_async.py": ["RPL701", "RPL701"],
     "fail_rpl702_shared_mutation.py": ["RPL702", "RPL702"],

@@ -28,6 +28,8 @@ from repro.engine import (
     DEFAULT_NETWORK_ID,
     EmbeddingEngine,
     EmbeddingRequest,
+    RebalanceConfig,
+    Rebalancer,
     ShardRouter,
     StandbyEngine,
     WalWriter,
@@ -311,15 +313,23 @@ class TestEngineRecovery:
 
 
 # One bounded event alphabet for the prefix property: submit ids are drawn
-# small so releases/faults actually interact with live reservations.
+# small so releases/faults actually interact with live reservations, and
+# rebalance cycles interleave migrations into the logged stream.
 _EVENTS = st.lists(
     st.one_of(
         st.tuples(st.just("submit"), st.integers(0, 11)),
         st.tuples(st.just("release"), st.integers(0, 11)),
         st.tuples(st.just("fault"), st.integers(0, 4)),
         st.tuples(st.just("recover"), st.integers(0, 4)),
+        st.tuples(st.just("rebalance"), st.just(0)),
     ),
     max_size=14,
+)
+
+#: eager rebalance knobs for the property: low threshold, no cooldown, so
+#: migrations fire whenever the random interleaving fragments the substrate.
+_PROPERTY_REBALANCE = RebalanceConfig(
+    max_moves=2, candidates=3, min_gain=0.001, cooldown=0
 )
 
 
@@ -341,6 +351,10 @@ class TestReplayPrefixProperty:
         logged = wal_engine(network, path, seed=9)
         shadow = EmbeddingEngine(network, "MBBE", seed=9)
         cut = min(cut, len(events))
+        # One rebalancer per engine, identically configured: the logged and
+        # the shadow engine then share cooldown state and plan seeds, so
+        # their migration decisions (and hence their logs) are identical.
+        rebalancers: dict[int, Rebalancer] = {}
 
         def apply(engine: EmbeddingEngine, event) -> None:
             kind, arg = event
@@ -350,6 +364,10 @@ class TestReplayPrefixProperty:
             elif kind == "release":
                 if engine.is_active(arg):
                     engine.release(arg)
+            elif kind == "rebalance":
+                rebalancers.setdefault(
+                    id(engine), Rebalancer(engine, _PROPERTY_REBALANCE)
+                ).run_cycle()
             else:
                 action = FaultAction.FAIL if kind == "fault" else FaultAction.RECOVER
                 engine.apply_fault(

@@ -70,6 +70,17 @@ class LintConfig:
     wal_module_suffixes: tuple[str, ...] = ("engine/core.py",)
     #: directory names whose modules own the log format (the WAL package).
     wal_dir_names: tuple[str, ...] = ("wal",)
+    #: receiver-name fragments that mark a call target ledger-like (RPL213
+    #: looks for release+reserve pairs on such receivers in one function).
+    ledger_receiver_fragments: tuple[str, ...] = ("ledger",)
+    #: module suffixes sanctioned to pair ledger release+reserve calls: the
+    #: engine core (migrate + WAL replay), the ledger itself, and the repair
+    #: ladder (reroute/re-embed swap reservations under engine control).
+    ledger_migration_module_suffixes: tuple[str, ...] = (
+        "engine/core.py",
+        "network/reservations.py",
+        "faults/repair.py",
+    )
 
     # -- async-safety pack (RPL7xx) -------------------------------------------
 

@@ -8,6 +8,7 @@ from . import (  # noqa: F401
     defaults,
     floats,
     layers,
+    ledger,
     registry_conformance,
     rng,
     state,

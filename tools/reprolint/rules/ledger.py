@@ -1,0 +1,67 @@
+"""Ledger-migration discipline (RPL213).
+
+Moving an active embedding means releasing its old reservation and
+reserving its replacement. Done as two bare ledger calls, the pair is not
+a transaction: the re-reserve can fail after the release succeeded,
+leaving the request's capacity gone and nothing recorded to recover it —
+and even when it succeeds, no WAL record is written, so replay and the
+warm standby silently diverge from the primary.
+:meth:`~repro.engine.core.EmbeddingEngine.migrate` exists precisely to
+make the pair one effect: apply-time re-validation, rollback to the old
+reservation on conflict, and a fingerprint-chained ``migrate`` record.
+Outside the engine core, the ledger itself, and the repair ladder, a
+function that both releases and reserves on a ledger is a hand-rolled
+migration and is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, rule
+
+
+def _is_migration_owner(ctx: FileContext) -> bool:
+    return ctx.has_suffix(ctx.config.ledger_migration_module_suffixes)
+
+
+def _ledger_calls(fn: ast.AST, method: str, fragments: tuple[str, ...]) -> list[ast.Call]:
+    """Calls of ``<ledger-like receiver>.<method>(...)`` inside ``fn``."""
+    found = []
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == method
+        ):
+            receiver = ast.unparse(node.func.value)
+            if any(fragment in receiver.lower() for fragment in fragments):
+                found.append(node)
+    return found
+
+
+@rule(
+    "RPL213",
+    "ledger-migration-outside-engine",
+    "a function that both releases and reserves on a ledger is a hand-rolled "
+    "migration: the pair is not atomic and writes no WAL record — go through "
+    "EmbeddingEngine.migrate",
+)
+def check_ledger_migration_outside_engine(ctx: FileContext) -> None:
+    if _is_migration_owner(ctx):
+        return
+    fragments = tuple(f.lower() for f in ctx.config.ledger_receiver_fragments)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        releases = _ledger_calls(node, "release", fragments)
+        reserves = _ledger_calls(node, "reserve", fragments)
+        if releases and reserves:
+            ctx.report(
+                "RPL213",
+                reserves[0],
+                f"`{node.name}` releases and re-reserves on a ledger directly; "
+                "a bare release+reserve pair is a non-transactional migration "
+                "(no rollback on conflict, no WAL record) — call "
+                "engine.migrate(request_id, result) instead",
+            )
