@@ -5,18 +5,29 @@ service as a hybrid DAG (MBBE) and as a traditional serial chain
 (CHAIN-DP), compare end-to-end delay under a processing-dominated model.
 The speed-up should grow with the SFC size (wider parallel sets overlap
 more processing).
+
+The hybrid solves run under a registered
+:class:`~repro.constraints.delay.DelayBudgetConstraint` — the budget is
+generous enough never to reject, but every embedding flows through the
+constraint's admit/verify hooks and the delay model is the constraint's
+own (one source of truth for the latency parameters).
 """
 
 import pytest
 
-from repro.analysis.delay import DelayModel, dag_delay
+from repro.analysis.delay import dag_delay
 from repro.config import FlowConfig, table2_defaults
+from repro.constraints import ConstraintSet, DelayBudgetConstraint
 from repro.network.generator import generate_network
 from repro.sfc.generator import generate_dag_sfc
 from repro.solvers import ChainDpEmbedder, MbbeEmbedder
 
 NET_SIZE = 120
-MODEL = DelayModel(per_hop_delay=0.05, default_processing_delay=1.0, merger_delay=0.05)
+BUDGET = DelayBudgetConstraint(
+    budget=60.0, per_hop_delay=0.05, processing_delay=1.0, merger_delay=0.05
+)
+CONSTRAINTS = ConstraintSet([BUDGET])
+MODEL = BUDGET.model()
 
 
 @pytest.fixture(scope="module")
@@ -35,9 +46,12 @@ def test_delay_speedup_vs_sfc_size(benchmark, delay_net, sfc_size):
             dag = generate_dag_sfc(
                 sc.sfc.with_(size=sfc_size), n_vnf_types=12, rng=seed
             )
-            hybrid = MbbeEmbedder().embed(delay_net, dag, 0, NET_SIZE - 1, FlowConfig())
+            hybrid = MbbeEmbedder().embed(
+                delay_net, dag, 0, NET_SIZE - 1, FlowConfig(), constraints=CONSTRAINTS
+            )
             serial = ChainDpEmbedder().embed(delay_net, dag, 0, NET_SIZE - 1, FlowConfig())
             assert hybrid.success and serial.success
+            assert CONSTRAINTS.check(delay_net, hybrid.embedding, FlowConfig()) is None
             speedups.append(
                 dag_delay(serial.embedding, MODEL) / dag_delay(hybrid.embedding, MODEL)
             )
@@ -58,8 +72,13 @@ def test_speedup_grows_with_parallel_width(benchmark, delay_net):
             vals = []
             for seed in range(4):
                 dag = generate_dag_sfc(sc.sfc.with_(size=size), n_vnf_types=12, rng=seed)
-                hybrid = MbbeEmbedder().embed(delay_net, dag, 0, NET_SIZE - 1, FlowConfig())
-                serial = ChainDpEmbedder().embed(delay_net, dag, 0, NET_SIZE - 1, FlowConfig())
+                hybrid = MbbeEmbedder().embed(
+                    delay_net, dag, 0, NET_SIZE - 1, FlowConfig(),
+                    constraints=CONSTRAINTS,
+                )
+                serial = ChainDpEmbedder().embed(
+                    delay_net, dag, 0, NET_SIZE - 1, FlowConfig()
+                )
                 vals.append(
                     dag_delay(serial.embedding, MODEL) / dag_delay(hybrid.embedding, MODEL)
                 )

@@ -287,6 +287,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument("--tick", type=float, default=0.02, help="seconds per trace step")
     loadgen.add_argument(
+        "--constraint",
+        action="append",
+        default=None,
+        metavar="KIND[:K=V,...]",
+        help=(
+            "attach a constraint to every submission (repeatable), e.g. "
+            "'delay:budget=12' or 'affinity:pair=1-2,pair=0-3' or "
+            "'zones:count=3,multiplier=2.5' — see docs/constraints.md"
+        ),
+    )
+    loadgen.add_argument(
         "--max-in-flight", type=int, default=8, help="closed-loop concurrency bound"
     )
     loadgen.add_argument(
@@ -767,9 +778,12 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     """Replay a generated trace against a running service and report."""
     import asyncio
 
+    from .constraints.registry import parse_constraint_args
     from .service import ServiceClient
     from .service.loadgen import run_load, write_report
     from .sim.trace import generate_trace
+
+    constraints = parse_constraint_args(args.constraint)
 
     async def _run() -> int:
         client = await ServiceClient.connect(args.host, args.port)
@@ -818,6 +832,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 churn=args.churn,
                 rng=args.seed + 1,
                 network_id=args.network_id,
+                constraints=constraints if constraints else None,
             )
             print(report.format_table())
             if args.out:
@@ -836,6 +851,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                         "max_in_flight": args.max_in_flight,
                         "churn": args.churn,
                         "network_id": args.network_id,
+                        "constraints": constraints.specs(),
                         "server": dict(client.hello),
                     },
                 )

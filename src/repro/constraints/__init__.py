@@ -1,0 +1,44 @@
+"""Pluggable embedding constraints: protocol, registry, and built-ins.
+
+See ``docs/constraints.md``. Importing this package registers the core
+eq. 2–6 constraints and the three shipped plugins (delay budgets,
+anti-affinity, zone pricing).
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConstraintViolationError
+from .affinity import AntiAffinityConstraint
+from .base import Constraint, ConstraintSet
+from .core import CapacityConstraint, CompletenessConstraint, core_constraints, referee
+from .delay import DelayBudgetConstraint
+from .registry import (
+    constraint_class,
+    constraint_from_spec,
+    constraints_from_specs,
+    parse_constraint_arg,
+    parse_constraint_args,
+    register_constraint,
+    registered_kinds,
+)
+from .zones import ZonePricingConstraint
+
+__all__ = [
+    "Constraint",
+    "ConstraintSet",
+    "ConstraintViolationError",
+    "CompletenessConstraint",
+    "CapacityConstraint",
+    "DelayBudgetConstraint",
+    "AntiAffinityConstraint",
+    "ZonePricingConstraint",
+    "core_constraints",
+    "referee",
+    "register_constraint",
+    "registered_kinds",
+    "constraint_class",
+    "constraint_from_spec",
+    "constraints_from_specs",
+    "parse_constraint_arg",
+    "parse_constraint_args",
+]

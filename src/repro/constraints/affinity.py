@@ -1,0 +1,146 @@
+"""Anti-affinity placement rules between VNF categories.
+
+Fault domains and side-channel isolation want certain VNFs kept apart
+(the placement-order/anti-affinity constraints of arXiv 1705.10554): a
+``pairs`` rule forbids two categories from sharing a substrate node
+anywhere in one embedding, and a ``spread`` rule forbids any *single*
+category from stacking two of its own instances on one node (forcing the
+parallel branches of a layer onto distinct hardware).
+
+Both rules are functions of the cumulative (node, vnf_type) use counts —
+exactly the eq. 7 chain state BBE/MBBE maintain per candidate — so
+:meth:`admit_counts` prunes violating sub-solutions *during* the search,
+and :meth:`verify` replays the same test on the finished embedding as
+the referee of record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from ..config import FlowConfig
+from ..embedding.costing import vnf_uses
+from ..embedding.mapping import Embedding
+from ..exceptions import ConfigurationError
+from ..network.cloud import CloudNetwork
+from ..types import NodeId, VnfTypeId
+from .base import Constraint
+from .registry import register_constraint
+
+__all__ = ["AntiAffinityConstraint"]
+
+
+def _normalize_pair(raw: Any) -> tuple[int, int]:
+    """One pair spec: ``[1, 2]`` / ``(1, 2)`` / ``"1-2"`` → sorted tuple."""
+    if isinstance(raw, str):
+        left, sep, right = raw.partition("-")
+        if not sep:
+            raise ConfigurationError(f"malformed anti-affinity pair {raw!r}")
+        items: tuple[Any, ...] = (left, right)
+    elif isinstance(raw, Iterable):
+        items = tuple(raw)
+    else:
+        raise ConfigurationError(f"malformed anti-affinity pair {raw!r}")
+    if len(items) != 2:
+        raise ConfigurationError(f"anti-affinity pair must have 2 members: {raw!r}")
+    try:
+        a, b = int(items[0]), int(items[1])
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"non-integer anti-affinity pair {raw!r}") from None
+    if a == b:
+        raise ConfigurationError(
+            f"anti-affinity pair {raw!r} names one category twice; use spread instead"
+        )
+    return (a, b) if a < b else (b, a)
+
+
+@register_constraint
+@dataclass(frozen=True)
+class AntiAffinityConstraint(Constraint):
+    """Keep rival VNF categories (and spread categories' instances) apart."""
+
+    #: sorted (vnf_type, vnf_type) pairs that must not share a node.
+    pairs: tuple[tuple[int, int], ...] = ()
+    #: categories whose instances must each land on a distinct node.
+    spread: tuple[int, ...] = ()
+    #: categories participating in any pair (derived, not part of the spec).
+    _paired: frozenset[int] = field(init=False, repr=False, compare=False, hash=False, default=frozenset())
+
+    kind = "affinity"
+
+    def __post_init__(self) -> None:
+        if not self.pairs and not self.spread:
+            raise ConfigurationError(
+                "anti-affinity constraint needs at least one pair or spread category"
+            )
+        object.__setattr__(
+            self, "_paired", frozenset(t for pair in self.pairs for t in pair)
+        )
+
+    # -- solver-side hook ---------------------------------------------------------------
+
+    def admit_counts(
+        self,
+        network: CloudNetwork,
+        vnf_counts: Mapping[tuple[NodeId, VnfTypeId], int],
+    ) -> bool:
+        return self._conflict(vnf_counts) is None
+
+    # -- referee ------------------------------------------------------------------------
+
+    def verify(
+        self, network: CloudNetwork, embedding: Embedding, flow: FlowConfig
+    ) -> None:
+        conflict = self._conflict(vnf_uses(embedding))
+        if conflict is not None:
+            raise self.violation(self.kind, conflict)
+
+    def _conflict(
+        self, vnf_counts: Mapping[tuple[NodeId, VnfTypeId], int]
+    ) -> str | None:
+        """The first rule violation in the placement state, or None."""
+        spread = set(self.spread)
+        hosted: dict[NodeId, set[int]] = {}
+        for (node, vnf_type), count in vnf_counts.items():
+            if count <= 0:
+                continue
+            if count > 1 and vnf_type in spread:
+                return (
+                    f"category {vnf_type} is stacked {count}x on node {node} "
+                    "(spread rule)"
+                )
+            if vnf_type in self._paired:
+                hosted.setdefault(node, set()).add(int(vnf_type))
+        for node, types in hosted.items():
+            for a, b in self.pairs:
+                if a in types and b in types:
+                    return f"categories {a} and {b} share node {node} (pair rule)"
+        return None
+
+    # -- wire format --------------------------------------------------------------------
+
+    def spec(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"kind": self.kind}
+        if self.pairs:
+            out["pairs"] = [list(pair) for pair in self.pairs]
+        if self.spread:
+            out["spread"] = list(self.spread)
+        return out
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "AntiAffinityConstraint":
+        raw_pairs = spec.get("pairs", spec.get("pair", ()))
+        if isinstance(raw_pairs, str) or not isinstance(raw_pairs, Iterable):
+            raw_pairs = (raw_pairs,)
+        pairs = tuple(sorted({_normalize_pair(p) for p in raw_pairs}))
+        raw_spread = spec.get("spread", ())
+        if not isinstance(raw_spread, Iterable) or isinstance(raw_spread, str):
+            raw_spread = (raw_spread,)
+        try:
+            spread = tuple(sorted({int(t) for t in raw_spread}))
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"non-integer spread categories in {spec!r}"
+            ) from None
+        return cls(pairs=pairs, spread=spread)

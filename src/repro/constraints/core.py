@@ -1,0 +1,107 @@
+"""The built-in core constraints: the paper's eq. 2–6 feasibility model.
+
+Completeness (eq. 4–6) and capacity (eq. 2–3) were the hardcoded referee
+before the constraint framework existed; here they become the first two
+members of the registry, and :func:`referee` is the single verification
+entry point every layer delegates to: core constraints first (raising
+the historical :class:`IncompleteEmbeddingError` /
+:class:`InfeasibleEmbeddingError` types), then whatever extras the
+request registered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..config import FlowConfig
+from ..embedding.mapping import Embedding
+from ..network.cloud import CloudNetwork
+from .base import Constraint, ConstraintSet
+from .registry import register_constraint
+
+__all__ = [
+    "CompletenessConstraint",
+    "CapacityConstraint",
+    "core_constraints",
+    "referee",
+]
+
+
+@register_constraint
+@dataclass(frozen=True)
+class CompletenessConstraint(Constraint):
+    """Eq. 4–6: every position placed, every meta-path instantiated.
+
+    Raises the historical :class:`~repro.exceptions.IncompleteEmbeddingError`
+    (not a :class:`ConstraintViolationError`): an incomplete embedding is a
+    solver bug, not an operator rule the solver may legitimately miss.
+    """
+
+    kind = "completeness"
+
+    def verify(
+        self, network: CloudNetwork, embedding: Embedding, flow: FlowConfig
+    ) -> None:
+        from ..embedding.feasibility import check_completeness
+
+        check_completeness(network, embedding)
+
+    def spec(self) -> dict[str, Any]:
+        return {"kind": self.kind}
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "CompletenessConstraint":
+        return cls()
+
+
+@register_constraint
+@dataclass(frozen=True)
+class CapacityConstraint(Constraint):
+    """Eq. 2–3: VNF-instance and link capacities respected.
+
+    Like :class:`CompletenessConstraint`, raises the historical
+    :class:`~repro.exceptions.InfeasibleEmbeddingError` type.
+    """
+
+    kind = "capacity"
+
+    def verify(
+        self, network: CloudNetwork, embedding: Embedding, flow: FlowConfig
+    ) -> None:
+        from ..embedding.feasibility import check_capacity
+
+        check_capacity(network, embedding, flow)
+
+    def spec(self) -> dict[str, Any]:
+        return {"kind": self.kind}
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "CapacityConstraint":
+        return cls()
+
+
+#: the always-on referee members, in historical check order.
+_CORE: tuple[Constraint, ...] = (CompletenessConstraint(), CapacityConstraint())
+
+
+def core_constraints() -> tuple[Constraint, ...]:
+    """The built-in eq. 2–6 constraints, in verification order."""
+    return _CORE
+
+
+def referee(
+    network: CloudNetwork,
+    embedding: Embedding,
+    flow: FlowConfig,
+    constraints: ConstraintSet | None = None,
+) -> None:
+    """Full verification: core eq. 2–6 checks, then registered extras.
+
+    Core violations raise the historical embedding-error types; extras
+    raise :class:`~repro.exceptions.ConstraintViolationError`.
+    """
+    for core in _CORE:
+        core.verify(network, embedding, flow)
+    if constraints:
+        constraints.verify(network, embedding, flow)

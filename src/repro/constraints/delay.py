@@ -1,0 +1,148 @@
+"""End-to-end delay budgets with LARAC-style Lagrangian link pricing.
+
+The plugin evaluates a complete embedding's latency with the existing
+:func:`repro.analysis.delay.dag_delay` model (parallel branches overlap;
+layers are sequential) and rejects solutions over ``budget``. On the
+solver side it implements the classic Lagrangian relaxation of the
+delay-constrained least-cost routing problem (LARAC, arXiv 2010.04418):
+instead of solving the (NP-hard) joint problem, each link's search weight
+becomes
+
+    ``price + lambda * per_hop_delay``
+
+so shortest-path instantiation trades rental cost against latency. When a
+solve still lands over budget, :meth:`repriced` escalates ``lambda``
+(0 → ``initial_lambda`` → doubling), and :meth:`Embedder.embed` re-runs
+the bounded solve → verify → reprice loop. ``admit_path`` additionally
+prunes any single real-path whose hop delay alone already exceeds the
+budget — sound, because every path's delay contributes non-negatively to
+the end-to-end total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Mapping
+
+from ..config import FlowConfig
+from ..embedding.mapping import Embedding
+from ..exceptions import ConfigurationError
+from ..network.cloud import CloudNetwork
+from ..network.graph import Link
+from ..network.paths import Path
+from .base import Constraint
+from .registry import register_constraint
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..analysis.delay import DelayModel
+
+__all__ = ["DelayBudgetConstraint"]
+
+_EPS = 1e-9
+
+
+@register_constraint
+@dataclass(frozen=True)
+class DelayBudgetConstraint(Constraint):
+    """Reject embeddings whose hybrid (DAG) end-to-end delay exceeds ``budget``."""
+
+    budget: float = 20.0
+    per_hop_delay: float = 1.0
+    processing_delay: float = 0.05
+    merger_delay: float = 0.02
+    #: current Lagrangian multiplier on per-link delay (0 = pure cost search).
+    lam: float = 0.0
+    #: first non-zero multiplier tried after a violation.
+    initial_lambda: float = 1.0
+
+    kind = "delay"
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ConfigurationError(f"delay budget must be > 0, got {self.budget}")
+        if self.per_hop_delay < 0 or self.processing_delay < 0 or self.merger_delay < 0:
+            raise ConfigurationError("delay model parameters must be >= 0")
+        if self.lam < 0 or self.initial_lambda <= 0:
+            raise ConfigurationError(
+                "lam must be >= 0 and initial_lambda > 0 for delay pricing"
+            )
+
+    def model(self) -> "DelayModel":
+        """The additive delay model this budget is evaluated under."""
+        # Imported lazily: repro.analysis aggregates modules that import
+        # Embedder, which itself imports the constraints package.
+        from ..analysis.delay import DelayModel
+
+        return DelayModel(
+            per_hop_delay=self.per_hop_delay,
+            default_processing_delay=self.processing_delay,
+            merger_delay=self.merger_delay,
+        )
+
+    # -- solver-side hooks --------------------------------------------------------------
+
+    def admit_path(self, network: CloudNetwork, flow: FlowConfig, path: Path) -> bool:
+        """One path's hop delay alone must fit inside the whole budget."""
+        return path.length * self.per_hop_delay <= self.budget + _EPS
+
+    def link_surcharge(self, link: Link) -> float:
+        return self.lam * self.per_hop_delay
+
+    @property
+    def prices_links(self) -> bool:
+        return self.lam > 0.0 and self.per_hop_delay > 0.0
+
+    # -- referee ------------------------------------------------------------------------
+
+    def verify(
+        self, network: CloudNetwork, embedding: Embedding, flow: FlowConfig
+    ) -> None:
+        from ..analysis.delay import dag_delay
+
+        delay = dag_delay(embedding, self.model())
+        if delay > self.budget + _EPS:
+            raise self.violation(
+                self.kind,
+                f"end-to-end delay {delay:.3f} exceeds budget {self.budget:.3f}",
+            )
+
+    # -- LARAC escalation ---------------------------------------------------------------
+
+    def repriced(
+        self, network: CloudNetwork, embedding: Embedding, flow: FlowConfig
+    ) -> "DelayBudgetConstraint | None":
+        """Escalate the delay multiplier after an over-budget solve."""
+        if self.per_hop_delay <= 0.0:
+            return None  # pricing hops cannot change anything
+        next_lam = self.initial_lambda if self.lam == 0.0 else self.lam * 2.0
+        return replace(self, lam=next_lam)
+
+    # -- wire format --------------------------------------------------------------------
+
+    def spec(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "kind": self.kind,
+            "budget": self.budget,
+            "per_hop_delay": self.per_hop_delay,
+            "processing_delay": self.processing_delay,
+            "merger_delay": self.merger_delay,
+        }
+        if self.lam:
+            out["lam"] = self.lam
+        if self.initial_lambda != 1.0:
+            out["initial_lambda"] = self.initial_lambda
+        return out
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "DelayBudgetConstraint":
+        try:
+            return cls(
+                budget=float(spec.get("budget", 20.0)),
+                per_hop_delay=float(spec.get("per_hop_delay", 1.0)),
+                processing_delay=float(spec.get("processing_delay", 0.05)),
+                merger_delay=float(spec.get("merger_delay", 0.02)),
+                lam=float(spec.get("lam", 0.0)),
+                initial_lambda=float(spec.get("initial_lambda", 1.0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed delay constraint spec: {exc}") from None

@@ -1,0 +1,164 @@
+"""Multi-cloud zones: inter-zone link pricing and crossing budgets.
+
+Models a substrate split across availability zones (or clouds): every
+node belongs to a zone — either an explicit ``assignments`` map or the
+round-robin ``zone = node % count`` partition, which stripes both the
+fat-tree and Waxman topologies across zones — and links whose endpoints
+sit in different zones carry an egress premium.
+
+Solver side, :meth:`link_surcharge` raises a cross-zone link's search
+weight to ``price * multiplier`` so shortest-path instantiation prefers
+staying inside a zone wherever the residual capacity allows; the eq. 1
+objective keeps charging the real rental price, so the constraint steers
+search without changing the paper's cost accounting. When
+``max_crossings`` is set, :meth:`admit_path` prunes any single path over
+the budget during the search and :meth:`verify` enforces the cap over
+the whole embedding (distinct cross-zone links, charged once, matching
+the eq. 9 multicast union semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..config import FlowConfig
+from ..embedding.costing import charged_link_uses
+from ..embedding.mapping import Embedding
+from ..exceptions import ConfigurationError
+from ..network.cloud import CloudNetwork
+from ..network.graph import Link
+from ..network.paths import Path
+from ..types import NodeId
+from .base import Constraint
+from .registry import register_constraint
+
+__all__ = ["ZonePricingConstraint"]
+
+
+@register_constraint
+@dataclass(frozen=True)
+class ZonePricingConstraint(Constraint):
+    """Price (and optionally cap) links that cross availability zones."""
+
+    #: round-robin zone count (``zone = node % count``); 0 with explicit map.
+    count: int = 0
+    #: explicit (node, zone) assignments; nodes not listed fall back to the
+    #: round-robin partition (or zone 0 when ``count`` is 0).
+    assignments: tuple[tuple[int, int], ...] = ()
+    #: search-weight multiplier on cross-zone links (>= 1).
+    multiplier: float = 2.0
+    #: max distinct cross-zone links one embedding may charge; None = no cap.
+    max_crossings: int | None = None
+
+    kind = "zones"
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ConfigurationError(f"zone count must be >= 0, got {self.count}")
+        if self.count == 0 and not self.assignments:
+            raise ConfigurationError(
+                "zone constraint needs count > 0 or explicit assignments"
+            )
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"zone multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_crossings is not None and self.max_crossings < 0:
+            raise ConfigurationError(
+                f"max_crossings must be >= 0, got {self.max_crossings}"
+            )
+        # Explicit assignments are probed once per relaxed edge in weighted
+        # searches; a dict keeps that probe O(1). Not a dataclass field, so
+        # equality/hash/serialization stay on the canonical tuple.
+        object.__setattr__(self, "_zone_map", dict(self.assignments))
+
+    def zone_of(self, node: NodeId) -> int:
+        """The zone one node belongs to."""
+        zone_map: dict[int, int] = self.__dict__["_zone_map"]
+        zone = zone_map.get(node)
+        if zone is not None:
+            return zone
+        return node % self.count if self.count else 0
+
+    def crosses(self, u: NodeId, v: NodeId) -> bool:
+        """True when the (u, v) link spans two zones."""
+        return self.zone_of(u) != self.zone_of(v)
+
+    def path_crossings(self, path: Path) -> int:
+        """Distinct cross-zone links along one path."""
+        return sum(1 for u, v in path.edge_set() if self.crosses(u, v))
+
+    # -- solver-side hooks --------------------------------------------------------------
+
+    def admit_path(self, network: CloudNetwork, flow: FlowConfig, path: Path) -> bool:
+        if self.max_crossings is None:
+            return True
+        return self.path_crossings(path) <= self.max_crossings
+
+    def admit_link(self, network: CloudNetwork, link: Link) -> bool:
+        # A zero budget bans every crossing link outright, which lets the
+        # solvers' link filters route around them instead of discovering
+        # the violation only after the min-cost path is instantiated.
+        if self.max_crossings == 0:
+            return not self.crosses(link.u, link.v)
+        return True
+
+    @property
+    def filters_links(self) -> bool:
+        return self.max_crossings == 0
+
+    def link_surcharge(self, link: Link) -> float:
+        if self.crosses(link.u, link.v):
+            return link.price * (self.multiplier - 1.0)
+        return 0.0
+
+    @property
+    def prices_links(self) -> bool:
+        return self.multiplier > 1.0
+
+    # -- referee ------------------------------------------------------------------------
+
+    def verify(
+        self, network: CloudNetwork, embedding: Embedding, flow: FlowConfig
+    ) -> None:
+        if self.max_crossings is None:
+            return
+        crossings = sum(
+            1 for (u, v) in charged_link_uses(embedding) if self.crosses(u, v)
+        )
+        if crossings > self.max_crossings:
+            raise self.violation(
+                self.kind,
+                f"embedding charges {crossings} cross-zone links, "
+                f"budget is {self.max_crossings}",
+            )
+
+    # -- wire format --------------------------------------------------------------------
+
+    def spec(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"kind": self.kind, "multiplier": self.multiplier}
+        if self.count:
+            out["count"] = self.count
+        if self.assignments:
+            out["assignments"] = [list(pair) for pair in self.assignments]
+        if self.max_crossings is not None:
+            out["max_crossings"] = self.max_crossings
+        return out
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "ZonePricingConstraint":
+        raw = spec.get("assignments", ())
+        try:
+            assignments = tuple(
+                sorted((int(node), int(zone)) for node, zone in raw)
+            )
+            max_crossings = spec.get("max_crossings")
+            return cls(
+                count=int(spec.get("count", 0)),
+                assignments=assignments,
+                multiplier=float(spec.get("multiplier", 2.0)),
+                max_crossings=None if max_crossings is None else int(max_crossings),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed zone constraint spec: {exc}") from None

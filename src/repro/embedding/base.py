@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 import abc
+import contextvars
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable
 
 from ..config import FlowConfig
+from ..constraints.base import Constraint, ConstraintSet
 from ..exceptions import NoSolutionError, SolverError
 from ..network.cloud import CloudNetwork
 from ..sfc.dag import DagSfc
@@ -18,6 +20,14 @@ from .feasibility import verify_embedding
 from .mapping import Embedding
 
 __all__ = ["EmbeddingResult", "Embedder"]
+
+#: The constraint set of the *current* embed call. A context variable, not
+#: an instance attribute: ``asyncio.to_thread`` / executors run each call
+#: in its own copied context, so concurrent embeds on one (cached) solver
+#: instance can never observe each other's constraints.
+_ACTIVE_CONSTRAINTS: contextvars.ContextVar[ConstraintSet] = contextvars.ContextVar(
+    "repro_active_constraints", default=ConstraintSet.EMPTY
+)
 
 
 @dataclass(frozen=True)
@@ -49,10 +59,21 @@ class Embedder(abc.ABC):
     :class:`Embedding`; the public :meth:`embed` wraps it with timing,
     verification against the shared referee, and cost evaluation, so all
     algorithms are compared under identical accounting.
+
+    Constraint-aware solvers read :attr:`constraints` during
+    :meth:`_solve` to prune candidates and price links; solvers that
+    ignore it are still correct, because :meth:`embed` verifies every
+    returned embedding against the full constraint set and reports a
+    violation as ``success=False``.
     """
 
     #: short identifier used in reports ("BBE", "MBBE", "RANV", …).
     name: str = "abstract"
+
+    @property
+    def constraints(self) -> ConstraintSet:
+        """The constraint set of the in-flight :meth:`embed` call."""
+        return _ACTIVE_CONSTRAINTS.get()
 
     @abc.abstractmethod
     def _solve(
@@ -75,36 +96,99 @@ class Embedder(abc.ABC):
         dest: NodeId,
         flow: FlowConfig | None = None,
         rng: RngStream = None,
+        *,
+        constraints: "ConstraintSet | Iterable[Constraint] | None" = None,
     ) -> EmbeddingResult:
         """Solve one instance and return a verified, costed result.
 
         Never raises for "no solution found": that is reported through
         ``success=False``. Genuine bugs (invalid embeddings) do raise.
+
+        With a non-empty ``constraints`` set, the solve runs a bounded
+        LARAC-style escalation loop: solve under the current constraint
+        pricing, verify the full set, and — when a violated constraint
+        offers a repriced copy of itself (e.g. a delay budget raising its
+        Lagrangian multiplier) — re-solve under the new pricing, up to
+        :attr:`ConstraintSet.MAX_REPRICE_ROUNDS` rounds. A violation that
+        survives the loop is reported as ``success=False`` with a
+        ``constraint:`` reason, never as an exception.
         """
         flow = flow if flow is not None else FlowConfig()
         stats: dict[str, Any] = {}
         start = time.perf_counter()
-        try:
-            embedding = self._solve(network, dag, source, dest, flow, rng, stats)
-        except (NoSolutionError, SolverError) as exc:
+        cset = ConstraintSet.coerce(constraints)
+        if not cset:
+            # The historical (constraint-free) path, bit-identical.
+            try:
+                embedding = self._solve(network, dag, source, dest, flow, rng, stats)
+            except (NoSolutionError, SolverError) as exc:
+                return EmbeddingResult(
+                    solver=self.name,
+                    success=False,
+                    embedding=None,
+                    cost=None,
+                    runtime=time.perf_counter() - start,
+                    stats=stats,
+                    reason=str(exc),
+                )
+            runtime = time.perf_counter() - start
+            # The referee raises on solver bugs; do not catch.
+            verify_embedding(network, embedding, flow)
+            cost = compute_cost(network, embedding, flow)
             return EmbeddingResult(
                 solver=self.name,
-                success=False,
-                embedding=None,
-                cost=None,
-                runtime=time.perf_counter() - start,
+                success=True,
+                embedding=embedding,
+                cost=cost,
+                runtime=runtime,
                 stats=stats,
-                reason=str(exc),
             )
-        runtime = time.perf_counter() - start
-        # The referee raises on solver bugs; do not catch.
-        verify_embedding(network, embedding, flow)
-        cost = compute_cost(network, embedding, flow)
+
+        active = cset
+        last_violation: str | None = None
+        for attempt in range(1, ConstraintSet.MAX_REPRICE_ROUNDS + 1):
+            stats["constraint_rounds"] = attempt
+            token = _ACTIVE_CONSTRAINTS.set(active)
+            try:
+                embedding = self._solve(network, dag, source, dest, flow, rng, stats)
+            except (NoSolutionError, SolverError) as exc:
+                return EmbeddingResult(
+                    solver=self.name,
+                    success=False,
+                    embedding=None,
+                    cost=None,
+                    runtime=time.perf_counter() - start,
+                    stats=stats,
+                    reason=str(exc),
+                )
+            finally:
+                _ACTIVE_CONSTRAINTS.reset(token)
+            # Core eq. 2–6 violations are solver bugs and raise; extra
+            # constraints are operator rules the solver may miss, handled
+            # through the reprice loop below.
+            verify_embedding(network, embedding, flow)
+            exc_or_none = cset.check(network, embedding, flow)
+            if exc_or_none is None:
+                cost = compute_cost(network, embedding, flow)
+                return EmbeddingResult(
+                    solver=self.name,
+                    success=True,
+                    embedding=embedding,
+                    cost=cost,
+                    runtime=time.perf_counter() - start,
+                    stats=stats,
+                )
+            last_violation = f"constraint:{exc_or_none.constraint}: {exc_or_none}"
+            repriced = active.repriced(network, embedding, flow)
+            if repriced is None:
+                break
+            active = repriced
         return EmbeddingResult(
             solver=self.name,
-            success=True,
-            embedding=embedding,
-            cost=cost,
-            runtime=runtime,
+            success=False,
+            embedding=None,
+            cost=None,
+            runtime=time.perf_counter() - start,
             stats=stats,
+            reason=last_violation or "constraint violated",
         )

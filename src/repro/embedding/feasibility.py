@@ -3,9 +3,18 @@
 Solvers produce embeddings; this module is the referee. Every returned
 solution in the simulation harness passes through :func:`verify_embedding`,
 so a buggy heuristic can never silently report an invalid solution.
+
+The eq. 2–6 *math* lives in :func:`check_completeness` and
+:func:`check_capacity`; :func:`verify_embedding` delegates to the
+constraint framework's :func:`~repro.constraints.core.referee`, which
+runs those checks as the built-in core constraints and then evaluates
+whatever extra constraints the request registered (delay budgets,
+anti-affinity, zone caps — see ``docs/constraints.md``).
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from ..config import FlowConfig
 from ..exceptions import (
@@ -16,6 +25,9 @@ from ..network.cloud import CloudNetwork
 from ..types import DUMMY_VNF
 from .costing import charged_link_uses, vnf_uses
 from .mapping import Embedding
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..constraints.base import ConstraintSet
 
 __all__ = ["check_completeness", "check_capacity", "verify_embedding"]
 
@@ -138,8 +150,20 @@ def check_capacity(
 
 
 def verify_embedding(
-    network: CloudNetwork, embedding: Embedding, flow: FlowConfig
+    network: CloudNetwork,
+    embedding: Embedding,
+    flow: FlowConfig,
+    constraints: "ConstraintSet | None" = None,
 ) -> None:
-    """Full verification: completeness then capacity."""
-    check_completeness(network, embedding)
-    check_capacity(network, embedding, flow)
+    """Full verification: core eq. 2–6 constraints, then registered extras.
+
+    Core failures raise the historical :class:`IncompleteEmbeddingError` /
+    :class:`InfeasibleEmbeddingError`; extras raise
+    :class:`~repro.exceptions.ConstraintViolationError`.
+    """
+    # Imported lazily: the constraints package wraps check_completeness /
+    # check_capacity back into its core constraints, so a module-level
+    # import here would be circular.
+    from ..constraints.core import referee
+
+    referee(network, embedding, flow, constraints)

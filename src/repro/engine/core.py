@@ -278,7 +278,13 @@ class EmbeddingEngine:
         if view is None:
             view = self.view()
         return self.solver.embed(
-            view, request.dag, request.source, request.dest, request.flow, rng=rng
+            view,
+            request.dag,
+            request.source,
+            request.dest,
+            request.flow,
+            rng=rng,
+            constraints=request.constraints,
         )
 
     # -- decisions (sole state mutators) ----------------------------------------------
@@ -307,6 +313,25 @@ class EmbeddingEngine:
             self._log_commit(request, decision, None, None)
             return decision
         assert result.cost is not None
+        if request.constraints and result.embedding is not None:
+            # Commit-time re-validation: a speculative solve (or a buggy
+            # out-of-process worker) may hand back an embedding that no
+            # longer satisfies the request's registered rules.
+            violation = request.constraints.check(
+                self.view(), result.embedding, request.flow
+            )
+            if violation is not None:
+                self.counters["rejected_no_solution"] += 1
+                decision = Decision(
+                    request_id=request.request_id,
+                    msg_id=request.msg_id,
+                    accepted=False,
+                    decision_index=decision_index,
+                    code="constraint_violation",
+                    reason=f"{violation.constraint}: {violation}",
+                )
+                self._log_commit(request, decision, None, None)
+                return decision
         reservation = Reservation.from_counts(
             result.cost.alpha_vnf,
             result.cost.alpha_link,
@@ -332,7 +357,11 @@ class EmbeddingEngine:
         if result.embedding is not None:
             # Remembered for the repair ladder; dropped again on release.
             self._repair.track(
-                request.request_id, result.embedding, request.flow, result.total_cost
+                request.request_id,
+                result.embedding,
+                request.flow,
+                result.total_cost,
+                constraints=request.constraints,
             )
         self.counters["accepted"] += 1
         self.counters["total_cost_accepted"] += result.total_cost
@@ -438,6 +467,21 @@ class EmbeddingEngine:
                 code="no_solution",
                 reason=result.reason or "planned move carries no embedding",
             )
+        if tracked.constraints:
+            # The move must keep honoring the rules the request was admitted
+            # under; a plan that drifted out of bounds is refused pre-apply.
+            violation = tracked.constraints.check(
+                self.view(), result.embedding, tracked.flow
+            )
+            if violation is not None:
+                return Migration(
+                    request_id=request_id,
+                    applied=False,
+                    old_cost=tracked.cost,
+                    new_cost=result.total_cost,
+                    code="constraint_violation",
+                    reason=f"{violation.constraint}: {violation}",
+                )
         old = self.ledger.release(request_id)
         replacement = Reservation.from_counts(
             result.cost.alpha_vnf,
@@ -461,7 +505,13 @@ class EmbeddingEngine:
                 code="capacity_conflict",
                 reason=str(exc),
             )
-        self._repair.track(request_id, result.embedding, tracked.flow, result.total_cost)
+        self._repair.track(
+            request_id,
+            result.embedding,
+            tracked.flow,
+            result.total_cost,
+            constraints=tracked.constraints,
+        )
         self.rebalance_counters["migrations_applied"] += 1
         self.rebalance_counters["cost_recovered"] += old.cost - result.total_cost
         if self._wal is not None:
@@ -474,6 +524,7 @@ class EmbeddingEngine:
                     flow=tracked.flow,
                     reservation=replacement,
                     embedding=result.embedding,
+                    constraints=tracked.constraints,
                 ),
             )
         return Migration(
@@ -645,6 +696,7 @@ class EmbeddingEngine:
                 flow=request.flow,
                 reservation=reservation,
                 embedding=embedding,
+                constraints=request.constraints,
             ),
         )
 
@@ -652,16 +704,22 @@ class EmbeddingEngine:
         if self._wal is None:
             return
         reservation = embedding = flow = None
+        constraints = None
         if outcome.survived:
             reservation = self.ledger.reservation(outcome.request_id)
             tracked = self._repair.tracked(outcome.request_id)
             if tracked is not None:
                 embedding = tracked.embedding
                 flow = tracked.flow
+                constraints = tracked.constraints
         self._wal_append(
             wal_records.REPAIR,
             wal_records.repair_payload(
-                outcome, reservation=reservation, embedding=embedding, flow=flow
+                outcome,
+                reservation=reservation,
+                embedding=embedding,
+                flow=flow,
+                constraints=constraints,
             ),
         )
 
@@ -712,6 +770,7 @@ class EmbeddingEngine:
                 wal_records.embedding_from_payload(payload["embedding"]),
                 wal_records.flow_from_payload(payload["flow"]),
                 float(payload["total_cost"]),
+                constraints=wal_records.constraints_from_payload(payload),
             )
         self.counters["accepted"] += 1
         self.counters["total_cost_accepted"] += float(payload["total_cost"])
@@ -758,6 +817,7 @@ class EmbeddingEngine:
                     wal_records.embedding_from_payload(payload["embedding"]),
                     wal_records.flow_from_payload(payload["flow"]),
                     outcome.new_cost,
+                    constraints=wal_records.constraints_from_payload(payload),
                 )
         self._account_repair(outcome)
 
@@ -784,6 +844,7 @@ class EmbeddingEngine:
             wal_records.embedding_from_payload(payload["embedding"]),
             wal_records.flow_from_payload(payload["flow"]),
             new_cost,
+            constraints=wal_records.constraints_from_payload(payload),
         )
         self.rebalance_counters["migrations_applied"] += 1
         self.rebalance_counters["cost_recovered"] += old_cost - new_cost

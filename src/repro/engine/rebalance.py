@@ -264,6 +264,7 @@ class Rebalancer:
                 tracked.flow,
                 pinned=dict(tracked.embedding.placements),
                 rng=rng,
+                constraints=tracked.constraints,
             )
             if not result.success or tracked.cost - result.total_cost <= threshold:
                 result = self.engine.solver.embed(
@@ -273,6 +274,7 @@ class Rebalancer:
                     tracked.embedding.dest,
                     tracked.flow,
                     rng=rng,
+                    constraints=tracked.constraints,
                 )
             if not result.success or result.embedding is None:
                 continue

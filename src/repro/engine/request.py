@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..config import FlowConfig
+from ..constraints.base import ConstraintSet
 from ..sfc.dag import DagSfc
 from ..types import NodeId
 
@@ -43,6 +44,10 @@ class EmbeddingRequest:
     msg_id: int = 0
     #: arrival order within one engine (assigned at enqueue time).
     arrival_index: int = field(default=0, compare=False)
+    #: registered extra constraints (delay budget, anti-affinity, zones, …);
+    #: the empty set is the constraint-free historical behaviour. Participates
+    #: in equality: two requests under different rules are different requests.
+    constraints: ConstraintSet = ConstraintSet.EMPTY
 
     @property
     def rate(self) -> float:

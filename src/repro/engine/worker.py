@@ -15,7 +15,10 @@ to an in-process solve on the same view.
 
 from __future__ import annotations
 
+from typing import Any, Mapping, Sequence
+
 from ..config import FlowConfig
+from ..constraints.registry import constraints_from_specs
 from ..embedding.base import Embedder, EmbeddingResult
 from ..network.cloud import CloudNetwork
 from ..sfc.dag import DagSfc
@@ -35,9 +38,19 @@ def solve_on_view(
     dest: int,
     rate: float,
     seed: int,
+    constraint_specs: "Sequence[Mapping[str, Any]] | None" = None,
 ) -> EmbeddingResult:
-    """Embed one request on a residual view with the named (cached) solver."""
+    """Embed one request on a residual view with the named (cached) solver.
+
+    Constraints cross the process boundary as their JSON-safe specs (plain
+    dicts pickle cheaply and never smuggle live object state) and are
+    rebuilt here through the registry.
+    """
     solver = _SOLVERS.get(solver_name)
     if solver is None:
         solver = _SOLVERS.setdefault(solver_name, make_solver(solver_name))
-    return solver.embed(view, dag, source, dest, FlowConfig(rate=rate), rng=seed)
+    constraints = constraints_from_specs(constraint_specs)
+    return solver.embed(
+        view, dag, source, dest, FlowConfig(rate=rate), rng=seed,
+        constraints=constraints,
+    )

@@ -23,6 +23,7 @@ __all__ = [
     "EmbeddingError",
     "InfeasibleEmbeddingError",
     "IncompleteEmbeddingError",
+    "ConstraintViolationError",
     "SolverError",
     "NoSolutionError",
     "SearchExhaustedError",
@@ -136,6 +137,21 @@ class InfeasibleEmbeddingError(EmbeddingError):
 
 class IncompleteEmbeddingError(EmbeddingError):
     """An embedding misses a placement or a meta-path (paper eq. 4–6)."""
+
+
+class ConstraintViolationError(EmbeddingError):
+    """An embedding violates a registered pluggable constraint.
+
+    Carries the ``constraint`` name (the registry kind, e.g. ``"delay"``)
+    so referees and engines can report *which* plugin rejected the
+    solution. Subclasses :class:`EmbeddingError`, so repair paths that
+    treat any embedding error as "candidate unusable" handle violations
+    without special-casing.
+    """
+
+    def __init__(self, constraint: str, message: str) -> None:
+        super().__init__(message)
+        self.constraint = constraint
 
 
 # --------------------------------------------------------------------------

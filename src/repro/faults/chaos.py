@@ -67,6 +67,9 @@ class ChaosScenario:
     queue_limit: int = 32
     batch_size: int = 8
     chaos_tick: float = 0.01
+    #: constraint specs attached to every submission (``()`` = unconstrained);
+    #: repairs and migrations then re-validate against the same rules.
+    constraints: tuple[Mapping[str, Any], ...] = ()
 
 
 SCENARIOS: dict[str, ChaosScenario] = {
@@ -90,6 +93,20 @@ SCENARIOS: dict[str, ChaosScenario] = {
         ),
         trace_steps=250,
         queue_limit=64,
+    ),
+    "delay_budget": ChaosScenario(
+        name="delay_budget",
+        description=(
+            "smoke substrate under an end-to-end delay budget; every repair "
+            "must land back inside the budget or escalate"
+        ),
+        network=NetworkConfig(size=25, n_vnf_types=6),
+        sfc=SfcConfig(),
+        fault=FaultSpec(
+            horizon=60, node_mtbf=20.0, link_mtbf=12.0, instance_mtbf=25.0
+        ),
+        trace_steps=80,
+        constraints=({"kind": "delay", "budget": 14.0},),
     ),
 }
 
@@ -315,6 +332,7 @@ async def _drive(
             event.request.dest,
             rate=event.request.flow.rate,
             seed=event.request.request_id,
+            constraints=list(scenario.constraints) or None,
         )
         outcomes.append(outcome)
         if outcome.accepted:

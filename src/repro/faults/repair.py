@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass, replace
 
 from ..config import FlowConfig
+from ..constraints.base import ConstraintSet
 from ..embedding.base import Embedder
 from ..embedding.mapping import Embedding
 from ..exceptions import CapacityError
@@ -85,6 +86,8 @@ class EmbeddedRequest:
     embedding: Embedding
     flow: FlowConfig
     cost: float
+    #: the request's registered constraints; repairs must keep honoring them.
+    constraints: ConstraintSet = ConstraintSet.EMPTY
 
 
 class RepairEngine:
@@ -104,11 +107,20 @@ class RepairEngine:
     # -- tracking -----------------------------------------------------------------
 
     def track(
-        self, request_id: int, embedding: Embedding, flow: FlowConfig, cost: float
+        self,
+        request_id: int,
+        embedding: Embedding,
+        flow: FlowConfig,
+        cost: float,
+        constraints: ConstraintSet | None = None,
     ) -> None:
         """Remember an admitted embedding so it can be repaired later."""
         self._tracked[request_id] = EmbeddedRequest(
-            request_id=request_id, embedding=embedding, flow=flow, cost=cost
+            request_id=request_id,
+            embedding=embedding,
+            flow=flow,
+            cost=cost,
+            constraints=ConstraintSet.coerce(constraints),
         )
 
     def forget(self, request_id: int) -> None:
@@ -197,6 +209,7 @@ class RepairEngine:
                 record.flow,
                 broken_inter=impact.broken_inter,
                 broken_inner=impact.broken_inner,
+                constraints=record.constraints,
             )
             if rerouted is not None:
                 embedding, cost = rerouted
@@ -240,6 +253,7 @@ class RepairEngine:
             record.flow,
             pinned=pinned,
             rng=rng,
+            constraints=record.constraints,
         )
         if result.success and result.embedding is not None and result.cost is not None:
             reservation = Reservation.from_counts(

@@ -194,11 +194,14 @@ class ServiceClient:
         rate: float = 1.0,
         seed: int | None = None,
         network_id: str | None = None,
+        constraints: Any = None,
     ) -> SubmitOutcome:
         """Submit one embedding request; returns the structured outcome.
 
         ``network_id`` addresses one shard of a sharded server; omitted, the
-        request lands on the default shard.
+        request lands on the default shard. ``constraints`` (a
+        :class:`~repro.constraints.base.ConstraintSet` or a list of specs)
+        attaches operator rules; omitted, the field never hits the wire.
         """
         start = time.perf_counter()
         reply = await self._request(
@@ -211,6 +214,7 @@ class ServiceClient:
                 rate=rate,
                 seed=seed,
                 network_id=network_id,
+                constraints=constraints,
             )
         )
         if reply.get("type") == "error":

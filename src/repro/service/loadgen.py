@@ -144,6 +144,7 @@ async def run_load(
     churn: float = 0.0,
     rng: RngStream = None,
     network_id: str | None = None,
+    constraints: Any = None,
 ) -> LoadReport:
     """Drive one trace through a connected client and measure the run.
 
@@ -151,6 +152,9 @@ async def run_load(
     same discipline as :func:`repro.sim.trace.replay` — so a service run is
     comparable against an offline replay of the identical trace.
     ``network_id`` pins the whole run to one shard of a sharded server.
+    ``constraints`` (a :class:`~repro.constraints.base.ConstraintSet` or a
+    list of specs) is attached to every submission; omitted, no constraint
+    field ever hits the wire and the run is protocol-identical to before.
 
     ``churn`` selects that seeded fraction of accepted requests for *early*
     release at half their holding time; churned requests depart even under
@@ -207,6 +211,7 @@ async def run_load(
                 rate=event.request.flow.rate,
                 seed=seeds[event.request.request_id],
                 network_id=network_id,
+                constraints=constraints,
             )
         finally:
             if gate is not None:

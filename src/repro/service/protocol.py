@@ -54,8 +54,10 @@ import json
 from typing import Any, Mapping, Sequence
 
 from ..config import FlowConfig
+from ..constraints.base import ConstraintSet
+from ..constraints.registry import constraints_from_specs
 from ..engine import EmbeddingRequest
-from ..exceptions import ProtocolError
+from ..exceptions import ConfigurationError, ProtocolError
 from ..sfc.dag import DagSfc
 from ..serialize import dag_from_dict, dag_to_dict
 
@@ -101,6 +103,7 @@ REJECT_CODES = (
     "capacity_conflict",  # speculative batch member lost its capacity race
     "degraded",  # admission tightened while substrate faults are active
     "unknown_network",  # the named shard is not served here
+    "constraint_violation",  # a registered constraint rejected the embedding
 )
 
 #: Terminal repair states a ``notify`` push may carry
@@ -212,8 +215,14 @@ def submit_message(
     rate: float = 1.0,
     seed: int | None = None,
     network_id: str | None = None,
+    constraints: "ConstraintSet | Sequence[Mapping[str, Any]] | None" = None,
 ) -> dict[str, Any]:
-    """Build a ``submit`` line (``network_id`` omitted → default shard)."""
+    """Build a ``submit`` line (``network_id`` omitted → default shard).
+
+    ``constraints`` may be a live :class:`ConstraintSet` or pre-serialized
+    specs; the field is omitted entirely when empty, so constraint-free
+    clients emit byte-identical version-2 lines.
+    """
     message: dict[str, Any] = {
         "type": "submit",
         "msg_id": msg_id,
@@ -227,6 +236,14 @@ def submit_message(
         message["seed"] = seed
     if network_id is not None:
         message["network_id"] = network_id
+    if constraints:
+        specs = (
+            constraints.specs()
+            if isinstance(constraints, ConstraintSet)
+            else [dict(spec) for spec in constraints]
+        )
+        if specs:
+            message["constraints"] = specs
     return message
 
 
@@ -245,6 +262,18 @@ def submit_from_message(message: Mapping[str, Any]) -> SubmitIntent:
     if rate <= 0:
         raise ProtocolError(f"submit rate must be > 0, got {rate}")
     seed = message.get("seed")
+    specs = message.get("constraints")
+    if specs is None:
+        constraints = ConstraintSet.EMPTY
+    else:
+        if not isinstance(specs, list):
+            raise ProtocolError(
+                f"submit constraints must be a list of specs, got {type(specs).__name__}"
+            )
+        try:
+            constraints = constraints_from_specs(specs)
+        except (ConfigurationError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed submit constraints: {exc}") from None
     return SubmitIntent(
         request_id=request_id,
         dag=dag,
@@ -253,6 +282,7 @@ def submit_from_message(message: Mapping[str, Any]) -> SubmitIntent:
         flow=FlowConfig(rate=rate),
         seed=None if seed is None else int(seed),
         msg_id=msg_id,
+        constraints=constraints,
     )
 
 

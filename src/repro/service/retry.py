@@ -164,6 +164,7 @@ class ResilientClient:
         rate: float = 1.0,
         seed: int | None = None,
         network_id: str | None = None,
+        constraints: Any = None,
     ) -> SubmitOutcome:
         """Submit with retries; returns the final outcome.
 
@@ -187,6 +188,7 @@ class ResilientClient:
                         rate=rate,
                         seed=seed,
                         network_id=network_id,
+                        constraints=constraints,
                     ),
                     timeout=self.policy.timeout,
                 )

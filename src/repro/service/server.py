@@ -1405,6 +1405,7 @@ class EmbeddingServer:
             intent.dest,
             intent.rate,
             seed,
+            intent.constraints.specs() if intent.constraints else None,
         )
         if self._executor is not None:
             return await asyncio.get_running_loop().run_in_executor(self._executor, call)

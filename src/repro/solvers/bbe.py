@@ -30,13 +30,14 @@ import itertools
 from typing import Any, Callable, Iterable, Mapping
 
 from ..config import FlowConfig
+from ..constraints.base import ConstraintSet
 from ..embedding.base import Embedder
 from ..embedding.mapping import Embedding
 from ..exceptions import NoSolutionError
 from ..network.cloud import CloudNetwork
 from ..network.graph import Link
 from ..network.paths import Path
-from ..network.shortest import bfs_rings
+from ..network.shortest import BfsRings, bfs_rings
 from ..sfc.dag import DagSfc, Layer
 from ..types import MERGER_VNF, EdgeKey, NodeId
 from ..utils.rng import RngStream
@@ -121,6 +122,7 @@ class BbeEmbedder(Embedder):
         graph = network.graph
         if not graph.has_node(source) or not graph.has_node(dest):
             raise NoSolutionError("source or destination not in the network")
+        cset = self.constraints
         tree = SubSolutionTree(source)
         frontier: list[SubSolution] = [tree.root]
         stats["layers"] = []
@@ -129,7 +131,9 @@ class BbeEmbedder(Embedder):
             layer = dag.layer(l)
             children: list[SubSolution] = []
             for parent in frontier:
-                children.extend(self._expand_parent(network, flow, parent, l, layer, tree))
+                children.extend(
+                    self._expand_parent(network, flow, parent, l, layer, tree, cset)
+                )
             if not children:
                 raise NoSolutionError(
                     f"no feasible sub-solution for layer {l} ({layer!r})"
@@ -155,10 +159,13 @@ class BbeEmbedder(Embedder):
         l: int,
         layer: Layer,
         tree: SubSolutionTree,
+        cset: ConstraintSet,
     ) -> list[SubSolution]:
         graph = network.graph
-        admit = vnf_admit(network, parent.vnf_counts, flow.rate)
-        link_f = _residual_link_filter(network, parent.link_counts, flow.rate)
+        admit = vnf_admit(network, parent.vnf_counts, flow.rate, cset)
+        link_f = cset.link_filter(
+            network, _residual_link_filter(network, parent.link_counts, flow.rate)
+        )
         stop = coverage_stop(network, layer.required_types, admit)
         rings = bfs_rings(
             graph,
@@ -167,8 +174,45 @@ class BbeEmbedder(Embedder):
             max_nodes=self.max_forward_nodes,
             link_filter=link_f,
         )
-        if not rings.complete:
-            return []
+        kids: list[SubSolution] = []
+        if rings.complete:
+            kids = self._expand_from_rings(
+                network, flow, parent, l, layer, rings, admit, link_f, tree, cset,
+                exhaustive=False,
+            )
+        if kids or not cset:
+            return kids
+        # Constrained starvation fallback: coverage_stop sizes the search
+        # region for hosting capacity alone, so a count- or path-level veto
+        # can reject every host it found while a lawful alternative sits one
+        # ring further out. Sweep the whole reachable component once before
+        # declaring the layer dead.
+        full = bfs_rings(
+            graph, parent.end_node, stop=lambda _nodes: False, link_filter=link_f
+        )
+        if rings.complete and len(full.node_set) <= len(rings.node_set):
+            return kids
+        return self._expand_from_rings(
+            network, flow, parent, l, layer, full, admit, link_f, tree, cset,
+            exhaustive=True,
+        )
+
+    def _expand_from_rings(
+        self,
+        network: CloudNetwork,
+        flow: FlowConfig,
+        parent: SubSolution,
+        l: int,
+        layer: Layer,
+        rings: BfsRings,
+        admit: Callable[[NodeId, int], bool],
+        link_f: Callable[[Link], bool],
+        tree: SubSolutionTree,
+        cset: ConstraintSet,
+        *,
+        exhaustive: bool,
+    ) -> list[SubSolution]:
+        graph = network.graph
         fst = SearchTree(network, rings)
 
         out: list[SubSolution] = []
@@ -185,6 +229,7 @@ class BbeEmbedder(Embedder):
                         assignment={1: node},
                         inter_paths={1: path},
                         inner_paths={},
+                        constraints=cset,
                     )
                     if ss is not None:
                         tree.insert(parent, ss)
@@ -194,7 +239,11 @@ class BbeEmbedder(Embedder):
         merger_nodes = fst.nodes_hosting(MERGER_VNF, admit=lambda n: admit(n, MERGER_VNF))
         fst_nodes = fst.node_set
         for merger_node in merger_nodes:
-            bstop = coverage_stop(network, layer.parallel, admit)
+            bstop = (
+                (lambda _nodes: False)
+                if exhaustive
+                else coverage_stop(network, layer.parallel, admit)
+            )
             brings = bfs_rings(
                 graph,
                 merger_node,
@@ -202,12 +251,12 @@ class BbeEmbedder(Embedder):
                 allowed=lambda n: n in fst_nodes,
                 link_filter=link_f,
             )
-            if not brings.complete:
+            if not exhaustive and not brings.complete:
                 continue
             bst = SearchTree(network, brings)
             out.extend(
                 self._pair_subsolutions(
-                    network, flow, parent, l, layer, fst, bst, merger_node, admit, tree
+                    network, flow, parent, l, layer, fst, bst, merger_node, admit, tree, cset
                 )
             )
         return out
@@ -224,6 +273,7 @@ class BbeEmbedder(Embedder):
         merger_node: NodeId,
         admit: Callable[[NodeId, int], bool],
         tree: SubSolutionTree,
+        cset: ConstraintSet,
     ) -> list[SubSolution]:
         """§4.4.1's four generation steps for one FST–BST pair."""
         phi = layer.phi
@@ -273,6 +323,7 @@ class BbeEmbedder(Embedder):
                     assignment=assignment,
                     inter_paths=inter_paths,
                     inner_paths=inner_paths,
+                    constraints=cset,
                 )
                 if ss is not None:  # fourth step: infeasible ones removed
                     tree.insert(parent, ss)
@@ -300,7 +351,9 @@ class BbeEmbedder(Embedder):
         """
         from .tails import connect_destination
 
-        best = connect_destination(network, flow, frontier, dag, dest, tree)
+        best = connect_destination(
+            network, flow, frontier, dag, dest, tree, constraints=self.constraints
+        )
         if best is None:
             raise NoSolutionError("no omega-layer sub-solution reaches the destination")
         return best

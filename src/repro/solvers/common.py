@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Callable, Mapping
 
 from ..config import FlowConfig
+from ..constraints.base import ConstraintSet
 from ..network.cloud import CloudNetwork
 from ..network.paths import Path
 from ..sfc.dag import Layer
@@ -37,12 +38,16 @@ def vnf_admit(
     network: CloudNetwork,
     vnf_counts: Mapping[tuple[NodeId, VnfTypeId], int],
     rate: float,
+    constraints: ConstraintSet | None = None,
 ) -> Callable[[NodeId, VnfTypeId], bool]:
     """Predicate: can ``node`` absorb one more use of ``vnf_type``?
 
     Accounts for uses already accumulated along the current sub-solution
     chain (``vnf_counts``). Counts are flattened once up front so each probe
-    is a single dict lookup even on a deep copy-on-write chain.
+    is a single dict lookup even on a deep copy-on-write chain. With a
+    non-empty ``constraints`` set, per-placement vetoes
+    (:meth:`~repro.constraints.base.Constraint.admit_placement`) apply on
+    top of the capacity test; the empty set keeps the historical closure.
     """
     counts_get = flat_counts(vnf_counts).get
     instance = network.deployments.instance
@@ -54,7 +59,15 @@ def vnf_admit(
         used = counts_get((node, vnf_type), 0)
         return (used + 1) * rate <= inst.capacity + _EPS
 
-    return admit
+    if not constraints:
+        return admit
+
+    admit_placement = constraints.admit_placement
+
+    def admit_constrained(node: NodeId, vnf_type: VnfTypeId) -> bool:
+        return admit(node, vnf_type) and admit_placement(network, node, vnf_type)
+
+    return admit_constrained
 
 
 def coverage_stop(
@@ -153,6 +166,7 @@ def evaluate_layer_candidate(
     assignment: Mapping[int, NodeId],
     inter_paths: Mapping[int, Path],
     inner_paths: Mapping[int, Path],
+    constraints: ConstraintSet | None = None,
 ) -> SubSolution | None:
     """Build (or reject) the sub-solution for one candidate layer embedding.
 
@@ -167,6 +181,10 @@ def evaluate_layer_candidate(
     inner_paths:
         gamma → real-path from the gamma-th VNF to the merger (parallel
         layers only).
+    constraints:
+        Registered extra constraints; candidates failing a per-path veto
+        or the cumulative-placement veto are rejected like a capacity
+        overrun. The empty set skips every extra probe.
 
     Returns ``None`` when a capacity constraint fails; otherwise the chained
     :class:`SubSolution` with exact incremental cost.
@@ -217,6 +235,16 @@ def evaluate_layer_candidate(
     new_vnf, new_link, vnf_cost, link_cost = merged
     layer_cost = vnf_cost + link_cost
 
+    if constraints:
+        admit_path = constraints.admit_path
+        for gamma in range(1, phi + 1):
+            if not admit_path(network, flow, inter_paths[gamma]):
+                return None
+            if layer.has_merger and not admit_path(network, flow, inner_paths[gamma]):
+                return None
+        if not constraints.admit_counts(network, flat_counts(new_vnf)):
+            return None
+
     placements = {
         Position(layer_index, gamma): node for gamma, node in assignment.items()
     }
@@ -248,6 +276,7 @@ def evaluate_tail(
     parent: SubSolution,
     dest_layer_index: int,
     tail_path: Path,
+    constraints: ConstraintSet | None = None,
 ) -> SubSolution | None:
     """Chain the final hop (layer ``omega``'s end node → destination).
 
@@ -256,6 +285,8 @@ def evaluate_tail(
     """
     if tail_path.source != parent.end_node:
         raise ValueError("tail path must start at the parent's end node")
+    if constraints and not constraints.admit_path(network, flow, tail_path):
+        return None
     link_adds: dict[EdgeKey, int] = {}
     for e in tail_path.edge_set():
         link_adds[e] = link_adds.get(e, 0) + 1

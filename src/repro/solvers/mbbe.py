@@ -33,13 +33,21 @@ import itertools
 from typing import Any, Callable
 
 from ..config import FlowConfig
+from ..constraints.base import ConstraintSet
 from ..embedding.base import Embedder
 from ..embedding.mapping import Embedding
 from ..exceptions import NoSolutionError
 from ..network.cloud import CloudNetwork
 from ..network.graph import Link
 from ..network.paths import Path
-from ..network.shortest import BfsRings, DijkstraResult, LinkFilter, bfs_rings, dijkstra
+from ..network.shortest import (
+    BfsRings,
+    DijkstraResult,
+    LinkFilter,
+    LinkWeight,
+    bfs_rings,
+    dijkstra,
+)
 from ..sfc.dag import DagSfc, Layer
 from ..types import MERGER_VNF, EdgeKey, NodeId
 from ..utils.rng import RngStream
@@ -50,6 +58,11 @@ from .searchtree import SearchTree
 from .subsolution import SubSolution, SubSolutionTree
 
 __all__ = ["MbbeEmbedder"]
+
+
+def _never_stop(_nodes: frozenset[NodeId]) -> bool:
+    """Exhaust the reachable component (constrained-fallback searches)."""
+    return False
 
 
 class MbbeEmbedder(Embedder):
@@ -139,6 +152,7 @@ class MbbeEmbedder(Embedder):
         graph = network.graph
         if not graph.has_node(source) or not graph.has_node(dest):
             raise NoSolutionError("source or destination not in the network")
+        cset = self.constraints
         tree = SubSolutionTree(source)
         frontier: list[SubSolution] = [tree.root]
         stats["layers"] = []
@@ -148,7 +162,9 @@ class MbbeEmbedder(Embedder):
             layer = dag.layer(l)
             children: list[SubSolution] = []
             for parent in frontier:
-                kids = self._expand_parent(network, flow, parent, l, layer, stats, scale)
+                kids = self._expand_parent(
+                    network, flow, parent, l, layer, stats, scale, cset
+                )
                 # Strategy 3 (X_d-tree): keep the cheapest X_d per parent.
                 kids.sort(key=lambda ss: ss.cum_cost)
                 for ss in kids[: self.x_d * scale]:
@@ -166,7 +182,7 @@ class MbbeEmbedder(Embedder):
 
         from .tails import connect_destination
 
-        best = connect_destination(network, flow, frontier, dag, dest, tree)
+        best = connect_destination(network, flow, frontier, dag, dest, tree, constraints=cset)
         if best is None:
             raise NoSolutionError("no omega-layer sub-solution reaches the destination")
         stats["tree_size"] = tree.size()
@@ -214,13 +230,54 @@ class MbbeEmbedder(Embedder):
         layer: Layer,
         stats: dict[str, Any],
         scale: int,
+        cset: ConstraintSet,
+    ) -> list[SubSolution]:
+        admit = vnf_admit(network, parent.vnf_counts, flow.rate, cset)
+        link_f = cset.link_filter(
+            network, _residual_link_filter(network, parent.link_counts, flow.rate)
+        )
+        rings = self._forward_search(network, parent, layer, admit, link_f, stats)
+        kids: list[SubSolution] = []
+        if rings is not None:
+            kids = self._expand_from_rings(
+                network, flow, parent, l, layer, rings, admit, link_f, scale, cset,
+                exhaustive=False,
+            )
+        if kids or not cset:
+            return kids
+        # Constrained starvation fallback: coverage_stop sizes the region for
+        # hosting capacity alone, so a count- or path-level veto can reject
+        # every host it found while a lawful alternative sits one ring
+        # further out. Sweep the whole reachable component once before
+        # declaring the layer dead.
+        full = bfs_rings(
+            network.graph, parent.end_node, stop=_never_stop, link_filter=link_f
+        )
+        if rings is not None and len(full.node_set) <= len(rings.node_set):
+            return kids
+        stats["constrained_expansions"] = stats.get("constrained_expansions", 0) + 1
+        return self._expand_from_rings(
+            network, flow, parent, l, layer, full, admit, link_f, scale, cset,
+            exhaustive=True,
+        )
+
+    def _expand_from_rings(
+        self,
+        network: CloudNetwork,
+        flow: FlowConfig,
+        parent: SubSolution,
+        l: int,
+        layer: Layer,
+        rings: BfsRings,
+        admit: Callable[[NodeId, int], bool],
+        link_f: LinkFilter,
+        scale: int,
+        cset: ConstraintSet,
+        *,
+        exhaustive: bool,
     ) -> list[SubSolution]:
         graph = network.graph
-        admit = vnf_admit(network, parent.vnf_counts, flow.rate)
-        link_f = _residual_link_filter(network, parent.link_counts, flow.rate)
-        rings = self._forward_search(network, parent, layer, admit, link_f, stats)
-        if rings is None:
-            return []
+        weight: LinkWeight | None = cset.link_weight if cset.prices_links else None
         fst = SearchTree(network, rings)
         # Strategy 2: one Dijkstra from the layer start node gives every
         # inter-layer min-cost path on the real-time network. Every node this
@@ -228,12 +285,13 @@ class MbbeEmbedder(Embedder):
         # search can stop once those are settled instead of settling the
         # whole graph.
         dij_start = dijkstra(
-            graph, parent.end_node, targets=rings.node_set, link_filter=link_f
+            graph, parent.end_node, targets=rings.node_set, link_filter=link_f,
+            weight=weight,
         )
 
         if not layer.has_merger:
             return self._expand_single(
-                network, flow, parent, l, layer, fst, admit, dij_start, scale
+                network, flow, parent, l, layer, fst, admit, dij_start, scale, cset
             )
 
         fst_nodes = fst.node_set
@@ -249,7 +307,7 @@ class MbbeEmbedder(Embedder):
 
         out: list[SubSolution] = []
         for merger_node in merger_candidates:
-            bstop = coverage_stop(network, layer.parallel, admit)
+            bstop = _never_stop if exhaustive else coverage_stop(network, layer.parallel, admit)
             brings = bfs_rings(
                 graph,
                 merger_node,
@@ -257,12 +315,12 @@ class MbbeEmbedder(Embedder):
                 allowed=lambda n: n in fst_nodes,
                 link_filter=link_f,
             )
-            if not brings.complete:
+            if not exhaustive and not brings.complete:
                 continue
             bst = SearchTree(network, brings)
             pair = self._pair_subsolutions(
                 network, flow, parent, l, layer, bst, merger_node, admit, dij_start,
-                link_f, scale,
+                link_f, scale, cset,
             )
             pair.sort(key=lambda ss: ss.cum_cost)
             out.extend(pair[: self.x_d * scale])  # strategy 3, per FST-BST pair
@@ -279,6 +337,7 @@ class MbbeEmbedder(Embedder):
         admit: Callable[[NodeId, int], bool],
         dij_start: DijkstraResult,
         scale: int,
+        cset: ConstraintSet,
     ) -> list[SubSolution]:
         vnf_type = layer.parallel[0]
         out: list[SubSolution] = []
@@ -295,6 +354,7 @@ class MbbeEmbedder(Embedder):
                 assignment={1: node},
                 inter_paths={1: path},
                 inner_paths={},
+                constraints=cset,
             )
             if ss is not None:
                 out.append(ss)
@@ -314,14 +374,16 @@ class MbbeEmbedder(Embedder):
         dij_start: DijkstraResult,
         link_f: LinkFilter,
         scale: int,
+        cset: ConstraintSet,
     ) -> list[SubSolution]:
         """Allocation product over pruned candidates, min-cost instantiation."""
         graph = network.graph
         phi = layer.phi
+        weight: LinkWeight | None = cset.link_weight if cset.prices_links else None
         # Queried only for BST nodes (a subset of the forward set), so the
         # search may stop once the backward node set is settled.
         dij_merger = dijkstra(
-            graph, merger_node, targets=bst.node_set, link_filter=link_f
+            graph, merger_node, targets=bst.node_set, link_filter=link_f, weight=weight
         )
 
         candidates: list[list[NodeId]] = []
@@ -385,6 +447,7 @@ class MbbeEmbedder(Embedder):
                 assignment=assignment,
                 inter_paths=inter_paths,
                 inner_paths=inner_paths,
+                constraints=cset,
             )
             if ss is None:
                 # Shortest-path trees overlap near the merger, so the naive
@@ -392,7 +455,7 @@ class MbbeEmbedder(Embedder):
                 # could route around. Retry routing the combo sequentially on
                 # the residual network before discarding it.
                 ss = self._route_combo_sequential(
-                    network, flow, parent, l, layer, assignment, merger_node
+                    network, flow, parent, l, layer, assignment, merger_node, cset
                 )
             if ss is not None:
                 out.append(ss)
@@ -407,6 +470,7 @@ class MbbeEmbedder(Embedder):
         layer: Layer,
         assignment: dict[int, NodeId],
         merger_node: NodeId,
+        cset: ConstraintSet,
     ) -> SubSolution | None:
         """Capacity-aware fallback routing for one allocation.
 
@@ -417,6 +481,7 @@ class MbbeEmbedder(Embedder):
         graph = network.graph
         rate = flow.rate
         phi = layer.phi
+        weight: LinkWeight | None = cset.link_weight if cset.prices_links else None
         layer_inner: dict[tuple[NodeId, NodeId], int] = {}
         inter_union: set[EdgeKey] = set()
         parent_link_get = flat_counts(parent.link_counts).get
@@ -431,11 +496,15 @@ class MbbeEmbedder(Embedder):
         def inter_filter(link: Link) -> bool:
             return link.key in inter_union or residual_ok(link)
 
+        residual_ok = cset.link_filter(network, residual_ok)
+        inter_filter = cset.link_filter(network, inter_filter)
+
         inter_paths: dict[int, Path] = {}
         for g in range(1, phi + 1):
             target = assignment[g]
             res = dijkstra(
-                graph, parent.end_node, targets=(target,), link_filter=inter_filter
+                graph, parent.end_node, targets=(target,), link_filter=inter_filter,
+                weight=weight,
             )
             p = res.path_to(target)
             if p is None:
@@ -446,7 +515,10 @@ class MbbeEmbedder(Embedder):
         inner_paths: dict[int, Path] = {}
         for g in range(1, phi + 1):
             source = assignment[g]
-            res = dijkstra(graph, source, targets=(merger_node,), link_filter=residual_ok)
+            res = dijkstra(
+                graph, source, targets=(merger_node,), link_filter=residual_ok,
+                weight=weight,
+            )
             p = res.path_to(merger_node)
             if p is None:
                 return None
@@ -463,4 +535,5 @@ class MbbeEmbedder(Embedder):
             assignment=assignment,
             inter_paths=inter_paths,
             inner_paths=inner_paths,
+            constraints=cset,
         )

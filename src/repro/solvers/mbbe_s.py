@@ -25,6 +25,7 @@ from ..network.steiner import mst_steiner_tree
 from typing import Callable
 
 from ..config import FlowConfig
+from ..constraints.base import ConstraintSet
 from ..network.shortest import DijkstraResult, LinkFilter
 from ..sfc.dag import Layer
 from ..types import NodeId
@@ -54,12 +55,13 @@ class MbbeSteinerEmbedder(MbbeEmbedder):
         dij_start: DijkstraResult,
         link_f: LinkFilter,
         scale: int,
+        cset: ConstraintSet,
     ) -> list[SubSolution]:
         # Generate MBBE's candidates first (shared-prefix multicast), then
         # try to improve each surviving allocation with an explicit tree.
         base = super()._pair_subsolutions(
             network, flow, parent, l, layer, bst, merger_node, admit, dij_start,
-            link_f, scale,
+            link_f, scale, cset,
         )
         improved: list[SubSolution] = []
         graph = network.graph
@@ -99,6 +101,7 @@ class MbbeSteinerEmbedder(MbbeEmbedder):
                 assignment=assignment,
                 inter_paths=inter_paths,
                 inner_paths=inner_paths,
+                constraints=cset,
             )
             if cand is not None and cand.cum_cost < ss.cum_cost:
                 improved.append(cand)

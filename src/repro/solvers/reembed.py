@@ -23,16 +23,17 @@ Two entry points back the graded recovery ladder of
 from __future__ import annotations
 
 import heapq
-from typing import Collection, Mapping
+from typing import Callable, Collection, Iterable, Mapping
 
 from ..config import FlowConfig
+from ..constraints.base import Constraint, ConstraintSet
 from ..embedding.base import Embedder, EmbeddingResult
 from ..embedding.costing import CostBreakdown, compute_cost
 from ..embedding.feasibility import verify_embedding
 from ..embedding.mapping import Embedding
 from ..exceptions import EmbeddingError
 from ..network.cloud import CloudNetwork
-from ..network.graph import Graph
+from ..network.graph import Graph, Link
 from ..network.paths import Path
 from ..nfv.instances import DeploymentMap
 from ..sfc.dag import DagSfc
@@ -52,6 +53,8 @@ def _cheapest_detour(
     usable: "Mapping[EdgeKey, bool] | None",
     uses: Mapping[EdgeKey, int],
     rate: float,
+    surcharge: "Callable[[Link], float] | None" = None,
+    veto: "Callable[[Link], bool] | None" = None,
 ) -> Path | None:
     """Dijkstra with multicast-aware weights over the degraded view.
 
@@ -59,6 +62,8 @@ def _cheapest_detour(
     weight 0 and is always capacity-feasible; any other edge weighs its
     price and must fit one more charged use at ``rate``. ``usable`` is an
     optional per-edge veto (unused today, reserved for pinning filters).
+    ``surcharge`` adds constraint link pricing on top (even on free edges:
+    an already-paid link still costs a hop of delay / a zone crossing).
     """
     if source == target:
         return Path.trivial(source)
@@ -82,12 +87,16 @@ def _cheapest_detour(
             key = link.key
             if usable is not None and not usable.get(key, True):
                 continue
+            if veto is not None and not veto(link):
+                continue
             if key in free_edges:
                 weight = 0.0
             else:
                 if (uses.get(key, 0) + 1) * rate > link.capacity + _EPS:
                     continue
                 weight = link.price
+            if surcharge is not None:
+                weight += surcharge(link)
             nd = d + weight
             if nd < tentative.get(nb, inf):
                 tentative[nb] = nd
@@ -109,6 +118,7 @@ def rebuild_paths(
     *,
     broken_inter: Collection[Position],
     broken_inner: Collection[Position],
+    constraints: "ConstraintSet | Iterable[Constraint] | None" = None,
 ) -> tuple[Embedding, CostBreakdown] | None:
     """Replace broken real-paths with cheapest feasible detours, or None.
 
@@ -121,6 +131,9 @@ def rebuild_paths(
     """
     stretched = embedding.stretched()
     rate = flow.rate
+    cset = ConstraintSet.coerce(constraints)
+    surcharge = cset.link_surcharge if cset.prices_links else None
+    veto = cset.link_filter(view, None)
     inter = dict(embedding.inter_paths)
     inner = dict(embedding.inner_paths)
     for pos in broken_inter:
@@ -146,9 +159,11 @@ def rebuild_paths(
         dst = embedding.node_of(pos)
         mset = layer_edges.setdefault(pos.layer, set())
         path = _cheapest_detour(
-            graph, src, dst, frozenset(mset), None, uses, rate
+            graph, src, dst, frozenset(mset), None, uses, rate, surcharge, veto
         )
         if path is None:
+            return None
+        if cset and not cset.admit_path(view, flow, path):
             return None
         inter[pos] = path
         for e in path.edge_set():
@@ -160,9 +175,11 @@ def rebuild_paths(
         src = embedding.node_of(pos)
         dst = embedding.node_of(stretched.end_position(pos.layer))
         path = _cheapest_detour(
-            graph, src, dst, frozenset(), None, uses, rate
+            graph, src, dst, frozenset(), None, uses, rate, surcharge, veto
         )
         if path is None:
+            return None
+        if cset and not cset.admit_path(view, flow, path):
             return None
         inner[pos] = path
         for e in path.edges():
@@ -177,7 +194,10 @@ def rebuild_paths(
         inner_paths=inner,
     )
     try:
-        verify_embedding(view, repaired, flow)
+        # Constraint violations (delay budget blown by the detour, a zone
+        # crossing cap, …) fail the cheap rung exactly like a capacity
+        # overrun: the caller escalates to a full re-embed.
+        verify_embedding(view, repaired, flow, cset if cset else None)
     except EmbeddingError:
         return None
     return repaired, compute_cost(view, repaired, flow)
@@ -242,6 +262,7 @@ def reembed(
     *,
     pinned: Mapping[Position, NodeId] | None = None,
     rng: RngStream = None,
+    constraints: "ConstraintSet | Iterable[Constraint] | None" = None,
 ) -> EmbeddingResult:
     """Solve on the degraded view, preferring the surviving placements.
 
@@ -249,12 +270,13 @@ def reembed(
     surviving categories offer only their current nodes; if that fails (or
     nothing was pinnable) it retries on the unrestricted view. Either way
     the returned result was verified against ``view``'s residual capacities
-    by the shared referee.
+    (and the request's registered ``constraints``) by the shared referee.
     """
+    cset = ConstraintSet.coerce(constraints)
     if pinned:
         pruned = _pin_view(view, dag, pinned)
         if pruned is not None:
-            result = solver.embed(pruned, dag, source, dest, flow, rng)
+            result = solver.embed(pruned, dag, source, dest, flow, rng, constraints=cset)
             if result.success:
                 return result
-    return solver.embed(view, dag, source, dest, flow, rng)
+    return solver.embed(view, dag, source, dest, flow, rng, constraints=cset)

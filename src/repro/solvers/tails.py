@@ -14,6 +14,7 @@ the paper's slack capacities.
 from __future__ import annotations
 
 from ..config import FlowConfig
+from ..constraints.base import ConstraintSet
 from ..network.cloud import CloudNetwork
 from ..network.shortest import dijkstra, min_cost_path
 from ..sfc.dag import DagSfc
@@ -32,26 +33,41 @@ def connect_destination(
     dag: DagSfc,
     dest: NodeId,
     tree: SubSolutionTree,
+    constraints: ConstraintSet | None = None,
 ) -> SubSolution | None:
     """Complete every frontier sub-solution; return the cheapest leaf."""
     graph = network.graph
+    cset = constraints if constraints else None
+    weight = cset.link_weight if cset is not None and cset.prices_links else None
+    veto = cset.link_filter(network, None) if cset is not None else None
     # Only the frontier end nodes are ever queried, so the shared search can
     # stop as soon as all of them are settled.
-    dij_dest = dijkstra(graph, dest, targets={p.end_node for p in frontier})
+    dij_dest = dijkstra(
+        graph, dest, targets={p.end_node for p in frontier}, weight=weight,
+        link_filter=veto,
+    )
     best: SubSolution | None = None
     for parent in frontier:
         leaf: SubSolution | None = None
         shared = dij_dest.path_to(parent.end_node)
         if shared is not None:
-            leaf = evaluate_tail(network, flow, parent, dag.omega + 1, shared.reversed())
+            leaf = evaluate_tail(
+                network, flow, parent, dag.omega + 1, shared.reversed(), constraints=cset
+            )
         if leaf is None:
             # Capacity collision (or unreachable): retry on this parent's
             # residual view.
             link_f = _residual_link_filter(network, parent.link_counts, flow.rate)
-            tail = min_cost_path(graph, parent.end_node, dest, link_filter=link_f)
+            if cset is not None:
+                link_f = cset.link_filter(network, link_f)
+            tail = min_cost_path(
+                graph, parent.end_node, dest, link_filter=link_f, weight=weight
+            )
             if tail is None:
                 continue
-            leaf = evaluate_tail(network, flow, parent, dag.omega + 1, tail)
+            leaf = evaluate_tail(
+                network, flow, parent, dag.omega + 1, tail, constraints=cset
+            )
             if leaf is None:
                 continue
         tree.insert(parent, leaf)

@@ -41,6 +41,8 @@ import json
 from typing import Any, Mapping
 
 from ..config import FlowConfig
+from ..constraints.base import ConstraintSet
+from ..constraints.registry import constraints_from_specs
 from ..embedding.mapping import Embedding
 from ..engine.state_store import (
     network_fingerprint,
@@ -78,6 +80,7 @@ __all__ = [
     "flow_payload",
     "flow_from_payload",
     "embedding_from_payload",
+    "constraints_from_payload",
     "ledger_fingerprint",
 ]
 
@@ -154,9 +157,10 @@ def commit_payload(
     flow: FlowConfig,
     reservation: Reservation | None,
     embedding: Embedding | None,
+    constraints: ConstraintSet | None = None,
 ) -> dict[str, Any]:
     """One decision's effect (wall-clock runtime is deliberately excluded)."""
-    return {
+    out = {
         "request_id": int(request_id),
         "msg_id": int(msg_id),
         "accepted": bool(accepted),
@@ -175,6 +179,11 @@ def commit_payload(
         ),
         "embedding": embedding_to_dict(embedding) if embedding is not None else None,
     }
+    # Only present when the request carried constraints, so constraint-free
+    # logs stay byte-identical to the previous format (and readable by it).
+    if constraints:
+        out["constraints"] = constraints.specs()
+    return out
 
 
 def release_payload(request_id: int) -> dict[str, Any]:
@@ -212,9 +221,10 @@ def repair_payload(
     reservation: Reservation | None,
     embedding: Embedding | None,
     flow: FlowConfig | None,
+    constraints: ConstraintSet | None = None,
 ) -> dict[str, Any]:
     """One repair's effect: the replacement state for survivors, or eviction."""
-    return {
+    out = {
         "request_id": int(outcome.request_id),
         "action": outcome.action.value,
         "old_cost": float(outcome.old_cost),
@@ -230,6 +240,9 @@ def repair_payload(
         ),
         "embedding": embedding_to_dict(embedding) if embedding is not None else None,
     }
+    if constraints:
+        out["constraints"] = constraints.specs()
+    return out
 
 
 def repair_outcome_from_payload(payload: Mapping[str, Any]) -> RepairOutcome:
@@ -255,6 +268,7 @@ def migrate_payload(
     flow: FlowConfig,
     reservation: Reservation,
     embedding: Embedding,
+    constraints: ConstraintSet | None = None,
 ) -> dict[str, Any]:
     """One applied rebalancer move: the replacement reservation/embedding.
 
@@ -262,7 +276,7 @@ def migrate_payload(
     request id — there is never a window where the request is absent from a
     replayed ledger.
     """
-    return {
+    out = {
         "request_id": int(request_id),
         "old_cost": float(old_cost),
         "new_cost": float(new_cost),
@@ -270,6 +284,9 @@ def migrate_payload(
         "reservation": reservation_to_record(request_id, reservation),
         "embedding": embedding_to_dict(embedding),
     }
+    if constraints:
+        out["constraints"] = constraints.specs()
+    return out
 
 
 def reservation_from_payload(payload: Mapping[str, Any]) -> Reservation:
@@ -281,6 +298,21 @@ def reservation_from_payload(payload: Mapping[str, Any]) -> Reservation:
 
 def embedding_from_payload(payload: Mapping[str, Any]) -> Embedding:
     return embedding_from_dict(dict(payload))
+
+
+def constraints_from_payload(payload: Mapping[str, Any]) -> ConstraintSet:
+    """The record's constraint set; absent field → the empty set.
+
+    Pre-constraint logs carry no ``constraints`` key, so they replay with
+    the historical (unconstrained) behaviour.
+    """
+    specs = payload.get("constraints")
+    if not specs:
+        return ConstraintSet.EMPTY
+    try:
+        return constraints_from_specs(specs)
+    except Exception as exc:
+        raise WalError(f"malformed constraints in WAL record: {exc}") from None
 
 
 def flow_payload(flow: FlowConfig) -> dict[str, Any]:

@@ -1,0 +1,15 @@
+"""RPL214 fixture: reaching for the raw referee primitives directly.
+
+Both the import of the primitives and an attribute-style use are flagged;
+such code skips every registered extra constraint (delay budgets,
+anti-affinity, zone caps) and must call ``verify_embedding`` instead.
+"""
+
+from repro.embedding import feasibility
+from repro.embedding.feasibility import check_capacity, check_completeness
+
+
+def accept(network, embedding, flow):
+    check_completeness(network, embedding)
+    feasibility.check_capacity(network, embedding, flow)
+    return True

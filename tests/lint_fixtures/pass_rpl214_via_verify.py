@@ -1,0 +1,8 @@
+"""RPL214 clean fixture: acceptance goes through the blessed referee."""
+
+from repro.embedding import verify_embedding
+
+
+def accept(network, embedding, flow, constraints=None):
+    verify_embedding(network, embedding, flow, constraints)
+    return True

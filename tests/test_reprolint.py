@@ -34,6 +34,7 @@ EXPECTED: dict[str, list[str]] = {
     "fail_rpl401_mutable_default.py": ["RPL401", "RPL401", "RPL401"],
     "fail_rpl501_float_cost_eq.py": ["RPL501", "RPL501"],
     "fail_rpl211_counts_full_copy.py": ["RPL211", "RPL211", "RPL211"],
+    "fail_rpl214_direct_referee.py": ["RPL214", "RPL214", "RPL214"],
     "fail_rpl001_reasonless_suppression.py": ["RPL001"],
     "fail_rpl002_unknown_code.py": ["RPL002"],
     "fail_rpl003_syntax_error.py": ["RPL003"],
@@ -43,6 +44,7 @@ EXPECTED: dict[str, list[str]] = {
     "service/fail_rpl212_transport_append.py": ["RPL212", "RPL212"],
     "service/fail_rpl213_manual_migration.py": ["RPL213", "RPL213"],
     "pass_rpl213_engine_migrate.py": [],
+    "pass_rpl214_via_verify.py": [],
     "regpack": ["RPL301", "RPL301"],
     "fail_rpl701_blocking_in_async.py": ["RPL701", "RPL701"],
     "fail_rpl702_shared_mutation.py": ["RPL702", "RPL702"],

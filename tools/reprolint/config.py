@@ -62,6 +62,22 @@ class LintConfig:
         "network.state",
         "faults.repair",
     )
+    #: the raw eq. 2–6 referee primitives; every caller outside the
+    #: constraint framework must go through ``verify_embedding`` so
+    #: registered extra constraints are never silently skipped (RPL214).
+    feasibility_primitives: tuple[str, ...] = (
+        "check_completeness",
+        "check_capacity",
+    )
+    #: directory names owning the constraint framework (RPL214-exempt: the
+    #: core constraints *are* the sanctioned wrappers of the primitives).
+    constraints_dir_names: tuple[str, ...] = ("constraints",)
+    #: module suffixes also sanctioned: the defining module and its package
+    #: re-export surface.
+    feasibility_module_suffixes: tuple[str, ...] = (
+        "embedding/feasibility.py",
+        "embedding/__init__.py",
+    )
     #: method names that append write-ahead-log records (RPL212 confines
     #: their call sites to the engine and the WAL package itself).
     wal_append_methods: tuple[str, ...] = ("append_record",)

@@ -6,6 +6,7 @@ from . import (  # noqa: F401
     asyncsafety,
     counts,
     defaults,
+    feasibility,
     floats,
     layers,
     ledger,

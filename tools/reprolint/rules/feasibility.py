@@ -1,0 +1,73 @@
+"""Feasibility-referee discipline (RPL214).
+
+``check_completeness`` / ``check_capacity`` are the raw eq. 2–6 referee
+primitives. Since the constraint framework landed, ``verify_embedding`` is
+the one blessed entry point: it runs the primitives as the built-in core
+constraints *and then* evaluates whatever extra constraints the request
+registered (delay budgets, anti-affinity, zone caps). A caller that
+reaches for a primitive directly re-creates the pre-framework world where
+feasibility was hard-coded — its acceptance decision silently ignores
+every registered plugin. Only the constraint package itself (which wraps
+the primitives into core constraints) and the defining module may touch
+them.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, rule
+
+
+def _repro_relative(module: str | None, level: int) -> str | None:
+    """The imported module path relative to the ``repro`` package.
+
+    Mirrors the RPL601 resolver: relative imports carry the package-local
+    tail, absolute imports are stripped of ``repro.``; anything outside
+    ``repro`` returns ``None`` (third-party names never fire).
+    """
+    if module is None:
+        return None
+    if level > 0:
+        return module
+    if module == "repro":
+        return ""
+    if module.startswith("repro."):
+        return module[len("repro.") :]
+    return None
+
+
+@rule(
+    "RPL214",
+    "feasibility-check-outside-constraint-registry",
+    "the raw eq. 2-6 referee primitives (check_completeness/check_capacity) "
+    "may only be used by the constraint framework; everyone else must call "
+    "verify_embedding so registered extra constraints are evaluated too",
+)
+def check_feasibility_referee_discipline(ctx: FileContext) -> None:
+    if ctx.in_dir(ctx.config.constraints_dir_names):
+        return
+    if ctx.has_suffix(ctx.config.feasibility_module_suffixes):
+        return
+    primitives = set(ctx.config.feasibility_primitives)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom):
+            if _repro_relative(node.module, node.level) is None:
+                continue
+            for alias in node.names:
+                if alias.name in primitives:
+                    ctx.report(
+                        "RPL214",
+                        node,
+                        f"direct import of referee primitive `{alias.name}`; "
+                        "call `verify_embedding` instead so registered "
+                        "constraints are checked as well",
+                    )
+        elif isinstance(node, ast.Attribute) and node.attr in primitives:
+            ctx.report(
+                "RPL214",
+                node,
+                f"direct use of referee primitive `.{node.attr}`; "
+                "call `verify_embedding` instead so registered "
+                "constraints are checked as well",
+            )
